@@ -1,0 +1,81 @@
+// E01 — Tile-based transport vs whole-frame transport (§2.1).
+//
+// "The use of tiles for video reduces latency in several places from a
+// 'frame time' (33 or 40 ms) to a 'tile time' (30 to 40 us)."
+#include "bench/bench_util.h"
+#include "src/atm/network.h"
+#include "src/devices/camera.h"
+#include "src/devices/display.h"
+
+using namespace pegasus;
+
+namespace {
+
+struct Result {
+  double median_ns = 0;
+  double p99_ns = 0;
+  double max_ns = 0;
+};
+
+Result Run(dev::AtmCamera::Emission emission, int fps, int64_t link_bps) {
+  sim::Simulator sim;
+  atm::Network net(&sim);
+  atm::Switch* sw = net.AddSwitch("sw", 4);
+  atm::Endpoint* cam_ep = net.AddEndpoint("cam", sw, 0, link_bps);
+  atm::Endpoint* disp_ep = net.AddEndpoint("disp", sw, 1, link_bps);
+  auto vc = net.OpenVc(cam_ep, disp_ep);
+
+  dev::AtmCamera::Config cfg;
+  cfg.width = 160;
+  cfg.height = 120;
+  cfg.fps = fps;
+  cfg.emission = emission;
+  dev::AtmCamera camera(&sim, cam_ep, cfg);
+  dev::AtmDisplay display(&sim, disp_ep, 640, 480);
+  dev::WindowManager wm(&display);
+  wm.CreateWindow(vc->destination_vci, 0, 0, 160, 120);
+  camera.Start(vc->source_vci);
+  sim.RunUntil(sim::Seconds(2));
+
+  Result r;
+  r.median_ns = display.tile_latency().Quantile(0.5);
+  r.p99_ns = display.tile_latency().Quantile(0.99);
+  r.max_ns = display.tile_latency().max();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("E01", "tile latency vs frame latency",
+                     "tiles cut media latency from a frame time (33-40 ms) to a tile "
+                     "time (30-40 us)");
+
+  sim::Table table({"emission", "fps", "link", "median", "p99", "max"});
+  Result tiles_25 = Run(dev::AtmCamera::Emission::kTiles, 25, 155'000'000);
+  Result frame_25 = Run(dev::AtmCamera::Emission::kWholeFrame, 25, 155'000'000);
+  Result tiles_30 = Run(dev::AtmCamera::Emission::kTiles, 30, 155'000'000);
+  Result frame_30 = Run(dev::AtmCamera::Emission::kWholeFrame, 30, 155'000'000);
+  Result tiles_slow = Run(dev::AtmCamera::Emission::kTiles, 25, 100'000'000);
+
+  auto row = [&](const char* name, int fps, const char* link, const Result& r) {
+    table.AddRow({name, sim::Table::Int(fps), link,
+                  sim::FormatDuration(static_cast<sim::DurationNs>(r.median_ns)),
+                  sim::FormatDuration(static_cast<sim::DurationNs>(r.p99_ns)),
+                  sim::FormatDuration(static_cast<sim::DurationNs>(r.max_ns))});
+  };
+  row("tiles (8x8)", 25, "155M", tiles_25);
+  row("whole-frame", 25, "155M", frame_25);
+  row("tiles (8x8)", 30, "155M", tiles_30);
+  row("whole-frame", 30, "155M", frame_30);
+  row("tiles (8x8)", 25, "100M", tiles_slow);
+  bench::PrintTable("capture-to-screen latency per tile packet", table);
+
+  const double factor = frame_25.max_ns / tiles_25.median_ns;
+  std::printf("\nlatency ratio (whole-frame max / tile median): %.0fx\n", factor);
+  bench::PrintVerdict(
+      tiles_25.median_ns < 1e5 && frame_25.max_ns > 30e6,
+      "tile-time latency is tens of microseconds; whole-frame latency is a frame time "
+      "(paper: 33-40 ms vs 30-40 us)");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E02 — Media stream bandwidth (§2).
+//
+// "Using frame-by-frame compression, for instance with JPEG, a video stream
+// requires no more than a megabyte per second. ... Audio has modest
+// bandwidth requirements compared to video."
+#include "bench/bench_util.h"
+#include "src/atm/network.h"
+#include "src/devices/audio.h"
+#include "src/devices/camera.h"
+
+using namespace pegasus;
+
+namespace {
+
+double CameraBandwidth(dev::CompressionMode mode, int quality, int w, int h, double noise) {
+  sim::Simulator sim;
+  atm::Network net(&sim);
+  atm::Switch* sw = net.AddSwitch("sw", 4);
+  atm::Endpoint* cam_ep = net.AddEndpoint("cam", sw, 0, 622'000'000);
+  atm::Endpoint* sink_ep = net.AddEndpoint("sink", sw, 1, 622'000'000);
+  auto vc = net.OpenVc(cam_ep, sink_ep);
+  dev::AtmCamera::Config cfg;
+  cfg.width = w;
+  cfg.height = h;
+  cfg.fps = 25;
+  cfg.compression = mode;
+  cfg.jpeg_quality = quality;
+  cfg.content_noise = noise;
+  dev::AtmCamera camera(&sim, cam_ep, cfg);
+  camera.Start(vc->source_vci);
+  sim.RunUntil(sim::Seconds(2));
+  return camera.average_bandwidth_bps(sim.now());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("E02", "stream bandwidth by media type and compression",
+                     "JPEG video needs <= 1 MB/s; raw video substantially more; audio is "
+                     "modest and jitter-sensitive rather than bandwidth-hungry");
+
+  sim::Table table({"stream", "config", "Mbit/s", "MB/s"});
+  struct Case {
+    const char* name;
+    const char* config;
+    double bps;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"video 320x240@25", "raw",
+                   CameraBandwidth(dev::CompressionMode::kRaw, 0, 320, 240, 0.1)});
+  cases.push_back({"video 320x240@25", "MJPEG q85",
+                   CameraBandwidth(dev::CompressionMode::kMotionJpeg, 85, 320, 240, 0.1)});
+  cases.push_back({"video 320x240@25", "MJPEG q60",
+                   CameraBandwidth(dev::CompressionMode::kMotionJpeg, 60, 320, 240, 0.1)});
+  cases.push_back({"video 320x240@25", "MJPEG q30",
+                   CameraBandwidth(dev::CompressionMode::kMotionJpeg, 30, 320, 240, 0.1)});
+  cases.push_back({"video 160x120@25", "MJPEG q60",
+                   CameraBandwidth(dev::CompressionMode::kMotionJpeg, 60, 160, 120, 0.1)});
+
+  // Audio: 44.1 kHz, 8-bit samples, 40 per timestamped cell.
+  {
+    sim::Simulator sim;
+    atm::Network net(&sim);
+    atm::Switch* sw = net.AddSwitch("sw", 4);
+    atm::Endpoint* in = net.AddEndpoint("in", sw, 0, 155'000'000);
+    atm::Endpoint* out = net.AddEndpoint("out", sw, 1, 155'000'000);
+    auto vc = net.OpenVc(in, out);
+    dev::AudioCapture capture(&sim, in, 44'100);
+    capture.Start(vc->source_vci);
+    sim.RunUntil(sim::Seconds(2));
+    const double bps =
+        static_cast<double>(capture.cells_sent()) * atm::kCellSize * 8.0 / 2.0;
+    cases.push_back({"audio 44.1kHz", "cells+timestamps", bps});
+  }
+
+  double mjpeg_q60 = 0;
+  double raw = 0;
+  for (const Case& c : cases) {
+    table.AddRow({c.name, c.config, sim::Table::Num(c.bps / 1e6, 2),
+                  sim::Table::Num(c.bps / 8e6, 2)});
+    if (std::string(c.config) == "MJPEG q60" && std::string(c.name) == "video 320x240@25") {
+      mjpeg_q60 = c.bps;
+    }
+    if (std::string(c.config) == "raw" && std::string(c.name) == "video 320x240@25") {
+      raw = c.bps;
+    }
+  }
+  bench::PrintTable("sustained stream bandwidth (2 simulated seconds)", table);
+
+  std::printf("\ncompression factor at q60: %.1fx\n", raw / mjpeg_q60);
+  bench::PrintVerdict(mjpeg_q60 / 8e6 <= 1.0 && raw > 2 * mjpeg_q60,
+                      "MJPEG video fits in a megabyte per second; raw video needs several "
+                      "times more; audio is an order of magnitude below video");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// E04 — CPU guarantees under load (§3.3).
+//
+// "For a particular time ... some of the resources given to an application
+// may be viewed as 'guaranteed'." The share+EDF scheduler must keep a media
+// domain's deadlines regardless of background load; conventional
+// timesharing cannot. Includes the EDF-vs-round-robin credit ablation.
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/nemesis/atropos.h"
+#include "src/nemesis/baseline_schedulers.h"
+#include "src/nemesis/kernel.h"
+#include "src/nemesis/workloads.h"
+
+using namespace pegasus;
+using nemesis::QosParams;
+using sim::Milliseconds;
+using sim::Seconds;
+
+namespace {
+
+struct Outcome {
+  int64_t jobs = 0;
+  int64_t misses = 0;
+  double mean_latency_ms = 0;
+  double jitter_ms = 0;  // stddev of completion latency
+};
+
+Outcome Run(const std::string& sched, int hogs, bool media_guaranteed) {
+  sim::Simulator sim;
+  std::unique_ptr<nemesis::Scheduler> scheduler;
+  if (sched == "share+EDF") {
+    scheduler = std::make_unique<nemesis::AtroposScheduler>(1.0);
+  } else if (sched == "share+RR") {
+    scheduler = std::make_unique<nemesis::AtroposScheduler>(
+        1.0, Milliseconds(5), nemesis::AtroposScheduler::CreditPolicy::kRoundRobin);
+  } else if (sched == "round-robin") {
+    scheduler = std::make_unique<nemesis::RoundRobinScheduler>();
+  } else {
+    scheduler = std::make_unique<nemesis::PriorityScheduler>();
+  }
+  auto* priority = dynamic_cast<nemesis::PriorityScheduler*>(scheduler.get());
+  nemesis::Kernel kernel(&sim, std::move(scheduler), nemesis::KernelCosts::Zero());
+
+  // The media domain: an 8 ms decode every 40 ms frame.
+  QosParams media_qos = media_guaranteed
+                            ? QosParams::Guaranteed(Milliseconds(9), Milliseconds(40))
+                            : QosParams::BestEffort();
+  nemesis::PeriodicDomain media(&sim, "media", media_qos, Milliseconds(8), Milliseconds(40));
+  if (priority != nullptr) {
+    // "priority-hi": the user renices the media app above everything (works,
+    // but only for one app). Otherwise it is an ordinary mid-priority
+    // process and anything above it starves it.
+    priority->SetPriority(&media, sched == "priority-hi" ? 9 : 5);
+  }
+  kernel.AddDomain(&media);
+
+  std::vector<std::unique_ptr<nemesis::BatchDomain>> hog_list;
+  // A second guaranteed-but-greedy domain to exercise credit ordering.
+  nemesis::BatchDomain greedy("greedy",
+                              media_guaranteed
+                                  ? QosParams::Guaranteed(Milliseconds(30), Milliseconds(100))
+                                  : QosParams::BestEffort(),
+                              Milliseconds(10));
+  if (priority != nullptr) {
+    priority->SetPriority(&greedy, 6);
+  }
+  kernel.AddDomain(&greedy);
+  for (int i = 0; i < hogs; ++i) {
+    hog_list.push_back(std::make_unique<nemesis::BatchDomain>(
+        "hog" + std::to_string(i), QosParams::BestEffort(), Milliseconds(10)));
+    if (priority != nullptr) {
+      priority->SetPriority(hog_list.back().get(), 4);
+    }
+    kernel.AddDomain(hog_list.back().get());
+  }
+  kernel.Start();
+  sim.RunUntil(Seconds(20));
+
+  Outcome out;
+  out.jobs = media.jobs_completed();
+  out.misses = media.deadline_misses();
+  out.mean_latency_ms = media.completion_latency().mean() / 1e6;
+  out.jitter_ms = media.completion_latency().stddev() / 1e6;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("E04", "scheduler guarantees under background load",
+                     "a guaranteed media domain meets its deadlines regardless of load; "
+                     "timesharing schedulers miss most of them");
+
+  sim::Table table({"scheduler", "hogs", "jobs", "misses", "miss%", "latency", "jitter"});
+  for (const char* sched :
+       {"share+EDF", "share+RR", "round-robin", "priority-mid", "priority-hi"}) {
+    for (int hogs : {0, 2, 10, 20}) {
+      const bool guaranteed = std::string(sched).rfind("share", 0) == 0;
+      Outcome o = Run(sched, hogs, guaranteed);
+      table.AddRow({sched, sim::Table::Int(hogs), sim::Table::Int(o.jobs),
+                    sim::Table::Int(o.misses),
+                    sim::Table::Percent(o.jobs > 0 ? static_cast<double>(o.misses) /
+                                                         static_cast<double>(o.jobs)
+                                                   : 0.0),
+                    sim::Table::Num(o.mean_latency_ms, 2) + "ms",
+                    sim::Table::Num(o.jitter_ms, 2) + "ms"});
+    }
+  }
+  bench::PrintTable("25 fps media domain (8 ms/frame), 20 simulated seconds", table);
+
+  const Outcome edf = Run("share+EDF", 20, true);
+  const Outcome rr = Run("round-robin", 20, false);
+  bench::PrintVerdict(edf.misses == 0 && rr.misses > rr.jobs / 2,
+                      "share+EDF misses nothing at any load; round-robin degrades with every "
+                      "added hog (the paper's case for QoS-aware scheduling). The share+RR "
+                      "ablation shows EDF ordering is what bounds latency jitter.");
+  return 0;
+}

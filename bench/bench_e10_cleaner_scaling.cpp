@@ -1,0 +1,135 @@
+// E10 — Garbage-file cleaner scaling (§5).
+//
+// "We are currently implementing a cleaning algorithm whose complexity only
+// depends on the number of segments to be cleaned and the amount of
+// 'garbage'" — never on file-system size, so the design scales to 10 TB.
+// The ablation baseline is a Sprite-style cleaner that examines every
+// segment's summary.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/pfs/server.h"
+#include "src/sim/event_queue.h"
+
+using namespace pegasus;
+using sim::Seconds;
+
+namespace {
+
+struct Setup {
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<pfs::PegasusFileServer> server;
+};
+
+// Builds a store of `capacity_mb`, fills `live_files` + `dead_files` of
+// `file_kb` each — interleaved, so dirty segments also hold live data the
+// cleaner must relocate — then deletes the dead ones.
+Setup Prepare(int64_t capacity_mb, int dead_files, int live_files, int64_t file_kb) {
+  Setup s;
+  s.sim = std::make_unique<sim::Simulator>();
+  pfs::PfsConfig cfg;
+  cfg.segment_size = 64 << 10;
+  cfg.block_size = 8 << 10;
+  cfg.geometry.capacity_bytes = capacity_mb << 20;
+  cfg.write_back_delay = sim::Seconds(3600);  // batch everything, sync once
+  cfg.max_buffered_bytes = 1 << 30;
+  s.server = std::make_unique<pfs::PegasusFileServer>(s.sim.get(), cfg);
+
+  std::vector<pfs::FileId> dead;
+  const int total = dead_files + live_files;
+  int dead_left = dead_files;
+  int live_left = live_files;
+  for (int i = 0; i < total; ++i) {
+    // Alternate dead and live so every segment is a mix.
+    const bool is_dead = (i % 2 == 0 && dead_left > 0) || live_left == 0;
+    pfs::FileId f = s.server->CreateFile(pfs::FileType::kNormal);
+    bool ok = false;
+    s.server->Write(f, 0, std::vector<uint8_t>(static_cast<size_t>(file_kb) << 10, 1),
+                    [&](bool k) { ok = k; });
+    s.sim->Run();
+    (void)ok;
+    if (is_dead) {
+      dead.push_back(f);
+      --dead_left;
+    } else {
+      --live_left;
+    }
+  }
+  bool synced = false;
+  s.server->Sync([&]() { synced = true; });
+  s.sim->Run();
+  for (pfs::FileId f : dead) {
+    s.server->Delete(f);
+  }
+  return s;
+}
+
+pfs::CleanStats RunClean(Setup& s, bool full_scan) {
+  pfs::CleanStats stats;
+  bool done = false;
+  auto cb = [&](pfs::CleanStats st) {
+    stats = st;
+    done = true;
+  };
+  if (full_scan) {
+    s.server->CleanFullScan(cb);
+  } else {
+    s.server->Clean(cb);
+  }
+  s.sim->RunUntilPredicate([&]() { return done; });
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("E10", "cleaning cost vs store size and garbage volume",
+                     "garbage-file cleaning cost depends only on dirty segments + garbage "
+                     "volume; a full-scan cleaner's cost grows with store size");
+
+  // --- sweep store size at fixed garbage ---
+  sim::Table by_size({"store size", "total segments", "cleaner", "segs examined",
+                      "segs cleaned", "entries", "wall time"});
+  for (int64_t mb : {64, 256, 1024, 4096}) {
+    for (bool full : {false, true}) {
+      Setup s = Prepare(mb, /*dead=*/8, /*live=*/8, /*file_kb=*/32);
+      pfs::CleanStats st = RunClean(s, full);
+      char size_label[32];
+      std::snprintf(size_label, sizeof(size_label), "%lld MiB", static_cast<long long>(mb));
+      by_size.AddRow({size_label, sim::Table::Int(s.server->total_segments()),
+                      full ? "full-scan" : "garbage-file",
+                      sim::Table::Int(st.segments_examined),
+                      sim::Table::Int(st.segments_cleaned),
+                      sim::Table::Int(st.entries_processed),
+                      sim::FormatDuration(st.wall_time)});
+    }
+  }
+  bench::PrintTable("fixed garbage (8 x 64 KiB dead files), growing store", by_size);
+
+  // --- sweep garbage at fixed store size ---
+  sim::Table by_garbage({"dead files", "garbage MB", "segs cleaned", "entries", "wall time"});
+  for (int dead : {4, 16, 64, 128}) {
+    Setup s = Prepare(1024, dead, dead, 32);
+    pfs::CleanStats st = RunClean(s, false);
+    by_garbage.AddRow({sim::Table::Int(dead),
+                       sim::Table::Num(static_cast<double>(dead) * 32 / 1024, 2),
+                       sim::Table::Int(st.segments_cleaned),
+                       sim::Table::Int(st.entries_processed),
+                       sim::FormatDuration(st.wall_time)});
+  }
+  bench::PrintTable("fixed store (1 GiB), growing garbage — cost is linear in garbage",
+                    by_garbage);
+
+  Setup small = Prepare(64, 8, 8, 32);
+  Setup big = Prepare(4096, 8, 8, 32);
+  Setup big2 = Prepare(4096, 8, 8, 32);
+  pfs::CleanStats small_st = RunClean(small, false);
+  pfs::CleanStats big_st = RunClean(big, false);
+  pfs::CleanStats big_scan = RunClean(big2, true);
+  bench::PrintVerdict(small_st.segments_examined == big_st.segments_examined &&
+                          big_scan.segments_examined > 100 * big_st.segments_examined,
+                      "the garbage-file cleaner examines the same handful of segments at "
+                      "64 MiB and 4 GiB, while the full scan examines every segment — the "
+                      "separation that makes 10 TB feasible");
+  return 0;
+}

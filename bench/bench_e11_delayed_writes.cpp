@@ -1,0 +1,108 @@
+// E11 — Delayed writes against short file lifetimes (§5).
+//
+// "Baker et al. showed that 70% of files are deleted or overwritten within
+// 30 seconds ... The data that does eventually get written to the log is
+// reasonably stable, so garbage is created at a much lower rate." The
+// client-agent safety copy is what makes the delay safe.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/pfs/server.h"
+#include "src/sim/random.h"
+
+using namespace pegasus;
+using sim::Seconds;
+
+namespace {
+
+struct Outcome {
+  int64_t blocks_accepted = 0;
+  int64_t blocks_to_disk = 0;
+  int64_t died_in_buffer = 0;
+  int64_t garbage_mb = 0;
+  int64_t segments_written = 0;
+};
+
+// Baker-style workload: files are created steadily; 70% die (delete) with a
+// short lifetime (exponential, mean 12 s => ~70% gone within 30 s of their
+// *last* write), 30% live long.
+Outcome Run(sim::DurationNs write_back_delay, int n_files) {
+  sim::Simulator sim;
+  pfs::PfsConfig cfg;
+  cfg.segment_size = 64 << 10;
+  cfg.block_size = 8 << 10;
+  cfg.geometry.capacity_bytes = 512 << 20;
+  cfg.write_back_delay = write_back_delay;
+  auto server = std::make_unique<pfs::PegasusFileServer>(&sim, cfg);
+  sim::Rng rng(2024);
+
+  for (int i = 0; i < n_files; ++i) {
+    const sim::TimeNs created = static_cast<sim::TimeNs>(
+        rng.UniformDouble() * static_cast<double>(Seconds(300)));
+    const bool short_lived = rng.Bernoulli(0.7);
+    const auto lifetime = static_cast<sim::DurationNs>(
+        short_lived ? rng.Exponential(static_cast<double>(Seconds(12)))
+                    : rng.Exponential(static_cast<double>(Seconds(600))));
+    const int blocks = static_cast<int>(rng.UniformInt(1, 4));
+    sim.ScheduleAt(created, [&sim, &rng, srv = server.get(), lifetime, blocks]() {
+      const pfs::FileId f = srv->CreateFile(pfs::FileType::kNormal);
+      srv->Write(f, 0, std::vector<uint8_t>(static_cast<size_t>(blocks) * 8192, 1),
+                 [](bool) {});
+      // Half the dying files are overwritten once before deletion.
+      if (rng.Bernoulli(0.5)) {
+        sim.ScheduleAfter(lifetime / 2, [srv, f, blocks]() {
+          srv->Write(f, 0, std::vector<uint8_t>(static_cast<size_t>(blocks) * 8192, 2),
+                     [](bool) {});
+        });
+      }
+      sim.ScheduleAfter(lifetime, [srv, f]() { srv->Delete(f); });
+    });
+  }
+  sim.RunUntil(Seconds(400));
+  bool synced = false;
+  server->Sync([&]() { synced = true; });
+  sim.RunUntilPredicate([&]() { return synced; });
+
+  Outcome out;
+  out.blocks_accepted = server->blocks_accepted();
+  out.blocks_to_disk = server->blocks_written_to_disk();
+  out.died_in_buffer = server->blocks_died_in_buffer();
+  out.garbage_mb = server->garbage_bytes() >> 20;
+  out.segments_written = server->segments_written();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("E11", "delayed write-back vs the Baker file-lifetime distribution",
+                     "70% of files die within ~30 s; delaying writes lets them die in "
+                     "memory, cutting disk writes and the garbage creation rate");
+
+  sim::Table table({"write-back delay", "blocks written", "to disk", "died in buffer",
+                    "disk-write savings", "garbage created"});
+  const int files = 3000;
+  Outcome baseline{};
+  for (sim::DurationNs delay : {Seconds(0), Seconds(1), Seconds(5), Seconds(15), Seconds(30),
+                                Seconds(60)}) {
+    Outcome o = Run(delay, files);
+    if (delay == 0) {
+      baseline = o;
+    }
+    table.AddRow({delay == 0 ? "write-through" : sim::FormatDuration(delay),
+                  sim::Table::Int(o.blocks_accepted), sim::Table::Int(o.blocks_to_disk),
+                  sim::Table::Int(o.died_in_buffer),
+                  sim::Table::Percent(1.0 - static_cast<double>(o.blocks_to_disk) /
+                                                static_cast<double>(baseline.blocks_to_disk)),
+                  sim::Table::Int(o.garbage_mb) + " MiB"});
+  }
+  bench::PrintTable("3000 files over 400 simulated seconds, 70% short-lived", table);
+
+  Outcome d30 = Run(Seconds(30), files);
+  bench::PrintVerdict(
+      d30.blocks_to_disk < baseline.blocks_to_disk / 2 && d30.garbage_mb < baseline.garbage_mb,
+      "a 30 s write-back window absorbs most short-lived data: far fewer disk "
+      "writes and a much lower garbage creation rate, exactly the paper's "
+      "point (and the client-agent copy keeps it crash-safe — see E12)");
+  return 0;
+}

@@ -1,0 +1,127 @@
+// E13 — Stream synchronisation via merged control streams (§2.2, §5).
+//
+// "A local process will merge the two control streams ... The playback
+// control process is then responsible for the synchronization of the
+// play-out of the various streams", and the file server "uses the control
+// stream ... to generate index information that can later be used to go to
+// specific time offsets".
+#include "bench/bench_util.h"
+#include "src/core/system.h"
+#include "src/devices/control.h"
+#include "src/devices/sync.h"
+#include "src/sim/random.h"
+
+using namespace pegasus;
+using sim::Milliseconds;
+using sim::Seconds;
+
+namespace {
+
+// Audio and video of one source arrive with different network latencies and
+// jitter; measure playout skew with and without the playback controller.
+sim::Summary SkewWith(dev::PlaybackController::Mode mode, sim::DurationNs video_delay,
+                      sim::DurationNs audio_delay, sim::DurationNs jitter, uint64_t seed) {
+  sim::Simulator sim;
+  sim::Rng rng(seed);
+  dev::PlaybackController::Options opts;
+  opts.mode = mode;
+  opts.margin = Milliseconds(50);
+  dev::PlaybackController controller(&sim, opts);
+  const int video = controller.RegisterStream("video");
+  const int audio = controller.RegisterStream("audio");
+  for (int i = 0; i < 250; ++i) {
+    const sim::TimeNs ts = i * Milliseconds(40);
+    const auto vj = static_cast<sim::DurationNs>(rng.UniformDouble() *
+                                                 static_cast<double>(jitter));
+    const auto aj = static_cast<sim::DurationNs>(rng.UniformDouble() *
+                                                 static_cast<double>(jitter));
+    sim.ScheduleAt(ts + video_delay + vj, [&, ts]() { controller.OnArrival(video, ts); });
+    sim.ScheduleAt(ts + audio_delay + aj, [&, ts]() { controller.OnArrival(audio, ts); });
+  }
+  sim.Run();
+  return controller.skew();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("E13", "audio/video synchronisation and stored-stream indexing",
+                     "the playback controller aligns independently-transported streams; "
+                     "the control stream gives stored media a seekable time index");
+
+  sim::Table live({"playout", "net skew", "jitter", "skew p50", "skew p90", "skew max"});
+  struct Case {
+    sim::DurationNs vd, ad, jitter;
+  };
+  for (const Case& c : {Case{Milliseconds(25), Milliseconds(5), Milliseconds(2)},
+                        Case{Milliseconds(25), Milliseconds(5), Milliseconds(10)},
+                        Case{Milliseconds(10), Milliseconds(10), Milliseconds(15)}}) {
+    for (auto mode : {dev::PlaybackController::Mode::kSynchronized,
+                      dev::PlaybackController::Mode::kImmediate}) {
+      sim::Summary skew = SkewWith(mode, c.vd, c.ad, c.jitter, 7);
+      char net[32];
+      std::snprintf(net, sizeof(net), "%lldms",
+                    static_cast<long long>(sim::ToMilliseconds(c.vd - c.ad)));
+      live.AddRow({mode == dev::PlaybackController::Mode::kSynchronized ? "controller"
+                                                                        : "on arrival",
+                   net, sim::FormatDuration(c.jitter),
+                   sim::FormatDuration(static_cast<sim::DurationNs>(skew.Quantile(0.5))),
+                   sim::FormatDuration(static_cast<sim::DurationNs>(skew.Quantile(0.9))),
+                   sim::FormatDuration(static_cast<sim::DurationNs>(skew.max()))});
+    }
+  }
+  bench::PrintTable("A/V playout skew, 10 s of 25 fps media (paper: lip-sync needs ~<80ms)",
+                    live);
+
+  // --- stored streams: the control stream builds the index ---
+  sim::Simulator sim;
+  core::PegasusSystem system(&sim);
+  core::Workstation* ws = system.AddWorkstation("ws");
+  pfs::PfsConfig cfg;
+  cfg.segment_size = 64 << 10;
+  cfg.block_size = 8 << 10;
+  cfg.geometry.capacity_bytes = 128 << 20;
+  core::StorageNode* storage = system.AddStorageServer(cfg);
+  dev::AtmCamera::Config cam_cfg;
+  cam_cfg.width = 64;
+  cam_cfg.height = 48;
+  cam_cfg.compression = dev::CompressionMode::kMotionJpeg;
+  dev::AtmCamera* camera = ws->AddCamera(cam_cfg);
+  auto rec = system.ConnectDeviceToStorage(ws, ws->device_endpoint(camera), storage);
+  pfs::FileId file = storage->StartRecording(rec->sink_data_vci, rec->control_receive_vci, 1);
+  for (int s = 0; s <= 10; ++s) {
+    sim.ScheduleAt(Seconds(s), [&, s]() {
+      dev::ControlMessage mark;
+      mark.type = dev::ControlType::kSyncMark;
+      mark.media_ts = Seconds(s);
+      ws->host_transport()->Send(rec->control_send_vci, mark.Serialize());
+    });
+  }
+  camera->Start(rec->source_data_vci);
+  sim.RunUntil(Seconds(10));
+  camera->Stop();
+  bool synced = false;
+  storage->StopRecording(rec->sink_data_vci, [&]() { synced = true; });
+  sim.RunUntilPredicate([&]() { return synced; });
+
+  sim::Table index({"seek target", "index offset", "file size"});
+  for (int s : {2, 5, 8}) {
+    auto off = storage->server()->LookupIndex(file, Seconds(s));
+    index.AddRow({sim::Table::Int(s) + "s",
+                  off.has_value() ? sim::Table::Int(*off) : "none",
+                  sim::Table::Int(storage->server()->FileSize(file))});
+  }
+  bench::PrintTable("control-stream index of the recorded stream", index);
+
+  sim::Summary with = SkewWith(dev::PlaybackController::Mode::kSynchronized, Milliseconds(25),
+                               Milliseconds(5), Milliseconds(10), 7);
+  sim::Summary without = SkewWith(dev::PlaybackController::Mode::kImmediate, Milliseconds(25),
+                                  Milliseconds(5), Milliseconds(10), 7);
+  auto off5 = storage->server()->LookupIndex(file, Seconds(5));
+  bench::PrintVerdict(with.Quantile(0.9) < 5e6 && without.mean() > 15e6 && off5.has_value() &&
+                          *off5 > 0,
+                      "the controller holds A/V skew to (sub-)milliseconds where raw arrival "
+                      "play-out shows the full network skew; the stored stream is seekable "
+                      "by media time through the control-stream index");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E14 — The VCI-indexed window system (§2.1, Figure 3).
+//
+// "Note that as tiles essentially represent bit-blit operations of fixed
+// size, from the viewpoint of a display, there is a unification of video and
+// graphics. The code in conventional window systems that does the
+// multiplexing of windows to the display can largely disappear."
+#include "bench/bench_util.h"
+#include "src/core/system.h"
+
+using namespace pegasus;
+using sim::Milliseconds;
+using sim::Seconds;
+
+int main() {
+  bench::PrintHeader("E14", "window management by descriptor manipulation",
+                     "window operations are descriptor updates; the display hardware "
+                     "multiplexes VCs to pixels, so the window manager moves no pixel data "
+                     "and video keeps flowing through every operation");
+
+  sim::Simulator sim;
+  core::PegasusSystem system(&sim);
+  core::Workstation* ws = system.AddWorkstation("ws");
+  dev::AtmDisplay* display = ws->AddDisplay(800, 600);
+  dev::WindowManager wm(display);
+
+  // Four live video windows on one screen.
+  const int kWindows = 4;
+  std::vector<dev::AtmCamera*> cameras;
+  std::vector<atm::Vci> vcis;
+  for (int i = 0; i < kWindows; ++i) {
+    dev::AtmCamera::Config cfg;
+    cfg.width = 128;
+    cfg.height = 96;
+    cfg.compression = dev::CompressionMode::kMotionJpeg;
+    dev::AtmCamera* cam = ws->AddCamera(cfg);
+    auto s = system.ConnectCameraToDisplay(ws, cam, ws, display, 40 + i * 160, 60);
+    cam->Start(s->source_data_vci);
+    cameras.push_back(cam);
+    vcis.push_back(s->sink_data_vci);
+  }
+
+  // A window-manager stress: move/raise/resize/iconify storm while video
+  // plays. Conventional systems would repaint (copy) the window contents on
+  // each op; here we count what actually moves.
+  int64_t conventional_pixel_copies = 0;
+  int ops = 0;
+  for (int round = 0; round < 50; ++round) {
+    sim.ScheduleAt(Milliseconds(100) * round, [&, round]() {
+      const atm::Vci v = vcis[static_cast<size_t>(round % kWindows)];
+      const dev::WindowDescriptor* d = display->GetDescriptor(v);
+      const int64_t area = d == nullptr ? 0 : static_cast<int64_t>(d->width) * d->height;
+      switch (round % 4) {
+        case 0:
+          wm.MoveWindow(v, 40 + (round * 13) % 600, 60 + (round * 7) % 400);
+          conventional_pixel_copies += area;  // a bus system re-blits the window
+          break;
+        case 1:
+          wm.RaiseWindow(v);
+          conventional_pixel_copies += area;  // expose repaint
+          break;
+        case 2:
+          wm.ResizeWindow(v, 96 + (round % 3) * 16, 72 + (round % 3) * 12);
+          conventional_pixel_copies += area;
+          break;
+        case 3:
+          wm.IconifyWindow(v);
+          wm.RestoreWindow(v);
+          conventional_pixel_copies += 2 * area;
+          break;
+      }
+      ++ops;
+    });
+  }
+  sim.RunUntil(Seconds(6));
+
+  sim::Table table({"metric", "Pegasus display", "conventional (modelled)"});
+  table.AddRow({"window operations", sim::Table::Int(wm.operations()),
+                sim::Table::Int(wm.operations())});
+  table.AddRow({"descriptor updates", sim::Table::Int(display->descriptor_updates()), "n/a"});
+  table.AddRow({"pixels copied by the WM", "0",
+                sim::Table::Int(conventional_pixel_copies)});
+  table.AddRow({"video tiles blitted by hardware", sim::Table::Int(display->tiles_blitted()),
+                "(same, plus repaints)"});
+  table.AddRow({"tiles clipped/occluded", sim::Table::Int(display->tiles_clipped()), "n/a"});
+  bench::PrintTable("6 s of 4 live 128x96 video windows under a WM stress storm", table);
+
+  // Video kept flowing: the median tile latency is unaffected by WM churn.
+  std::printf("\nmedian tile latency during the storm: %s (pure media path)\n",
+              sim::FormatDuration(
+                  static_cast<sim::DurationNs>(display->tile_latency().Quantile(0.5)))
+                  .c_str());
+  bench::PrintVerdict(display->tiles_blitted() > 50'000 && wm.operations() >= 50 &&
+                          display->tile_latency().Quantile(0.5) < 1e6,
+                      "every window operation was a descriptor edit; the window manager "
+                      "touched zero pixels while the display multiplexed four live video "
+                      "circuits — video and graphics unified in the tile primitive");
+  return 0;
+}

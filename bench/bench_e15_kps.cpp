@@ -1,0 +1,105 @@
+// E15 — Kernel-Privileged Sections vs whole-module kernel mode (§3.5).
+//
+// "The code that requires this access is often a tiny proportion of the
+// total module; however, most operating systems would require that the whole
+// module run in kernel mode." KPS masks interrupts only for the tiny
+// privileged fraction; the experiment measures what that does to interrupt
+// latency.
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/nemesis/atropos.h"
+#include "src/nemesis/kernel.h"
+#include "src/nemesis/workloads.h"
+#include "src/sim/random.h"
+
+using namespace pegasus;
+using nemesis::QosParams;
+using sim::Microseconds;
+using sim::Milliseconds;
+using sim::Seconds;
+
+namespace {
+
+struct Outcome {
+  double p50_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  int64_t items = 0;
+};
+
+// A driver processes items of `total` CPU each, of which `priv_fraction`
+// must run with interrupts masked. Random interrupts measure masking delay.
+Outcome Run(nemesis::DriverDomain::Mode mode, sim::DurationNs total, double priv_fraction) {
+  sim::Simulator sim;
+  nemesis::Kernel kernel(&sim, std::make_unique<nemesis::AtroposScheduler>(1.0));
+  const auto priv = static_cast<sim::DurationNs>(static_cast<double>(total) * priv_fraction);
+  nemesis::DriverDomain driver("driver",
+                               QosParams::Guaranteed(Milliseconds(60), Milliseconds(100)), mode,
+                               total - priv, priv);
+  nemesis::ServerDomain other("other", QosParams::BestEffort(), Microseconds(1));
+  kernel.AddDomain(&driver);
+  kernel.AddDomain(&other);
+  nemesis::EventChannel* work = kernel.CreateChannel(nullptr, &driver, false);
+  driver.BindInterruptChannel(work);
+  nemesis::EventChannel* probe = kernel.CreateChannel(nullptr, &other, false);
+  kernel.Start();
+
+  // Steady work arrivals keep the driver busy...
+  sim::Rng rng(11);
+  for (sim::TimeNs t = 0; t < Seconds(10); t += total * 2) {
+    sim.ScheduleAt(t, [&kernel, work]() { kernel.RaiseInterrupt(work); });
+  }
+  // ...while probe interrupts arrive at random points.
+  for (int i = 0; i < 2000; ++i) {
+    const auto at = static_cast<sim::TimeNs>(rng.UniformDouble() *
+                                             static_cast<double>(Seconds(10)));
+    sim.ScheduleAt(at, [&kernel, probe]() { kernel.RaiseInterrupt(probe); });
+  }
+  sim.RunUntil(Seconds(10));
+
+  Outcome out;
+  out.p50_us = kernel.interrupt_latency().Quantile(0.5) / 1e3;
+  out.p99_us = kernel.interrupt_latency().Quantile(0.99) / 1e3;
+  out.max_us = kernel.interrupt_latency().max() / 1e3;
+  out.items = driver.items_done();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("E15", "Kernel-Privileged Sections vs monolithic kernel mode",
+                     "privileged work is a tiny fraction of a driver; masking interrupts "
+                     "only inside short KPSes keeps interrupt latency low, where a "
+                     "whole-module kernel mode masks them for entire items");
+
+  sim::Table table({"mode", "item cost", "priv fraction", "irq p50", "irq p99", "irq max",
+                    "items done"});
+  for (sim::DurationNs total : {Milliseconds(2), Milliseconds(8)}) {
+    for (double frac : {0.05, 0.20}) {
+      Outcome kps = Run(nemesis::DriverDomain::Mode::kKps, total, frac);
+      Outcome mono = Run(nemesis::DriverDomain::Mode::kMonolithic, total, frac);
+      char cost[32];
+      std::snprintf(cost, sizeof(cost), "%lldms",
+                    static_cast<long long>(sim::ToMilliseconds(total)));
+      table.AddRow({"KPS", cost, sim::Table::Percent(frac),
+                    sim::Table::Num(kps.p50_us, 1) + "us",
+                    sim::Table::Num(kps.p99_us, 1) + "us",
+                    sim::Table::Num(kps.max_us, 1) + "us", sim::Table::Int(kps.items)});
+      table.AddRow({"monolithic", cost, sim::Table::Percent(frac),
+                    sim::Table::Num(mono.p50_us, 1) + "us",
+                    sim::Table::Num(mono.p99_us, 1) + "us",
+                    sim::Table::Num(mono.max_us, 1) + "us", sim::Table::Int(mono.items)});
+    }
+  }
+  bench::PrintTable("interrupt delivery latency while a driver streams items", table);
+
+  Outcome kps = Run(nemesis::DriverDomain::Mode::kKps, Milliseconds(8), 0.05);
+  Outcome mono = Run(nemesis::DriverDomain::Mode::kMonolithic, Milliseconds(8), 0.05);
+  bench::PrintVerdict(kps.p99_us * 5 < mono.p99_us && kps.items == mono.items,
+                      "KPS keeps tail interrupt latency an order of magnitude below the "
+                      "monolithic module at identical throughput — the dynamic, extensible "
+                      "alternative to running whole modules in kernel mode");
+  return 0;
+}

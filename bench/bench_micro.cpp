@@ -1,0 +1,104 @@
+// Microbenchmarks of the hot paths (google-benchmark).
+//
+// These measure the *implementation's* wall-clock costs — useful when
+// changing the codec, CRC, AAL5 or event-queue internals — as opposed to the
+// E01..E15 harnesses, which measure simulated-time behaviour.
+#include <benchmark/benchmark.h>
+
+#include "src/atm/aal5.h"
+#include "src/atm/crc32.h"
+#include "src/devices/compression.h"
+#include "src/devices/frame_source.h"
+#include "src/naming/name_space.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+
+using namespace pegasus;
+
+namespace {
+
+void BM_Crc32(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)));
+  sim::Rng rng(1);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(atm::Crc32(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(48)->Arg(1024)->Arg(65536);
+
+void BM_Aal5SegmentReassemble(benchmark::State& state) {
+  std::vector<uint8_t> sdu(static_cast<size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    auto cells = atm::Aal5Segment(42, sdu);
+    atm::Aal5Reassembler r;
+    std::optional<std::vector<uint8_t>> out;
+    for (const atm::Cell& c : cells) {
+      out = r.Push(c);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Aal5SegmentReassemble)->Arg(48)->Arg(1024)->Arg(16384);
+
+void BM_TileCompress(benchmark::State& state) {
+  dev::FrameSource source(64, 64, 0.2);
+  dev::Frame frame = source.Render(0);
+  dev::Tile tile = frame.ExtractTile(16, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dev::CompressTile(tile.data, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_TileCompress)->Arg(30)->Arg(60)->Arg(90);
+
+void BM_TileRoundTrip(benchmark::State& state) {
+  dev::FrameSource source(64, 64, 0.2);
+  dev::Frame frame = source.Render(0);
+  dev::Tile tile = frame.ExtractTile(16, 16);
+  for (auto _ : state) {
+    auto c = dev::CompressTile(tile.data, 60);
+    benchmark::DoNotOptimize(dev::DecompressTile(c));
+  }
+}
+BENCHMARK(BM_TileRoundTrip);
+
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int64_t count = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.ScheduleAt(i * 10, [&count]() { ++count; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventChurn)->Arg(1000)->Arg(100000);
+
+void BM_NameResolution(benchmark::State& state) {
+  sim::Simulator sim;
+  naming::EchoObject obj;
+  naming::NameSpace ns("bench");
+  const int depth = static_cast<int>(state.range(0));
+  std::string path;
+  for (int i = 0; i < depth; ++i) {
+    path += (i > 0 ? "/" : "");
+    path += "d" + std::to_string(i);
+  }
+  ns.Bind(path, naming::ObjectHandle(naming::ObjectRef{1}, [&](naming::ObjectRef) {
+            return std::make_shared<naming::LocalPath>(&sim, &obj);
+          }));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ns.ResolveLocal(path));
+  }
+}
+BENCHMARK(BM_NameResolution)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

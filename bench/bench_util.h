@@ -1,0 +1,35 @@
+// Shared scaffolding for the experiment harnesses.
+//
+// Each bench binary reproduces one experiment from DESIGN.md's index: it
+// prints the paper's claim, runs the workload on the simulated system, and
+// prints a table of measured results so EXPERIMENTS.md can record
+// paper-vs-measured side by side.
+#ifndef PEGASUS_BENCH_BENCH_UTIL_H_
+#define PEGASUS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/sim/table.h"
+
+namespace pegasus::bench {
+
+inline void PrintHeader(const std::string& id, const std::string& title,
+                        const std::string& claim) {
+  std::printf("==============================================================================\n");
+  std::printf("%s  %s\n", id.c_str(), title.c_str());
+  std::printf("paper: %s\n", claim.c_str());
+  std::printf("==============================================================================\n");
+}
+
+inline void PrintTable(const std::string& caption, const sim::Table& table) {
+  std::printf("\n-- %s --\n%s", caption.c_str(), table.ToString().c_str());
+}
+
+inline void PrintVerdict(bool holds, const std::string& text) {
+  std::printf("\nresult: [%s] %s\n\n", holds ? "REPRODUCED" : "DIVERGES", text.c_str());
+}
+
+}  // namespace pegasus::bench
+
+#endif  // PEGASUS_BENCH_BENCH_UTIL_H_

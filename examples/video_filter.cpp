@@ -1,0 +1,72 @@
+// Video filter: media processed in transit, the paper's headline thesis.
+//
+// "Audio and video should not be second-class media on which the only
+// operations are capture, storage and rendering, but media that can be
+// processed — analysed, filtered, modified — just like text and data" (§1).
+// A camera streams through the multimedia compute server of Figure 4, which
+// runs a Sobel edge detector on every tile before forwarding to the
+// display — and the stream stays real time, with the extra hop visible in
+// the end-to-end latency.
+//
+//   ./build/examples/video_filter
+#include <cstdio>
+
+#include "src/core/system.h"
+
+using namespace pegasus;
+
+int main() {
+  sim::Simulator sim;
+  core::PegasusSystem system(&sim);
+  core::Workstation* ws = system.AddWorkstation("desk");
+  core::ComputeNode* compute = system.AddComputeServer();
+
+  dev::AtmCamera::Config cam_cfg;
+  cam_cfg.width = 128;
+  cam_cfg.height = 96;
+  cam_cfg.fps = 25;
+  dev::AtmCamera* camera = ws->AddCamera(cam_cfg);
+  dev::AtmDisplay* display = ws->AddDisplay(640, 480);
+
+  // Two side-by-side windows: the raw feed, and the edge-detected feed that
+  // detours through the compute server.
+  auto raw = system.ConnectCameraToDisplay(ws, camera, ws, display, 40, 60);
+  if (!raw.has_value()) {
+    return 1;
+  }
+  auto leg_in = system.network().OpenVc(ws->device_endpoint(camera), compute->endpoint());
+  auto leg_out = system.network().OpenVc(compute->endpoint(), ws->device_endpoint(display));
+  if (!leg_in.has_value() || !leg_out.has_value()) {
+    return 1;
+  }
+  dev::TileProcessor::Config stage;
+  stage.transform = dev::EdgeTransform();
+  stage.per_tile_cost = sim::Microseconds(15);
+  dev::TileProcessor* processor =
+      compute->AddStage(leg_in->destination_vci, leg_out->source_vci, stage);
+  dev::WindowManager wm(display);
+  wm.CreateWindow(leg_out->destination_vci, 260, 60, 128, 96);
+
+  camera->AddOutput(leg_in->source_vci);  // tap the camera into the filter path
+  camera->Start(raw->source_data_vci);
+  sim.RunUntil(sim::Seconds(5));
+
+  std::printf("video filter: 5 s of live video, edge-detected in transit\n\n");
+  std::printf("  tiles filtered           %lld (%lld packets)\n",
+              static_cast<long long>(processor->tiles_processed()),
+              static_cast<long long>(processor->packets_processed()));
+  std::printf("  processing residence     %s mean\n",
+              sim::FormatDuration(
+                  static_cast<sim::DurationNs>(processor->processing_latency().mean()))
+                  .c_str());
+  std::printf("  end-to-end tile latency  %s median (raw + filtered mixed)\n",
+              sim::FormatDuration(
+                  static_cast<sim::DurationNs>(display->tile_latency().Quantile(0.5)))
+                  .c_str());
+  std::printf("  raw pixel  (60,100)      %d\n", display->PixelAt(60, 100));
+  std::printf("  edge pixel (280,100)     %d (flat regions go dark)\n",
+              display->PixelAt(280, 100));
+  std::printf("  decode errors            %llu\n",
+              static_cast<unsigned long long>(processor->decode_errors()));
+  return 0;
+}

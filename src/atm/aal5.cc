@@ -1,0 +1,100 @@
+#include "src/atm/aal5.h"
+
+#include <cstring>
+
+#include "src/atm/crc32.h"
+
+namespace pegasus::atm {
+
+namespace {
+
+// AAL5 trailer layout (last 8 octets of the CS-PDU):
+//   [0] CPCS-UU  [1] CPI  [2..3] length (big-endian)  [4..7] CRC-32 (big-endian)
+constexpr size_t kTrailerSize = 8;
+
+void PutU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v);
+}
+
+uint16_t GetU16(const uint8_t* p) { return static_cast<uint16_t>(p[0] << 8 | p[1]); }
+
+void PutU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) << 24 | static_cast<uint32_t>(p[1]) << 16 |
+         static_cast<uint32_t>(p[2]) << 8 | static_cast<uint32_t>(p[3]);
+}
+
+}  // namespace
+
+std::vector<Cell> Aal5Segment(Vci vci, const std::vector<uint8_t>& sdu, sim::TimeNs created_at,
+                              uint64_t first_seq) {
+  if (sdu.size() > kAal5MaxSduSize) {
+    return {};
+  }
+  // Build the CS-PDU: SDU + pad + trailer, length a multiple of the payload size.
+  const size_t unpadded = sdu.size() + kTrailerSize;
+  const size_t pdu_len = (unpadded + kCellPayloadSize - 1) / kCellPayloadSize * kCellPayloadSize;
+  std::vector<uint8_t> pdu(pdu_len, 0);
+  std::memcpy(pdu.data(), sdu.data(), sdu.size());
+  uint8_t* trailer = pdu.data() + pdu_len - kTrailerSize;
+  trailer[0] = 0;  // CPCS-UU
+  trailer[1] = 0;  // CPI
+  PutU16(trailer + 2, static_cast<uint16_t>(sdu.size()));
+  // CRC covers the whole PDU with the CRC field itself zeroed (it is zero here).
+  PutU32(trailer + 4, Crc32(pdu.data(), pdu_len - 4));
+
+  std::vector<Cell> cells(pdu_len / kCellPayloadSize);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    Cell& c = cells[i];
+    c.vci = vci;
+    c.end_of_frame = (i + 1 == cells.size());
+    c.created_at = created_at;
+    c.seq = first_seq + i;
+    std::memcpy(c.payload.data(), pdu.data() + i * kCellPayloadSize, kCellPayloadSize);
+  }
+  return cells;
+}
+
+std::optional<std::vector<uint8_t>> Aal5Reassembler::Push(const Cell& cell) {
+  buffer_.insert(buffer_.end(), cell.payload.begin(), cell.payload.end());
+  if (buffer_.size() > kAal5MaxSduSize + 2 * kCellPayloadSize) {
+    // Lost an end-of-frame cell somewhere; resynchronise.
+    ++length_errors_;
+    buffer_.clear();
+    return std::nullopt;
+  }
+  if (!cell.end_of_frame) {
+    return std::nullopt;
+  }
+  std::vector<uint8_t> pdu;
+  pdu.swap(buffer_);
+  if (pdu.size() < kTrailerSize) {
+    ++length_errors_;
+    return std::nullopt;
+  }
+  const uint8_t* trailer = pdu.data() + pdu.size() - kTrailerSize;
+  const uint16_t sdu_len = GetU16(trailer + 2);
+  const uint32_t want_crc = GetU32(trailer + 4);
+  if (sdu_len + kTrailerSize > pdu.size()) {
+    ++length_errors_;
+    return std::nullopt;
+  }
+  // Recompute CRC over the PDU with the CRC field zeroed.
+  const uint32_t got_crc = Crc32(pdu.data(), pdu.size() - 4);
+  if (got_crc != want_crc) {
+    ++crc_errors_;
+    return std::nullopt;
+  }
+  ++frames_ok_;
+  pdu.resize(sdu_len);
+  return pdu;
+}
+
+}  // namespace pegasus::atm

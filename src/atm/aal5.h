@@ -1,0 +1,55 @@
+// AAL5 segmentation and reassembly.
+//
+// The Pegasus devices speak AAL5 frames ("using AAL5 allows interaction with
+// standard AAL5 implementations and offers protection against rendering or
+// decompressing faulty tiles", §2.1). A CS-PDU is the service data unit plus
+// zero padding and an 8-octet trailer (UU, CPI, 16-bit length, CRC-32),
+// padded so the whole PDU is a multiple of 48 octets; the last cell of a PDU
+// is flagged in the cell header's payload-type indicator.
+#ifndef PEGASUS_SRC_ATM_AAL5_H_
+#define PEGASUS_SRC_ATM_AAL5_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/atm/cell.h"
+
+namespace pegasus::atm {
+
+// Maximum SDU length representable in the AAL5 trailer's 16-bit length field.
+inline constexpr size_t kAal5MaxSduSize = 65535;
+
+// Splits `sdu` into cells on virtual circuit `vci`. Every returned cell except
+// the last has end_of_frame == false. Returns an empty vector if the SDU
+// exceeds kAal5MaxSduSize.
+//
+// `created_at` stamps each cell's measurement timestamp; `first_seq` numbers
+// the cells sequentially and the caller should advance its counter by the
+// number of returned cells.
+std::vector<Cell> Aal5Segment(Vci vci, const std::vector<uint8_t>& sdu,
+                              sim::TimeNs created_at = 0, uint64_t first_seq = 0);
+
+// Per-virtual-circuit reassembler. Feed cells in arrival order; when the
+// end-of-frame cell arrives, the CS-PDU trailer is validated (length + CRC)
+// and the SDU is returned. Corrupt or over-long PDUs are dropped and counted.
+class Aal5Reassembler {
+ public:
+  // Pushes one cell. Returns the completed SDU if this cell finished a valid
+  // CS-PDU, std::nullopt otherwise.
+  std::optional<std::vector<uint8_t>> Push(const Cell& cell);
+
+  uint64_t frames_ok() const { return frames_ok_; }
+  uint64_t crc_errors() const { return crc_errors_; }
+  uint64_t length_errors() const { return length_errors_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  uint64_t frames_ok_ = 0;
+  uint64_t crc_errors_ = 0;
+  uint64_t length_errors_ = 0;
+};
+
+}  // namespace pegasus::atm
+
+#endif  // PEGASUS_SRC_ATM_AAL5_H_

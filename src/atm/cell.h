@@ -1,0 +1,49 @@
+// ATM cell representation.
+//
+// A cell is 53 octets on the wire: a 5-octet header and a 48-octet payload.
+// The simulator models the header fields that matter for switching and AAL5
+// (VCI, payload-type indicator with the AAL5 end-of-frame bit, cell-loss
+// priority) and carries a little out-of-band metadata (creation timestamp)
+// used only for measurement, never for protocol decisions.
+#ifndef PEGASUS_SRC_ATM_CELL_H_
+#define PEGASUS_SRC_ATM_CELL_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace pegasus::atm {
+
+// Virtual-circuit identifier. The paper's devices demultiplex purely on VCI
+// (e.g. the ATM display indexes its window-descriptor table by VCI).
+using Vci = uint32_t;
+
+inline constexpr Vci kVciUnassigned = 0;
+// Cells on VCI 5 carry signalling in real ATM; the simulator reserves the
+// first few VCIs so tests can assert that data circuits never collide.
+inline constexpr Vci kVciFirstData = 32;
+
+inline constexpr int kCellPayloadSize = 48;
+inline constexpr int kCellHeaderSize = 5;
+inline constexpr int kCellSize = kCellPayloadSize + kCellHeaderSize;
+
+struct Cell {
+  Vci vci = kVciUnassigned;
+  // Payload-type indicator bit 0: AAL5 "last cell of CS-PDU" marker.
+  bool end_of_frame = false;
+  // Cell-loss priority: true means "drop me first" under congestion.
+  bool low_priority = false;
+  std::array<uint8_t, kCellPayloadSize> payload{};
+
+  // --- Simulation metadata (not part of the 53 wire octets) ---
+  // Time the cell was created at its source; used for end-to-end latency
+  // measurement in experiments E01/E03.
+  sim::TimeNs created_at = 0;
+  // Monotonic per-source sequence number, for loss/reorder detection in tests.
+  uint64_t seq = 0;
+};
+
+}  // namespace pegasus::atm
+
+#endif  // PEGASUS_SRC_ATM_CELL_H_

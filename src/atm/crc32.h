@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3 / AAL5 polynomial 0x04C11DB7, reflected form).
+#ifndef PEGASUS_SRC_ATM_CRC32_H_
+#define PEGASUS_SRC_ATM_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pegasus::atm {
+
+// Computes the CRC-32 of `data`. `seed` allows incremental computation:
+// pass the previous return value to continue a running CRC.
+uint32_t Crc32(const uint8_t* data, size_t len, uint32_t seed = 0);
+
+}  // namespace pegasus::atm
+
+#endif  // PEGASUS_SRC_ATM_CRC32_H_

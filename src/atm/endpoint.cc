@@ -1,0 +1,58 @@
+#include "src/atm/endpoint.h"
+
+#include <algorithm>
+
+#include "src/atm/aal5.h"
+
+namespace pegasus::atm {
+
+Endpoint::Endpoint(sim::Simulator* sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+
+void Endpoint::DeliverCell(const Cell& cell) {
+  ++cells_received_;
+  if (handler_) {
+    handler_(cell);
+  }
+}
+
+bool Endpoint::SendCell(Cell cell) {
+  if (uplink_ == nullptr) {
+    return false;
+  }
+  ++cells_sent_;
+  return uplink_->SendCell(cell);
+}
+
+void Endpoint::SendFrame(Vci vci, const std::vector<uint8_t>& sdu, int64_t pace_bps) {
+  std::vector<Cell> cells = Aal5Segment(vci, sdu, sim_->now(), next_seq_);
+  next_seq_ += cells.size();
+  if (pace_bps <= 0) {
+    for (const Cell& c : cells) {
+      SendCell(c);
+    }
+    return;
+  }
+  const sim::DurationNs spacing = sim::TransmissionTime(kCellSize, pace_bps);
+  sim::TimeNs& horizon = pace_free_at_[vci];
+  horizon = std::max(horizon, sim_->now());
+  for (const Cell& c : cells) {
+    const sim::TimeNs at = horizon;
+    horizon += spacing;
+    if (at <= sim_->now()) {
+      SendCell(c);
+    } else {
+      sim_->ScheduleAt(at, [this, c]() { SendCell(c); });
+    }
+  }
+}
+
+Vci Endpoint::AllocateIncomingVci() {
+  Vci vci = kVciFirstData;
+  while (incoming_vcis_.count(vci) > 0) {
+    ++vci;
+  }
+  incoming_vcis_.insert(vci);
+  return vci;
+}
+
+}  // namespace pegasus::atm

@@ -1,0 +1,85 @@
+// Network endpoint: the attachment point of a device or host NIC.
+//
+// Cameras, displays, audio nodes, file servers and workstation NICs all
+// attach to a switch port through an Endpoint. An endpoint owns nothing of
+// the network; it hands cells to its uplink and receives cells from its
+// downlink, dispatching them to a registered handler (a device, a protocol
+// stack, an RPC transport...).
+#ifndef PEGASUS_SRC_ATM_ENDPOINT_H_
+#define PEGASUS_SRC_ATM_ENDPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/atm/cell.h"
+#include "src/atm/link.h"
+#include "src/sim/event_queue.h"
+
+namespace pegasus::atm {
+
+class Switch;
+
+class Endpoint : public CellSink {
+ public:
+  using CellHandler = std::function<void(const Cell&)>;
+
+  Endpoint(sim::Simulator* sim, std::string name);
+
+  const std::string& name() const { return name_; }
+
+  // Wires this endpoint to the network (called by Network).
+  void AttachUplink(Link* uplink) { uplink_ = uplink; }
+  void AttachSwitch(Switch* sw, int port) {
+    switch_ = sw;
+    port_ = port;
+  }
+  Switch* attached_switch() const { return switch_; }
+  int attached_port() const { return port_; }
+  Link* uplink() const { return uplink_; }
+
+  // Receives a cell from the downlink and forwards it to the handler.
+  void DeliverCell(const Cell& cell) override;
+
+  void set_cell_handler(CellHandler handler) { handler_ = std::move(handler); }
+
+  // Sends one cell on the uplink. Returns false if the endpoint is detached
+  // or the uplink queue is full.
+  bool SendCell(Cell cell);
+
+  // Convenience: AAL5-segments `sdu` and sends the cells. When `pace_bps` is
+  // non-zero the cells are spaced at that rate (a per-VC traffic shaper);
+  // otherwise they are queued back-to-back at link rate.
+  void SendFrame(Vci vci, const std::vector<uint8_t>& sdu, int64_t pace_bps = 0);
+
+  // Incoming-VCI bookkeeping used by signalling: the terminating VCI of each
+  // VC ending at this endpoint must be locally unique.
+  Vci AllocateIncomingVci();
+  void ReleaseIncomingVci(Vci vci) { incoming_vcis_.erase(vci); }
+
+  uint64_t cells_received() const { return cells_received_; }
+  uint64_t cells_sent() const { return cells_sent_; }
+  uint64_t next_seq() const { return next_seq_; }
+
+ private:
+  sim::Simulator* sim_;
+  std::string name_;
+  Link* uplink_ = nullptr;
+  Switch* switch_ = nullptr;
+  int port_ = -1;
+  CellHandler handler_;
+  std::set<Vci> incoming_vcis_;
+  uint64_t cells_received_ = 0;
+  uint64_t cells_sent_ = 0;
+  uint64_t next_seq_ = 0;
+  // Per-VC pacing horizon: the earliest time the next paced cell on that VC
+  // may enter the uplink.
+  std::map<Vci, sim::TimeNs> pace_free_at_;
+};
+
+}  // namespace pegasus::atm
+
+#endif  // PEGASUS_SRC_ATM_ENDPOINT_H_

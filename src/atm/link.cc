@@ -1,0 +1,51 @@
+#include "src/atm/link.h"
+
+#include <algorithm>
+
+namespace pegasus::atm {
+
+Link::Link(sim::Simulator* sim, std::string name, int64_t bits_per_second,
+           sim::DurationNs propagation_delay, size_t queue_limit)
+    : sim_(sim),
+      name_(std::move(name)),
+      bps_(bits_per_second),
+      prop_delay_(propagation_delay),
+      cell_time_(sim::TransmissionTime(kCellSize, bits_per_second)),
+      queue_limit_(queue_limit) {}
+
+bool Link::SendCell(const Cell& cell) {
+  const sim::TimeNs now = sim_->now();
+  if (queued_ >= queue_limit_) {
+    ++cells_dropped_;
+    return false;
+  }
+  const sim::TimeNs start = std::max(now, tx_free_at_);
+  const sim::TimeNs done = start + cell_time_;
+  tx_free_at_ = done;
+  busy_time_ += cell_time_;
+  ++queued_;
+  ++cells_sent_;
+  // The transmit slot frees at `done`; delivery happens prop_delay_ later.
+  sim_->ScheduleAt(done, [this, cell]() {
+    --queued_;
+    if (sink_ == nullptr) {
+      return;
+    }
+    if (prop_delay_ == 0) {
+      sink_->DeliverCell(cell);
+    } else {
+      sim_->ScheduleAfter(prop_delay_, [this, cell]() { sink_->DeliverCell(cell); });
+    }
+  });
+  return true;
+}
+
+double Link::utilization() const {
+  const sim::TimeNs now = sim_->now();
+  if (now <= 0) {
+    return 0.0;
+  }
+  return std::min(1.0, static_cast<double>(busy_time_) / static_cast<double>(now));
+}
+
+}  // namespace pegasus::atm

@@ -1,0 +1,77 @@
+// Point-to-point ATM link model.
+//
+// A Link is unidirectional: cells handed to SendCell are serialised at the
+// link rate, experience the propagation delay, and are delivered to the
+// attached sink. The link keeps a bounded transmit queue; cells arriving to a
+// full queue are dropped (low-priority cells first is the policy of the
+// *switch*, the link itself is a dumb pipe).
+#ifndef PEGASUS_SRC_ATM_LINK_H_
+#define PEGASUS_SRC_ATM_LINK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/atm/cell.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace pegasus::atm {
+
+// Anything that can accept a cell: a switch input port, a device, a NIC.
+class CellSink {
+ public:
+  virtual ~CellSink() = default;
+  virtual void DeliverCell(const Cell& cell) = 0;
+};
+
+class Link {
+ public:
+  // `queue_limit` is the maximum number of cells waiting for serialisation;
+  // a cell being transmitted does not count against the limit.
+  Link(sim::Simulator* sim, std::string name, int64_t bits_per_second,
+       sim::DurationNs propagation_delay, size_t queue_limit = 1024);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  void set_sink(CellSink* sink) { sink_ = sink; }
+  CellSink* sink() const { return sink_; }
+
+  // Enqueues a cell for transmission. Returns false (and counts a drop) if
+  // the transmit queue is full.
+  bool SendCell(const Cell& cell);
+
+  const std::string& name() const { return name_; }
+  int64_t bits_per_second() const { return bps_; }
+  sim::DurationNs propagation_delay() const { return prop_delay_; }
+  // Serialisation time of one 53-octet cell on this link.
+  sim::DurationNs cell_time() const { return cell_time_; }
+
+  uint64_t cells_sent() const { return cells_sent_; }
+  uint64_t cells_dropped() const { return cells_dropped_; }
+  int64_t bytes_sent() const { return static_cast<int64_t>(cells_sent_) * kCellSize; }
+  // Fraction of wall-clock time the transmitter has been busy, in [0, 1].
+  double utilization() const;
+  size_t queued_cells() const { return queued_; }
+
+ private:
+  sim::Simulator* sim_;
+  std::string name_;
+  int64_t bps_;
+  sim::DurationNs prop_delay_;
+  sim::DurationNs cell_time_;
+  size_t queue_limit_;
+  CellSink* sink_ = nullptr;
+
+  // The transmitter is modelled by a "busy until" horizon rather than an
+  // explicit queue: each accepted cell reserves the next cell_time_ slot.
+  sim::TimeNs tx_free_at_ = 0;
+  size_t queued_ = 0;
+  uint64_t cells_sent_ = 0;
+  uint64_t cells_dropped_ = 0;
+  sim::DurationNs busy_time_ = 0;
+};
+
+}  // namespace pegasus::atm
+
+#endif  // PEGASUS_SRC_ATM_LINK_H_

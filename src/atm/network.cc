@@ -1,0 +1,228 @@
+#include "src/atm/network.h"
+
+#include <deque>
+#include <set>
+
+namespace pegasus::atm {
+
+Network::Network(sim::Simulator* sim) : sim_(sim) {}
+
+Network::~Network() = default;
+
+Switch* Network::AddSwitch(const std::string& name, int num_ports, sim::DurationNs fabric_delay) {
+  switches_.push_back(std::make_unique<Switch>(sim_, name, num_ports, fabric_delay));
+  Switch* sw = switches_.back().get();
+  edges_[sw];  // ensure the node exists in the adjacency map
+  return sw;
+}
+
+Endpoint* Network::AddEndpoint(const std::string& name, Switch* sw, int port, int64_t link_bps,
+                               sim::DurationNs propagation) {
+  endpoints_.push_back(std::make_unique<Endpoint>(sim_, name));
+  Endpoint* ep = endpoints_.back().get();
+
+  links_.push_back(std::make_unique<Link>(sim_, name + "->" + sw->name(), link_bps, propagation));
+  Link* up = links_.back().get();
+  links_.push_back(std::make_unique<Link>(sim_, sw->name() + "->" + name, link_bps, propagation));
+  Link* down = links_.back().get();
+
+  up->set_sink(sw->input(port));
+  down->set_sink(ep);
+  ep->AttachUplink(up);
+  ep->AttachSwitch(sw, port);
+  sw->AttachOutput(port, down);
+
+  endpoint_attachments_[ep] = Attachment{sw, port, up, down};
+  return ep;
+}
+
+void Network::ConnectSwitches(Switch* a, int port_a, Switch* b, int port_b, int64_t link_bps,
+                              sim::DurationNs propagation) {
+  links_.push_back(
+      std::make_unique<Link>(sim_, a->name() + "->" + b->name(), link_bps, propagation));
+  Link* ab = links_.back().get();
+  links_.push_back(
+      std::make_unique<Link>(sim_, b->name() + "->" + a->name(), link_bps, propagation));
+  Link* ba = links_.back().get();
+
+  ab->set_sink(b->input(port_b));
+  ba->set_sink(a->input(port_a));
+  a->AttachOutput(port_a, ab);
+  b->AttachOutput(port_b, ba);
+
+  edges_[a][b] = {port_a, ab};
+  edges_[b][a] = {port_b, ba};
+}
+
+std::optional<std::vector<Switch*>> Network::FindPath(Switch* from, Switch* to) const {
+  std::map<Switch*, Switch*> parent;
+  std::set<Switch*> visited{from};
+  std::deque<Switch*> frontier{from};
+  while (!frontier.empty()) {
+    Switch* cur = frontier.front();
+    frontier.pop_front();
+    if (cur == to) {
+      std::vector<Switch*> path;
+      for (Switch* s = to; s != from; s = parent[s]) {
+        path.push_back(s);
+      }
+      path.push_back(from);
+      return std::vector<Switch*>(path.rbegin(), path.rend());
+    }
+    auto it = edges_.find(cur);
+    if (it == edges_.end()) {
+      continue;
+    }
+    for (const auto& [next, edge] : it->second) {
+      (void)edge;
+      if (visited.insert(next).second) {
+        parent[next] = cur;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<int, Link*>> Network::EdgeBetween(Switch* a, Switch* b) const {
+  auto it = edges_.find(a);
+  if (it == edges_.end()) {
+    return std::nullopt;
+  }
+  auto jt = it->second.find(b);
+  if (jt == it->second.end()) {
+    return std::nullopt;
+  }
+  return jt->second;
+}
+
+int64_t Network::ReservedBps(const Link* link) const {
+  auto it = reserved_bps_.find(link);
+  return it == reserved_bps_.end() ? 0 : it->second;
+}
+
+std::optional<VcDescriptor> Network::OpenVc(Endpoint* src, Endpoint* dst, QosSpec qos) {
+  auto src_it = endpoint_attachments_.find(src);
+  auto dst_it = endpoint_attachments_.find(dst);
+  if (src_it == endpoint_attachments_.end() || dst_it == endpoint_attachments_.end()) {
+    return std::nullopt;
+  }
+  const Attachment& src_at = src_it->second;
+  const Attachment& dst_at = dst_it->second;
+
+  auto path = FindPath(src_at.sw, dst_at.sw);
+  if (!path.has_value()) {
+    return std::nullopt;
+  }
+
+  // Collect the links the VC will traverse, in order.
+  std::vector<Link*> hop_links;
+  hop_links.push_back(src_at.to_switch);
+  for (size_t i = 0; i + 1 < path->size(); ++i) {
+    auto edge = EdgeBetween((*path)[i], (*path)[i + 1]);
+    if (!edge.has_value()) {
+      return std::nullopt;
+    }
+    hop_links.push_back(edge->second);
+  }
+  hop_links.push_back(dst_at.from_switch);
+
+  // Admission control: the reservation must fit on every traversed link.
+  if (qos.peak_bps > 0) {
+    for (Link* l : hop_links) {
+      if (ReservedBps(l) + qos.peak_bps > l->bits_per_second()) {
+        ++admission_rejections_;
+        return std::nullopt;
+      }
+    }
+  }
+
+  // Allocate per-hop VCIs and install routes.
+  VcState state;
+  const Vci dst_vci = dst->AllocateIncomingVci();
+  Vci in_vci = src_at.sw->AllocateVci(src_at.port);
+  const Vci source_vci = in_vci;
+  int in_port = src_at.port;
+  for (size_t i = 0; i < path->size(); ++i) {
+    Switch* sw = (*path)[i];
+    int out_port;
+    Vci out_vci;
+    if (i + 1 < path->size()) {
+      auto edge = EdgeBetween(sw, (*path)[i + 1]);
+      out_port = edge->first;
+      // The VCI on the inter-switch link is whatever is free on the next
+      // switch's input port.
+      Switch* next = (*path)[i + 1];
+      auto back_edge = EdgeBetween(next, sw);
+      out_vci = next->AllocateVci(back_edge->first);
+      sw->AddRoute(in_port, in_vci, out_port, out_vci);
+      state.hops.push_back(HopRecord{sw, in_port, in_vci});
+      in_port = back_edge->first;
+      in_vci = out_vci;
+    } else {
+      out_port = dst_at.port;
+      out_vci = dst_vci;
+      sw->AddRoute(in_port, in_vci, out_port, out_vci);
+      state.hops.push_back(HopRecord{sw, in_port, in_vci});
+    }
+  }
+
+  if (qos.peak_bps > 0) {
+    for (Link* l : hop_links) {
+      reserved_bps_[l] += qos.peak_bps;
+      state.reserved_links.push_back(l);
+    }
+  }
+
+  VcDescriptor desc;
+  desc.id = next_vc_id_++;
+  desc.source = src;
+  desc.destination = dst;
+  desc.source_vci = source_vci;
+  desc.destination_vci = dst_vci;
+  desc.qos = qos;
+  desc.hop_count = static_cast<int>(path->size());
+  state.desc = desc;
+  vcs_[desc.id] = std::move(state);
+  return desc;
+}
+
+std::optional<std::pair<VcDescriptor, VcDescriptor>> Network::OpenDuplex(Endpoint* src,
+                                                                         Endpoint* dst,
+                                                                         QosSpec data_qos,
+                                                                         QosSpec control_qos) {
+  auto data = OpenVc(src, dst, data_qos);
+  if (!data.has_value()) {
+    return std::nullopt;
+  }
+  auto control = OpenVc(dst, src, control_qos);
+  if (!control.has_value()) {
+    CloseVc(data->id);
+    return std::nullopt;
+  }
+  return std::make_pair(*data, *control);
+}
+
+bool Network::CloseVc(VcId id) {
+  auto it = vcs_.find(id);
+  if (it == vcs_.end()) {
+    return false;
+  }
+  VcState& state = it->second;
+  for (const HopRecord& hop : state.hops) {
+    hop.sw->RemoveRoute(hop.in_port, hop.in_vci);
+  }
+  for (Link* l : state.reserved_links) {
+    reserved_bps_[l] -= state.desc.qos.peak_bps;
+  }
+  state.desc.destination->ReleaseIncomingVci(state.desc.destination_vci);
+  vcs_.erase(it);
+  return true;
+}
+
+const VcDescriptor* Network::GetVc(VcId id) const {
+  auto it = vcs_.find(id);
+  return it == vcs_.end() ? nullptr : &it->second.desc;
+}
+
+}  // namespace pegasus::atm

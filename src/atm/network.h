@@ -1,0 +1,127 @@
+// Network assembly and signalling.
+//
+// A Network owns switches, links and endpoints, and implements the control
+// plane the paper calls "the normal mechanism of ATM signalling" (§2.2):
+// virtual circuits are established hop-by-hop with per-link admission
+// control, and the routing-table updates are exactly the operations a
+// device-managing workstation performs on its local switch.
+#ifndef PEGASUS_SRC_ATM_NETWORK_H_
+#define PEGASUS_SRC_ATM_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/atm/cell.h"
+#include "src/atm/endpoint.h"
+#include "src/atm/link.h"
+#include "src/atm/switch.h"
+#include "src/sim/event_queue.h"
+
+namespace pegasus::atm {
+
+// Quality-of-service request for a virtual circuit. `peak_bps == 0` means
+// best-effort (no reservation, never rejected by admission control).
+struct QosSpec {
+  int64_t peak_bps = 0;
+};
+
+// Identifier of an established VC, valid until CloseVc.
+using VcId = int64_t;
+
+// Where a VC enters and leaves the network, as seen by the two endpoints.
+struct VcDescriptor {
+  VcId id = -1;
+  Endpoint* source = nullptr;
+  Endpoint* destination = nullptr;
+  // VCI the source must stamp on outgoing cells.
+  Vci source_vci = kVciUnassigned;
+  // VCI the destination will observe on delivered cells.
+  Vci destination_vci = kVciUnassigned;
+  QosSpec qos;
+  int hop_count = 0;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulator* sim);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Simulator* simulator() const { return sim_; }
+
+  // --- Topology construction ---
+  Switch* AddSwitch(const std::string& name, int num_ports,
+                    sim::DurationNs fabric_delay = sim::Microseconds(1));
+  // Creates an endpoint attached to `port` of `sw` by a full-duplex link pair.
+  Endpoint* AddEndpoint(const std::string& name, Switch* sw, int port, int64_t link_bps,
+                        sim::DurationNs propagation = sim::Microseconds(1));
+  // Wires two switches together with a full-duplex link pair.
+  void ConnectSwitches(Switch* a, int port_a, Switch* b, int port_b, int64_t link_bps,
+                       sim::DurationNs propagation = sim::Microseconds(5));
+
+  // --- Signalling ---
+  // Establishes a unidirectional VC from `src` to `dst`. Returns nullopt when
+  // no path exists or admission control rejects the reservation.
+  std::optional<VcDescriptor> OpenVc(Endpoint* src, Endpoint* dst, QosSpec qos = {});
+  // Establishes a data VC plus a reverse control VC, as every Pegasus device
+  // does (§2.2). first = forward/data, second = reverse/control.
+  std::optional<std::pair<VcDescriptor, VcDescriptor>> OpenDuplex(Endpoint* src, Endpoint* dst,
+                                                                  QosSpec data_qos = {},
+                                                                  QosSpec control_qos = {});
+  bool CloseVc(VcId id);
+  const VcDescriptor* GetVc(VcId id) const;
+
+  // Reserved bandwidth currently admitted on `link`, in bits per second.
+  int64_t ReservedBps(const Link* link) const;
+
+  int64_t open_vc_count() const { return static_cast<int64_t>(vcs_.size()); }
+  int64_t admission_rejections() const { return admission_rejections_; }
+
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
+ private:
+  struct HopRecord {
+    Switch* sw;
+    int in_port;
+    Vci in_vci;
+  };
+  struct VcState {
+    VcDescriptor desc;
+    std::vector<HopRecord> hops;
+    std::vector<Link*> reserved_links;
+  };
+  // Either a switch-to-switch edge or an endpoint attachment.
+  struct Attachment {
+    Switch* sw = nullptr;
+    int port = -1;
+    Link* to_switch = nullptr;    // carries cells toward the switch
+    Link* from_switch = nullptr;  // carries cells away from the switch
+  };
+
+  // Breadth-first path of switches from `from` to `to` (inclusive).
+  std::optional<std::vector<Switch*>> FindPath(Switch* from, Switch* to) const;
+  // The (out_port on `a`, link a->b) wiring between two adjacent switches.
+  std::optional<std::pair<int, Link*>> EdgeBetween(Switch* a, Switch* b) const;
+
+  sim::Simulator* sim_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::map<const Endpoint*, Attachment> endpoint_attachments_;
+  // adjacency: switch -> (neighbour switch -> (out_port, link))
+  std::map<Switch*, std::map<Switch*, std::pair<int, Link*>>> edges_;
+  std::map<VcId, VcState> vcs_;
+  std::map<const Link*, int64_t> reserved_bps_;
+  VcId next_vc_id_ = 1;
+  int64_t admission_rejections_ = 0;
+};
+
+}  // namespace pegasus::atm
+
+#endif  // PEGASUS_SRC_ATM_NETWORK_H_

@@ -1,0 +1,64 @@
+#include "src/atm/switch.h"
+
+namespace pegasus::atm {
+
+Switch::Switch(sim::Simulator* sim, std::string name, int num_ports, sim::DurationNs fabric_delay)
+    : sim_(sim),
+      name_(std::move(name)),
+      fabric_delay_(fabric_delay),
+      outputs_(static_cast<size_t>(num_ports), nullptr) {
+  inputs_.reserve(static_cast<size_t>(num_ports));
+  for (int p = 0; p < num_ports; ++p) {
+    inputs_.push_back(std::make_unique<InputPort>(this, p));
+  }
+}
+
+CellSink* Switch::input(int port) { return inputs_[static_cast<size_t>(port)].get(); }
+
+void Switch::AttachOutput(int port, Link* link) { outputs_[static_cast<size_t>(port)] = link; }
+
+bool Switch::AddRoute(int in_port, Vci in_vci, int out_port, Vci out_vci) {
+  auto [it, inserted] = routes_.insert({RouteKey{in_port, in_vci}, RouteTarget{out_port, out_vci}});
+  (void)it;
+  return inserted;
+}
+
+bool Switch::RemoveRoute(int in_port, Vci in_vci) {
+  return routes_.erase(RouteKey{in_port, in_vci}) > 0;
+}
+
+bool Switch::HasRoute(int in_port, Vci in_vci) const {
+  return routes_.count(RouteKey{in_port, in_vci}) > 0;
+}
+
+Vci Switch::AllocateVci(int in_port) const {
+  Vci vci = kVciFirstData;
+  while (HasRoute(in_port, vci)) {
+    ++vci;
+  }
+  return vci;
+}
+
+void Switch::OnCell(int in_port, const Cell& cell) {
+  auto it = routes_.find(RouteKey{in_port, cell.vci});
+  if (it == routes_.end()) {
+    ++cells_unroutable_;
+    return;
+  }
+  const RouteTarget target = it->second;
+  Link* out = outputs_[static_cast<size_t>(target.out_port)];
+  if (out == nullptr) {
+    ++cells_unroutable_;
+    return;
+  }
+  ++cells_switched_;
+  Cell relabelled = cell;
+  relabelled.vci = target.out_vci;
+  if (fabric_delay_ == 0) {
+    out->SendCell(relabelled);
+  } else {
+    sim_->ScheduleAfter(fabric_delay_, [out, relabelled]() { out->SendCell(relabelled); });
+  }
+}
+
+}  // namespace pegasus::atm

@@ -1,0 +1,101 @@
+// Fairisle-style ATM switch model.
+//
+// The paper's workstations control a local switch through which all media
+// devices are connected (§2, Figure 1); the sites used the Fairisle switch in
+// Cambridge and Rattlesnake in Twente. The model is an output-queued fabric:
+// a cell arriving on an input port is looked up in that port's VCI table,
+// relabelled, delayed by the fabric transit time, and handed to the output
+// port's link. Cells with no route are counted and dropped — exactly what a
+// Fairisle port controller does.
+//
+// The key architectural property exercised by experiments E03/F1: the
+// switch's routing tables are manipulated by a *controlling workstation*
+// (management software), but cells never touch that workstation's CPU.
+#ifndef PEGASUS_SRC_ATM_SWITCH_H_
+#define PEGASUS_SRC_ATM_SWITCH_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/atm/cell.h"
+#include "src/atm/link.h"
+#include "src/sim/event_queue.h"
+
+namespace pegasus::atm {
+
+class Switch {
+ public:
+  Switch(sim::Simulator* sim, std::string name, int num_ports,
+         sim::DurationNs fabric_delay = sim::Microseconds(1));
+
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  const std::string& name() const { return name_; }
+  int num_ports() const { return static_cast<int>(inputs_.size()); }
+
+  // The sink incoming links should deliver into for a given port.
+  CellSink* input(int port);
+
+  // Attaches the outgoing link of `port`. The switch does not own the link.
+  void AttachOutput(int port, Link* link);
+  Link* output(int port) const { return outputs_[static_cast<size_t>(port)]; }
+
+  // Routing-table management — this is the interface the controlling
+  // workstation's management domain uses (ATM signalling terminates there).
+  // Returns false if the (in_port, in_vci) entry already exists.
+  bool AddRoute(int in_port, Vci in_vci, int out_port, Vci out_vci);
+  bool RemoveRoute(int in_port, Vci in_vci);
+  bool HasRoute(int in_port, Vci in_vci) const;
+
+  // Finds a VCI unused on the given *input* port, starting at kVciFirstData.
+  Vci AllocateVci(int in_port) const;
+
+  uint64_t cells_switched() const { return cells_switched_; }
+  uint64_t cells_unroutable() const { return cells_unroutable_; }
+
+ private:
+  struct RouteKey {
+    int in_port;
+    Vci in_vci;
+    bool operator<(const RouteKey& o) const {
+      if (in_port != o.in_port) {
+        return in_port < o.in_port;
+      }
+      return in_vci < o.in_vci;
+    }
+  };
+  struct RouteTarget {
+    int out_port;
+    Vci out_vci;
+  };
+
+  // Adapter delivering into the fabric with the input-port tag attached.
+  class InputPort : public CellSink {
+   public:
+    InputPort(Switch* parent, int port) : parent_(parent), port_(port) {}
+    void DeliverCell(const Cell& cell) override { parent_->OnCell(port_, cell); }
+
+   private:
+    Switch* parent_;
+    int port_;
+  };
+
+  void OnCell(int in_port, const Cell& cell);
+
+  sim::Simulator* sim_;
+  std::string name_;
+  sim::DurationNs fabric_delay_;
+  std::vector<std::unique_ptr<InputPort>> inputs_;
+  std::vector<Link*> outputs_;
+  std::map<RouteKey, RouteTarget> routes_;
+  uint64_t cells_switched_ = 0;
+  uint64_t cells_unroutable_ = 0;
+};
+
+}  // namespace pegasus::atm
+
+#endif  // PEGASUS_SRC_ATM_SWITCH_H_

@@ -1,0 +1,56 @@
+#include "src/atm/transport.h"
+
+namespace pegasus::atm {
+
+MessageTransport::MessageTransport(Endpoint* endpoint) : endpoint_(endpoint) {
+  endpoint_->set_cell_handler([this](const Cell& cell) { OnCell(cell); });
+}
+
+void MessageTransport::SetHandler(Vci vci, MessageHandler handler) {
+  handlers_[vci] = std::move(handler);
+}
+
+void MessageTransport::ClearHandler(Vci vci) { handlers_.erase(vci); }
+
+void MessageTransport::SetDefaultHandler(MessageHandler handler) {
+  default_handler_ = std::move(handler);
+}
+
+void MessageTransport::Send(Vci vci, const std::vector<uint8_t>& message, int64_t pace_bps) {
+  ++messages_sent_;
+  endpoint_->SendFrame(vci, message, pace_bps);
+}
+
+uint64_t MessageTransport::reassembly_errors() const {
+  uint64_t n = 0;
+  for (const auto& [vci, rx] : rx_) {
+    (void)vci;
+    n += rx.reassembler.crc_errors() + rx.reassembler.length_errors();
+  }
+  return n;
+}
+
+void MessageTransport::OnCell(const Cell& cell) {
+  VcRx& rx = rx_[cell.vci];
+  if (!rx.in_frame) {
+    rx.in_frame = true;
+    rx.frame_first_cell_at = cell.created_at;
+  }
+  auto sdu = rx.reassembler.Push(cell);
+  if (cell.end_of_frame) {
+    rx.in_frame = false;
+  }
+  if (!sdu.has_value()) {
+    return;
+  }
+  ++messages_received_;
+  const sim::TimeNs first_at = rx.frame_first_cell_at;
+  auto it = handlers_.find(cell.vci);
+  if (it != handlers_.end()) {
+    it->second(cell.vci, std::move(*sdu), first_at);
+  } else if (default_handler_) {
+    default_handler_(cell.vci, std::move(*sdu), first_at);
+  }
+}
+
+}  // namespace pegasus::atm

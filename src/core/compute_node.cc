@@ -1,0 +1,18 @@
+#include "src/core/compute_node.h"
+
+namespace pegasus::core {
+
+ComputeNode::ComputeNode(atm::Network* network, atm::Switch* sw, int port,
+                         const std::string& name)
+    : endpoint_(network->AddEndpoint(name, sw, port, 155'000'000)),
+      transport_(endpoint_),
+      sim_(network->simulator()) {}
+
+dev::TileProcessor* ComputeNode::AddStage(atm::Vci in_vci, atm::Vci out_vci,
+                                          dev::TileProcessor::Config config) {
+  processors_.push_back(std::make_unique<dev::TileProcessor>(sim_, &transport_, in_vci, out_vci,
+                                                             std::move(config)));
+  return processors_.back().get();
+}
+
+}  // namespace pegasus::core

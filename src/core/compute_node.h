@@ -1,0 +1,46 @@
+// The multimedia compute server (Figure 4).
+//
+// A network-attached node whose only job is processing media in transit:
+// streams are routed camera -> compute server -> display, and each hop stays
+// on the ATM fabric. This is the paper's §1 claim made concrete: processing
+// video is an ordinary application, not a privilege of dedicated device
+// firmware.
+#ifndef PEGASUS_SRC_CORE_COMPUTE_NODE_H_
+#define PEGASUS_SRC_CORE_COMPUTE_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/atm/network.h"
+#include "src/atm/transport.h"
+#include "src/devices/processing.h"
+
+namespace pegasus::core {
+
+class ComputeNode {
+ public:
+  ComputeNode(atm::Network* network, atm::Switch* sw, int port,
+              const std::string& name = "compute");
+
+  atm::Endpoint* endpoint() const { return endpoint_; }
+  atm::MessageTransport* transport() { return &transport_; }
+
+  // Instantiates a processing stage: packets arriving on `in_vci` are
+  // transformed and re-emitted on `out_vci` (one simulated core per stage,
+  // like the cpu/cpu/cpu boxes of Figure 4).
+  dev::TileProcessor* AddStage(atm::Vci in_vci, atm::Vci out_vci,
+                               dev::TileProcessor::Config config);
+
+  int stages() const { return static_cast<int>(processors_.size()); }
+
+ private:
+  atm::Endpoint* endpoint_;
+  atm::MessageTransport transport_;
+  sim::Simulator* sim_;
+  std::vector<std::unique_ptr<dev::TileProcessor>> processors_;
+};
+
+}  // namespace pegasus::core
+
+#endif  // PEGASUS_SRC_CORE_COMPUTE_NODE_H_

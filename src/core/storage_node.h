@@ -1,0 +1,102 @@
+// Network-attached Pegasus File Server (§2.2, §5, Figure 4).
+//
+// "The Pegasus File Server, which can also be viewed as a multimedia device
+// in this context, uses the control stream associated with an incoming data
+// stream to generate index information that can later be used to go to
+// specific time offsets into a media file or a set of synchronized files."
+//
+// The node records AAL5 message streams (tile packets, or anything framed)
+// into continuous-media files as length-prefixed records, turns control-
+// stream kIndexMark messages into pnode index entries, and plays files back
+// onto outgoing VCs with the original timing (or faster, for fast-forward).
+#ifndef PEGASUS_SRC_CORE_STORAGE_NODE_H_
+#define PEGASUS_SRC_CORE_STORAGE_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/atm/network.h"
+#include "src/atm/transport.h"
+#include "src/devices/control.h"
+#include "src/pfs/server.h"
+#include "src/sim/event_queue.h"
+
+namespace pegasus::core {
+
+class StorageNode {
+ public:
+  StorageNode(atm::Network* network, atm::Switch* sw, int port, pfs::PfsConfig config,
+              const std::string& name = "storage");
+
+  pfs::PegasusFileServer* server() { return &server_; }
+  atm::Endpoint* endpoint() const { return endpoint_; }
+  atm::MessageTransport* transport() { return &transport_; }
+
+  // --- recording ---
+  // Creates a continuous file and records every message arriving on
+  // `data_vci` into it. Control messages for `stream_id` on `control_vci`
+  // drive indexing (kIndexMark / kSyncMark entries map media time to the
+  // current byte offset).
+  pfs::FileId StartRecording(atm::Vci data_vci, atm::Vci control_vci, uint32_t stream_id);
+  // Stops recording and syncs the file; returns bytes recorded.
+  int64_t StopRecording(atm::Vci data_vci, std::function<void()> synced);
+
+  // --- playback ---
+  // Plays the records of `file` to `out_vci`, re-timing each record from the
+  // index-recorded original cadence scaled by `speed` (2.0 = fast forward).
+  // Starts at media time `from_ts` (index lookup). Returns false if the file
+  // has no records.
+  bool StartPlayback(pfs::FileId file, atm::Vci out_vci, double speed = 1.0,
+                     sim::TimeNs from_ts = 0);
+  void StopPlayback(pfs::FileId file);
+
+  int64_t records_recorded() const { return records_recorded_; }
+  int64_t records_played() const { return records_played_; }
+
+ private:
+  struct RecordingState {
+    pfs::FileId file = -1;
+    uint32_t stream_id = 0;
+    int64_t offset = 0;
+    atm::Vci control_vci = atm::kVciUnassigned;
+  };
+  struct PlaybackState {
+    atm::Vci out_vci = atm::kVciUnassigned;
+    int64_t offset = 0;
+    double speed = 1.0;
+    bool running = false;
+    sim::TimeNs last_media_ts = -1;
+    sim::TimeNs next_send = 0;
+    // Guards in-flight async callbacks against stop/restart races: a
+    // callback only acts if its generation still matches.
+    uint64_t generation = 0;
+    // Read-ahead: records are parsed from this window instead of issuing a
+    // disk read per record (continuous data is read in large spans, §5).
+    std::vector<uint8_t> buffer;
+    int64_t buffer_base = 0;
+  };
+
+  void OnData(atm::Vci vci, std::vector<uint8_t> message);
+  void OnControl(atm::Vci vci, const dev::ControlMessage& message);
+  void PlayNext(pfs::FileId file, uint64_t generation);
+  // The playback state for (file, generation), or nullptr if superseded.
+  PlaybackState* LivePlayback(pfs::FileId file, uint64_t generation);
+
+  sim::Simulator* sim_;
+  atm::Endpoint* endpoint_;
+  atm::MessageTransport transport_;
+  pfs::PegasusFileServer server_;
+  std::map<atm::Vci, RecordingState> recordings_;
+  std::map<atm::Vci, atm::Vci> control_to_data_;
+  std::map<pfs::FileId, PlaybackState> playbacks_;
+  uint64_t next_playback_generation_ = 1;
+  int64_t records_recorded_ = 0;
+  int64_t records_played_ = 0;
+};
+
+}  // namespace pegasus::core
+
+#endif  // PEGASUS_SRC_CORE_STORAGE_NODE_H_

@@ -1,0 +1,103 @@
+// Full-system assembly (§2.3, Figure 4).
+//
+// "An overview of the Pegasus architecture ... a Pegasus multimedia
+// workstation, multimedia compute server, storage server and Unix server,
+// all interconnected by an ATM network." PegasusSystem wires that picture:
+// a backbone switch, workstations with their own local switches, a storage
+// node, Unix nodes hosting the control halves of applications, plus the
+// session helpers that set up the paper's canonical media paths.
+#ifndef PEGASUS_SRC_CORE_SYSTEM_H_
+#define PEGASUS_SRC_CORE_SYSTEM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/atm/network.h"
+#include "src/core/compute_node.h"
+#include "src/core/storage_node.h"
+#include "src/core/unix_node.h"
+#include "src/core/workstation.h"
+#include "src/pfs/server.h"
+
+namespace pegasus::core {
+
+// A established media session: the data VC from a source device to a sink
+// device plus the control VC back to the source's managing host.
+struct MediaSession {
+  atm::VcId data_vc = -1;
+  atm::VcId control_vc = -1;
+  atm::Vci source_data_vci = atm::kVciUnassigned;
+  atm::Vci sink_data_vci = atm::kVciUnassigned;
+  atm::Vci control_send_vci = atm::kVciUnassigned;
+  atm::Vci control_receive_vci = atm::kVciUnassigned;
+};
+
+class PegasusSystem {
+ public:
+  struct Config {
+    int backbone_ports = 16;
+    int64_t backbone_link_bps = 155'000'000;
+    int workstation_ports = 8;
+    int64_t device_link_bps = 155'000'000;
+  };
+
+  explicit PegasusSystem(sim::Simulator* sim);
+  PegasusSystem(sim::Simulator* sim, Config config);
+
+  sim::Simulator* simulator() const { return sim_; }
+  atm::Network& network() { return network_; }
+  atm::Switch* backbone() const { return backbone_; }
+
+  // --- component factories ---
+  Workstation* AddWorkstation(const std::string& name);
+  StorageNode* AddStorageServer(const pfs::PfsConfig& config,
+                                const std::string& name = "storage");
+  UnixNode* AddUnixNode(const std::string& name = "unix");
+  ComputeNode* AddComputeServer(const std::string& name = "compute");
+
+  // --- session management (the device manager's job, §2.2) ---
+  // Camera -> display: data VC direct through the switches (no CPU on the
+  // path), control VC from the sink's host back to the source's host, and a
+  // window at (x, y) sized to the camera image.
+  std::optional<MediaSession> ConnectCameraToDisplay(Workstation* src, dev::AtmCamera* camera,
+                                                     Workstation* dst, dev::AtmDisplay* display,
+                                                     int x, int y,
+                                                     atm::QosSpec qos = atm::QosSpec{});
+  // Audio capture -> playback.
+  std::optional<MediaSession> ConnectAudio(Workstation* src, dev::AudioCapture* capture,
+                                           Workstation* dst, dev::AudioPlayback* playback,
+                                           atm::QosSpec qos = atm::QosSpec{});
+  // Device -> storage recording session (data + control VC to the server).
+  std::optional<MediaSession> ConnectDeviceToStorage(Workstation* src, atm::Endpoint* device_ep,
+                                                     StorageNode* storage,
+                                                     atm::QosSpec qos = atm::QosSpec{});
+  // Storage -> display playout session.
+  std::optional<MediaSession> ConnectStorageToDisplay(StorageNode* storage, Workstation* dst,
+                                                      dev::AtmDisplay* display, int x, int y,
+                                                      int w, int h,
+                                                      atm::QosSpec qos = atm::QosSpec{});
+
+  const std::vector<std::unique_ptr<Workstation>>& workstations() const {
+    return workstations_;
+  }
+
+ private:
+  // Attaches a workstation's local switch to the backbone.
+  void Uplink(Workstation* ws);
+
+  sim::Simulator* sim_;
+  Config config_;
+  atm::Network network_;
+  atm::Switch* backbone_;
+  int next_backbone_port_ = 0;
+  std::vector<std::unique_ptr<Workstation>> workstations_;
+  std::vector<std::unique_ptr<StorageNode>> storage_nodes_;
+  std::vector<std::unique_ptr<UnixNode>> unix_nodes_;
+  std::vector<std::unique_ptr<ComputeNode>> compute_nodes_;
+};
+
+}  // namespace pegasus::core
+
+#endif  // PEGASUS_SRC_CORE_SYSTEM_H_

@@ -1,0 +1,28 @@
+#include "src/core/unix_node.h"
+
+namespace pegasus::core {
+
+UnixNode::UnixNode(atm::Network* network, atm::Switch* sw, int port, const std::string& name)
+    : name_(name),
+      endpoint_(network->AddEndpoint(name, sw, port, 155'000'000)),
+      transport_(endpoint_),
+      rpc_server_(network->simulator(), &transport_),
+      name_space_(name),
+      sim_(network->simulator()) {}
+
+void UnixNode::Export(const std::string& path, naming::Invocable* object) {
+  rpc_server_.ExportObject(path, object);
+  naming::Invocable* target = object;
+  sim::Simulator* sim = sim_;
+  name_space_.Bind(path, naming::ObjectHandle(
+                             naming::ObjectRef{reinterpret_cast<uint64_t>(object)},
+                             [sim, target](naming::ObjectRef) {
+                               return std::make_shared<naming::LocalPath>(sim, target);
+                             }));
+}
+
+void UnixNode::ServeRpc(atm::Vci request_vci, atm::Vci reply_vci) {
+  rpc_server_.Serve(request_vci, reply_vci);
+}
+
+}  // namespace pegasus::core

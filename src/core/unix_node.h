@@ -1,0 +1,50 @@
+// The Unix box of the Pegasus architecture (§2.3).
+//
+// "One or more nodes in Pegasus run Unix. ... We expect many multimedia
+// applications to be split over Unix and Nemesis; the Unix part will contain
+// the control functionality, whereas the Nemesis part will contain the
+// necessary real-time functionality." A UnixNode hosts the non-real-time
+// half: an RPC server exporting control objects and a name space other nodes
+// mount — no media data ever flows through it.
+#ifndef PEGASUS_SRC_CORE_UNIX_NODE_H_
+#define PEGASUS_SRC_CORE_UNIX_NODE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/atm/network.h"
+#include "src/atm/transport.h"
+#include "src/naming/name_space.h"
+#include "src/naming/rpc.h"
+
+namespace pegasus::core {
+
+class UnixNode {
+ public:
+  UnixNode(atm::Network* network, atm::Switch* sw, int port, const std::string& name);
+
+  const std::string& name() const { return name_; }
+  atm::Endpoint* endpoint() const { return endpoint_; }
+  atm::MessageTransport* transport() { return &transport_; }
+  naming::RpcServer* rpc_server() { return &rpc_server_; }
+  naming::NameSpace* name_space() { return &name_space_; }
+
+  // Exports `object` under `path` in both the local name space and the RPC
+  // server, so local and remote resolvers find the same thing.
+  void Export(const std::string& path, naming::Invocable* object);
+
+  // Starts serving RPC on a VC pair (request in, replies out).
+  void ServeRpc(atm::Vci request_vci, atm::Vci reply_vci);
+
+ private:
+  std::string name_;
+  atm::Endpoint* endpoint_;
+  atm::MessageTransport transport_;
+  naming::RpcServer rpc_server_;
+  naming::NameSpace name_space_;
+  sim::Simulator* sim_;
+};
+
+}  // namespace pegasus::core
+
+#endif  // PEGASUS_SRC_CORE_UNIX_NODE_H_

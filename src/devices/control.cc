@@ -1,0 +1,49 @@
+#include "src/devices/control.h"
+
+#include "src/atm/wire.h"
+
+namespace pegasus::dev {
+
+std::vector<uint8_t> ControlMessage::Serialize() const {
+  atm::WireWriter w;
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU32(stream_id);
+  w.PutI64(media_ts);
+  w.PutI64(aux);
+  return w.Take();
+}
+
+std::optional<ControlMessage> ControlMessage::Parse(const std::vector<uint8_t>& bytes) {
+  atm::WireReader r(bytes);
+  ControlMessage msg;
+  msg.type = static_cast<ControlType>(r.GetU8());
+  msg.stream_id = r.GetU32();
+  msg.media_ts = r.GetI64();
+  msg.aux = r.GetI64();
+  if (!r.ok() || !r.AtEnd()) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+ControlChannel::ControlChannel(atm::MessageTransport* transport, atm::Vci send_vci,
+                               atm::Vci receive_vci)
+    : transport_(transport), send_vci_(send_vci) {
+  transport_->SetHandler(receive_vci,
+                         [this](atm::Vci, std::vector<uint8_t> bytes, sim::TimeNs) {
+                           auto msg = ControlMessage::Parse(bytes);
+                           if (msg.has_value()) {
+                             ++received_;
+                             if (handler_) {
+                               handler_(*msg);
+                             }
+                           }
+                         });
+}
+
+void ControlChannel::Send(const ControlMessage& message) {
+  ++sent_;
+  transport_->Send(send_vci_, message.Serialize());
+}
+
+}  // namespace pegasus::dev

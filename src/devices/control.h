@@ -1,0 +1,68 @@
+// The device control protocol (§2.2).
+//
+// "Multimedia devices generate two streams of data on two distinct virtual
+// circuits. One is the actual data stream ... The other is a control
+// stream; this is a bi-directional low-bandwidth stream that is used to
+// control the device and for purposes of synchronization." The Pegasus File
+// Server "uses the control stream associated with an incoming data stream to
+// generate index information that can later be used to go to specific time
+// offsets into a media file".
+#ifndef PEGASUS_SRC_DEVICES_CONTROL_H_
+#define PEGASUS_SRC_DEVICES_CONTROL_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/atm/transport.h"
+#include "src/sim/time.h"
+
+namespace pegasus::dev {
+
+enum class ControlType : uint8_t {
+  kStart = 1,
+  kStop = 2,
+  kModeSelect = 3,  // aux = compression mode
+  kSyncMark = 4,    // media_ts = source clock announcement
+  kIndexMark = 5,   // media_ts at byte offset aux (storage indexing)
+  kSeek = 6,        // media_ts = target position
+};
+
+struct ControlMessage {
+  ControlType type = ControlType::kStart;
+  uint32_t stream_id = 0;
+  sim::TimeNs media_ts = 0;
+  int64_t aux = 0;
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<ControlMessage> Parse(const std::vector<uint8_t>& bytes);
+};
+
+// A bidirectional control stream endpoint bound to one VCI pair of a message
+// transport. Low bandwidth by construction: one small message at a time.
+class ControlChannel {
+ public:
+  using Handler = std::function<void(const ControlMessage&)>;
+
+  // `send_vci`: where our messages go; `receive_vci`: where the peer's
+  // arrive on our transport.
+  ControlChannel(atm::MessageTransport* transport, atm::Vci send_vci, atm::Vci receive_vci);
+
+  void Send(const ControlMessage& message);
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  int64_t sent() const { return sent_; }
+  int64_t received() const { return received_; }
+
+ private:
+  atm::MessageTransport* transport_;
+  atm::Vci send_vci_;
+  Handler handler_;
+  int64_t sent_ = 0;
+  int64_t received_ = 0;
+};
+
+}  // namespace pegasus::dev
+
+#endif  // PEGASUS_SRC_DEVICES_CONTROL_H_

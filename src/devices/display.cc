@@ -1,0 +1,231 @@
+#include "src/devices/display.h"
+
+#include <algorithm>
+
+namespace pegasus::dev {
+
+AtmDisplay::AtmDisplay(sim::Simulator* sim, atm::Endpoint* endpoint, int width, int height)
+    : sim_(sim),
+      endpoint_(endpoint),
+      width_(width),
+      height_(height),
+      framebuffer_(static_cast<size_t>(width) * height, 0),
+      owner_(static_cast<size_t>(width) * height, atm::kVciUnassigned) {
+  endpoint_->set_cell_handler([this](const atm::Cell& cell) { OnCell(cell); });
+}
+
+void AtmDisplay::SetDescriptor(atm::Vci vci, const WindowDescriptor& desc) {
+  descriptors_[vci] = desc;
+  ++descriptor_updates_;
+  RecomputeOwnership();
+}
+
+bool AtmDisplay::RemoveDescriptor(atm::Vci vci) {
+  if (descriptors_.erase(vci) == 0) {
+    return false;
+  }
+  ++descriptor_updates_;
+  RecomputeOwnership();
+  return true;
+}
+
+const WindowDescriptor* AtmDisplay::GetDescriptor(atm::Vci vci) const {
+  auto it = descriptors_.find(vci);
+  return it == descriptors_.end() ? nullptr : &it->second;
+}
+
+void AtmDisplay::RecomputeOwnership() {
+  // Per-pixel owner: the visible window with the highest z covering it. This
+  // mirrors the hardware's descriptor match; cost is charged to descriptor
+  // updates, not to the media path.
+  std::fill(owner_.begin(), owner_.end(), atm::kVciUnassigned);
+  std::vector<std::pair<atm::Vci, const WindowDescriptor*>> ordered;
+  ordered.reserve(descriptors_.size());
+  for (const auto& [vci, desc] : descriptors_) {
+    if (desc.visible) {
+      ordered.emplace_back(vci, &desc);
+    }
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.second->z < b.second->z; });
+  for (const auto& [vci, desc] : ordered) {
+    const int x0 = std::max(0, desc->x);
+    const int y0 = std::max(0, desc->y);
+    const int x1 = std::min(width_, desc->x + desc->width);
+    const int y1 = std::min(height_, desc->y + desc->height);
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        owner_[static_cast<size_t>(y) * width_ + x] = vci;
+      }
+    }
+  }
+}
+
+void AtmDisplay::OnCell(const atm::Cell& cell) {
+  auto sdu = reassemblers_[cell.vci].Push(cell);
+  if (!sdu.has_value()) {
+    return;
+  }
+  auto packet = TilePacket::Parse(*sdu);
+  if (!packet.has_value()) {
+    ++decode_errors_;
+    return;
+  }
+  OnPacket(cell.vci, *packet);
+}
+
+void AtmDisplay::OnPacket(atm::Vci vci, const TilePacket& packet) {
+  auto desc_it = descriptors_.find(vci);
+  if (desc_it == descriptors_.end() || !desc_it->second.visible) {
+    tiles_clipped_ += static_cast<int64_t>(packet.tiles.size());
+    return;
+  }
+  const WindowDescriptor& desc = desc_it->second;
+  tile_latency_.Add(static_cast<double>(sim_->now() - packet.capture_ts));
+  if (packet_cb_) {
+    packet_cb_(vci, packet.frame_no, packet.capture_ts);
+  }
+
+  // Frame-completion tracking: a new frame number closes the previous frame.
+  FrameTrack& track = frame_track_[vci];
+  if (track.any && packet.frame_no != track.frame_no) {
+    frame_completion_latency_.Add(static_cast<double>(sim_->now() - track.capture_ts));
+    ++frames_completed_;
+    track.any = false;
+  }
+  track.frame_no = packet.frame_no;
+  track.capture_ts = packet.capture_ts;
+  track.any = true;
+
+  for (const Tile& src : packet.tiles) {
+    Tile tile = src;
+    if (!DecompressTileInPlace(&tile)) {
+      ++decode_errors_;
+      continue;
+    }
+    // Clip against the window, then blit only pixels this VC owns.
+    if (tile.x + kTileDim <= 0 || tile.y + kTileDim <= 0 || tile.x >= desc.width ||
+        tile.y >= desc.height) {
+      ++tiles_clipped_;
+      continue;
+    }
+    ++tiles_blitted_;
+    for (int row = 0; row < kTileDim; ++row) {
+      for (int col = 0; col < kTileDim; ++col) {
+        const int wx = tile.x + col;  // window coordinates
+        const int wy = tile.y + row;
+        if (wx >= desc.width || wy >= desc.height) {
+          continue;  // clipped by the descriptor
+        }
+        const int sx = desc.x + wx;  // screen coordinates
+        const int sy = desc.y + wy;
+        if (sx < 0 || sx >= width_ || sy < 0 || sy >= height_) {
+          continue;
+        }
+        if (owner_[static_cast<size_t>(sy) * width_ + sx] != vci) {
+          continue;  // occluded by a higher window
+        }
+        framebuffer_[static_cast<size_t>(sy) * width_ + sx] =
+            tile.data[static_cast<size_t>(row) * kTileDim + col];
+        ++pixels_drawn_;
+      }
+    }
+  }
+}
+
+WindowManager::WindowManager(AtmDisplay* display) : display_(display) {}
+
+void WindowManager::CreateWindow(atm::Vci vci, int x, int y, int w, int h) {
+  WindowDescriptor desc;
+  desc.x = x;
+  desc.y = y;
+  desc.width = w;
+  desc.height = h;
+  desc.z = next_z_++;
+  display_->SetDescriptor(vci, desc);
+  ++operations_;
+}
+
+bool WindowManager::MoveWindow(atm::Vci vci, int x, int y) {
+  const WindowDescriptor* cur = display_->GetDescriptor(vci);
+  if (cur == nullptr) {
+    return false;
+  }
+  WindowDescriptor desc = *cur;
+  desc.x = x;
+  desc.y = y;
+  display_->SetDescriptor(vci, desc);
+  ++operations_;
+  return true;
+}
+
+bool WindowManager::ResizeWindow(atm::Vci vci, int w, int h) {
+  const WindowDescriptor* cur = display_->GetDescriptor(vci);
+  if (cur == nullptr) {
+    return false;
+  }
+  WindowDescriptor desc = *cur;
+  desc.width = w;
+  desc.height = h;
+  display_->SetDescriptor(vci, desc);
+  ++operations_;
+  return true;
+}
+
+bool WindowManager::RaiseWindow(atm::Vci vci) {
+  const WindowDescriptor* cur = display_->GetDescriptor(vci);
+  if (cur == nullptr) {
+    return false;
+  }
+  WindowDescriptor desc = *cur;
+  desc.z = next_z_++;
+  display_->SetDescriptor(vci, desc);
+  ++operations_;
+  return true;
+}
+
+bool WindowManager::LowerWindow(atm::Vci vci) {
+  const WindowDescriptor* cur = display_->GetDescriptor(vci);
+  if (cur == nullptr) {
+    return false;
+  }
+  WindowDescriptor desc = *cur;
+  desc.z = 0;
+  display_->SetDescriptor(vci, desc);
+  ++operations_;
+  return true;
+}
+
+bool WindowManager::IconifyWindow(atm::Vci vci) {
+  const WindowDescriptor* cur = display_->GetDescriptor(vci);
+  if (cur == nullptr) {
+    return false;
+  }
+  WindowDescriptor desc = *cur;
+  desc.visible = false;
+  display_->SetDescriptor(vci, desc);
+  ++operations_;
+  return true;
+}
+
+bool WindowManager::RestoreWindow(atm::Vci vci) {
+  const WindowDescriptor* cur = display_->GetDescriptor(vci);
+  if (cur == nullptr) {
+    return false;
+  }
+  WindowDescriptor desc = *cur;
+  desc.visible = true;
+  display_->SetDescriptor(vci, desc);
+  ++operations_;
+  return true;
+}
+
+bool WindowManager::DestroyWindow(atm::Vci vci) {
+  if (!display_->RemoveDescriptor(vci)) {
+    return false;
+  }
+  ++operations_;
+  return true;
+}
+
+}  // namespace pegasus::dev

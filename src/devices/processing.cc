@@ -1,0 +1,107 @@
+#include "src/devices/processing.h"
+
+#include <algorithm>
+
+namespace pegasus::dev {
+
+TileTransform InvertTransform() {
+  return [](std::vector<uint8_t>& pixels) {
+    for (uint8_t& p : pixels) {
+      p = static_cast<uint8_t>(255 - p);
+    }
+  };
+}
+
+TileTransform BrightnessTransform(int delta) {
+  return [delta](std::vector<uint8_t>& pixels) {
+    for (uint8_t& p : pixels) {
+      p = static_cast<uint8_t>(std::clamp(static_cast<int>(p) + delta, 0, 255));
+    }
+  };
+}
+
+TileTransform BlurTransform() {
+  return [](std::vector<uint8_t>& pixels) {
+    std::vector<uint8_t> src = pixels;
+    auto at = [&src](int x, int y) {
+      x = std::clamp(x, 0, kTileDim - 1);
+      y = std::clamp(y, 0, kTileDim - 1);
+      return static_cast<int>(src[static_cast<size_t>(y) * kTileDim + x]);
+    };
+    for (int y = 0; y < kTileDim; ++y) {
+      for (int x = 0; x < kTileDim; ++x) {
+        int sum = 0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            sum += at(x + dx, y + dy);
+          }
+        }
+        pixels[static_cast<size_t>(y) * kTileDim + x] = static_cast<uint8_t>(sum / 9);
+      }
+    }
+  };
+}
+
+TileTransform EdgeTransform() {
+  return [](std::vector<uint8_t>& pixels) {
+    std::vector<uint8_t> src = pixels;
+    auto at = [&src](int x, int y) {
+      x = std::clamp(x, 0, kTileDim - 1);
+      y = std::clamp(y, 0, kTileDim - 1);
+      return static_cast<int>(src[static_cast<size_t>(y) * kTileDim + x]);
+    };
+    for (int y = 0; y < kTileDim; ++y) {
+      for (int x = 0; x < kTileDim; ++x) {
+        const int gx = at(x + 1, y - 1) + 2 * at(x + 1, y) + at(x + 1, y + 1) -
+                       at(x - 1, y - 1) - 2 * at(x - 1, y) - at(x - 1, y + 1);
+        const int gy = at(x - 1, y + 1) + 2 * at(x, y + 1) + at(x + 1, y + 1) -
+                       at(x - 1, y - 1) - 2 * at(x, y - 1) - at(x + 1, y - 1);
+        pixels[static_cast<size_t>(y) * kTileDim + x] =
+            static_cast<uint8_t>(std::clamp((std::abs(gx) + std::abs(gy)) / 4, 0, 255));
+      }
+    }
+  };
+}
+
+TileProcessor::TileProcessor(sim::Simulator* sim, atm::MessageTransport* transport,
+                             atm::Vci in_vci, atm::Vci out_vci, Config config)
+    : sim_(sim), transport_(transport), out_vci_(out_vci), config_(std::move(config)) {
+  transport_->SetHandler(in_vci, [this](atm::Vci, std::vector<uint8_t> bytes, sim::TimeNs) {
+    OnPacket(std::move(bytes));
+  });
+}
+
+void TileProcessor::OnPacket(std::vector<uint8_t> bytes) {
+  auto packet = TilePacket::Parse(bytes);
+  if (!packet.has_value()) {
+    ++decode_errors_;
+    return;
+  }
+  // Queue on the serial processing core.
+  const sim::TimeNs arrived = sim_->now();
+  const sim::TimeNs start = std::max(arrived, core_free_at_);
+  const sim::DurationNs work =
+      config_.per_tile_cost * static_cast<int64_t>(packet->tiles.size());
+  core_free_at_ = start + work;
+
+  sim_->ScheduleAt(core_free_at_, [this, arrived, packet = std::move(*packet)]() mutable {
+    for (Tile& tile : packet.tiles) {
+      if (!DecompressTileInPlace(&tile)) {
+        ++decode_errors_;
+        continue;
+      }
+      if (config_.transform) {
+        config_.transform(tile.data);
+      }
+      CompressTileInPlace(&tile, config_.output_compression, config_.jpeg_quality);
+      ++tiles_processed_;
+    }
+    ++packets_processed_;
+    latency_.Add(static_cast<double>(sim_->now() - arrived));
+    // Timestamps pass through untouched: downstream latency measurements see
+    // the true capture-to-screen time including this hop.
+    transport_->Send(out_vci_, packet.Serialize());
+  });
+}
+
+}  // namespace pegasus::dev

@@ -1,0 +1,75 @@
+// In-network media processing (§1, §2.3).
+//
+// The paper's thesis: audio and video must not be second-class media "on
+// which the only operations are capture, storage and rendering, but media
+// that can be processed — analysed, filtered, modified — just like text and
+// data". The multimedia compute server of Figure 4 exists for exactly this.
+// A TileProcessor sits on a virtual circuit, decodes arriving tile packets,
+// applies a per-tile transform, and re-emits the stream with its timestamps
+// intact — so processed video stays real-time and measurable end to end.
+#ifndef PEGASUS_SRC_DEVICES_PROCESSING_H_
+#define PEGASUS_SRC_DEVICES_PROCESSING_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/atm/transport.h"
+#include "src/devices/compression.h"
+#include "src/devices/tile.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/stats.h"
+
+namespace pegasus::dev {
+
+// A transform over one raw 8x8 tile (64 pixels, in place).
+using TileTransform = std::function<void(std::vector<uint8_t>& pixels)>;
+
+// Stock transforms for examples and tests.
+TileTransform InvertTransform();
+TileTransform BrightnessTransform(int delta);
+// 3x3 box blur within the tile (tile borders clamp).
+TileTransform BlurTransform();
+// Sobel edge magnitude — the "analysis" of the paper's claim.
+TileTransform EdgeTransform();
+
+class TileProcessor {
+ public:
+  struct Config {
+    TileTransform transform;
+    // Simulated CPU cost per tile (a DSP or compute-server core).
+    sim::DurationNs per_tile_cost = sim::Microseconds(10);
+    // Re-compress output tiles (kRaw forwards them uncompressed).
+    CompressionMode output_compression = CompressionMode::kRaw;
+    int jpeg_quality = 60;
+  };
+
+  // Processes packets arriving on `in_vci` of `transport` and emits them on
+  // `out_vci`. The transport must outlive the processor.
+  TileProcessor(sim::Simulator* sim, atm::MessageTransport* transport, atm::Vci in_vci,
+                atm::Vci out_vci, Config config);
+
+  int64_t packets_processed() const { return packets_processed_; }
+  int64_t tiles_processed() const { return tiles_processed_; }
+  uint64_t decode_errors() const { return decode_errors_; }
+  // Residence time of a packet inside the processor (queueing + compute).
+  const sim::Summary& processing_latency() const { return latency_; }
+
+ private:
+  void OnPacket(std::vector<uint8_t> bytes);
+
+  sim::Simulator* sim_;
+  atm::MessageTransport* transport_;
+  atm::Vci out_vci_;
+  Config config_;
+  // The processing core is serial: packets queue while it is busy.
+  sim::TimeNs core_free_at_ = 0;
+  int64_t packets_processed_ = 0;
+  int64_t tiles_processed_ = 0;
+  uint64_t decode_errors_ = 0;
+  sim::Summary latency_;
+};
+
+}  // namespace pegasus::dev
+
+#endif  // PEGASUS_SRC_DEVICES_PROCESSING_H_

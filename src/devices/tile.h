@@ -1,0 +1,63 @@
+// Video tiles and their wire format (§2.1).
+//
+// The ATM camera digitises scan lines; "when eight lines have been buffered,
+// they are encoded as tiles, rectangles of 8x8 pixels. A number of tiles are
+// packed into the payload of an AAL5 frame together with a trailer that
+// provides the x and y coordinates of the tiles with respect to the video
+// frame, and a time stamp that identifies the frame". Tiles double as
+// fixed-size bit-blit operations at the display, which is what unifies video
+// and graphics (§2.1, Figure 3).
+#ifndef PEGASUS_SRC_DEVICES_TILE_H_
+#define PEGASUS_SRC_DEVICES_TILE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace pegasus::dev {
+
+inline constexpr int kTileDim = 8;
+inline constexpr int kTilePixels = kTileDim * kTileDim;
+
+// One 8x8 tile of 8-bit pixels. `data` holds raw pixels (64 bytes) or a
+// compressed representation (see compression.h).
+struct Tile {
+  uint16_t x = 0;  // pixel coordinates of the top-left corner in the frame
+  uint16_t y = 0;
+  bool compressed = false;
+  std::vector<uint8_t> data;
+};
+
+// A group of tiles sharing a frame timestamp, carried in one AAL5 frame.
+struct TilePacket {
+  uint32_t frame_no = 0;
+  sim::TimeNs capture_ts = 0;  // the trailer's time stamp
+  std::vector<Tile> tiles;
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<TilePacket> Parse(const std::vector<uint8_t>& bytes);
+};
+
+// A full video frame buffer (8-bit grey), row-major.
+struct Frame {
+  int width = 0;
+  int height = 0;
+  uint32_t frame_no = 0;
+  sim::TimeNs capture_ts = 0;
+  std::vector<uint8_t> pixels;
+
+  Frame() = default;
+  Frame(int w, int h) : width(w), height(h), pixels(static_cast<size_t>(w) * h, 0) {}
+  uint8_t at(int px, int py) const { return pixels[static_cast<size_t>(py) * width + px]; }
+  void set(int px, int py, uint8_t v) { pixels[static_cast<size_t>(py) * width + px] = v; }
+  // Copies the 8x8 region at (tx, ty) into a raw tile.
+  Tile ExtractTile(int tx, int ty) const;
+  // Blits a raw (uncompressed) tile into the frame, clipping at the edges.
+  void BlitTile(const Tile& tile);
+};
+
+}  // namespace pegasus::dev
+
+#endif  // PEGASUS_SRC_DEVICES_TILE_H_

@@ -1,0 +1,213 @@
+#include "src/nemesis/baseline_schedulers.h"
+
+#include <algorithm>
+
+namespace pegasus::nemesis {
+
+RoundRobinScheduler::RoundRobinScheduler(sim::DurationNs quantum) : quantum_(quantum) {}
+
+bool RoundRobinScheduler::Admit(Domain* domain) {
+  state_[domain] = false;
+  return true;
+}
+
+void RoundRobinScheduler::Remove(Domain* domain) {
+  state_.erase(domain);
+  queue_.erase(std::remove(queue_.begin(), queue_.end(), domain), queue_.end());
+  if (current_ == domain) {
+    current_ = nullptr;
+  }
+}
+
+void RoundRobinScheduler::SetRunnable(Domain* domain, bool runnable) {
+  auto it = state_.find(domain);
+  if (it == state_.end() || it->second == runnable) {
+    return;
+  }
+  it->second = runnable;
+  if (runnable) {
+    queue_.push_back(domain);
+  } else {
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), domain), queue_.end());
+    if (current_ == domain) {
+      current_ = nullptr;  // blocking forfeits the rest of the quantum
+    }
+  }
+}
+
+bool RoundRobinScheduler::UpdateQos(Domain* domain, const QosParams& qos) {
+  (void)domain;
+  (void)qos;
+  return true;  // timesharing ignores contracts
+}
+
+SchedDecision RoundRobinScheduler::PickNext(sim::TimeNs now) {
+  (void)now;
+  // Continue the current domain through segment boundaries until its quantum
+  // is spent or it blocked.
+  if (current_ != nullptr && quantum_left_ > 0) {
+    auto it = state_.find(current_);
+    if (it != state_.end() && it->second) {
+      return SchedDecision{current_, quantum_left_, ActivationReason::kAllocation, false};
+    }
+    current_ = nullptr;
+  }
+  if (queue_.empty()) {
+    current_ = nullptr;
+    return SchedDecision{};
+  }
+  Domain* d = queue_.front();
+  // Rotate at decision time so a quantum expiry naturally moves on.
+  queue_.pop_front();
+  queue_.push_back(d);
+  current_ = d;
+  quantum_left_ = quantum_;
+  return SchedDecision{d, quantum_left_, ActivationReason::kAllocation, false};
+}
+
+SchedDecision RoundRobinScheduler::DecisionFor(Domain* domain, sim::TimeNs now) {
+  (void)now;
+  // No direct-switch shortcut in the timesharing baseline: everyone waits
+  // their turn in the queue.
+  (void)domain;
+  return SchedDecision{};
+}
+
+bool RoundRobinScheduler::ShouldPreempt(Domain* current, const SchedDecision& decision,
+                                        sim::TimeNs now) {
+  (void)current;
+  (void)decision;
+  (void)now;
+  return false;  // purely quantum-driven
+}
+
+void RoundRobinScheduler::Charge(Domain* domain, const SchedDecision& decision, sim::TimeNs start,
+                                 sim::DurationNs ran) {
+  (void)decision;
+  (void)start;
+  if (domain == current_) {
+    quantum_left_ -= std::min(quantum_left_, ran);
+    if (quantum_left_ == 0) {
+      current_ = nullptr;
+    }
+  }
+}
+
+PriorityScheduler::PriorityScheduler(sim::DurationNs quantum) : quantum_(quantum) {}
+
+void PriorityScheduler::SetPriority(Domain* domain, int priority) {
+  preset_priorities_[domain] = priority;
+  auto it = state_.find(domain);
+  if (it != state_.end()) {
+    it->second.priority = priority;
+  }
+}
+
+int PriorityScheduler::PriorityOf(Domain* domain) const {
+  auto it = state_.find(domain);
+  if (it != state_.end()) {
+    return it->second.priority;
+  }
+  auto pre = preset_priorities_.find(domain);
+  return pre == preset_priorities_.end() ? 0 : pre->second;
+}
+
+bool PriorityScheduler::Admit(Domain* domain) {
+  State st;
+  auto pre = preset_priorities_.find(domain);
+  if (pre != preset_priorities_.end()) {
+    st.priority = pre->second;
+  }
+  state_[domain] = st;
+  return true;
+}
+
+void PriorityScheduler::Remove(Domain* domain) {
+  state_.erase(domain);
+  if (current_ == domain) {
+    current_ = nullptr;
+  }
+}
+
+void PriorityScheduler::SetRunnable(Domain* domain, bool runnable) {
+  auto it = state_.find(domain);
+  if (it != state_.end()) {
+    it->second.runnable = runnable;
+    if (!runnable && current_ == domain) {
+      current_ = nullptr;
+    }
+  }
+}
+
+bool PriorityScheduler::UpdateQos(Domain* domain, const QosParams& qos) {
+  (void)domain;
+  (void)qos;
+  return true;
+}
+
+SchedDecision PriorityScheduler::PickNext(sim::TimeNs now) {
+  (void)now;
+  Domain* best = nullptr;
+  const State* best_st = nullptr;
+  for (const auto& [d, st] : state_) {
+    if (!st.runnable) {
+      continue;
+    }
+    if (best == nullptr || st.priority > best_st->priority ||
+        (st.priority == best_st->priority && st.served_stamp < best_st->served_stamp)) {
+      best = d;
+      best_st = &st;
+    }
+  }
+  if (best == nullptr) {
+    current_ = nullptr;
+    return SchedDecision{};
+  }
+  // Quantum continuation within a priority level.
+  if (current_ != nullptr && quantum_left_ > 0) {
+    auto it = state_.find(current_);
+    if (it != state_.end() && it->second.runnable && it->second.priority >= best_st->priority) {
+      return SchedDecision{current_, quantum_left_, ActivationReason::kAllocation, false};
+    }
+  }
+  current_ = best;
+  quantum_left_ = quantum_;
+  return SchedDecision{best, quantum_left_, ActivationReason::kAllocation, false};
+}
+
+SchedDecision PriorityScheduler::DecisionFor(Domain* domain, sim::TimeNs now) {
+  (void)now;
+  (void)domain;
+  return SchedDecision{};
+}
+
+bool PriorityScheduler::ShouldPreempt(Domain* current, const SchedDecision& decision,
+                                      sim::TimeNs now) {
+  (void)decision;
+  (void)now;
+  const int cur_prio = PriorityOf(current);
+  for (const auto& [d, st] : state_) {
+    if (d != current && st.runnable && st.priority > cur_prio) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PriorityScheduler::Charge(Domain* domain, const SchedDecision& decision, sim::TimeNs start,
+                               sim::DurationNs ran) {
+  (void)decision;
+  (void)start;
+  auto it = state_.find(domain);
+  if (it != state_.end()) {
+    it->second.served_stamp = ++serve_counter_;
+  }
+  if (domain == current_) {
+    quantum_left_ -= std::min(quantum_left_, ran);
+    if (quantum_left_ == 0) {
+      current_ = nullptr;
+    }
+  }
+}
+
+}  // namespace pegasus::nemesis

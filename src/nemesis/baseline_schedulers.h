@@ -1,0 +1,91 @@
+// Baseline timesharing disciplines for the scheduling comparisons.
+//
+// The paper argues that conventional operating systems cannot give
+// multimedia applications timely CPU: "on Unix platforms, multimedia
+// applications co-exist with other applications, but they hardly run in real
+// time" (§1). Benches E04/E05 quantify that against two conventional
+// disciplines: quantum-driven round-robin (Unix-style timesharing without
+// priorities) and preemptive static priority.
+#ifndef PEGASUS_SRC_NEMESIS_BASELINE_SCHEDULERS_H_
+#define PEGASUS_SRC_NEMESIS_BASELINE_SCHEDULERS_H_
+
+#include <deque>
+#include <map>
+#include <string>
+
+#include "src/nemesis/scheduler.h"
+
+namespace pegasus::nemesis {
+
+// Classic round-robin: a single FIFO of runnable domains, each run for a
+// fixed quantum. Admission never fails; guarantees do not exist.
+class RoundRobinScheduler : public Scheduler {
+ public:
+  explicit RoundRobinScheduler(sim::DurationNs quantum = sim::Milliseconds(10));
+
+  std::string name() const override { return "round-robin"; }
+  void Attach(Kernel* kernel) override { kernel_ = kernel; }
+  bool Admit(Domain* domain) override;
+  void Remove(Domain* domain) override;
+  void SetRunnable(Domain* domain, bool runnable) override;
+  bool UpdateQos(Domain* domain, const QosParams& qos) override;
+  SchedDecision PickNext(sim::TimeNs now) override;
+  SchedDecision DecisionFor(Domain* domain, sim::TimeNs now) override;
+  bool ShouldPreempt(Domain* current, const SchedDecision& decision, sim::TimeNs now) override;
+  void Charge(Domain* domain, const SchedDecision& decision, sim::TimeNs start,
+              sim::DurationNs ran) override;
+  double AdmittedUtilization() const override { return 0.0; }
+
+ private:
+  Kernel* kernel_ = nullptr;
+  sim::DurationNs quantum_;
+  // Runnable domains in service order; membership mirrored in state_.
+  std::deque<Domain*> queue_;
+  std::map<Domain*, bool> state_;  // admitted -> runnable?
+  // Quantum continuation: a domain keeps the CPU across segment boundaries
+  // until its quantum is spent or it blocks.
+  Domain* current_ = nullptr;
+  sim::DurationNs quantum_left_ = 0;
+};
+
+// Preemptive static priority with round-robin within a level. Priorities are
+// assigned with SetPriority before (or after) admission; higher wins.
+class PriorityScheduler : public Scheduler {
+ public:
+  explicit PriorityScheduler(sim::DurationNs quantum = sim::Milliseconds(10));
+
+  void SetPriority(Domain* domain, int priority);
+  int PriorityOf(Domain* domain) const;
+
+  std::string name() const override { return "static-priority"; }
+  void Attach(Kernel* kernel) override { kernel_ = kernel; }
+  bool Admit(Domain* domain) override;
+  void Remove(Domain* domain) override;
+  void SetRunnable(Domain* domain, bool runnable) override;
+  bool UpdateQos(Domain* domain, const QosParams& qos) override;
+  SchedDecision PickNext(sim::TimeNs now) override;
+  SchedDecision DecisionFor(Domain* domain, sim::TimeNs now) override;
+  bool ShouldPreempt(Domain* current, const SchedDecision& decision, sim::TimeNs now) override;
+  void Charge(Domain* domain, const SchedDecision& decision, sim::TimeNs start,
+              sim::DurationNs ran) override;
+  double AdmittedUtilization() const override { return 0.0; }
+
+ private:
+  struct State {
+    int priority = 0;
+    bool runnable = false;
+    uint64_t served_stamp = 0;
+  };
+
+  Kernel* kernel_ = nullptr;
+  sim::DurationNs quantum_;
+  std::map<Domain*, State> state_;
+  std::map<Domain*, int> preset_priorities_;
+  uint64_t serve_counter_ = 0;
+  Domain* current_ = nullptr;
+  sim::DurationNs quantum_left_ = 0;
+};
+
+}  // namespace pegasus::nemesis
+
+#endif  // PEGASUS_SRC_NEMESIS_BASELINE_SCHEDULERS_H_

@@ -1,0 +1,25 @@
+#include "src/nemesis/domain.h"
+
+namespace pegasus::nemesis {
+
+Domain::Domain(std::string name, QosParams qos) : name_(std::move(name)), qos_(qos) {}
+
+void Domain::AttachKernel(Kernel* kernel, DomainId id) {
+  kernel_ = kernel;
+  id_ = id;
+  OnAttached();
+}
+
+void Domain::OnAttached() {}
+
+void Domain::OnActivate(ActivationReason reason, sim::TimeNs now) {
+  (void)reason;
+  (void)now;
+}
+
+void Domain::OnEventPosted(EventChannel* channel, sim::TimeNs now) {
+  (void)channel;
+  (void)now;
+}
+
+}  // namespace pegasus::nemesis

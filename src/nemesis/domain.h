@@ -1,0 +1,136 @@
+// Nemesis domains and the activation model (§3.2).
+//
+// A domain is the schedulable entity. Unlike a classical process — which is
+// suspended and transparently resumed — a Nemesis domain is *deactivated*
+// (state parked in its Domain Information Block) and later *activated*: the
+// CPU enters at the activation vector, where typically a user-level thread
+// scheduler decides what to run with full knowledge that it has the
+// processor right now.
+//
+// Because this is a simulation, domains do not execute real instructions.
+// Instead each domain is a *model* that emits run segments: the kernel asks
+// "what would you do with the CPU now?" (NextRun), lets virtual time pass,
+// and reports back (OnRunEnd). Segment boundaries are the points where real
+// code would make kernel calls, so event sends, yields and privileged
+// sections all happen there. This keeps scheduling mathematics — the thing
+// the paper's claims are about — exact.
+#ifndef PEGASUS_SRC_NEMESIS_DOMAIN_H_
+#define PEGASUS_SRC_NEMESIS_DOMAIN_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/nemesis/memory.h"
+#include "src/nemesis/qos.h"
+#include "src/sim/time.h"
+
+namespace pegasus::nemesis {
+
+class Kernel;
+class EventChannel;
+
+using DomainId = uint64_t;
+
+// Why a domain is being given the processor.
+enum class ActivationReason {
+  kAllocation,  // its guaranteed slice
+  kExtraTime,   // fortuitous slack
+  kEventDelivery,  // it has pending events
+};
+
+// A notification sitting in a domain's DIB awaiting its next activation.
+struct PendingEvent {
+  EventChannel* channel = nullptr;
+  sim::TimeNs posted_at = 0;
+};
+
+// The shared kernel/domain structure of §3.2. The kernel appends events and
+// bumps counters; the domain consumes events when activated.
+struct DomainInfoBlock {
+  bool activations_enabled = true;
+  std::deque<PendingEvent> pending_events;
+  uint64_t activation_count = 0;
+  sim::TimeNs last_activated_at = 0;
+  sim::TimeNs last_deactivated_at = 0;
+};
+
+// One run segment requested by a domain model.
+struct RunRequest {
+  // CPU the domain would consume in this segment; 0 means the domain has no
+  // work (it is blocked awaiting events or timers).
+  sim::DurationNs length = 0;
+  // Kernel-privileged section: the segment runs with interrupts masked and
+  // is not preemptible (§3.5). Kept short by well-behaved drivers.
+  bool privileged = false;
+  // The domain yields the processor voluntarily when the segment completes
+  // even if it has more work ("no more work to do" from the kernel's view
+  // until its next wakeup).
+  bool yield_after = false;
+};
+
+class Domain {
+ public:
+  Domain(std::string name, QosParams qos);
+  virtual ~Domain() = default;
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  const std::string& name() const { return name_; }
+  DomainId id() const { return id_; }
+  const QosParams& qos() const { return qos_; }
+  DomainInfoBlock& dib() { return dib_; }
+  const DomainInfoBlock& dib() const { return dib_; }
+  // The protection domain this domain's code executes in (§3.1).
+  ProtectionDomain& pdom() { return pdom_; }
+
+  // Called by the kernel when the domain joins it.
+  void AttachKernel(Kernel* kernel, DomainId id);
+  Kernel* kernel() const { return kernel_; }
+  // Hook invoked right after the kernel attaches; models use it to schedule
+  // their first job release.
+  virtual void OnAttached();
+
+  // --- Model interface (kernel-driven) ---
+  // Next run segment if given the CPU at `now`. length == 0 <=> blocked.
+  virtual RunRequest NextRun(sim::TimeNs now) = 0;
+  // `ran` CPU consumed from the segment starting at `start`; `completed`
+  // tells whether the whole requested segment ran or it was preempted.
+  virtual void OnRunEnd(sim::TimeNs start, sim::DurationNs ran, bool completed) = 0;
+  // Activation upcall — entry through the activation vector. Default: none.
+  virtual void OnActivate(ActivationReason reason, sim::TimeNs now);
+  // Hook invoked after the kernel posts an event to this domain's DIB (the
+  // domain is not running then; this lets models update bookkeeping).
+  virtual void OnEventPosted(EventChannel* channel, sim::TimeNs now);
+
+  // --- Statistics maintained by the kernel ---
+  sim::DurationNs cpu_guaranteed() const { return cpu_guaranteed_; }
+  sim::DurationNs cpu_extra() const { return cpu_extra_; }
+  sim::DurationNs cpu_total() const { return cpu_guaranteed_ + cpu_extra_; }
+  void ChargeCpu(sim::DurationNs ns, bool guaranteed) {
+    if (guaranteed) {
+      cpu_guaranteed_ += ns;
+    } else {
+      cpu_extra_ += ns;
+    }
+  }
+
+  // QoS updates (by the QoS manager) go through the kernel so the scheduler
+  // can re-run admission; this setter is for the kernel's use.
+  void set_qos(const QosParams& qos) { qos_ = qos; }
+
+ private:
+  std::string name_;
+  QosParams qos_;
+  DomainId id_ = 0;
+  Kernel* kernel_ = nullptr;
+  DomainInfoBlock dib_;
+  ProtectionDomain pdom_{name_};
+  sim::DurationNs cpu_guaranteed_ = 0;
+  sim::DurationNs cpu_extra_ = 0;
+};
+
+}  // namespace pegasus::nemesis
+
+#endif  // PEGASUS_SRC_NEMESIS_DOMAIN_H_

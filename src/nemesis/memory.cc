@@ -1,0 +1,133 @@
+#include "src/nemesis/memory.h"
+
+#include <cstring>
+#include <functional>
+
+namespace pegasus::nemesis {
+
+namespace {
+
+// Data stretches live in the lower half; hashed code slots use the top 32
+// bits of the upper half, mirroring the paper's sparse 64-bit allocation.
+constexpr VirtAddr kDataRegionBase = 0x0000'0001'0000'0000ULL;
+constexpr VirtAddr kCodeRegionBase = 0x8000'0000'0000'0000ULL;
+
+uint32_t HashKey(const std::string& key) {
+  // FNV-1a, folded to 32 bits: deterministic across runs (std::hash is not
+  // guaranteed stable, and address reuse is the point of the experiment).
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+}  // namespace
+
+Stretch::Stretch(StretchId id, VirtAddr base, size_t size)
+    : id_(id), base_(base), size_(size), bytes_(size, 0) {}
+
+AddressSpace::AddressSpace() : next_data_addr_(kDataRegionBase) {}
+
+Stretch* AddressSpace::AllocateStretch(size_t size) {
+  const VirtAddr base = next_data_addr_;
+  // Keep stretches page-aligned; protection is per-stretch so alignment is
+  // cosmetic, but it keeps addresses legible in traces.
+  const size_t aligned = (size + 0xFFF) & ~size_t{0xFFF};
+  next_data_addr_ += aligned;
+  auto stretch = std::make_unique<Stretch>(next_id_, base, size);
+  Stretch* out = stretch.get();
+  by_base_[base] = next_id_;
+  by_id_[next_id_] = std::move(stretch);
+  ++next_id_;
+  return out;
+}
+
+Stretch* AddressSpace::AllocateCodeStretch(const std::string& code_key, size_t size) {
+  last_code_reused_ = false;
+  auto slot = code_slots_.find(code_key);
+  VirtAddr base;
+  if (slot != code_slots_.end()) {
+    // Same image as before: reuse the cached placement if it is free.
+    base = slot->second;
+    if (by_base_.count(base) == 0) {
+      last_code_reused_ = true;
+    } else {
+      base = 0;
+    }
+  } else {
+    base = kCodeRegionBase | (static_cast<VirtAddr>(HashKey(code_key)) << 32);
+    if (by_base_.count(base) > 0) {
+      base = 0;  // hash collision with a live stretch
+    } else {
+      code_slots_[code_key] = base;
+      last_code_reused_ = true;  // first load establishes the cacheable slot
+    }
+  }
+  if (base == 0) {
+    return AllocateStretch(size);
+  }
+  auto stretch = std::make_unique<Stretch>(next_id_, base, size);
+  Stretch* out = stretch.get();
+  by_base_[base] = next_id_;
+  by_id_[next_id_] = std::move(stretch);
+  ++next_id_;
+  return out;
+}
+
+bool AddressSpace::Free(StretchId id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return false;
+  }
+  by_base_.erase(it->second->base());
+  by_id_.erase(it);
+  return true;
+}
+
+Stretch* AddressSpace::Find(StretchId id) {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second.get();
+}
+
+Stretch* AddressSpace::StretchAt(VirtAddr addr) {
+  auto it = by_base_.upper_bound(addr);
+  if (it == by_base_.begin()) {
+    return nullptr;
+  }
+  --it;
+  Stretch* s = by_id_[it->second].get();
+  return s->Contains(addr) ? s : nullptr;
+}
+
+ProtectionDomain::ProtectionDomain(std::string name) : name_(std::move(name)) {}
+
+void ProtectionDomain::Grant(const Stretch* s, AccessRights rights) { rights_[s->id()] = rights; }
+
+void ProtectionDomain::Revoke(const Stretch* s) { rights_.erase(s->id()); }
+
+AccessRights ProtectionDomain::RightsOn(const Stretch* s) const {
+  auto it = rights_.find(s->id());
+  return it == rights_.end() ? AccessRights::None() : it->second;
+}
+
+bool ProtectionDomain::Read(const Stretch* s, VirtAddr addr, uint8_t* out, size_t len) {
+  if (!RightsOn(s).read || !s->Contains(addr, len)) {
+    ++faults_;
+    return false;
+  }
+  std::memcpy(out, s->data() + (addr - s->base()), len);
+  return true;
+}
+
+bool ProtectionDomain::Write(Stretch* s, VirtAddr addr, const uint8_t* in, size_t len) {
+  if (!RightsOn(s).write || !s->Contains(addr, len)) {
+    ++faults_;
+    return false;
+  }
+  std::memcpy(s->data() + (addr - s->base()), in, len);
+  return true;
+}
+
+}  // namespace pegasus::nemesis

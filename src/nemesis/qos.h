@@ -1,0 +1,36 @@
+// CPU quality-of-service contracts (§3.3).
+//
+// A domain's processor guarantee is expressed as `slice` nanoseconds of CPU
+// in every `period` nanoseconds — the weighted allocation the paper derives
+// from user policy. `extra_time` opts the domain into fortuitous slack
+// ("unguaranteed resources which become available fortuitously").
+#ifndef PEGASUS_SRC_NEMESIS_QOS_H_
+#define PEGASUS_SRC_NEMESIS_QOS_H_
+
+#include "src/sim/time.h"
+
+namespace pegasus::nemesis {
+
+struct QosParams {
+  sim::DurationNs slice = 0;
+  sim::DurationNs period = sim::Milliseconds(100);
+  bool extra_time = true;
+
+  // Fraction of the CPU guaranteed by this contract.
+  double Utilization() const {
+    if (period <= 0) {
+      return 0.0;
+    }
+    return static_cast<double>(slice) / static_cast<double>(period);
+  }
+
+  static QosParams BestEffort() { return QosParams{0, sim::Milliseconds(100), true}; }
+  static QosParams Guaranteed(sim::DurationNs slice, sim::DurationNs period,
+                              bool extra = true) {
+    return QosParams{slice, period, extra};
+  }
+};
+
+}  // namespace pegasus::nemesis
+
+#endif  // PEGASUS_SRC_NEMESIS_QOS_H_

@@ -1,0 +1,83 @@
+// The Quality-of-Service manager domain (§3.3).
+//
+// "Above this primitive-level scheduler, and running on a longer time scale
+// is a Quality-of-Service-manager domain whose task is to update the
+// scheduler weights; this is performed not only in response to applications
+// entering or leaving the system, but also adaptively as applications modify
+// their behaviour — this is performed on a longer time scale [than] the
+// individual scheduling decisions in order to smooth out short-term
+// variations in load."
+//
+// The manager runs *as a Nemesis domain*: every `epoch` it wakes, reviews
+// its clients' requests, weights and recent usage, computes new slices by
+// weighted water-filling under a target utilisation, smooths them with an
+// exponentially weighted moving average, and applies them through
+// Kernel::UpdateQos.
+#ifndef PEGASUS_SRC_NEMESIS_QOS_MANAGER_H_
+#define PEGASUS_SRC_NEMESIS_QOS_MANAGER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/nemesis/domain.h"
+#include "src/sim/event_queue.h"
+
+namespace pegasus::nemesis {
+
+class QosManagerDomain : public Domain {
+ public:
+  struct Options {
+    // Review interval — deliberately much longer than scheduler periods.
+    sim::DurationNs epoch = sim::Milliseconds(250);
+    // CPU the review itself costs per epoch.
+    sim::DurationNs review_cost = sim::Microseconds(200);
+    // Total guaranteed utilisation the manager is willing to hand out.
+    double target_utilization = 0.9;
+    // EWMA smoothing factor for slice changes, in (0, 1]; 1 = no smoothing.
+    double smoothing = 0.4;
+    // When true, chronically idle clients are trimmed towards their observed
+    // usage (plus headroom) so the surplus can serve others.
+    bool reclaim_unused = true;
+    // Headroom multiplier over observed usage when reclaiming.
+    double reclaim_headroom = 1.25;
+  };
+
+  QosManagerDomain(sim::Simulator* sim, std::string name, QosParams own_qos, Options options);
+
+  // Registers a client with a policy weight (the "user's current policy")
+  // and the QoS it *asks* for. Takes effect at the next epoch.
+  void Register(Domain* client, double weight, QosParams requested);
+  void Unregister(Domain* client);
+
+  // Granted utilisation for a client, as of the last review.
+  double GrantedUtilization(Domain* client) const;
+  int64_t reviews() const { return reviews_; }
+
+  RunRequest NextRun(sim::TimeNs now) override;
+  void OnRunEnd(sim::TimeNs start, sim::DurationNs ran, bool completed) override;
+  void OnAttached() override;
+
+ private:
+  struct ClientState {
+    double weight = 1.0;
+    QosParams requested;
+    double granted_util = 0.0;
+    // EWMA of observed utilisation.
+    double observed_util = 0.0;
+    sim::DurationNs last_cpu_total = 0;
+  };
+
+  void Review();
+
+  sim::Simulator* sim_;
+  Options options_;
+  std::map<Domain*, ClientState> clients_;
+  sim::DurationNs pending_work_ = 0;
+  sim::TimeNs last_review_at_ = 0;
+  int64_t reviews_ = 0;
+};
+
+}  // namespace pegasus::nemesis
+
+#endif  // PEGASUS_SRC_NEMESIS_QOS_MANAGER_H_

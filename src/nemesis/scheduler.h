@@ -1,0 +1,75 @@
+// Domain-scheduler interface.
+//
+// The kernel is scheduler-agnostic; the paper's share+EDF discipline
+// (AtroposScheduler) and the baseline timesharing disciplines used by the
+// comparison experiments all implement this interface.
+#ifndef PEGASUS_SRC_NEMESIS_SCHEDULER_H_
+#define PEGASUS_SRC_NEMESIS_SCHEDULER_H_
+
+#include <string>
+
+#include "src/nemesis/domain.h"
+#include "src/sim/time.h"
+
+namespace pegasus::nemesis {
+
+class Kernel;
+
+// What the scheduler wants the CPU to do next.
+struct SchedDecision {
+  Domain* domain = nullptr;    // nullptr => idle
+  sim::DurationNs budget = 0;  // preempt the domain after at most this long
+  ActivationReason reason = ActivationReason::kAllocation;
+  // True if the time consumed counts against the domain's guarantee.
+  bool guaranteed = true;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  // The kernel attaches itself before any other call; the scheduler may use
+  // the kernel's simulator for replenishment timers and must call
+  // Kernel::RequestReschedule when its ordering changes asynchronously.
+  virtual void Attach(Kernel* kernel) = 0;
+
+  // Admission control. Returning false rejects the domain (the paper's
+  // contracts are only meaningful if the sum of guarantees is feasible).
+  virtual bool Admit(Domain* domain) = 0;
+  virtual void Remove(Domain* domain) = 0;
+
+  // The kernel reports runnability changes (work arrived / work exhausted).
+  virtual void SetRunnable(Domain* domain, bool runnable) = 0;
+
+  // Re-runs admission after a QoS change. Returns false if infeasible (the
+  // change is rejected and the old contract stays).
+  virtual bool UpdateQos(Domain* domain, const QosParams& qos) = 0;
+
+  // Picks the next domain at `now`.
+  virtual SchedDecision PickNext(sim::TimeNs now) = 0;
+
+  // Decision for running a *specific* domain right now, if the discipline
+  // permits it (used for the synchronous-event direct-switch optimisation).
+  // Returns a decision with domain == nullptr when the domain may not run.
+  virtual SchedDecision DecisionFor(Domain* domain, sim::TimeNs now) = 0;
+
+  // True if the discipline would rather run someone else than let `current`
+  // continue under `decision` (e.g. a domain with an earlier deadline became
+  // runnable). The kernel calls this instead of blindly preempting so that
+  // quantum-driven disciplines can decline mid-quantum preemption.
+  virtual bool ShouldPreempt(Domain* current, const SchedDecision& decision,
+                             sim::TimeNs now) = 0;
+
+  // Charges `ran` nanoseconds consumed by `domain` under `decision`.
+  virtual void Charge(Domain* domain, const SchedDecision& decision, sim::TimeNs start,
+                      sim::DurationNs ran) = 0;
+
+  // Sum of admitted guarantees, for tests and the QoS manager.
+  virtual double AdmittedUtilization() const = 0;
+};
+
+}  // namespace pegasus::nemesis
+
+#endif  // PEGASUS_SRC_NEMESIS_SCHEDULER_H_

@@ -1,0 +1,156 @@
+#include "src/nemesis/threads.h"
+
+#include <algorithm>
+
+#include "src/nemesis/kernel.h"
+
+namespace pegasus::nemesis {
+
+// --- UlsDomain ---
+
+UlsDomain::UlsDomain(sim::Simulator* sim, std::string name, QosParams qos, int n_threads,
+                     sim::DurationNs compute_cost, sim::DurationNs io_time,
+                     int64_t items_per_thread)
+    : Domain(std::move(name), qos),
+      sim_(sim),
+      compute_cost_(compute_cost),
+      io_time_(io_time),
+      items_per_thread_(items_per_thread),
+      threads_(static_cast<size_t>(n_threads)) {
+  for (UThread& t : threads_) {
+    t.ready = true;
+    t.remaining = compute_cost_;
+  }
+  if (!threads_.empty()) {
+    current_ = 0;
+  }
+}
+
+int UlsDomain::threads_ready() const {
+  int n = 0;
+  for (const UThread& t : threads_) {
+    n += t.ready ? 1 : 0;
+  }
+  return n;
+}
+
+RunRequest UlsDomain::NextRun(sim::TimeNs now) {
+  (void)now;
+  if (current_ < 0) {
+    return RunRequest{};
+  }
+  return RunRequest{threads_[static_cast<size_t>(current_)].remaining, false, false};
+}
+
+void UlsDomain::OnActivate(ActivationReason reason, sim::TimeNs now) {
+  (void)reason;
+  (void)now;
+  // Entry through the activation vector: the user-level scheduler re-decides
+  // which thread to run instead of blindly resuming the last one.
+  if (current_ < 0) {
+    PromoteNext();
+  }
+}
+
+void UlsDomain::PromoteNext() {
+  if (threads_.empty()) {
+    return;
+  }
+  const size_t n = threads_.size();
+  const size_t start = current_ >= 0 ? static_cast<size_t>(current_) : 0;
+  for (size_t off = 1; off <= n; ++off) {
+    const size_t idx = (start + off) % n;
+    if (threads_[idx].ready) {
+      if (current_ != static_cast<int>(idx)) {
+        ++user_switches_;
+      }
+      current_ = static_cast<int>(idx);
+      return;
+    }
+  }
+  current_ = -1;
+}
+
+void UlsDomain::OnRunEnd(sim::TimeNs start, sim::DurationNs ran, bool completed) {
+  (void)start;
+  (void)completed;
+  if (current_ < 0) {
+    return;
+  }
+  const size_t idx = static_cast<size_t>(current_);
+  UThread& t = threads_[idx];
+  t.remaining -= std::min(t.remaining, ran);
+  if (t.remaining > 0) {
+    return;
+  }
+  // The thread performs a blocking I/O operation. A kernel-thread system
+  // would suspend the whole schedulable entity here; the user-level
+  // scheduler instead switches to a ready sibling immediately.
+  t.ready = false;
+  t.in_io = true;
+  sim_->ScheduleAfter(io_time_, [this, idx]() { CompleteIo(idx); });
+  current_ = -1;
+  PromoteNext();
+}
+
+void UlsDomain::CompleteIo(size_t index) {
+  UThread& t = threads_[index];
+  t.in_io = false;
+  ++t.items_done;
+  ++items_completed_;
+  if (items_per_thread_ < 0 || t.items_done < items_per_thread_) {
+    t.ready = true;
+    t.remaining = compute_cost_;
+    if (current_ < 0) {
+      PromoteNext();
+    }
+  }
+  if (kernel() != nullptr) {
+    kernel()->NotifyWork(this);
+  }
+}
+
+// --- IoThreadDomain ---
+
+IoThreadDomain::IoThreadDomain(sim::Simulator* sim, std::string name, QosParams qos,
+                               sim::DurationNs compute_cost, sim::DurationNs io_time,
+                               int64_t total_items)
+    : Domain(std::move(name), qos),
+      sim_(sim),
+      compute_cost_(compute_cost),
+      io_time_(io_time),
+      total_items_(total_items),
+      remaining_(compute_cost) {}
+
+RunRequest IoThreadDomain::NextRun(sim::TimeNs now) {
+  (void)now;
+  if (in_io_) {
+    return RunRequest{};
+  }
+  return RunRequest{remaining_, false, false};
+}
+
+void IoThreadDomain::OnRunEnd(sim::TimeNs start, sim::DurationNs ran, bool completed) {
+  (void)start;
+  (void)completed;
+  if (in_io_) {
+    return;
+  }
+  remaining_ -= std::min(remaining_, ran);
+  if (remaining_ > 0) {
+    return;
+  }
+  in_io_ = true;  // the domain blocks: the kernel gives the CPU away
+  sim_->ScheduleAfter(io_time_, [this]() {
+    in_io_ = false;
+    ++items_completed_;
+    if (total_items_ < 0 || items_completed_ < total_items_) {
+      remaining_ = compute_cost_;
+    }
+    if (kernel() != nullptr) {
+      kernel()->NotifyWork(this);
+    }
+  });
+}
+
+}  // namespace pegasus::nemesis

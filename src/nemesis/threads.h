@@ -1,0 +1,90 @@
+// User-level threading on activations, and its kernel-thread counterpart.
+//
+// §3.2: when a Nemesis domain is activated, its user-level thread scheduler
+// decides which thread runs; when a thread blocks (e.g. on simulated I/O),
+// the scheduler immediately runs a sibling *within the same CPU allocation*.
+// Kernel-thread systems instead return the processor to the kernel, which
+// "gives the processor which was running the blocked thread to a thread
+// belonging to another process" — the application loses the remainder of its
+// entitlement. Experiment E07 contrasts the two at equal total guarantees.
+#ifndef PEGASUS_SRC_NEMESIS_THREADS_H_
+#define PEGASUS_SRC_NEMESIS_THREADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/nemesis/domain.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/stats.h"
+
+namespace pegasus::nemesis {
+
+// A domain hosting `n_threads` user-level threads scheduled round-robin by
+// an in-domain scheduler entered through the activation vector. Each thread
+// repeatedly computes for `compute_cost` and then blocks on I/O for
+// `io_time`; one compute+I/O pair is an "item".
+class UlsDomain : public Domain {
+ public:
+  UlsDomain(sim::Simulator* sim, std::string name, QosParams qos, int n_threads,
+            sim::DurationNs compute_cost, sim::DurationNs io_time,
+            int64_t items_per_thread = -1);
+
+  RunRequest NextRun(sim::TimeNs now) override;
+  void OnRunEnd(sim::TimeNs start, sim::DurationNs ran, bool completed) override;
+  void OnActivate(ActivationReason reason, sim::TimeNs now) override;
+
+  int64_t items_completed() const { return items_completed_; }
+  // Thread switches performed by the user-level scheduler (no kernel entry).
+  int64_t user_switches() const { return user_switches_; }
+  int threads_ready() const;
+
+ private:
+  struct UThread {
+    sim::DurationNs remaining = 0;
+    int64_t items_done = 0;
+    bool ready = false;
+    bool in_io = false;
+  };
+
+  void CompleteIo(size_t index);
+  // Picks the next ready thread after `current_` (round-robin).
+  void PromoteNext();
+
+  sim::Simulator* sim_;
+  sim::DurationNs compute_cost_;
+  sim::DurationNs io_time_;
+  int64_t items_per_thread_;
+  std::vector<UThread> threads_;
+  int current_ = -1;
+  int64_t items_completed_ = 0;
+  int64_t user_switches_ = 0;
+};
+
+// The kernel-thread baseline: one thread per domain, so blocking hands the
+// CPU back to the kernel scheduler. Give each of the N domains 1/N of the
+// application's guarantee to model one multi-threaded process.
+class IoThreadDomain : public Domain {
+ public:
+  IoThreadDomain(sim::Simulator* sim, std::string name, QosParams qos,
+                 sim::DurationNs compute_cost, sim::DurationNs io_time,
+                 int64_t total_items = -1);
+
+  RunRequest NextRun(sim::TimeNs now) override;
+  void OnRunEnd(sim::TimeNs start, sim::DurationNs ran, bool completed) override;
+
+  int64_t items_completed() const { return items_completed_; }
+
+ private:
+  sim::Simulator* sim_;
+  sim::DurationNs compute_cost_;
+  sim::DurationNs io_time_;
+  int64_t total_items_;
+  sim::DurationNs remaining_;
+  bool in_io_ = false;
+  int64_t items_completed_ = 0;
+};
+
+}  // namespace pegasus::nemesis
+
+#endif  // PEGASUS_SRC_NEMESIS_THREADS_H_

@@ -1,0 +1,204 @@
+#include "src/pfs/log.h"
+
+#include "src/atm/wire.h"
+
+namespace pegasus::pfs {
+
+LogMetadata::LogMetadata(int64_t num_segments)
+    : segments_(static_cast<size_t>(num_segments)) {}
+
+int64_t LogMetadata::free_segments() const {
+  int64_t n = 0;
+  for (const auto& s : segments_) {
+    n += s.state == SegmentInfo::State::kFree ? 1 : 0;
+  }
+  return n;
+}
+
+Pnode* LogMetadata::CreateFile(FileType type) {
+  Pnode node;
+  node.id = next_file_id_++;
+  node.type = type;
+  auto [it, inserted] = pnodes_.emplace(node.id, std::move(node));
+  (void)inserted;
+  return &it->second;
+}
+
+Pnode* LogMetadata::Find(FileId id) {
+  auto it = pnodes_.find(id);
+  return it == pnodes_.end() ? nullptr : &it->second;
+}
+
+const Pnode* LogMetadata::Find(FileId id) const {
+  auto it = pnodes_.find(id);
+  return it == pnodes_.end() ? nullptr : &it->second;
+}
+
+bool LogMetadata::RemoveFile(FileId id) { return pnodes_.erase(id) > 0; }
+
+int64_t LogMetadata::AllocateSegment(bool continuous) {
+  const int64_t n = num_segments();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t s = (alloc_cursor_ + i) % n;
+    if (segments_[static_cast<size_t>(s)].state == SegmentInfo::State::kFree) {
+      alloc_cursor_ = (s + 1) % n;
+      SegmentInfo& info = segments_[static_cast<size_t>(s)];
+      info.state = SegmentInfo::State::kLive;
+      info.continuous = continuous;
+      info.live_bytes = 0;
+      info.summary.clear();
+      return s;
+    }
+  }
+  return -1;
+}
+
+void LogMetadata::FreeSegment(int64_t segment) {
+  SegmentInfo& info = segments_[static_cast<size_t>(segment)];
+  info.state = SegmentInfo::State::kFree;
+  info.continuous = false;
+  info.live_bytes = 0;
+  info.summary.clear();
+}
+
+void LogMetadata::AppendGarbage(const GarbageEntry& entry) {
+  garbage_.push_back(entry);
+  garbage_bytes_ += entry.length;
+}
+
+void LogMetadata::TruncateGarbage(size_t marker) {
+  for (size_t i = 0; i < marker && !garbage_.empty(); ++i) {
+    garbage_bytes_ -= garbage_.front().length;
+    garbage_.pop_front();
+  }
+}
+
+std::vector<uint8_t> LogMetadata::Serialize() const {
+  atm::WireWriter w;
+  w.PutU32(0x50464D44);  // "PFMD"
+  w.PutI64(next_file_id_);
+  w.PutI64(alloc_cursor_);
+
+  w.PutU32(static_cast<uint32_t>(pnodes_.size()));
+  for (const auto& [id, node] : pnodes_) {
+    w.PutI64(id);
+    w.PutU8(static_cast<uint8_t>(node.type));
+    w.PutI64(node.size);
+    w.PutU32(static_cast<uint32_t>(node.blocks.size()));
+    for (const auto& [block, loc] : node.blocks) {
+      w.PutI64(block);
+      w.PutI64(loc.segment);
+      w.PutI64(loc.offset);
+      w.PutI64(loc.length);
+    }
+    w.PutU32(static_cast<uint32_t>(node.index.size()));
+    for (const auto& [ts, off] : node.index) {
+      w.PutI64(ts);
+      w.PutI64(off);
+    }
+  }
+
+  // Segment table: free segments are implicit; only live ones are recorded,
+  // so the checkpoint image scales with live data, not with store size.
+  w.PutU32(static_cast<uint32_t>(segments_.size()));
+  uint32_t live = 0;
+  for (const auto& s : segments_) {
+    live += s.state == SegmentInfo::State::kLive ? 1 : 0;
+  }
+  w.PutU32(live);
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const SegmentInfo& s = segments_[i];
+    if (s.state != SegmentInfo::State::kLive) {
+      continue;
+    }
+    w.PutI64(static_cast<int64_t>(i));
+    w.PutU8(s.continuous ? 1 : 0);
+    w.PutI64(s.live_bytes);
+    w.PutU32(static_cast<uint32_t>(s.summary.size()));
+    for (const auto& e : s.summary) {
+      w.PutI64(e.file);
+      w.PutI64(e.block);
+      w.PutI64(e.offset);
+      w.PutI64(e.length);
+    }
+  }
+
+  w.PutU32(static_cast<uint32_t>(garbage_.size()));
+  for (const auto& g : garbage_) {
+    w.PutI64(g.segment);
+    w.PutI64(g.offset);
+    w.PutI64(g.length);
+  }
+  return w.Take();
+}
+
+std::optional<LogMetadata> LogMetadata::Deserialize(const std::vector<uint8_t>& image) {
+  atm::WireReader r(image);
+  if (r.GetU32() != 0x50464D44) {
+    return std::nullopt;
+  }
+  LogMetadata meta;
+  meta.next_file_id_ = r.GetI64();
+  meta.alloc_cursor_ = r.GetI64();
+
+  const uint32_t n_files = r.GetU32();
+  for (uint32_t i = 0; i < n_files && r.ok(); ++i) {
+    Pnode node;
+    node.id = r.GetI64();
+    node.type = static_cast<FileType>(r.GetU8());
+    node.size = r.GetI64();
+    const uint32_t n_blocks = r.GetU32();
+    for (uint32_t b = 0; b < n_blocks && r.ok(); ++b) {
+      const int64_t block = r.GetI64();
+      BlockLocation loc;
+      loc.segment = r.GetI64();
+      loc.offset = r.GetI64();
+      loc.length = r.GetI64();
+      node.blocks[block] = loc;
+    }
+    const uint32_t n_index = r.GetU32();
+    for (uint32_t x = 0; x < n_index && r.ok(); ++x) {
+      const int64_t ts = r.GetI64();
+      node.index[ts] = r.GetI64();
+    }
+    meta.pnodes_[node.id] = std::move(node);
+  }
+
+  const uint32_t n_segments = r.GetU32();
+  meta.segments_.resize(n_segments);
+  const uint32_t n_live = r.GetU32();
+  for (uint32_t i = 0; i < n_live && r.ok(); ++i) {
+    const int64_t index = r.GetI64();
+    if (index < 0 || index >= static_cast<int64_t>(n_segments)) {
+      return std::nullopt;
+    }
+    SegmentInfo& s = meta.segments_[static_cast<size_t>(index)];
+    s.state = SegmentInfo::State::kLive;
+    s.continuous = r.GetU8() != 0;
+    s.live_bytes = r.GetI64();
+    const uint32_t n_sum = r.GetU32();
+    for (uint32_t e = 0; e < n_sum && r.ok(); ++e) {
+      SummaryEntry entry;
+      entry.file = r.GetI64();
+      entry.block = r.GetI64();
+      entry.offset = r.GetI64();
+      entry.length = r.GetI64();
+      s.summary.push_back(entry);
+    }
+  }
+
+  const uint32_t n_garbage = r.GetU32();
+  for (uint32_t i = 0; i < n_garbage && r.ok(); ++i) {
+    GarbageEntry g;
+    g.segment = r.GetI64();
+    g.offset = r.GetI64();
+    g.length = r.GetI64();
+    meta.AppendGarbage(g);
+  }
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return meta;
+}
+
+}  // namespace pegasus::pfs

@@ -1,0 +1,123 @@
+// Log-structured core-layer metadata (§5).
+//
+// Pegasus inherits the log structure of Sprite LFS: file data is appended to
+// megabyte segments, file metadata lives in *pnodes* (the Pegasus inode),
+// and space held by overwritten or deleted data is reclaimed by a cleaner.
+// Pegasus departs from Sprite in two ways reproduced here:
+//   * continuous-media data is collected in separate segments, while pnodes
+//     (for both kinds) are appended to the normal log;
+//   * cleaning is driven by a *garbage file*: every client operation that
+//     creates garbage appends an entry describing the hole, so cleaning
+//     cost depends only on the number of dirty segments and the amount of
+//     garbage — never on the size of the store (the 10-terabyte goal).
+//
+// This header holds the in-memory metadata and its serial form (the
+// checkpoint image); timing and disk I/O live in server.cc.
+#ifndef PEGASUS_SRC_PFS_LOG_H_
+#define PEGASUS_SRC_PFS_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace pegasus::pfs {
+
+using FileId = int64_t;
+
+enum class FileType : uint8_t { kNormal = 0, kContinuous = 1 };
+
+// Where a file block lives on disk.
+struct BlockLocation {
+  int64_t segment = -1;
+  int64_t offset = 0;  // within the segment
+  int64_t length = 0;
+  bool valid() const { return segment >= 0; }
+};
+
+// A hole in the log left by an overwrite or delete.
+struct GarbageEntry {
+  int64_t segment = -1;
+  int64_t offset = 0;
+  int64_t length = 0;
+};
+
+// One block recorded in a segment's summary (who the data belongs to);
+// needed by the cleaner to find and relocate live data.
+struct SummaryEntry {
+  FileId file = -1;
+  int64_t block = -1;
+  int64_t offset = 0;
+  int64_t length = 0;
+};
+
+struct Pnode {
+  FileId id = -1;
+  FileType type = FileType::kNormal;
+  int64_t size = 0;
+  std::map<int64_t, BlockLocation> blocks;  // block index -> on-disk location
+  // Continuous-media index built from the control stream: media timestamp
+  // (ns) -> byte offset. Enables "go to time offset", fast forward, reverse.
+  std::map<int64_t, int64_t> index;
+};
+
+struct SegmentInfo {
+  enum class State : uint8_t { kFree = 0, kLive = 1 };
+  State state = State::kFree;
+  bool continuous = false;
+  int64_t live_bytes = 0;
+  std::vector<SummaryEntry> summary;
+};
+
+// The whole core-layer metadata: pnode map, segment table, garbage file.
+// Serialisable to a checkpoint image and back (crash recovery, E12).
+class LogMetadata {
+ public:
+  explicit LogMetadata(int64_t num_segments = 0);
+
+  int64_t num_segments() const { return static_cast<int64_t>(segments_.size()); }
+  int64_t free_segments() const;
+
+  // --- pnodes ---
+  Pnode* CreateFile(FileType type);
+  Pnode* Find(FileId id);
+  const Pnode* Find(FileId id) const;
+  bool RemoveFile(FileId id);
+  int64_t file_count() const { return static_cast<int64_t>(pnodes_.size()); }
+
+  // --- segment table ---
+  // Allocates a free segment, or -1 when full.
+  int64_t AllocateSegment(bool continuous);
+  void FreeSegment(int64_t segment);
+  SegmentInfo& segment(int64_t s) { return segments_[static_cast<size_t>(s)]; }
+  const SegmentInfo& segment(int64_t s) const { return segments_[static_cast<size_t>(s)]; }
+
+  // --- garbage file ---
+  void AppendGarbage(const GarbageEntry& entry);
+  int64_t garbage_entries() const { return static_cast<int64_t>(garbage_.size()); }
+  int64_t garbage_bytes() const { return garbage_bytes_; }
+  // Cleaning marker protocol: entries [0, marker) belong to the running
+  // clean; entries appended later stay for the next one.
+  size_t MarkGarbage() const { return garbage_.size(); }
+  const std::deque<GarbageEntry>& garbage() const { return garbage_; }
+  // Drops entries [0, marker) after a completed clean.
+  void TruncateGarbage(size_t marker);
+
+  // --- checkpoint image ---
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<LogMetadata> Deserialize(const std::vector<uint8_t>& image);
+
+ private:
+  std::map<FileId, Pnode> pnodes_;
+  std::vector<SegmentInfo> segments_;
+  std::deque<GarbageEntry> garbage_;
+  int64_t garbage_bytes_ = 0;
+  FileId next_file_id_ = 1;
+  // Rotating allocation cursor so the log walks the disk.
+  int64_t alloc_cursor_ = 0;
+};
+
+}  // namespace pegasus::pfs
+
+#endif  // PEGASUS_SRC_PFS_LOG_H_

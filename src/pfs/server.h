@@ -1,0 +1,258 @@
+// The Pegasus File Server core layer (§5).
+//
+// "The bottom layer of the Pegasus storage service is called the core layer.
+// It manages storage structures on secondary and tertiary storage devices
+// and carries out the actual I/O." On top of the striped segment store this
+// class implements:
+//   * buffered, delayed writes (data becomes durable when its segment goes
+//     to disk; the client agent's copy covers the window — §5's reliability
+//     argument, exploited for performance via Baker et al.'s observation
+//     that 70% of files die within 30 seconds);
+//   * segregated normal / continuous-media segments;
+//   * the garbage-file cleaner with the concurrent-clean marker protocol,
+//     plus a Sprite-style full-scan cleaner as the ablation baseline;
+//   * checkpointed metadata and crash recovery (server crash, power failure
+//     with and without UPS);
+//   * rate-reserved continuous-media streams with realtime disk priority
+//     and control-stream indexing for seek / fast-forward / reverse.
+#ifndef PEGASUS_SRC_PFS_SERVER_H_
+#define PEGASUS_SRC_PFS_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/pfs/disk.h"
+#include "src/pfs/log.h"
+#include "src/pfs/stripe.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/stats.h"
+
+namespace pegasus::pfs {
+
+struct PfsConfig {
+  int num_data_disks = 4;
+  int64_t segment_size = 1 << 20;  // the paper's megabyte segments
+  int64_t block_size = 8192;
+  DiskGeometry geometry;
+  // How long a buffered block may wait before its segment is forced out.
+  // The client-agent copy makes this safe (§5); 0 forces write-through.
+  sim::DurationNs write_back_delay = sim::Seconds(30);
+  // Server write-buffer memory per data class; exceeding it flushes the
+  // oldest segment's worth of blocks early.
+  int64_t max_buffered_bytes = 4 << 20;
+  // Fraction of aggregate disk bandwidth admitted to stream reservations.
+  double stream_admission_fraction = 0.8;
+};
+
+struct CleanStats {
+  int64_t entries_processed = 0;
+  int64_t segments_cleaned = 0;
+  int64_t segments_examined = 0;  // full-scan baseline examines them all
+  int64_t bytes_reclaimed = 0;
+  int64_t live_bytes_copied = 0;
+  sim::DurationNs wall_time = 0;
+};
+
+class PegasusFileServer {
+ public:
+  using WriteCallback = std::function<void(bool accepted)>;
+  using ReadCallback = std::function<void(bool ok, std::vector<uint8_t> data)>;
+  using DurableCallback = std::function<void(FileId file, int64_t offset, int64_t length)>;
+  using CleanCallback = std::function<void(CleanStats stats)>;
+
+  PegasusFileServer(sim::Simulator* sim, PfsConfig config);
+  ~PegasusFileServer();
+
+  PegasusFileServer(const PegasusFileServer&) = delete;
+  PegasusFileServer& operator=(const PegasusFileServer&) = delete;
+
+  const PfsConfig& config() const { return config_; }
+  StripeStore& store() { return *store_; }
+  sim::Simulator* simulator() const { return sim_; }
+  bool crashed() const { return crashed_; }
+
+  // --- file operations (the core-layer interface) ---
+  FileId CreateFile(FileType type);
+  std::optional<FileType> FileTypeOf(FileId file) const;
+  int64_t FileSize(FileId file) const;
+  // Buffers `data` at `offset`; `callback(true)` fires when the server has
+  // the data in memory (the ack that unblocks the client application).
+  void Write(FileId file, int64_t offset, std::vector<uint8_t> data, WriteCallback callback);
+  void Read(FileId file, int64_t offset, int64_t len, ReadCallback callback);
+  // Deletes the file, turning its on-disk blocks into garbage.
+  bool Delete(FileId file);
+  // Forces every buffered block to disk; callback on completion.
+  void Sync(std::function<void()> callback);
+  // Writes a metadata checkpoint without flushing data; used to make
+  // metadata-only changes (file creation, deletion) durable immediately.
+  void Checkpoint(std::function<void()> callback) { WriteCheckpoint(std::move(callback)); }
+  // Registered observer learns when written ranges become durable (the
+  // client agent uses this to release its safety copies).
+  void SetDurableCallback(DurableCallback callback) { durable_cb_ = std::move(callback); }
+
+  // --- continuous-media support ---
+  // Admission control against aggregate disk bandwidth. Returns false when
+  // the reservation would oversubscribe the store.
+  bool ReserveStream(FileId file, int64_t bytes_per_second);
+  void ReleaseStream(FileId file);
+  int64_t reserved_stream_bps() const { return reserved_bps_; }
+  // Control-stream indexing: record that media timestamp `ts` lives at byte
+  // `offset` of `file`; look it up later for seek/ff/reverse.
+  bool AppendIndexEntry(FileId file, int64_t media_ts, int64_t byte_offset);
+  std::optional<int64_t> LookupIndex(FileId file, int64_t media_ts) const;
+  // Reads with continuous-media priority at the disks.
+  void ReadRealtime(FileId file, int64_t offset, int64_t len, ReadCallback callback);
+
+  // --- cleaning ---
+  // The Pegasus garbage-file cleaner: sorts the garbage file by segment,
+  // cleans exactly the dirty segments, truncates the processed entries.
+  // Client operations may continue while it runs (marker protocol).
+  void Clean(CleanCallback callback);
+  // Sprite-LFS-style baseline: examines every live segment's summary to
+  // find cleanable ones. Cost scales with store size (the ablation of E10).
+  void CleanFullScan(CleanCallback callback);
+
+  // Rebuilds a replaced disk: every live segment's chunk on `disk_index` is
+  // recomputed from the surviving disks and written back. Reports the number
+  // of segments rebuilt. The disk must be Repair()ed/ReplaceBlank()ed first.
+  void RebuildDisk(int disk_index, std::function<void(bool ok, int64_t segments)> callback);
+
+  // --- failure injection (E12) ---
+  // Loses all volatile state (open segments, pending requests).
+  void Crash();
+  // Reloads metadata from the last checkpoint image.
+  void Recover(std::function<void(bool ok)> callback);
+  // Power failure hits client and server together. With a UPS the server
+  // flushes its buffers and halts cleanly; without, volatile state is lost.
+  void PowerFailure(bool has_ups, std::function<void()> halted);
+
+  // --- introspection ---
+  int64_t garbage_bytes() const { return meta_.garbage_bytes(); }
+  int64_t garbage_entries() const { return meta_.garbage_entries(); }
+  int64_t free_segments() const { return meta_.free_segments(); }
+  int64_t total_segments() const { return meta_.num_segments(); }
+  int64_t buffered_bytes() const;
+  int64_t segments_written() const { return segments_written_; }
+  int64_t partial_segment_padding() const { return partial_padding_; }
+  int64_t blocks_accepted() const { return blocks_accepted_; }
+  int64_t blocks_written_to_disk() const { return blocks_flushed_; }
+  int64_t blocks_died_in_buffer() const { return blocks_died_in_buffer_; }
+  int64_t checkpoint_count() const { return checkpoints_; }
+  const LogMetadata& metadata() const { return meta_; }
+
+ private:
+  // One buffered (not yet durable) block in the write buffer.
+  struct OpenBlock {
+    FileId file;
+    int64_t block;
+    std::vector<uint8_t> data;
+    sim::TimeNs buffered_at;
+  };
+  // The delayed-write buffer per data class. Blocks wait out the write-back
+  // window here (dying quietly if overwritten or deleted) and are packed
+  // into segments when flushed.
+  struct OpenSegment {
+    std::vector<OpenBlock> blocks;
+    int64_t bytes = 0;
+    sim::EventId flush_timer;
+    bool flush_scheduled = false;
+  };
+
+  OpenSegment& open_for(FileType type) {
+    return type == FileType::kContinuous ? open_continuous_ : open_normal_;
+  }
+  // Finds a buffered copy of (file, block), or nullptr.
+  OpenBlock* FindOpenBlock(FileId file, int64_t block);
+  // Appends to the write buffer; flushes the oldest blocks on memory
+  // pressure and arms the write-back timer.
+  void BufferBlock(FileType type, FileId file, int64_t block, std::vector<uint8_t> data);
+  void ScheduleFlushTimer(FileType type);
+  // Flushes blocks of `type`: all of them, or only those older than the
+  // write-back window (aged_only).
+  void FlushOpen(FileType type, std::function<void()> done, bool aged_only = false);
+  // Packs `blocks` into as many segments as needed and writes them.
+  void PackAndWrite(FileType type, std::vector<OpenBlock> blocks, std::function<void()> done);
+  // Writes one segment's worth of blocks (<= segment_size / block_size).
+  void WriteSegmentOf(FileType type, std::vector<OpenBlock> blocks, std::function<void()> done);
+  void WriteCheckpoint(std::function<void()> done);
+  void StartCheckpoint();
+  void MaybeFinishSync();
+  void DoRead(FileId file, int64_t offset, int64_t len, bool realtime, ReadCallback callback);
+  // Core of both cleaners: relocate live data out of `victims`, free them.
+  void CleanSegments(std::vector<int64_t> victims, size_t garbage_marker, CleanStats stats,
+                     sim::TimeNs started_at, CleanCallback callback);
+
+  sim::Simulator* sim_;
+  PfsConfig config_;
+  std::unique_ptr<StripeStore> store_;
+  LogMetadata meta_;
+  OpenSegment open_normal_;
+  OpenSegment open_continuous_;
+  DurableCallback durable_cb_;
+  // The checkpoint image as most recently written to disk; survives Crash().
+  std::vector<uint8_t> durable_meta_image_;
+  bool crashed_ = false;
+  // Bumped by Crash(): completions from a previous epoch are ignored.
+  uint64_t epoch_ = 1;
+  int64_t reserved_bps_ = 0;
+  std::map<FileId, int64_t> stream_reservations_;
+  int pending_flushes_ = 0;
+  std::vector<std::function<void()>> sync_waiters_;
+  bool checkpoint_in_flight_ = false;
+  bool checkpoint_dirty_ = false;
+  std::vector<std::function<void()>> checkpoint_waiters_;
+
+  int64_t segments_written_ = 0;
+  int64_t partial_padding_ = 0;
+  int64_t blocks_accepted_ = 0;
+  int64_t blocks_flushed_ = 0;
+  int64_t blocks_died_in_buffer_ = 0;
+  int64_t checkpoints_ = 0;
+};
+
+// Server-side play-out of a continuous file: every `interval` it reads the
+// next `chunk_bytes` with realtime priority and hands them to `on_chunk`.
+// Records delivery jitter and deadline misses — the stream-quality metrics.
+class StreamReader {
+ public:
+  using ChunkCallback =
+      std::function<void(bool ok, std::vector<uint8_t> data, sim::TimeNs due)>;
+
+  StreamReader(sim::Simulator* sim, PegasusFileServer* server, FileId file, int64_t chunk_bytes,
+               sim::DurationNs interval, ChunkCallback on_chunk);
+
+  // Starts play-out at `byte_offset` (use LookupIndex for time seeks).
+  void Start(int64_t byte_offset = 0);
+  void Stop();
+  bool running() const { return running_; }
+
+  int64_t chunks_delivered() const { return chunks_delivered_; }
+  int64_t deadline_misses() const { return deadline_misses_; }
+  // Lateness of each chunk relative to its due time, ns (<= 0 is on time).
+  const sim::Summary& lateness() const { return lateness_; }
+
+ private:
+  void Tick();
+
+  sim::Simulator* sim_;
+  PegasusFileServer* server_;
+  FileId file_;
+  int64_t chunk_bytes_;
+  sim::DurationNs interval_;
+  ChunkCallback on_chunk_;
+  bool running_ = false;
+  int64_t position_ = 0;
+  sim::TimeNs next_due_ = 0;
+  int64_t chunks_delivered_ = 0;
+  int64_t deadline_misses_ = 0;
+  sim::Summary lateness_;
+};
+
+}  // namespace pegasus::pfs
+
+#endif  // PEGASUS_SRC_PFS_SERVER_H_

@@ -1,0 +1,249 @@
+#include "src/pfs/vnode.h"
+
+#include <algorithm>
+
+namespace pegasus::pfs {
+
+VnodeLayer::VnodeLayer(PegasusFileServer* server) : server_(server) { root_.is_dir = true; }
+
+std::vector<std::string> VnodeLayer::Split(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) {
+        parts.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    parts.push_back(cur);
+  }
+  return parts;
+}
+
+const VnodeLayer::Node* VnodeLayer::Walk(const std::vector<std::string>& parts) const {
+  const Node* node = &root_;
+  for (const std::string& part : parts) {
+    if (!node->is_dir) {
+      return nullptr;
+    }
+    auto it = node->children.find(part);
+    if (it == node->children.end()) {
+      return nullptr;
+    }
+    node = &it->second;
+  }
+  return node;
+}
+
+VnodeLayer::Node* VnodeLayer::WalkParent(const std::vector<std::string>& parts,
+                                         bool create_dirs) {
+  Node* node = &root_;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (!node->is_dir) {
+      return nullptr;
+    }
+    auto it = node->children.find(parts[i]);
+    if (it == node->children.end()) {
+      if (!create_dirs) {
+        return nullptr;
+      }
+      Node dir;
+      dir.is_dir = true;
+      it = node->children.emplace(parts[i], std::move(dir)).first;
+    }
+    node = &it->second;
+  }
+  return node->is_dir ? node : nullptr;
+}
+
+bool VnodeLayer::Mkdir(const std::string& path) {
+  auto parts = Split(path);
+  if (parts.empty()) {
+    return false;
+  }
+  Node* parent = WalkParent(parts, /*create_dirs=*/true);
+  if (parent == nullptr || parent->children.count(parts.back()) > 0) {
+    return false;
+  }
+  Node dir;
+  dir.is_dir = true;
+  parent->children.emplace(parts.back(), std::move(dir));
+  return true;
+}
+
+bool VnodeLayer::Rmdir(const std::string& path) {
+  auto parts = Split(path);
+  if (parts.empty()) {
+    return false;
+  }
+  Node* parent = WalkParent(parts, false);
+  if (parent == nullptr) {
+    return false;
+  }
+  auto it = parent->children.find(parts.back());
+  if (it == parent->children.end() || !it->second.is_dir || !it->second.children.empty()) {
+    return false;
+  }
+  parent->children.erase(it);
+  return true;
+}
+
+std::optional<VnodeLayer::Fd> VnodeLayer::Create(const std::string& path, FileType type) {
+  auto parts = Split(path);
+  if (parts.empty()) {
+    return std::nullopt;
+  }
+  Node* parent = WalkParent(parts, /*create_dirs=*/true);
+  if (parent == nullptr || parent->children.count(parts.back()) > 0) {
+    return std::nullopt;
+  }
+  const FileId file = server_->CreateFile(type);
+  if (file < 0) {
+    return std::nullopt;
+  }
+  Node node;
+  node.is_dir = false;
+  node.file = file;
+  parent->children.emplace(parts.back(), std::move(node));
+  const Fd fd = next_fd_++;
+  fds_[fd] = OpenFile{file, 0};
+  return fd;
+}
+
+std::optional<VnodeLayer::Fd> VnodeLayer::Open(const std::string& path) {
+  const Node* node = Walk(Split(path));
+  if (node == nullptr || node->is_dir) {
+    return std::nullopt;
+  }
+  const Fd fd = next_fd_++;
+  fds_[fd] = OpenFile{node->file, 0};
+  return fd;
+}
+
+bool VnodeLayer::Unlink(const std::string& path) {
+  auto parts = Split(path);
+  if (parts.empty()) {
+    return false;
+  }
+  Node* parent = WalkParent(parts, false);
+  if (parent == nullptr) {
+    return false;
+  }
+  auto it = parent->children.find(parts.back());
+  if (it == parent->children.end() || it->second.is_dir) {
+    return false;
+  }
+  server_->Delete(it->second.file);
+  parent->children.erase(it);
+  return true;
+}
+
+bool VnodeLayer::Rename(const std::string& from, const std::string& to) {
+  auto from_parts = Split(from);
+  auto to_parts = Split(to);
+  if (from_parts.empty() || to_parts.empty()) {
+    return false;
+  }
+  Node* from_parent = WalkParent(from_parts, false);
+  if (from_parent == nullptr) {
+    return false;
+  }
+  auto it = from_parent->children.find(from_parts.back());
+  if (it == from_parent->children.end()) {
+    return false;
+  }
+  Node* to_parent = WalkParent(to_parts, /*create_dirs=*/true);
+  if (to_parent == nullptr || to_parent->children.count(to_parts.back()) > 0) {
+    return false;
+  }
+  Node moved = std::move(it->second);
+  from_parent->children.erase(it);
+  to_parent->children.emplace(to_parts.back(), std::move(moved));
+  return true;
+}
+
+std::optional<VnodeStat> VnodeLayer::Stat(const std::string& path) const {
+  const Node* node = Walk(Split(path));
+  if (node == nullptr || node->is_dir) {
+    return std::nullopt;
+  }
+  VnodeStat st;
+  st.file = node->file;
+  auto type = server_->FileTypeOf(node->file);
+  st.type = type.value_or(FileType::kNormal);
+  st.size = server_->FileSize(node->file);
+  return st;
+}
+
+std::optional<std::vector<std::string>> VnodeLayer::ReadDir(const std::string& path) const {
+  const Node* node = path.empty() || path == "/" ? &root_ : Walk(Split(path));
+  if (node == nullptr || !node->is_dir) {
+    return std::nullopt;
+  }
+  std::vector<std::string> names;
+  for (const auto& [name, child] : node->children) {
+    (void)child;
+    names.push_back(name);
+  }
+  return names;
+}
+
+void VnodeLayer::Write(Fd fd, const std::vector<uint8_t>& data, IoCallback callback) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    callback(false, 0);
+    return;
+  }
+  OpenFile& of = it->second;
+  const int64_t len = static_cast<int64_t>(data.size());
+  const int64_t at = of.offset;
+  of.offset += len;  // Unix semantics: the cursor advances optimistically
+  server_->Write(of.file, at, data, [len, callback = std::move(callback)](bool ok) {
+    callback(ok, ok ? len : 0);
+  });
+}
+
+void VnodeLayer::Read(Fd fd, int64_t len, ReadCallback callback) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    callback(false, {});
+    return;
+  }
+  OpenFile& of = it->second;
+  const int64_t size = server_->FileSize(of.file);
+  const int64_t avail = std::max<int64_t>(0, size - of.offset);
+  const int64_t want = std::min(len, avail);
+  if (want == 0) {
+    // EOF reads succeed with empty data, as read(2) does.
+    server_->simulator()->ScheduleAfter(0, [callback = std::move(callback)]() {
+      callback(true, {});
+    });
+    return;
+  }
+  const int64_t at = of.offset;
+  of.offset += want;
+  server_->Read(of.file, at, want, std::move(callback));
+}
+
+int64_t VnodeLayer::Seek(Fd fd, int64_t offset) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end() || offset < 0) {
+    return -1;
+  }
+  it->second.offset = offset;
+  return offset;
+}
+
+int64_t VnodeLayer::Tell(Fd fd) const {
+  auto it = fds_.find(fd);
+  return it == fds_.end() ? -1 : it->second.offset;
+}
+
+bool VnodeLayer::Close(Fd fd) { return fds_.erase(fd) > 0; }
+
+}  // namespace pegasus::pfs

@@ -1,0 +1,90 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+namespace pegasus::sim {
+
+EventId Simulator::ScheduleAt(TimeNs t, Handler fn) {
+  if (t < now_) {
+    t = now_;
+  }
+  const uint64_t id = next_seq_;
+  queue_.push(Entry{t, next_seq_, id, std::move(fn)});
+  ++next_seq_;
+  return EventId{id};
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (!id.valid()) {
+    return false;
+  }
+  // The id may already have run: ids are queue sequence numbers, so an id that
+  // is no longer pending is simply absent. Track it only if still pending.
+  // We cannot cheaply test membership in the priority queue, so record the
+  // cancellation and let the pop loop discard it; report success based on
+  // whether the id could still be pending.
+  if (id.value >= next_seq_) {
+    return false;
+  }
+  auto [it, inserted] = cancelled_.insert(id.value);
+  (void)it;
+  return inserted;
+}
+
+void Simulator::DiscardCancelledHead() {
+  while (!queue_.empty()) {
+    const Entry& head = queue_.top();
+    auto it = cancelled_.find(head.id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+bool Simulator::Step() {
+  DiscardCancelledHead();
+  if (queue_.empty()) {
+    return false;
+  }
+  // Move the handler out before popping so the entry can schedule new events.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = entry.time;
+  ++executed_;
+  entry.fn();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(TimeNs t) {
+  for (;;) {
+    DiscardCancelledHead();
+    if (queue_.empty() || queue_.top().time > t) {
+      break;
+    }
+    Step();
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+}
+
+bool Simulator::RunUntilPredicate(const std::function<bool()>& pred) {
+  if (pred()) {
+    return true;
+  }
+  while (Step()) {
+    if (pred()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pegasus::sim

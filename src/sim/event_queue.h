@@ -1,0 +1,95 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns the virtual clock and a time-ordered queue of pending
+// events. Components schedule closures at absolute or relative times; the
+// main loop pops them in (time, insertion-order) order, so runs are fully
+// deterministic. Events can be cancelled, which is used for timer-style
+// behaviour (retransmission timers, scheduler preemption points).
+#ifndef PEGASUS_SRC_SIM_EVENT_QUEUE_H_
+#define PEGASUS_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace pegasus::sim {
+
+// Opaque handle for cancelling a scheduled event.
+struct EventId {
+  uint64_t value = 0;
+  bool valid() const { return value != 0; }
+};
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current virtual time.
+  TimeNs now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `t`. Times in the past are clamped
+  // to `now` (the event still runs, immediately after current-time events).
+  EventId ScheduleAt(TimeNs t, Handler fn);
+
+  // Schedules `fn` to run `d` after the current time (d < 0 clamps to now).
+  EventId ScheduleAfter(DurationNs d, Handler fn) { return ScheduleAt(now_ + d, std::move(fn)); }
+
+  // Cancels a pending event. Returns true if the event had not yet run.
+  bool Cancel(EventId id);
+
+  // Runs a single event. Returns false when the queue is empty.
+  bool Step();
+
+  // Runs events until the queue drains.
+  void Run();
+
+  // Runs events with time <= `t`, then sets the clock to exactly `t`.
+  void RunUntil(TimeNs t);
+
+  // Runs events until `pred()` is true (checked after each event) or the
+  // queue drains. Returns true if the predicate fired.
+  bool RunUntilPredicate(const std::function<bool()>& pred);
+
+  // Number of pending (non-cancelled) events.
+  size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+  // Total events executed since construction; useful as a progress metric.
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimeNs time;
+    uint64_t seq;  // tie-breaker: FIFO among same-time events
+    uint64_t id;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops cancelled entries off the head of the queue.
+  void DiscardCancelledHead();
+
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<uint64_t> cancelled_;
+};
+
+}  // namespace pegasus::sim
+
+#endif  // PEGASUS_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,120 @@
+#include "src/sim/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pegasus::sim {
+
+void Summary::Add(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+  sorted_ = false;
+}
+
+double Summary::min() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : samples_) {
+    acc += (v - m) * (v - m);
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+void Summary::EnsureSorted() const {
+  if (!sorted_) {
+    sorted_samples_ = samples_;
+    std::sort(sorted_samples_.begin(), sorted_samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::Quantile(double q) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto n = sorted_samples_.size();
+  size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank > 0) {
+    --rank;
+  }
+  if (rank >= n) {
+    rank = n - 1;
+  }
+  return sorted_samples_[rank];
+}
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / buckets), counts_(static_cast<size_t>(buckets), 0) {}
+
+void Histogram::Add(double v) {
+  ++count_;
+  if (v < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (v >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<size_t>((v - lo_) / width_);
+  if (idx >= counts_.size()) {
+    idx = counts_.size() - 1;
+  }
+  ++counts_[idx];
+}
+
+double Histogram::bucket_lo(int i) const { return lo_ + width_ * i; }
+double Histogram::bucket_hi(int i) const { return lo_ + width_ * (i + 1); }
+
+std::string Histogram::ToString(const std::string& unit) const {
+  std::string out;
+  char line[160];
+  const int64_t peak = counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    int bars = peak > 0 ? static_cast<int>(counts_[i] * 40 / peak) : 0;
+    std::snprintf(line, sizeof(line), "  [%10.1f, %10.1f) %-8s %8lld %s\n",
+                  bucket_lo(static_cast<int>(i)), bucket_hi(static_cast<int>(i)), unit.c_str(),
+                  static_cast<long long>(counts_[i]), std::string(static_cast<size_t>(bars), '#').c_str());
+    out += line;
+  }
+  if (underflow_ > 0) {
+    std::snprintf(line, sizeof(line), "  underflow %lld\n", static_cast<long long>(underflow_));
+    out += line;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof(line), "  overflow  %lld\n", static_cast<long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace pegasus::sim

@@ -1,0 +1,71 @@
+#include "src/sim/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pegasus::sim {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += "| ";
+      line += cells[c];
+      line.append(widths[c] - cells[c].size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+  std::string out = render_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule += "|";
+    rule.append(widths[c] + 2, '-');
+  }
+  rule += "|\n";
+  out += rule;
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+std::string Table::Num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string Table::Int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string Table::Factor(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fx", prec, v);
+  return buf;
+}
+
+std::string Table::Percent(double fraction, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", prec, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace pegasus::sim

@@ -1,0 +1,39 @@
+// Plain-text table rendering for experiment harnesses.
+//
+// Every bench binary reproduces one of the paper's claims and prints a table
+// of "paper says / we measured" rows; this helper keeps the output aligned
+// and uniform across experiments.
+#ifndef PEGASUS_SRC_SIM_TABLE_H_
+#define PEGASUS_SRC_SIM_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace pegasus::sim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with a header rule and column alignment.
+  std::string ToString() const;
+
+  // Formats a double with `prec` digits after the point.
+  static std::string Num(double v, int prec = 2);
+  static std::string Int(long long v);
+  // Formats a ratio as "12.3x".
+  static std::string Factor(double v, int prec = 1);
+  // Formats a fraction as "12.3%".
+  static std::string Percent(double fraction, int prec = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pegasus::sim
+
+#endif  // PEGASUS_SRC_SIM_TABLE_H_

@@ -1,0 +1,25 @@
+#include "src/sim/time.h"
+
+#include <cstdio>
+
+namespace pegasus::sim {
+
+std::string FormatDuration(DurationNs d) {
+  char buf[64];
+  const double nd = static_cast<double>(d);
+  if (d < 0) {
+    return "-" + FormatDuration(-d);
+  }
+  if (d < 1'000) {
+    std::snprintf(buf, sizeof(buf), "%ldns", static_cast<long>(d));
+  } else if (d < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", nd / 1e3);
+  } else if (d < 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", nd / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", nd / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace pegasus::sim

@@ -1,0 +1,48 @@
+// Simulated-time primitives for the Pegasus reproduction.
+//
+// All subsystems (ATM network, Nemesis scheduler, disks, devices) share one
+// virtual clock expressed in integer nanoseconds. Integer time keeps every
+// simulation deterministic and makes cross-module arithmetic exact.
+#ifndef PEGASUS_SRC_SIM_TIME_H_
+#define PEGASUS_SRC_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pegasus::sim {
+
+// A point in simulated time, in nanoseconds since simulation start.
+using TimeNs = int64_t;
+
+// A span of simulated time, in nanoseconds. Kept as a distinct alias for
+// readability; the representation is identical to TimeNs.
+using DurationNs = int64_t;
+
+// Sentinel for "no deadline" / "never".
+inline constexpr TimeNs kTimeNever = INT64_MAX;
+
+// Duration constructors. Values are exact (integer multiplication).
+constexpr DurationNs Nanoseconds(int64_t n) { return n; }
+constexpr DurationNs Microseconds(int64_t us) { return us * 1'000; }
+constexpr DurationNs Milliseconds(int64_t ms) { return ms * 1'000'000; }
+constexpr DurationNs Seconds(int64_t s) { return s * 1'000'000'000; }
+
+// Duration accessors (truncating).
+constexpr int64_t ToMicroseconds(DurationNs d) { return d / 1'000; }
+constexpr int64_t ToMilliseconds(DurationNs d) { return d / 1'000'000; }
+constexpr double ToSecondsF(DurationNs d) { return static_cast<double>(d) / 1e9; }
+
+// Renders a duration with an adaptive unit, e.g. "33.0ms", "38.6us", "250ns".
+// Intended for log and benchmark-table output.
+std::string FormatDuration(DurationNs d);
+
+// Computes the time to serialise `bytes` onto a link of `bits_per_second`.
+// Rounds up so that back-to-back transmissions never overlap.
+constexpr DurationNs TransmissionTime(int64_t bytes, int64_t bits_per_second) {
+  // ns = bytes * 8 * 1e9 / bps, computed to avoid overflow for realistic rates.
+  return (bytes * 8 * 1'000'000'000 + bits_per_second - 1) / bits_per_second;
+}
+
+}  // namespace pegasus::sim
+
+#endif  // PEGASUS_SRC_SIM_TIME_H_

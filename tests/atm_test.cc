@@ -1,0 +1,424 @@
+// Unit tests for the ATM substrate: cells, AAL5, links, switches, signalling.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/atm/aal5.h"
+#include "src/atm/cell.h"
+#include "src/atm/crc32.h"
+#include "src/atm/network.h"
+#include "src/atm/transport.h"
+#include "src/atm/wire.h"
+#include "src/sim/event_queue.h"
+
+namespace pegasus::atm {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // "123456789" -> 0xCBF43926 (standard CRC-32 check value).
+  const uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32(data, sizeof(data)), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32Test, IncrementalMatchesWhole) {
+  std::vector<uint8_t> data(257);
+  std::iota(data.begin(), data.end(), 0);
+  const uint32_t whole = Crc32(data.data(), data.size());
+  // CRC-32 with seed chaining: crc(a||b) == crc(b, seed=crc(a)).
+  const uint32_t part = Crc32(data.data() + 100, data.size() - 100, Crc32(data.data(), 100));
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Aal5Test, SingleCellRoundTrip) {
+  std::vector<uint8_t> sdu{1, 2, 3, 4};
+  auto cells = Aal5Segment(42, sdu);
+  ASSERT_EQ(cells.size(), 1u);  // 4 + 8 trailer fits in 48
+  EXPECT_TRUE(cells[0].end_of_frame);
+  EXPECT_EQ(cells[0].vci, 42u);
+
+  Aal5Reassembler r;
+  auto out = r.Push(cells[0]);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, sdu);
+  EXPECT_EQ(r.frames_ok(), 1u);
+}
+
+TEST(Aal5Test, MultiCellRoundTrip) {
+  std::vector<uint8_t> sdu(1000);
+  std::iota(sdu.begin(), sdu.end(), 0);
+  auto cells = Aal5Segment(7, sdu);
+  // 1000 + 8 = 1008 -> 21 cells exactly.
+  ASSERT_EQ(cells.size(), 21u);
+  for (size_t i = 0; i + 1 < cells.size(); ++i) {
+    EXPECT_FALSE(cells[i].end_of_frame);
+  }
+  EXPECT_TRUE(cells.back().end_of_frame);
+
+  Aal5Reassembler r;
+  std::optional<std::vector<uint8_t>> out;
+  for (const Cell& c : cells) {
+    out = r.Push(c);
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, sdu);
+}
+
+TEST(Aal5Test, EmptySduRoundTrip) {
+  auto cells = Aal5Segment(1, {});
+  ASSERT_EQ(cells.size(), 1u);
+  Aal5Reassembler r;
+  auto out = r.Push(cells[0]);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(Aal5Test, CorruptPayloadFailsCrc) {
+  std::vector<uint8_t> sdu(100, 0xAB);
+  auto cells = Aal5Segment(9, sdu);
+  cells[0].payload[5] ^= 0x01;
+  Aal5Reassembler r;
+  std::optional<std::vector<uint8_t>> out;
+  for (const Cell& c : cells) {
+    out = r.Push(c);
+  }
+  EXPECT_FALSE(out.has_value());
+  EXPECT_EQ(r.crc_errors(), 1u);
+  EXPECT_EQ(r.frames_ok(), 0u);
+}
+
+TEST(Aal5Test, LostEndOfFrameResynchronises) {
+  std::vector<uint8_t> a(100, 1);
+  std::vector<uint8_t> b(100, 2);
+  auto ca = Aal5Segment(3, a);
+  auto cb = Aal5Segment(3, b);
+  Aal5Reassembler r;
+  // Drop the last cell of frame a: its cells merge into frame b and the
+  // combined PDU must fail CRC, after which the next frame succeeds.
+  for (size_t i = 0; i + 1 < ca.size(); ++i) {
+    r.Push(ca[i]);
+  }
+  std::optional<std::vector<uint8_t>> out;
+  for (const Cell& c : cb) {
+    out = r.Push(c);
+  }
+  EXPECT_FALSE(out.has_value());
+  EXPECT_EQ(r.crc_errors(), 1u);
+  // A fresh frame now reassembles fine.
+  auto cc = Aal5Segment(3, b);
+  for (const Cell& c : cc) {
+    out = r.Push(c);
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, b);
+}
+
+TEST(Aal5Test, OversizeSduRejected) {
+  std::vector<uint8_t> sdu(kAal5MaxSduSize + 1);
+  EXPECT_TRUE(Aal5Segment(1, sdu).empty());
+}
+
+TEST(Aal5Test, MaxSizeSduRoundTrip) {
+  std::vector<uint8_t> sdu(kAal5MaxSduSize, 0x5C);
+  auto cells = Aal5Segment(1, sdu);
+  ASSERT_FALSE(cells.empty());
+  Aal5Reassembler r;
+  std::optional<std::vector<uint8_t>> out;
+  for (const Cell& c : cells) {
+    out = r.Push(c);
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->size(), kAal5MaxSduSize);
+}
+
+TEST(Aal5Test, SequenceNumbersAdvance) {
+  std::vector<uint8_t> sdu(200);
+  auto cells = Aal5Segment(1, sdu, 0, 100);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].seq, 100 + i);
+  }
+}
+
+class CollectorSink : public CellSink {
+ public:
+  void DeliverCell(const Cell& cell) override {
+    cells.push_back(cell);
+    times.push_back(sim_ != nullptr ? sim_->now() : 0);
+  }
+  void set_sim(sim::Simulator* s) { sim_ = s; }
+  std::vector<Cell> cells;
+  std::vector<sim::TimeNs> times;
+
+ private:
+  sim::Simulator* sim_ = nullptr;
+};
+
+TEST(LinkTest, SerialisationAndPropagationDelay) {
+  sim::Simulator sim;
+  Link link(&sim, "l", 100'000'000, sim::Microseconds(10));
+  CollectorSink sink;
+  sink.set_sim(&sim);
+  link.set_sink(&sink);
+  Cell c;
+  c.vci = 5;
+  EXPECT_TRUE(link.SendCell(c));
+  sim.Run();
+  ASSERT_EQ(sink.cells.size(), 1u);
+  // 53 bytes at 100 Mb/s = 4.24us serialisation + 10us propagation.
+  EXPECT_EQ(sink.times[0], 4240 + 10'000);
+}
+
+TEST(LinkTest, BackToBackCellsSerialise) {
+  sim::Simulator sim;
+  Link link(&sim, "l", 100'000'000, 0);
+  CollectorSink sink;
+  sink.set_sim(&sim);
+  link.set_sink(&sink);
+  for (int i = 0; i < 3; ++i) {
+    Cell c;
+    c.seq = static_cast<uint64_t>(i);
+    link.SendCell(c);
+  }
+  sim.Run();
+  ASSERT_EQ(sink.cells.size(), 3u);
+  EXPECT_EQ(sink.times[0], 4240);
+  EXPECT_EQ(sink.times[1], 2 * 4240);
+  EXPECT_EQ(sink.times[2], 3 * 4240);
+  // Order preserved.
+  EXPECT_EQ(sink.cells[0].seq, 0u);
+  EXPECT_EQ(sink.cells[2].seq, 2u);
+}
+
+TEST(LinkTest, QueueLimitDropsExcess) {
+  sim::Simulator sim;
+  Link link(&sim, "l", 100'000'000, 0, /*queue_limit=*/4);
+  CollectorSink sink;
+  link.set_sink(&sink);
+  for (int i = 0; i < 10; ++i) {
+    link.SendCell(Cell{});
+  }
+  EXPECT_EQ(link.cells_dropped(), 6u);
+  sim.Run();
+  EXPECT_EQ(sink.cells.size(), 4u);
+}
+
+TEST(LinkTest, UtilizationTracksBusyFraction) {
+  sim::Simulator sim;
+  Link link(&sim, "l", 100'000'000, 0);
+  CollectorSink sink;
+  link.set_sink(&sink);
+  link.SendCell(Cell{});
+  sim.RunUntil(sim::Microseconds(8));  // busy 4.24us of 8.48us
+  EXPECT_NEAR(link.utilization(), 0.53, 0.02);
+}
+
+TEST(SwitchTest, RoutesAndRelabels) {
+  sim::Simulator sim;
+  Switch sw(&sim, "sw", 4, sim::Microseconds(1));
+  Link out(&sim, "out", 100'000'000, 0);
+  CollectorSink sink;
+  sink.set_sim(&sim);
+  out.set_sink(&sink);
+  sw.AttachOutput(2, &out);
+  EXPECT_TRUE(sw.AddRoute(0, 40, 2, 77));
+  Cell c;
+  c.vci = 40;
+  sw.input(0)->DeliverCell(c);
+  sim.Run();
+  ASSERT_EQ(sink.cells.size(), 1u);
+  EXPECT_EQ(sink.cells[0].vci, 77u);
+  EXPECT_EQ(sw.cells_switched(), 1u);
+}
+
+TEST(SwitchTest, UnroutedCellsDropped) {
+  sim::Simulator sim;
+  Switch sw(&sim, "sw", 4);
+  Cell c;
+  c.vci = 99;
+  sw.input(1)->DeliverCell(c);
+  sim.Run();
+  EXPECT_EQ(sw.cells_unroutable(), 1u);
+  EXPECT_EQ(sw.cells_switched(), 0u);
+}
+
+TEST(SwitchTest, DuplicateRouteRejected) {
+  sim::Simulator sim;
+  Switch sw(&sim, "sw", 4);
+  EXPECT_TRUE(sw.AddRoute(0, 40, 1, 41));
+  EXPECT_FALSE(sw.AddRoute(0, 40, 2, 42));
+  EXPECT_TRUE(sw.RemoveRoute(0, 40));
+  EXPECT_FALSE(sw.RemoveRoute(0, 40));
+  EXPECT_TRUE(sw.AddRoute(0, 40, 2, 42));
+}
+
+TEST(SwitchTest, VciAllocationSkipsUsed) {
+  sim::Simulator sim;
+  Switch sw(&sim, "sw", 2);
+  EXPECT_EQ(sw.AllocateVci(0), kVciFirstData);
+  sw.AddRoute(0, kVciFirstData, 1, 50);
+  EXPECT_EQ(sw.AllocateVci(0), kVciFirstData + 1);
+  // Other port unaffected.
+  EXPECT_EQ(sw.AllocateVci(1), kVciFirstData);
+}
+
+class NetworkFixture : public ::testing::Test {
+ protected:
+  NetworkFixture() : net_(&sim_) {
+    sw1_ = net_.AddSwitch("sw1", 8);
+    sw2_ = net_.AddSwitch("sw2", 8);
+    net_.ConnectSwitches(sw1_, 7, sw2_, 7, 155'000'000);
+    a_ = net_.AddEndpoint("a", sw1_, 0, 155'000'000);
+    b_ = net_.AddEndpoint("b", sw1_, 1, 155'000'000);
+    c_ = net_.AddEndpoint("c", sw2_, 0, 155'000'000);
+  }
+
+  sim::Simulator sim_;
+  Network net_;
+  Switch* sw1_;
+  Switch* sw2_;
+  Endpoint* a_;
+  Endpoint* b_;
+  Endpoint* c_;
+};
+
+TEST_F(NetworkFixture, SameSwitchVc) {
+  auto vc = net_.OpenVc(a_, b_);
+  ASSERT_TRUE(vc.has_value());
+  EXPECT_EQ(vc->hop_count, 1);
+
+  std::vector<uint8_t> received;
+  MessageTransport bt(b_);
+  bt.SetDefaultHandler([&](Vci, std::vector<uint8_t> msg, sim::TimeNs) { received = msg; });
+  MessageTransport at(a_);
+  at.Send(vc->source_vci, {1, 2, 3});
+  sim_.Run();
+  EXPECT_EQ(received, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST_F(NetworkFixture, CrossSwitchVc) {
+  auto vc = net_.OpenVc(a_, c_);
+  ASSERT_TRUE(vc.has_value());
+  EXPECT_EQ(vc->hop_count, 2);
+
+  int got = 0;
+  MessageTransport ct(c_);
+  ct.SetHandler(vc->destination_vci,
+                [&](Vci, std::vector<uint8_t> msg, sim::TimeNs) { got = static_cast<int>(msg[0]); });
+  MessageTransport at(a_);
+  at.Send(vc->source_vci, {99});
+  sim_.Run();
+  EXPECT_EQ(got, 99);
+}
+
+TEST_F(NetworkFixture, TwoVcsDoNotInterfere) {
+  auto vc1 = net_.OpenVc(a_, c_);
+  auto vc2 = net_.OpenVc(b_, c_);
+  ASSERT_TRUE(vc1.has_value());
+  ASSERT_TRUE(vc2.has_value());
+  EXPECT_NE(vc1->destination_vci, vc2->destination_vci);
+
+  std::map<Vci, int> counts;
+  MessageTransport ct(c_);
+  ct.SetDefaultHandler([&](Vci vci, std::vector<uint8_t>, sim::TimeNs) { ++counts[vci]; });
+  MessageTransport at(a_);
+  MessageTransport bt(b_);
+  at.Send(vc1->source_vci, {1});
+  bt.Send(vc2->source_vci, {2});
+  sim_.Run();
+  EXPECT_EQ(counts[vc1->destination_vci], 1);
+  EXPECT_EQ(counts[vc2->destination_vci], 1);
+}
+
+TEST_F(NetworkFixture, CloseVcStopsDelivery) {
+  auto vc = net_.OpenVc(a_, b_);
+  ASSERT_TRUE(vc.has_value());
+  EXPECT_TRUE(net_.CloseVc(vc->id));
+  EXPECT_FALSE(net_.CloseVc(vc->id));
+
+  MessageTransport bt(b_);
+  int got = 0;
+  bt.SetDefaultHandler([&](Vci, std::vector<uint8_t>, sim::TimeNs) { ++got; });
+  MessageTransport at(a_);
+  at.Send(vc->source_vci, {1});
+  sim_.Run();
+  EXPECT_EQ(got, 0);
+  EXPECT_GE(sw1_->cells_unroutable(), 1u);
+}
+
+TEST_F(NetworkFixture, AdmissionControlRejectsOvercommit) {
+  QosSpec q;
+  q.peak_bps = 100'000'000;
+  auto vc1 = net_.OpenVc(a_, c_, q);
+  ASSERT_TRUE(vc1.has_value());
+  // Second 100 Mb/s reservation cannot fit on the 155 Mb/s inter-switch link.
+  auto vc2 = net_.OpenVc(b_, c_, q);
+  EXPECT_FALSE(vc2.has_value());
+  EXPECT_EQ(net_.admission_rejections(), 1);
+  // Best-effort still fine.
+  auto vc3 = net_.OpenVc(b_, c_);
+  EXPECT_TRUE(vc3.has_value());
+  // Releasing the first reservation frees the capacity.
+  net_.CloseVc(vc1->id);
+  auto vc4 = net_.OpenVc(b_, c_, q);
+  EXPECT_TRUE(vc4.has_value());
+}
+
+TEST_F(NetworkFixture, DuplexOpensDataAndControl) {
+  auto pair = net_.OpenDuplex(a_, c_, QosSpec{10'000'000}, QosSpec{});
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->first.source, a_);
+  EXPECT_EQ(pair->second.source, c_);
+}
+
+TEST_F(NetworkFixture, PacedFrameArrivesAtPacedRate) {
+  auto vc = net_.OpenVc(a_, b_);
+  ASSERT_TRUE(vc.has_value());
+  MessageTransport bt(b_);
+  sim::TimeNs done_at = 0;
+  bt.SetDefaultHandler([&](Vci, std::vector<uint8_t>, sim::TimeNs) { done_at = sim_.now(); });
+  // 4800 bytes => 101 cells; paced at 10 Mb/s the last cell leaves around
+  // 100 * 42.4us ≈ 4.24ms.
+  a_->SendFrame(vc->source_vci, std::vector<uint8_t>(4800), 10'000'000);
+  sim_.Run();
+  EXPECT_GT(done_at, sim::Milliseconds(4));
+  EXPECT_LT(done_at, sim::Milliseconds(5));
+}
+
+TEST(WireTest, RoundTrip) {
+  WireWriter w;
+  w.PutU8(0x12);
+  w.PutU16(0x3456);
+  w.PutU32(0x789ABCDE);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutString("hello");
+  w.PutBytes({9, 8, 7});
+  WireReader r(w.data());
+  EXPECT_EQ(r.GetU8(), 0x12);
+  EXPECT_EQ(r.GetU16(), 0x3456);
+  EXPECT_EQ(r.GetU32(), 0x789ABCDEu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.GetString(), "hello");
+  EXPECT_EQ(r.GetBytes(), (std::vector<uint8_t>{9, 8, 7}));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, ShortReadSetsBad) {
+  WireWriter w;
+  w.PutU16(7);
+  WireReader r(w.data());
+  r.GetU32();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireTest, TruncatedStringSetsBad) {
+  WireWriter w;
+  w.PutU32(1000);  // claims 1000 bytes, provides none
+  WireReader r(w.data());
+  EXPECT_TRUE(r.GetString().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace pegasus::atm

@@ -1,0 +1,217 @@
+// Additional device and transport coverage: camera taps, per-VC pacing,
+// audio underruns, screen-edge clipping, transport dispatch.
+#include <gtest/gtest.h>
+
+#include "src/atm/network.h"
+#include "src/atm/transport.h"
+#include "src/devices/audio.h"
+#include "src/devices/camera.h"
+#include "src/devices/display.h"
+#include "src/devices/frame_source.h"
+#include "src/devices/processing.h"
+
+namespace pegasus::dev {
+namespace {
+
+using sim::Milliseconds;
+using sim::Seconds;
+
+class ExtraFixture : public ::testing::Test {
+ protected:
+  ExtraFixture() : net_(&sim_) {
+    sw_ = net_.AddSwitch("sw", 8);
+    for (int i = 0; i < 6; ++i) {
+      eps_.push_back(net_.AddEndpoint("ep" + std::to_string(i), sw_, i, 155'000'000));
+    }
+  }
+
+  sim::Simulator sim_;
+  atm::Network net_;
+  atm::Switch* sw_;
+  std::vector<atm::Endpoint*> eps_;
+};
+
+TEST_F(ExtraFixture, CameraTapFeedsTwoSinks) {
+  // Point-to-multipoint: the same camera drives a display and a second sink
+  // (e.g. a recording VC) simultaneously.
+  auto vc1 = net_.OpenVc(eps_[0], eps_[1]);
+  auto vc2 = net_.OpenVc(eps_[0], eps_[2]);
+  ASSERT_TRUE(vc1.has_value());
+  ASSERT_TRUE(vc2.has_value());
+  AtmCamera::Config cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  AtmCamera camera(&sim_, eps_[0], cfg);
+  AtmDisplay display1(&sim_, eps_[1], 100, 100);
+  AtmDisplay display2(&sim_, eps_[2], 100, 100);
+  WindowManager wm1(&display1);
+  WindowManager wm2(&display2);
+  wm1.CreateWindow(vc1->destination_vci, 0, 0, 32, 32);
+  wm2.CreateWindow(vc2->destination_vci, 0, 0, 32, 32);
+  camera.AddOutput(vc2->source_vci);
+  camera.Start(vc1->source_vci);
+  sim_.RunUntil(Milliseconds(500));
+  EXPECT_GT(display1.tiles_blitted(), 100);
+  EXPECT_EQ(display1.tiles_blitted(), display2.tiles_blitted());
+  // Same pixels on both screens.
+  EXPECT_EQ(display1.PixelAt(10, 10), display2.PixelAt(10, 10));
+}
+
+TEST_F(ExtraFixture, PerVcPacingIsIndependent) {
+  // Two paced flows from one endpoint: each respects its own rate; a slow
+  // pace on one VC must not throttle the other.
+  auto vc1 = net_.OpenVc(eps_[0], eps_[1]);
+  auto vc2 = net_.OpenVc(eps_[0], eps_[2]);
+  atm::MessageTransport rx1(eps_[1]);
+  atm::MessageTransport rx2(eps_[2]);
+  sim::TimeNs done1 = 0;
+  sim::TimeNs done2 = 0;
+  rx1.SetDefaultHandler([&](atm::Vci, std::vector<uint8_t>, sim::TimeNs) {
+    done1 = sim_.now();
+  });
+  rx2.SetDefaultHandler([&](atm::Vci, std::vector<uint8_t>, sim::TimeNs) {
+    done2 = sim_.now();
+  });
+  const std::vector<uint8_t> frame(4800);  // ~101 cells
+  eps_[0]->SendFrame(vc1->source_vci, frame, 1'000'000);    // 1 Mb/s: slow
+  eps_[0]->SendFrame(vc2->source_vci, frame, 50'000'000);   // 50 Mb/s: fast
+  sim_.Run();
+  // The fast flow finishes far sooner than the slow one.
+  EXPECT_LT(done2, done1 / 10);
+  EXPECT_GT(done1, Milliseconds(40));  // ~101 cells * 424us
+}
+
+TEST_F(ExtraFixture, AudioGapCausesCountedUnderruns) {
+  auto vc = net_.OpenVc(eps_[0], eps_[1]);
+  AudioCapture capture(&sim_, eps_[0], 44'100);
+  AudioPlayback playback(&sim_, eps_[1], 44'100, Milliseconds(5));
+  capture.Start(vc->source_vci);
+  sim_.RunUntil(Milliseconds(200));
+  capture.Stop();  // a network dropout
+  sim_.RunUntil(Milliseconds(400));
+  const int64_t underruns_during_gap = playback.underruns();
+  EXPECT_GT(underruns_during_gap, 50);  // the DAC kept ticking with no data
+  capture.Start(vc->source_vci);  // stream resumes
+  sim_.RunUntil(Milliseconds(600));
+  EXPECT_GT(playback.cells_played(), 300);
+}
+
+TEST_F(ExtraFixture, WindowsClipAtScreenEdges) {
+  auto vc = net_.OpenVc(eps_[0], eps_[1]);
+  AtmCamera::Config cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  AtmCamera camera(&sim_, eps_[0], cfg);
+  AtmDisplay display(&sim_, eps_[1], 100, 100);
+  WindowManager wm(&display);
+  // Mostly off the right-bottom corner.
+  wm.CreateWindow(vc->destination_vci, 90, 90, 32, 32);
+  camera.Start(vc->source_vci);
+  sim_.RunUntil(Milliseconds(200));
+  // Visible sliver renders; nothing wraps or crashes.
+  EXPECT_NE(display.PixelAt(95, 95), 0);
+  EXPECT_GT(display.pixels_drawn(), 0);
+  // Only the on-screen 10x10 corner is owned.
+  EXPECT_EQ(display.OwnerAt(99, 99), vc->destination_vci);
+  EXPECT_EQ(display.OwnerAt(89, 89), atm::kVciUnassigned);
+}
+
+TEST(TransformTest, StockTransformsBehave) {
+  std::vector<uint8_t> flat(kTilePixels, 100);
+  auto inverted = flat;
+  InvertTransform()(inverted);
+  EXPECT_EQ(inverted[0], 155);
+  auto bright = flat;
+  BrightnessTransform(200)(bright);
+  EXPECT_EQ(bright[0], 255);  // clamps
+  BrightnessTransform(-300)(bright);
+  EXPECT_EQ(bright[0], 0);
+  // Edges of a flat tile are zero; a step edge is not.
+  auto edges = flat;
+  EdgeTransform()(edges);
+  EXPECT_EQ(edges[3 * kTileDim + 3], 0);
+  std::vector<uint8_t> step(kTilePixels, 0);
+  for (int y = 0; y < kTileDim; ++y) {
+    for (int x = 4; x < kTileDim; ++x) {
+      step[static_cast<size_t>(y) * kTileDim + x] = 200;
+    }
+  }
+  EdgeTransform()(step);
+  EXPECT_GT(step[3 * kTileDim + 4], 50);
+  // Blur preserves a flat tile exactly.
+  auto blurred = flat;
+  BlurTransform()(blurred);
+  EXPECT_EQ(blurred, flat);
+}
+
+TEST_F(ExtraFixture, ProcessorFiltersStreamInTransit) {
+  // One camera feeds two windows: a direct (raw) path and a path detouring
+  // through an inverting TileProcessor. After the stream drains, every
+  // processed pixel must be the exact inverse of its raw counterpart, and
+  // the capture timestamps must have survived the compute hop.
+  auto raw_vc = net_.OpenVc(eps_[0], eps_[1]);
+  auto leg1 = net_.OpenVc(eps_[0], eps_[3]);
+  auto leg2 = net_.OpenVc(eps_[3], eps_[1]);
+  ASSERT_TRUE(raw_vc.has_value());
+  ASSERT_TRUE(leg1.has_value());
+  ASSERT_TRUE(leg2.has_value());
+  AtmCamera::Config cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  cfg.content_noise = 0.0;
+  AtmCamera camera(&sim_, eps_[0], cfg);
+  atm::MessageTransport compute_transport(eps_[3]);
+  TileProcessor::Config stage;
+  stage.transform = InvertTransform();
+  TileProcessor processor(&sim_, &compute_transport, leg1->destination_vci, leg2->source_vci,
+                          stage);
+  AtmDisplay display(&sim_, eps_[1], 100, 100);
+  WindowManager wm(&display);
+  wm.CreateWindow(raw_vc->destination_vci, 0, 0, 32, 32);
+  wm.CreateWindow(leg2->destination_vci, 50, 0, 32, 32);
+  camera.AddOutput(leg1->source_vci);
+  camera.Start(raw_vc->source_vci);
+  sim_.RunUntil(Milliseconds(400));
+  camera.Stop();
+  sim_.Run();  // drain both paths completely
+
+  EXPECT_GT(processor.tiles_processed(), 100);
+  EXPECT_EQ(processor.decode_errors(), 0u);
+  for (int y = 0; y < 32; y += 5) {
+    for (int x = 0; x < 32; x += 5) {
+      EXPECT_EQ(display.PixelAt(50 + x, y), 255 - display.PixelAt(x, y))
+          << "pixel (" << x << "," << y << ")";
+    }
+  }
+  // Timestamps passed through: end-to-end latency includes the compute hop
+  // but still sits far below a frame time.
+  EXPECT_GT(display.tile_latency().Quantile(0.5), 0.0);
+  EXPECT_LT(display.tile_latency().Quantile(0.5), 5e6);
+}
+
+TEST_F(ExtraFixture, TransportDispatchPrecedence) {
+  auto vc1 = net_.OpenVc(eps_[0], eps_[1]);
+  auto vc2 = net_.OpenVc(eps_[2], eps_[1]);
+  atm::MessageTransport rx(eps_[1]);
+  int specific = 0;
+  int fallback = 0;
+  rx.SetHandler(vc1->destination_vci,
+                [&](atm::Vci, std::vector<uint8_t>, sim::TimeNs) { ++specific; });
+  rx.SetDefaultHandler([&](atm::Vci, std::vector<uint8_t>, sim::TimeNs) { ++fallback; });
+  atm::MessageTransport tx0(eps_[0]);
+  atm::MessageTransport tx2(eps_[2]);
+  tx0.Send(vc1->source_vci, {1});
+  tx2.Send(vc2->source_vci, {2});
+  sim_.Run();
+  EXPECT_EQ(specific, 1);
+  EXPECT_EQ(fallback, 1);
+  // After clearing, the specific VCI falls back too.
+  rx.ClearHandler(vc1->destination_vci);
+  tx0.Send(vc1->source_vci, {3});
+  sim_.Run();
+  EXPECT_EQ(specific, 1);
+  EXPECT_EQ(fallback, 2);
+}
+
+}  // namespace
+}  // namespace pegasus::dev

@@ -1,0 +1,323 @@
+// Tests for naming and invocation (§4): name spaces, mounts, maillons, and
+// the procedure / protected / remote invocation triad.
+#include <gtest/gtest.h>
+
+#include "src/atm/network.h"
+#include "src/naming/name_space.h"
+#include "src/naming/object.h"
+#include "src/naming/rpc.h"
+
+namespace pegasus::naming {
+namespace {
+
+using sim::Microseconds;
+
+TEST(ObjectTest, EchoAndCounterBehave) {
+  EchoObject echo;
+  std::vector<uint8_t> result;
+  EXPECT_EQ(echo.Invoke("echo", {1, 2, 3}, &result), InvokeStatus::kOk);
+  EXPECT_EQ(result, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(echo.Invoke("nope", {}, &result), InvokeStatus::kNoSuchMethod);
+
+  CounterObject counter;
+  std::vector<uint8_t> delta(8, 0);
+  delta[0] = 7;
+  EXPECT_EQ(counter.Invoke("add", delta, &result), InvokeStatus::kOk);
+  EXPECT_EQ(counter.value(), 7);
+  EXPECT_EQ(counter.Invoke("add", {1, 2}, &result), InvokeStatus::kBadArguments);
+  EXPECT_EQ(counter.Invoke("get", {}, &result), InvokeStatus::kOk);
+}
+
+TEST(InvocationTest, LocalPathIsFastest) {
+  sim::Simulator sim;
+  EchoObject obj;
+  LocalPath local(&sim, &obj, sim::Nanoseconds(100));
+  ProtectedPath prot(&sim, &obj);
+
+  sim::TimeNs local_done = -1;
+  local.Call("echo", {1}, [&](InvokeStatus s, std::vector<uint8_t>) {
+    EXPECT_EQ(s, InvokeStatus::kOk);
+    local_done = sim.now();
+  });
+  sim.Run();
+  const sim::TimeNs t1 = sim.now();
+  sim::TimeNs prot_done = -1;
+  prot.Call("echo", {1}, [&](InvokeStatus s, std::vector<uint8_t>) {
+    EXPECT_EQ(s, InvokeStatus::kOk);
+    prot_done = sim.now() - t1;
+  });
+  sim.Run();
+  ASSERT_GE(local_done, 0);
+  ASSERT_GE(prot_done, 0);
+  // procedure call << protected call (two domain crossings).
+  EXPECT_LT(local_done, Microseconds(1));
+  EXPECT_GT(prot_done, Microseconds(25));
+}
+
+TEST(InvocationTest, ProtectedPathChargesPerByte) {
+  sim::Simulator sim;
+  EchoObject obj;
+  ProtectedPath prot(&sim, &obj);
+  sim::TimeNs small_cost = 0;
+  prot.Call("echo", std::vector<uint8_t>(10), [&](InvokeStatus, std::vector<uint8_t>) {
+    small_cost = sim.now();
+  });
+  sim.Run();
+  sim::TimeNs t1 = sim.now();
+  sim::TimeNs big_cost = 0;
+  prot.Call("echo", std::vector<uint8_t>(10000), [&](InvokeStatus, std::vector<uint8_t>) {
+    big_cost = sim.now() - t1;
+  });
+  sim.Run();
+  EXPECT_GT(big_cost, small_cost);  // copying 10 kB costs more than 10 B
+}
+
+TEST(MaillonTest, ResolvesOnceAndCaches) {
+  sim::Simulator sim;
+  EchoObject obj;
+  int resolver_calls = 0;
+  ObjectHandle handle(ObjectRef{1}, [&](ObjectRef) {
+    ++resolver_calls;
+    return std::make_shared<LocalPath>(&sim, &obj);
+  });
+  EXPECT_FALSE(handle.resolved());
+  EXPECT_EQ(handle.kind(), "unresolved");
+  for (int i = 0; i < 5; ++i) {
+    handle.Invoke("echo", {1}, [](InvokeStatus, std::vector<uint8_t>) {});
+  }
+  sim.Run();
+  // "In the most common case — the object is already there and ready to be
+  // invoked — the maillon imposes very little overhead": one resolution.
+  EXPECT_EQ(resolver_calls, 1);
+  EXPECT_EQ(handle.resolutions(), 1);
+  EXPECT_EQ(handle.kind(), "procedure-call");
+  EXPECT_EQ(obj.calls(), 5);
+}
+
+TEST(MaillonTest, FailedResolutionReportsNoSuchObject) {
+  ObjectHandle handle(ObjectRef{1}, [](ObjectRef) { return nullptr; });
+  InvokeStatus status = InvokeStatus::kOk;
+  handle.Invoke("echo", {}, [&](InvokeStatus s, std::vector<uint8_t>) { status = s; });
+  EXPECT_EQ(status, InvokeStatus::kNoSuchObject);
+  ObjectHandle empty;
+  EXPECT_FALSE(empty.valid());
+}
+
+class NameSpaceFixture : public ::testing::Test {
+ protected:
+  NameSpaceFixture() : ns_("proc") {
+    handle_ = ObjectHandle(ObjectRef{7}, [this](ObjectRef) {
+      return std::make_shared<LocalPath>(&sim_, &obj_);
+    });
+  }
+
+  sim::Simulator sim_;
+  EchoObject obj_;
+  NameSpace ns_;
+  ObjectHandle handle_;
+};
+
+TEST_F(NameSpaceFixture, BindAndResolveLocal) {
+  EXPECT_TRUE(ns_.Bind("dev/camera", handle_));
+  auto got = ns_.ResolveLocal("dev/camera");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->ref().value, 7u);
+  EXPECT_FALSE(ns_.ResolveLocal("dev/display").has_value());
+  EXPECT_FALSE(ns_.ResolveLocal("dev/camera/extra").has_value());
+  EXPECT_FALSE(ns_.ResolveLocal("dev").has_value());  // a directory, not an object
+}
+
+TEST_F(NameSpaceFixture, UnbindRemoves) {
+  EXPECT_TRUE(ns_.Bind("a/b", handle_));
+  EXPECT_TRUE(ns_.Unbind("a/b"));
+  EXPECT_FALSE(ns_.Unbind("a/b"));
+  EXPECT_FALSE(ns_.ResolveLocal("a/b").has_value());
+}
+
+TEST_F(NameSpaceFixture, ShortLocalNamesResolveInFewerSteps) {
+  // §4: "local names should be shortest ... near to the root of the naming
+  // tree". Step counts grow with path depth.
+  EXPECT_TRUE(ns_.Bind("cam", handle_));
+  EXPECT_TRUE(ns_.Bind("global/site/org/dev/cam", handle_));
+  ns_.ResolveLocal("cam");
+  EXPECT_EQ(ns_.last_resolution_steps(), 1);
+  ns_.ResolveLocal("global/site/org/dev/cam");
+  EXPECT_EQ(ns_.last_resolution_steps(), 5);
+}
+
+TEST_F(NameSpaceFixture, MountDelegatesSubtree) {
+  NameSpace other("other-process");
+  EXPECT_TRUE(other.Bind("files/readme", handle_));
+  EXPECT_TRUE(ns_.Mount("remote", std::make_shared<LocalNameSpaceConnection>(&other)));
+
+  std::optional<ObjectHandle> got;
+  ns_.Resolve("remote/files/readme", [&](std::optional<ObjectHandle> h) { got = std::move(h); });
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->ref().value, 7u);
+  // Unknown names below the mount fail through the connection.
+  bool called = false;
+  ns_.Resolve("remote/files/missing", [&](std::optional<ObjectHandle> h) {
+    called = true;
+    EXPECT_FALSE(h.has_value());
+  });
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(ns_.Unmount("remote"));
+  EXPECT_FALSE(ns_.Unmount("remote"));
+}
+
+TEST_F(NameSpaceFixture, ForkInheritsBindingsAndSharesMounts) {
+  NameSpace other("other");
+  EXPECT_TRUE(other.Bind("x", handle_));
+  EXPECT_TRUE(ns_.Bind("local", handle_));
+  EXPECT_TRUE(ns_.Mount("mnt", std::make_shared<LocalNameSpaceConnection>(&other)));
+
+  auto child = ns_.Fork("child");
+  EXPECT_TRUE(child->ResolveLocal("local").has_value());
+  std::optional<ObjectHandle> via_mount;
+  child->Resolve("mnt/x", [&](std::optional<ObjectHandle> h) { via_mount = std::move(h); });
+  EXPECT_TRUE(via_mount.has_value());
+  // The child's tree is a copy: new bindings do not leak back.
+  EXPECT_TRUE(child->Bind("child-only", handle_));
+  EXPECT_FALSE(ns_.ResolveLocal("child-only").has_value());
+}
+
+TEST(PathTest, SplitPathHandlesEdgeCases) {
+  EXPECT_EQ(NameSpace::SplitPath("a/b/c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(NameSpace::SplitPath("/a//b/"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(NameSpace::SplitPath("").empty());
+  EXPECT_TRUE(NameSpace::SplitPath("///").empty());
+}
+
+class RpcFixture : public ::testing::Test {
+ protected:
+  RpcFixture() : net_(&sim_) {
+    sw_ = net_.AddSwitch("sw", 4);
+    client_ep_ = net_.AddEndpoint("client", sw_, 0, 155'000'000);
+    server_ep_ = net_.AddEndpoint("server", sw_, 1, 155'000'000);
+    client_t_ = std::make_unique<atm::MessageTransport>(client_ep_);
+    server_t_ = std::make_unique<atm::MessageTransport>(server_ep_);
+    auto pair = net_.OpenDuplex(client_ep_, server_ep_);
+    EXPECT_TRUE(pair.has_value());
+    server_ = std::make_unique<RpcServer>(&sim_, server_t_.get());
+    server_->Serve(pair->first.destination_vci, pair->second.source_vci);
+    client_ = std::make_unique<RpcClient>(&sim_, client_t_.get(), pair->first.source_vci,
+                                          pair->second.destination_vci);
+  }
+
+  sim::Simulator sim_;
+  atm::Network net_;
+  atm::Switch* sw_;
+  atm::Endpoint* client_ep_;
+  atm::Endpoint* server_ep_;
+  std::unique_ptr<atm::MessageTransport> client_t_;
+  std::unique_ptr<atm::MessageTransport> server_t_;
+  std::unique_ptr<RpcServer> server_;
+  std::unique_ptr<RpcClient> client_;
+};
+
+TEST_F(RpcFixture, RemoteCallRoundTrip) {
+  CounterObject counter;
+  server_->ExportObject("counter", &counter);
+  std::vector<uint8_t> delta(8, 0);
+  delta[0] = 3;
+  InvokeStatus status = InvokeStatus::kTransportError;
+  client_->Call("counter", "add", delta, [&](InvokeStatus s, std::vector<uint8_t> r) {
+    status = s;
+    EXPECT_EQ(r.size(), 8u);
+  });
+  sim_.Run();
+  EXPECT_EQ(status, InvokeStatus::kOk);
+  EXPECT_EQ(counter.value(), 3);
+  EXPECT_EQ(server_->calls_served(), 1);
+  EXPECT_EQ(client_->calls_completed(), 1);
+  EXPECT_GT(client_->latency().mean(), 0.0);
+}
+
+TEST_F(RpcFixture, UnknownObjectAndMethod) {
+  EchoObject echo;
+  server_->ExportObject("echo", &echo);
+  InvokeStatus s1 = InvokeStatus::kOk;
+  client_->Call("missing", "echo", {}, [&](InvokeStatus s, std::vector<uint8_t>) { s1 = s; });
+  InvokeStatus s2 = InvokeStatus::kOk;
+  client_->Call("echo", "missing", {}, [&](InvokeStatus s, std::vector<uint8_t>) { s2 = s; });
+  sim_.Run();
+  EXPECT_EQ(s1, InvokeStatus::kNoSuchObject);
+  EXPECT_EQ(s2, InvokeStatus::kNoSuchMethod);
+}
+
+TEST_F(RpcFixture, PipelinedCallsMatchReplies) {
+  EchoObject echo;
+  server_->ExportObject("echo", &echo);
+  std::vector<int> results;
+  for (int i = 0; i < 10; ++i) {
+    client_->Call("echo", "echo", {static_cast<uint8_t>(i)},
+                  [&results](InvokeStatus s, std::vector<uint8_t> r) {
+                    EXPECT_EQ(s, InvokeStatus::kOk);
+                    results.push_back(r.empty() ? -1 : r[0]);
+                  });
+  }
+  sim_.Run();
+  ASSERT_EQ(results.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST_F(RpcFixture, LookupAnswersExportState) {
+  EchoObject echo;
+  server_->ExportObject("present", &echo);
+  bool found_present = false;
+  bool found_missing = true;
+  client_->Lookup("present", [&](bool f) { found_present = f; });
+  client_->Lookup("missing", [&](bool f) { found_missing = f; });
+  sim_.Run();
+  EXPECT_TRUE(found_present);
+  EXPECT_FALSE(found_missing);
+  EXPECT_EQ(server_->lookup_calls(), 2);
+}
+
+TEST_F(RpcFixture, RemoteNameSpaceMountResolvesAndInvokes) {
+  // The full §4 flow: resolve a name across a mount to a remote server,
+  // receive a maillon whose first invocation travels by RPC.
+  CounterObject counter;
+  server_->ExportObject("svc/counter", &counter);
+  NameSpace local("proc");
+  local.Mount("global/fs", std::make_shared<RemoteNameSpaceConnection>(client_.get()));
+
+  std::optional<ObjectHandle> handle;
+  local.Resolve("global/fs/svc/counter",
+                [&](std::optional<ObjectHandle> h) { handle = std::move(h); });
+  sim_.Run();
+  ASSERT_TRUE(handle.has_value());
+  std::vector<uint8_t> delta(8, 0);
+  delta[0] = 9;
+  handle->Invoke("add", delta, [](InvokeStatus s, std::vector<uint8_t>) {
+    EXPECT_EQ(s, InvokeStatus::kOk);
+  });
+  sim_.Run();
+  EXPECT_EQ(counter.value(), 9);
+  EXPECT_EQ(handle->kind(), "remote-procedure-call");
+}
+
+TEST_F(RpcFixture, HandlePassingCreatesRemoteConnection) {
+  // "Passing an object handle for a local object to a remote process has the
+  // side effect of creating a connection through which the object can be
+  // invoked remotely": exporting is that side effect; the remote party then
+  // builds a RemotePath from the wire name.
+  EchoObject echo;
+  server_->ExportObject("passed/echo", &echo);
+  ObjectHandle imported(ObjectRef{0}, [this](ObjectRef) {
+    return std::make_shared<RemotePath>(client_.get(), "passed/echo");
+  });
+  InvokeStatus status = InvokeStatus::kTransportError;
+  imported.Invoke("echo", {42}, [&](InvokeStatus s, std::vector<uint8_t> r) {
+    status = s;
+    EXPECT_EQ(r, (std::vector<uint8_t>{42}));
+  });
+  sim_.Run();
+  EXPECT_EQ(status, InvokeStatus::kOk);
+  EXPECT_EQ(echo.calls(), 1);
+}
+
+}  // namespace
+}  // namespace pegasus::naming

@@ -1,0 +1,366 @@
+// Tests for events, IPC, activations, KPS and user-level threads (§3.2–3.5).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/nemesis/atropos.h"
+#include "src/nemesis/baseline_schedulers.h"
+#include "src/nemesis/kernel.h"
+#include "src/nemesis/threads.h"
+#include "src/nemesis/workloads.h"
+#include "src/sim/event_queue.h"
+
+namespace pegasus::nemesis {
+namespace {
+
+using sim::Microseconds;
+using sim::Milliseconds;
+using sim::Seconds;
+
+std::unique_ptr<Kernel> MakeKernel(sim::Simulator* sim, KernelCosts costs = KernelCosts::Zero()) {
+  return std::make_unique<Kernel>(sim, std::make_unique<AtroposScheduler>(1.0), costs);
+}
+
+TEST(EventTest, EventsAreCountedNotValued) {
+  sim::Simulator sim;
+  auto kernel = MakeKernel(&sim);
+  BatchDomain src("src", QosParams::BestEffort());
+  ServerDomain dst("dst", QosParams::BestEffort(), Microseconds(10));
+  ASSERT_TRUE(kernel->AddDomain(&src));
+  ASSERT_TRUE(kernel->AddDomain(&dst));
+  EventChannel* ch = kernel->CreateChannel(&src, &dst, /*synchronous=*/false);
+  int delivered = 0;
+  ch->set_closure([&](sim::TimeNs, sim::TimeNs) { ++delivered; });
+  kernel->Start();
+  kernel->SendEvent(ch);
+  kernel->SendEvent(ch);
+  sim.RunUntil(Milliseconds(10));
+  EXPECT_EQ(ch->sent(), 2u);
+  EXPECT_EQ(ch->delivered(), 2u);
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(EventTest, PendingEventsDeliveredAtActivation) {
+  sim::Simulator sim;
+  auto kernel = MakeKernel(&sim);
+  // A guaranteed hog occupies the CPU; the destination only gets activated
+  // when the hog's slice allows, so delivery latency > 0 but bounded by the
+  // scheduler, not by the sender.
+  BatchDomain hog("hog", QosParams::Guaranteed(Milliseconds(50), Milliseconds(100)));
+  ServerDomain dst("dst", QosParams::Guaranteed(Milliseconds(10), Milliseconds(100)),
+                   Microseconds(10));
+  ASSERT_TRUE(kernel->AddDomain(&hog));
+  ASSERT_TRUE(kernel->AddDomain(&dst));
+  EventChannel* ch = kernel->CreateChannel(nullptr, &dst, false);
+  kernel->Start();
+  sim.RunUntil(Milliseconds(1));
+  kernel->RaiseInterrupt(ch);
+  sim.RunUntil(Milliseconds(200));
+  EXPECT_EQ(ch->delivered(), 1u);
+  EXPECT_EQ(dst.dib().activation_count, 1u);
+}
+
+TEST(IpcTest, RoundTripCompletes) {
+  sim::Simulator sim;
+  auto kernel = MakeKernel(&sim);
+  ClientDomain client(&sim, "client", QosParams::Guaranteed(Milliseconds(10), Milliseconds(50)),
+                      Microseconds(50), /*total_calls=*/100);
+  ServerDomain server("server", QosParams::Guaranteed(Milliseconds(10), Milliseconds(50)),
+                      Microseconds(100));
+  ASSERT_TRUE(kernel->AddDomain(&client));
+  ASSERT_TRUE(kernel->AddDomain(&server));
+  IpcChannel* ch = kernel->CreateIpcChannel(&client, &server, 16, 64, /*synchronous=*/true);
+  client.BindChannel(ch);
+  server.BindChannel(ch);
+  kernel->Start();
+  sim.RunUntil(Seconds(5));
+  EXPECT_EQ(client.calls_completed(), 100);
+  EXPECT_EQ(server.requests_served(), 100);
+  EXPECT_GT(client.round_trip().mean(), 0.0);
+}
+
+TEST(IpcTest, SynchronousCallsAreFasterThanAsynchronous) {
+  // §3.4: "lowest latency for a client/server interaction will be achieved
+  // by the client and server implementing the synchronous form".
+  auto run = [](bool synchronous) {
+    sim::Simulator sim;
+    auto kernel = MakeKernel(&sim);
+    // The client has 500us of post-send bookkeeping and the earlier EDF
+    // deadline: with asynchronous signalling it finishes the bookkeeping
+    // before the server runs; with synchronous signalling the send donates
+    // the processor to the server at once.
+    ClientDomain client(&sim, "client", QosParams::Guaranteed(Milliseconds(10), Milliseconds(50)),
+                        Microseconds(50), 200, /*think_time=*/0,
+                        /*post_send_work=*/Microseconds(500));
+    ServerDomain server("server", QosParams::Guaranteed(Milliseconds(20), Milliseconds(100)),
+                        Microseconds(100));
+    BatchDomain hog("hog", QosParams::BestEffort());
+    EXPECT_TRUE(kernel->AddDomain(&client));
+    EXPECT_TRUE(kernel->AddDomain(&server));
+    EXPECT_TRUE(kernel->AddDomain(&hog));
+    IpcChannel* ch = kernel->CreateIpcChannel(&client, &server, 16, 64, synchronous);
+    client.BindChannel(ch);
+    server.BindChannel(ch);
+    kernel->Start();
+    sim.RunUntil(Seconds(10));
+    EXPECT_EQ(client.calls_completed(), 200);
+    return client.round_trip().mean();
+  };
+  const double sync_rtt = run(true);
+  const double async_rtt = run(false);
+  // The asynchronous path pays the client's bookkeeping before the server
+  // gets the CPU; the synchronous path does not.
+  EXPECT_LT(sync_rtt + 4e5, async_rtt);
+}
+
+TEST(IpcTest, QueueFullRejectsSend) {
+  sim::Simulator sim;
+  auto kernel = MakeKernel(&sim);
+  BatchDomain client("client", QosParams::BestEffort());
+  BatchDomain server("server", QosParams::BestEffort());
+  ASSERT_TRUE(kernel->AddDomain(&client));
+  ASSERT_TRUE(kernel->AddDomain(&server));
+  IpcChannel* ch = kernel->CreateIpcChannel(&client, &server, 2, 16, false);
+  EXPECT_TRUE(ch->SendRequest({1}));
+  EXPECT_TRUE(ch->SendRequest({2}));
+  EXPECT_FALSE(ch->SendRequest({3}));  // ring full
+  EXPECT_TRUE(ch->ReceiveRequest().has_value());
+  EXPECT_TRUE(ch->SendRequest({3}));  // slot freed
+}
+
+TEST(IpcTest, OversizeMessageRejected) {
+  sim::Simulator sim;
+  auto kernel = MakeKernel(&sim);
+  BatchDomain client("client", QosParams::BestEffort());
+  BatchDomain server("server", QosParams::BestEffort());
+  ASSERT_TRUE(kernel->AddDomain(&client));
+  ASSERT_TRUE(kernel->AddDomain(&server));
+  IpcChannel* ch = kernel->CreateIpcChannel(&client, &server, 2, 8, false);
+  EXPECT_FALSE(ch->SendRequest(std::vector<uint8_t>(9)));
+  EXPECT_TRUE(ch->SendRequest(std::vector<uint8_t>(8)));
+}
+
+TEST(IpcTest, MessagesTransitSharedMemoryIntact) {
+  sim::Simulator sim;
+  auto kernel = MakeKernel(&sim);
+  BatchDomain client("client", QosParams::BestEffort());
+  BatchDomain server("server", QosParams::BestEffort());
+  ASSERT_TRUE(kernel->AddDomain(&client));
+  ASSERT_TRUE(kernel->AddDomain(&server));
+  IpcChannel* ch = kernel->CreateIpcChannel(&client, &server, 4, 64, false);
+  std::vector<uint8_t> msg{0xDE, 0xAD, 0xBE, 0xEF};
+  ASSERT_TRUE(ch->SendRequest(msg));
+  auto got = ch->ReceiveRequest();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, msg);
+  // And no protection faults occurred: rights were set up correctly.
+  EXPECT_EQ(client.pdom().faults(), 0u);
+  EXPECT_EQ(server.pdom().faults(), 0u);
+}
+
+TEST(ActivationTest, ActivationCountsAndUpcalls) {
+  sim::Simulator sim;
+  auto kernel = MakeKernel(&sim);
+  PeriodicDomain media(&sim, "media", QosParams::Guaranteed(Milliseconds(10), Milliseconds(40)),
+                       Milliseconds(5), Milliseconds(40));
+  BatchDomain hog("hog", QosParams::BestEffort());
+  ASSERT_TRUE(kernel->AddDomain(&media));
+  ASSERT_TRUE(kernel->AddDomain(&hog));
+  kernel->Start();
+  sim.RunUntil(Seconds(1));
+  // The media domain was activated roughly once per period (each job release
+  // follows an idle gap, so the CPU had been given away in between).
+  EXPECT_GE(media.dib().activation_count, 20u);
+  EXPECT_GT(kernel->context_switches(), 40u);
+}
+
+TEST(KpsTest, InterruptsDeferredDuringPrivilegedSection) {
+  sim::Simulator sim;
+  auto kernel = MakeKernel(&sim);
+  // A monolithic driver whose entire 5ms item runs privileged.
+  DriverDomain drv("drv", QosParams::Guaranteed(Milliseconds(50), Milliseconds(100)),
+                   DriverDomain::Mode::kMonolithic, Milliseconds(4), Milliseconds(1));
+  ServerDomain other("other", QosParams::BestEffort(), Microseconds(1));
+  ASSERT_TRUE(kernel->AddDomain(&drv));
+  ASSERT_TRUE(kernel->AddDomain(&other));
+  EventChannel* work = kernel->CreateChannel(nullptr, &drv, false);
+  drv.BindInterruptChannel(work);
+  EventChannel* ping = kernel->CreateChannel(nullptr, &other, false);
+  kernel->Start();
+  // Give the driver an item, then raise an unrelated interrupt mid-item.
+  kernel->RaiseInterrupt(work);
+  sim.RunUntil(Milliseconds(2));  // inside the privileged item
+  kernel->RaiseInterrupt(ping);
+  sim.RunUntil(Milliseconds(100));
+  ASSERT_EQ(kernel->interrupt_latency().count(), 2);
+  // The second interrupt waited for the privileged section to end: ~3ms.
+  EXPECT_GT(kernel->interrupt_latency().max(), 2.5e6);
+}
+
+TEST(KpsTest, ShortSectionsKeepInterruptLatencyLow) {
+  sim::Simulator sim;
+  auto kernel = MakeKernel(&sim);
+  DriverDomain drv("drv", QosParams::Guaranteed(Milliseconds(50), Milliseconds(100)),
+                   DriverDomain::Mode::kKps, Milliseconds(4), Microseconds(100));
+  ServerDomain other("other", QosParams::BestEffort(), Microseconds(1));
+  ASSERT_TRUE(kernel->AddDomain(&drv));
+  ASSERT_TRUE(kernel->AddDomain(&other));
+  EventChannel* work = kernel->CreateChannel(nullptr, &drv, false);
+  drv.BindInterruptChannel(work);
+  EventChannel* ping = kernel->CreateChannel(nullptr, &other, false);
+  kernel->Start();
+  kernel->RaiseInterrupt(work);
+  sim.RunUntil(Milliseconds(2));  // inside the *unprivileged* part now
+  kernel->RaiseInterrupt(ping);
+  sim.RunUntil(Milliseconds(100));
+  // Delivered immediately: the bulk of the item is preemptible.
+  EXPECT_LT(kernel->interrupt_latency().max(), 1e5);
+  EXPECT_EQ(drv.items_done(), 1);
+}
+
+TEST(DemuxTest, AsyncDemuxDrainsQueueInOneActivation) {
+  sim::Simulator sim;
+  auto kernel = MakeKernel(&sim);
+  DemuxDomain demux("demux", QosParams::Guaranteed(Milliseconds(20), Milliseconds(100)),
+                    Microseconds(20));
+  ServerDomain client("client", QosParams::BestEffort(), Microseconds(5));
+  ASSERT_TRUE(kernel->AddDomain(&demux));
+  ASSERT_TRUE(kernel->AddDomain(&client));
+  EventChannel* packets = kernel->CreateChannel(nullptr, &demux, false);
+  demux.BindPacketChannel(packets);
+  demux.AddClientChannel(kernel->CreateChannel(&demux, &client, /*synchronous=*/false));
+  kernel->Start();
+  for (int i = 0; i < 50; ++i) {
+    kernel->RaiseInterrupt(packets);
+  }
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(demux.packets_processed(), 50);
+  // Async signalling: the demux never yielded between packets, so it needed
+  // very few activations to drain the burst.
+  EXPECT_LE(demux.dib().activation_count, 3u);
+}
+
+TEST(ActivationTest, DisabledActivationsSuppressUpcalls) {
+  // §3.2: activations can be masked; events then pend in the DIB without
+  // upcalls until re-enabled (a critical-section mechanism for the ULS).
+  sim::Simulator sim;
+  auto kernel = MakeKernel(&sim);
+  ServerDomain dst("dst", QosParams::BestEffort(), Microseconds(10));
+  ASSERT_TRUE(kernel->AddDomain(&dst));
+  dst.dib().activations_enabled = false;
+  EventChannel* ch = kernel->CreateChannel(nullptr, &dst, false);
+  kernel->Start();
+  kernel->RaiseInterrupt(ch);
+  sim.RunUntil(Milliseconds(50));
+  // The event pends but is never delivered.
+  EXPECT_EQ(ch->delivered(), 0u);
+  EXPECT_EQ(dst.dib().pending_events.size(), 1u);
+  // Re-enable: the next scheduling pass delivers it.
+  dst.dib().activations_enabled = true;
+  kernel->NotifyWork(&dst);
+  sim.RunUntil(Milliseconds(100));
+  EXPECT_EQ(ch->delivered(), 1u);
+}
+
+TEST(KernelTest, RemoveDomainLeavesCleanState) {
+  sim::Simulator sim;
+  auto kernel = MakeKernel(&sim);
+  BatchDomain a("a", QosParams::Guaranteed(Milliseconds(10), Milliseconds(100)));
+  BatchDomain b("b", QosParams::BestEffort());
+  ASSERT_TRUE(kernel->AddDomain(&a));
+  ASSERT_TRUE(kernel->AddDomain(&b));
+  kernel->Start();
+  sim.RunUntil(Milliseconds(500));
+  EXPECT_GT(a.cpu_total(), 0);
+  // Remove `a` at the first instant it is off the CPU.
+  bool removed = false;
+  sim.RunUntilPredicate([&]() {
+    if (!removed && kernel->running() != &a) {
+      kernel->RemoveDomain(&a);
+      removed = true;
+    }
+    return removed;
+  });
+  const auto a_cpu = a.cpu_total();
+  sim.RunUntil(sim.now() + Milliseconds(500));
+  // The removed domain accrues nothing further; b absorbs the machine.
+  EXPECT_EQ(a.cpu_total(), a_cpu);
+  EXPECT_GT(b.cpu_total(), 0);
+}
+
+TEST(KernelTest, GuaranteesHoldWithRealisticKernelCosts) {
+  // With non-zero context-switch/activation costs and admission headroom,
+  // the media domain still misses nothing (costs are charged to its slice).
+  sim::Simulator sim;
+  auto kernel = std::make_unique<Kernel>(&sim, std::make_unique<AtroposScheduler>(0.95),
+                                         KernelCosts{});
+  PeriodicDomain media(&sim, "media", QosParams::Guaranteed(Milliseconds(10), Milliseconds(40)),
+                       Milliseconds(8), Milliseconds(40));
+  BatchDomain hog("hog", QosParams::BestEffort());
+  ASSERT_TRUE(kernel->AddDomain(&media));
+  ASSERT_TRUE(kernel->AddDomain(&hog));
+  kernel->Start();
+  sim.RunUntil(Seconds(10));
+  EXPECT_GT(media.jobs_completed(), 240);
+  EXPECT_EQ(media.deadline_misses(), 0);
+}
+
+TEST(UlsTest, BlockedThreadDoesNotStallSiblings) {
+  sim::Simulator sim;
+  auto kernel = MakeKernel(&sim);
+  // 4 threads, 1ms compute + 3ms I/O each: with a user-level scheduler the
+  // domain overlaps one thread's I/O with siblings' compute.
+  UlsDomain uls(&sim, "uls", QosParams::Guaranteed(Milliseconds(50), Milliseconds(100)), 4,
+                Milliseconds(1), Milliseconds(3));
+  BatchDomain hog("hog", QosParams::BestEffort());
+  ASSERT_TRUE(kernel->AddDomain(&uls));
+  ASSERT_TRUE(kernel->AddDomain(&hog));
+  kernel->Start();
+  sim.RunUntil(Seconds(10));
+  // Perfect overlap: 4 threads * (1ms compute per 4ms cycle) saturates the
+  // 50% allocation? Each thread completes an item per 4ms when overlapped;
+  // the binding constraint is CPU: 50% of 10s = 5s CPU => 5000 items max;
+  // I/O overlap allows ~4 in flight, so expect thousands, not ~2500/4.
+  EXPECT_GT(uls.items_completed(), 3500);
+  EXPECT_GT(uls.user_switches(), 1000);
+}
+
+TEST(UlsTest, OutperformsKernelThreadBaselineUnderTimesharing) {
+  // E07 in miniature, under the quantum-forfeiting discipline the paper's
+  // complaint is about: when a kernel thread blocks, the processor goes to
+  // a thread belonging to another process and the application waits a full
+  // service rotation. The user-level scheduler instead switches to a sibling
+  // thread within the same quantum.
+  sim::Simulator sim;
+  auto kernel = std::make_unique<Kernel>(&sim, std::make_unique<RoundRobinScheduler>(),
+                                         KernelCosts::Zero());
+  // 1ms compute + 2ms I/O: four pipelined threads keep a CPU continuously
+  // busy, so the ULS can fill its whole quantum.
+  UlsDomain uls(&sim, "uls", QosParams::BestEffort(), 4, Milliseconds(1), Milliseconds(2));
+  std::vector<std::unique_ptr<IoThreadDomain>> kthreads;
+  for (int i = 0; i < 4; ++i) {
+    kthreads.push_back(std::make_unique<IoThreadDomain>(&sim, "kt" + std::to_string(i),
+                                                        QosParams::BestEffort(), Milliseconds(1),
+                                                        Milliseconds(2)));
+  }
+  ASSERT_TRUE(kernel->AddDomain(&uls));
+  for (auto& kt : kthreads) {
+    ASSERT_TRUE(kernel->AddDomain(kt.get()));
+  }
+  BatchDomain hog1("hog1", QosParams::BestEffort(), Milliseconds(10));
+  BatchDomain hog2("hog2", QosParams::BestEffort(), Milliseconds(10));
+  ASSERT_TRUE(kernel->AddDomain(&hog1));
+  ASSERT_TRUE(kernel->AddDomain(&hog2));
+  kernel->Start();
+  sim.RunUntil(Seconds(10));
+  int64_t kthread_items = 0;
+  for (auto& kt : kthreads) {
+    kthread_items += kt->items_completed();
+  }
+  // Per service rotation the ULS runs several threads back to back; each
+  // kernel thread runs 1ms then forfeits. Expect a clear win, not a tie.
+  EXPECT_GT(uls.items_completed(), kthread_items * 3 / 2);
+}
+
+}  // namespace
+}  // namespace pegasus::nemesis

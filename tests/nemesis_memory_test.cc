@@ -1,0 +1,129 @@
+// Unit tests for the single-address-space memory model (§3.1).
+#include <gtest/gtest.h>
+
+#include "src/nemesis/memory.h"
+
+namespace pegasus::nemesis {
+namespace {
+
+TEST(AddressSpaceTest, StretchesDoNotOverlap) {
+  AddressSpace space;
+  Stretch* a = space.AllocateStretch(4096);
+  Stretch* b = space.AllocateStretch(100);
+  Stretch* c = space.AllocateStretch(8192);
+  EXPECT_GE(b->base(), a->base() + a->size());
+  EXPECT_GE(c->base(), b->base() + b->size());
+}
+
+TEST(AddressSpaceTest, FindAndFree) {
+  AddressSpace space;
+  Stretch* s = space.AllocateStretch(128);
+  StretchId id = s->id();
+  EXPECT_EQ(space.Find(id), s);
+  EXPECT_TRUE(space.Free(id));
+  EXPECT_EQ(space.Find(id), nullptr);
+  EXPECT_FALSE(space.Free(id));
+}
+
+TEST(AddressSpaceTest, StretchAtResolvesInteriorAddresses) {
+  AddressSpace space;
+  Stretch* s = space.AllocateStretch(1000);
+  EXPECT_EQ(space.StretchAt(s->base()), s);
+  EXPECT_EQ(space.StretchAt(s->base() + 999), s);
+  EXPECT_EQ(space.StretchAt(s->base() + 1000), nullptr);
+}
+
+TEST(AddressSpaceTest, CodePlacementReusedForSameImage) {
+  AddressSpace space;
+  Stretch* first = space.AllocateCodeStretch("libmedia.so#v1", 4096);
+  EXPECT_TRUE(space.last_code_placement_reused());
+  const VirtAddr base = first->base();
+  space.Free(first->id());
+  // Re-executing the same image lands at the same address: the cached
+  // relocation result is valid again.
+  Stretch* second = space.AllocateCodeStretch("libmedia.so#v1", 4096);
+  EXPECT_TRUE(space.last_code_placement_reused());
+  EXPECT_EQ(second->base(), base);
+}
+
+TEST(AddressSpaceTest, CodePlacementUsesSparseTopBits) {
+  AddressSpace space;
+  Stretch* a = space.AllocateCodeStretch("app-a", 4096);
+  Stretch* b = space.AllocateCodeStretch("app-b", 4096);
+  // Different images land in different (hashed) slots in the code region.
+  EXPECT_NE(a->base() >> 32, b->base() >> 32);
+  EXPECT_NE(a->base(), b->base());
+}
+
+TEST(AddressSpaceTest, LiveSlotForcesFallbackPlacement) {
+  AddressSpace space;
+  Stretch* a = space.AllocateCodeStretch("same-image", 4096);
+  // The image is still loaded; a second instance cannot share the slot.
+  Stretch* b = space.AllocateCodeStretch("same-image", 4096);
+  EXPECT_FALSE(space.last_code_placement_reused());
+  EXPECT_NE(a->base(), b->base());
+}
+
+TEST(ProtectionDomainTest, RightsEnforced) {
+  AddressSpace space;
+  Stretch* s = space.AllocateStretch(64);
+  ProtectionDomain writer("writer");
+  ProtectionDomain reader("reader");
+  ProtectionDomain stranger("stranger");
+  writer.Grant(s, AccessRights::ReadWrite());
+  reader.Grant(s, AccessRights::ReadOnly());
+
+  uint8_t data[4] = {1, 2, 3, 4};
+  EXPECT_TRUE(writer.Write(s, s->base(), data, 4));
+  uint8_t out[4] = {};
+  EXPECT_TRUE(reader.Read(s, s->base(), out, 4));
+  EXPECT_EQ(out[3], 4);
+
+  // The sink of a unidirectional channel cannot write...
+  EXPECT_FALSE(reader.Write(s, s->base(), data, 4));
+  EXPECT_EQ(reader.faults(), 1u);
+  // ...and an unrelated domain can do nothing at all.
+  EXPECT_FALSE(stranger.Read(s, s->base(), out, 4));
+  EXPECT_FALSE(stranger.Write(s, s->base(), data, 4));
+  EXPECT_EQ(stranger.faults(), 2u);
+}
+
+TEST(ProtectionDomainTest, OutOfBoundsAccessFaults) {
+  AddressSpace space;
+  Stretch* s = space.AllocateStretch(16);
+  ProtectionDomain d("d");
+  d.Grant(s, AccessRights::ReadWrite());
+  uint8_t buf[8] = {};
+  EXPECT_FALSE(d.Read(s, s->base() + 12, buf, 8));  // crosses the end
+  EXPECT_FALSE(d.Write(s, s->base() - 1, buf, 1));  // before the start
+  EXPECT_EQ(d.faults(), 2u);
+}
+
+TEST(ProtectionDomainTest, RevokeRemovesAccess) {
+  AddressSpace space;
+  Stretch* s = space.AllocateStretch(16);
+  ProtectionDomain d("d");
+  d.Grant(s, AccessRights::ReadOnly());
+  uint8_t b = 0;
+  EXPECT_TRUE(d.Read(s, s->base(), &b, 1));
+  d.Revoke(s);
+  EXPECT_FALSE(d.Read(s, s->base(), &b, 1));
+}
+
+TEST(ProtectionDomainTest, SharedSegmentVisibleToBoth) {
+  // §3.1: "objects may be shared in shared read/write segments".
+  AddressSpace space;
+  Stretch* s = space.AllocateStretch(8);
+  ProtectionDomain d1("d1");
+  ProtectionDomain d2("d2");
+  d1.Grant(s, AccessRights::ReadWrite());
+  d2.Grant(s, AccessRights::ReadWrite());
+  uint8_t v = 42;
+  EXPECT_TRUE(d1.Write(s, s->base() + 3, &v, 1));
+  uint8_t out = 0;
+  EXPECT_TRUE(d2.Read(s, s->base() + 3, &out, 1));
+  EXPECT_EQ(out, 42);  // same backing bytes: one address space
+}
+
+}  // namespace
+}  // namespace pegasus::nemesis

@@ -1,0 +1,341 @@
+// Scheduler tests: share+EDF guarantees, baselines, preemption, QoS manager.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/nemesis/atropos.h"
+#include "src/nemesis/baseline_schedulers.h"
+#include "src/nemesis/kernel.h"
+#include "src/nemesis/qos_manager.h"
+#include "src/nemesis/workloads.h"
+#include "src/sim/event_queue.h"
+
+namespace pegasus::nemesis {
+namespace {
+
+using sim::Milliseconds;
+using sim::Seconds;
+
+std::unique_ptr<Kernel> MakeAtroposKernel(sim::Simulator* sim, double capacity = 1.0) {
+  return std::make_unique<Kernel>(sim, std::make_unique<AtroposScheduler>(capacity),
+                                  KernelCosts::Zero());
+}
+
+TEST(AtroposTest, AdmissionControlEnforcesCapacity) {
+  sim::Simulator sim;
+  auto kernel = MakeAtroposKernel(&sim);
+  BatchDomain a("a", QosParams::Guaranteed(Milliseconds(60), Milliseconds(100)));
+  BatchDomain b("b", QosParams::Guaranteed(Milliseconds(50), Milliseconds(100)));
+  EXPECT_TRUE(kernel->AddDomain(&a));
+  EXPECT_FALSE(kernel->AddDomain(&b));  // 0.6 + 0.5 > 1.0
+  BatchDomain c("c", QosParams::Guaranteed(Milliseconds(40), Milliseconds(100)));
+  EXPECT_TRUE(kernel->AddDomain(&c));  // 0.6 + 0.4 fits exactly
+  EXPECT_NEAR(kernel->scheduler()->AdmittedUtilization(), 1.0, 1e-9);
+}
+
+TEST(AtroposTest, InvalidContractsRejected) {
+  sim::Simulator sim;
+  auto kernel = MakeAtroposKernel(&sim);
+  BatchDomain neg("neg", QosParams{-1, Milliseconds(10), true});
+  EXPECT_FALSE(kernel->AddDomain(&neg));
+  BatchDomain zero_period("zp", QosParams{1, 0, true});
+  EXPECT_FALSE(kernel->AddDomain(&zero_period));
+}
+
+TEST(AtroposTest, GuaranteedSharesDeliveredExactly) {
+  sim::Simulator sim;
+  auto kernel = MakeAtroposKernel(&sim);
+  // Two greedy domains with different contracts plus one best-effort hog.
+  BatchDomain a("a", QosParams::Guaranteed(Milliseconds(30), Milliseconds(100), false));
+  BatchDomain b("b", QosParams::Guaranteed(Milliseconds(20), Milliseconds(50), false));
+  BatchDomain hog("hog", QosParams::BestEffort());
+  ASSERT_TRUE(kernel->AddDomain(&a));
+  ASSERT_TRUE(kernel->AddDomain(&b));
+  ASSERT_TRUE(kernel->AddDomain(&hog));
+  kernel->Start();
+  sim.RunUntil(Seconds(10));
+  // a: 30% of 10s = 3s; b: 40% = 4s; hog gets the remaining 30%.
+  EXPECT_NEAR(static_cast<double>(a.cpu_guaranteed()), 3e9, 1e9 * 0.001);
+  EXPECT_NEAR(static_cast<double>(b.cpu_guaranteed()), 4e9, 1e9 * 0.001);
+  EXPECT_NEAR(static_cast<double>(hog.cpu_total()), 3e9, 1e9 * 0.01);
+}
+
+TEST(AtroposTest, ExtraTimeSharedAmongOptIns) {
+  sim::Simulator sim;
+  auto kernel = MakeAtroposKernel(&sim);
+  // One guaranteed domain that also wants slack, one pure best-effort.
+  BatchDomain g("g", QosParams::Guaranteed(Milliseconds(20), Milliseconds(100), true));
+  BatchDomain be("be", QosParams::BestEffort());
+  ASSERT_TRUE(kernel->AddDomain(&g));
+  ASSERT_TRUE(kernel->AddDomain(&be));
+  kernel->Start();
+  sim.RunUntil(Seconds(10));
+  // Guarantee honoured...
+  EXPECT_NEAR(static_cast<double>(g.cpu_guaranteed()), 2e9, 2e7);
+  // ...and the remaining 80% split evenly between the two slack consumers.
+  EXPECT_NEAR(static_cast<double>(g.cpu_extra()), 4e9, 2e8);
+  EXPECT_NEAR(static_cast<double>(be.cpu_total()), 4e9, 2e8);
+}
+
+TEST(AtroposTest, NoExtraTimeDomainStopsAtSlice) {
+  sim::Simulator sim;
+  auto kernel = MakeAtroposKernel(&sim);
+  BatchDomain g("g", QosParams::Guaranteed(Milliseconds(10), Milliseconds(100), false));
+  ASSERT_TRUE(kernel->AddDomain(&g));
+  kernel->Start();
+  sim.RunUntil(Seconds(1));
+  EXPECT_NEAR(static_cast<double>(g.cpu_total()), 1e8, 1e6);
+  EXPECT_EQ(g.cpu_extra(), 0);
+  // CPU idles 90% of the time even though g has work: its contract says no
+  // extra time.
+  EXPECT_NEAR(static_cast<double>(kernel->idle_time()), 9e8, 1e7);
+}
+
+TEST(AtroposTest, EdfMeetsAllDeadlinesAtFullUtilisation) {
+  sim::Simulator sim;
+  auto kernel = MakeAtroposKernel(&sim);
+  // Three periodic media domains with harmonically unrelated periods filling
+  // 95% of the CPU; EDF should miss nothing when slices cover the work.
+  PeriodicDomain v1(&sim, "video-25fps", QosParams::Guaranteed(Milliseconds(16), Milliseconds(40)),
+                    Milliseconds(15), Milliseconds(40));
+  PeriodicDomain v2(&sim, "video-30fps",
+                    QosParams::Guaranteed(Milliseconds(11), sim::Microseconds(33'333)),
+                    Milliseconds(10), sim::Microseconds(33'333));
+  PeriodicDomain au(&sim, "audio", QosParams::Guaranteed(Milliseconds(2), Milliseconds(8)),
+                    sim::Microseconds(1'800), Milliseconds(8));
+  ASSERT_TRUE(kernel->AddDomain(&v1));
+  ASSERT_TRUE(kernel->AddDomain(&v2));
+  ASSERT_TRUE(kernel->AddDomain(&au));
+  kernel->Start();
+  sim.RunUntil(Seconds(20));
+  EXPECT_GT(v1.jobs_completed(), 490);
+  EXPECT_EQ(v1.deadline_misses(), 0);
+  EXPECT_EQ(v2.deadline_misses(), 0);
+  EXPECT_EQ(au.deadline_misses(), 0);
+}
+
+TEST(AtroposTest, MediaDomainUnaffectedByLoad) {
+  // The E04 claim in miniature: a guaranteed media domain sees the same
+  // completion latency with and without ten competing batch domains.
+  auto run = [](int n_hogs) {
+    sim::Simulator sim;
+    auto kernel = MakeAtroposKernel(&sim);
+    PeriodicDomain media(&sim, "media", QosParams::Guaranteed(Milliseconds(10), Milliseconds(40)),
+                         Milliseconds(8), Milliseconds(40));
+    EXPECT_TRUE(kernel->AddDomain(&media));
+    std::vector<std::unique_ptr<BatchDomain>> hogs;
+    for (int i = 0; i < n_hogs; ++i) {
+      hogs.push_back(std::make_unique<BatchDomain>("hog" + std::to_string(i),
+                                                   QosParams::BestEffort()));
+      EXPECT_TRUE(kernel->AddDomain(hogs.back().get()));
+    }
+    kernel->Start();
+    sim.RunUntil(Seconds(10));
+    EXPECT_EQ(media.deadline_misses(), 0);
+    return media.completion_latency().mean();
+  };
+  const double unloaded = run(0);
+  const double loaded = run(10);
+  // Within 20%: load may only shift completions inside the period.
+  EXPECT_LT(std::abs(loaded - unloaded) / unloaded, 0.2);
+}
+
+TEST(AtroposTest, RemoveDomainFreesItsShare) {
+  sim::Simulator sim;
+  auto kernel = MakeAtroposKernel(&sim);
+  BatchDomain a("a", QosParams::Guaranteed(Milliseconds(60), Milliseconds(100)));
+  ASSERT_TRUE(kernel->AddDomain(&a));
+  BatchDomain b("b", QosParams::Guaranteed(Milliseconds(50), Milliseconds(100)));
+  EXPECT_FALSE(kernel->AddDomain(&b));
+  kernel->RemoveDomain(&a);
+  EXPECT_TRUE(kernel->AddDomain(&b));
+}
+
+TEST(AtroposTest, UpdateQosRespectsCapacity) {
+  sim::Simulator sim;
+  auto kernel = MakeAtroposKernel(&sim);
+  BatchDomain a("a", QosParams::Guaranteed(Milliseconds(40), Milliseconds(100)));
+  BatchDomain b("b", QosParams::Guaranteed(Milliseconds(40), Milliseconds(100)));
+  ASSERT_TRUE(kernel->AddDomain(&a));
+  ASSERT_TRUE(kernel->AddDomain(&b));
+  // Growing a to 70% would exceed capacity with b at 40%.
+  EXPECT_FALSE(kernel->UpdateQos(&a, QosParams::Guaranteed(Milliseconds(70), Milliseconds(100))));
+  // Shrinking b makes room.
+  EXPECT_TRUE(kernel->UpdateQos(&b, QosParams::Guaranteed(Milliseconds(20), Milliseconds(100))));
+  EXPECT_TRUE(kernel->UpdateQos(&a, QosParams::Guaranteed(Milliseconds(70), Milliseconds(100))));
+  EXPECT_EQ(a.qos().slice, Milliseconds(70));
+}
+
+TEST(AtroposTest, UpdatedShareTakesEffect) {
+  sim::Simulator sim;
+  auto kernel = MakeAtroposKernel(&sim);
+  BatchDomain a("a", QosParams::Guaranteed(Milliseconds(20), Milliseconds(100), false));
+  BatchDomain hog("hog", QosParams::BestEffort());
+  ASSERT_TRUE(kernel->AddDomain(&a));
+  ASSERT_TRUE(kernel->AddDomain(&hog));
+  kernel->Start();
+  sim.RunUntil(Seconds(5));
+  const auto at_5s = a.cpu_guaranteed();
+  EXPECT_NEAR(static_cast<double>(at_5s), 1e9, 2e7);
+  ASSERT_TRUE(kernel->UpdateQos(&a, QosParams::Guaranteed(Milliseconds(50), Milliseconds(100),
+                                                          false)));
+  sim.RunUntil(Seconds(10));
+  // Second half at 50%: 2.5s more.
+  EXPECT_NEAR(static_cast<double>(a.cpu_guaranteed() - at_5s), 2.5e9, 1e8);
+}
+
+TEST(RoundRobinTest, SplitsCpuEvenly) {
+  sim::Simulator sim;
+  auto kernel = std::make_unique<Kernel>(&sim, std::make_unique<RoundRobinScheduler>(),
+                                         KernelCosts::Zero());
+  BatchDomain a("a", QosParams::BestEffort());
+  BatchDomain b("b", QosParams::BestEffort());
+  BatchDomain c("c", QosParams::BestEffort());
+  ASSERT_TRUE(kernel->AddDomain(&a));
+  ASSERT_TRUE(kernel->AddDomain(&b));
+  ASSERT_TRUE(kernel->AddDomain(&c));
+  kernel->Start();
+  sim.RunUntil(Seconds(9));
+  EXPECT_NEAR(static_cast<double>(a.cpu_total()), 3e9, 1e8);
+  EXPECT_NEAR(static_cast<double>(b.cpu_total()), 3e9, 1e8);
+  EXPECT_NEAR(static_cast<double>(c.cpu_total()), 3e9, 1e8);
+}
+
+TEST(RoundRobinTest, MediaMissesDeadlinesUnderLoad) {
+  // The negative result motivating the paper: timesharing cannot protect a
+  // media domain from background load.
+  sim::Simulator sim;
+  auto kernel = std::make_unique<Kernel>(&sim, std::make_unique<RoundRobinScheduler>(),
+                                         KernelCosts::Zero());
+  PeriodicDomain media(&sim, "media", QosParams::BestEffort(), Milliseconds(8), Milliseconds(40));
+  ASSERT_TRUE(kernel->AddDomain(&media));
+  std::vector<std::unique_ptr<BatchDomain>> hogs;
+  for (int i = 0; i < 10; ++i) {
+    // Hogs that consume their full 10ms quantum per service turn.
+    hogs.push_back(std::make_unique<BatchDomain>("hog" + std::to_string(i),
+                                                 QosParams::BestEffort(), Milliseconds(10)));
+    ASSERT_TRUE(kernel->AddDomain(hogs.back().get()));
+  }
+  kernel->Start();
+  sim.RunUntil(Seconds(10));
+  // With 11 domains sharing via 10ms quanta, an 8ms job in a 40ms period is
+  // hopeless: most deadlines are blown.
+  EXPECT_GT(media.deadline_misses(), media.jobs_completed() / 2);
+}
+
+TEST(PriorityTest, HigherPriorityPreempts) {
+  sim::Simulator sim;
+  auto sched = std::make_unique<PriorityScheduler>();
+  PriorityScheduler* sp = sched.get();
+  auto kernel = std::make_unique<Kernel>(&sim, std::move(sched), KernelCosts::Zero());
+  BatchDomain lo("lo", QosParams::BestEffort());
+  PeriodicDomain hi(&sim, "hi", QosParams::BestEffort(), Milliseconds(5), Milliseconds(20));
+  sp->SetPriority(&lo, 1);
+  sp->SetPriority(&hi, 10);
+  ASSERT_TRUE(kernel->AddDomain(&lo));
+  ASSERT_TRUE(kernel->AddDomain(&hi));
+  kernel->Start();
+  sim.RunUntil(Seconds(2));
+  // hi runs the moment its job is released: zero misses, latency == cost.
+  EXPECT_EQ(hi.deadline_misses(), 0);
+  EXPECT_NEAR(hi.completion_latency().mean(), 5e6, 1e4);
+  // lo got the rest.
+  EXPECT_NEAR(static_cast<double>(lo.cpu_total()), 1.5e9, 1e8);
+}
+
+TEST(PriorityTest, PriorityInversionStarvesMedia) {
+  // If the media domain is NOT the highest priority, a single higher hog
+  // starves it completely — priorities don't compose like contracts do.
+  sim::Simulator sim;
+  auto sched = std::make_unique<PriorityScheduler>();
+  PriorityScheduler* sp = sched.get();
+  auto kernel = std::make_unique<Kernel>(&sim, std::move(sched), KernelCosts::Zero());
+  PeriodicDomain media(&sim, "media", QosParams::BestEffort(), Milliseconds(8), Milliseconds(40));
+  BatchDomain hog("hog", QosParams::BestEffort());
+  sp->SetPriority(&media, 5);
+  sp->SetPriority(&hog, 9);
+  ASSERT_TRUE(kernel->AddDomain(&media));
+  ASSERT_TRUE(kernel->AddDomain(&hog));
+  kernel->Start();
+  sim.RunUntil(Seconds(2));
+  EXPECT_EQ(media.jobs_completed(), 0);
+}
+
+TEST(QosManagerTest, WeightsDriveShares) {
+  sim::Simulator sim;
+  auto kernel = MakeAtroposKernel(&sim);
+  QosManagerDomain::Options opts;
+  opts.target_utilization = 0.8;
+  opts.reclaim_unused = false;
+  opts.smoothing = 1.0;
+  QosManagerDomain mgr(&sim, "qosmgr",
+                       QosParams::Guaranteed(sim::Microseconds(500), Milliseconds(50)), opts);
+  BatchDomain a("a", QosParams::Guaranteed(Milliseconds(1), Milliseconds(100)));
+  BatchDomain b("b", QosParams::Guaranteed(Milliseconds(1), Milliseconds(100)));
+  ASSERT_TRUE(kernel->AddDomain(&mgr));
+  ASSERT_TRUE(kernel->AddDomain(&a));
+  ASSERT_TRUE(kernel->AddDomain(&b));
+  // Both ask for everything; a has 3x b's weight.
+  mgr.Register(&a, 3.0, QosParams::Guaranteed(Milliseconds(100), Milliseconds(100)));
+  mgr.Register(&b, 1.0, QosParams::Guaranteed(Milliseconds(100), Milliseconds(100)));
+  kernel->Start();
+  sim.RunUntil(Seconds(5));
+  EXPECT_GT(mgr.reviews(), 5);
+  EXPECT_NEAR(mgr.GrantedUtilization(&a), 0.6, 0.02);
+  EXPECT_NEAR(mgr.GrantedUtilization(&b), 0.2, 0.02);
+}
+
+TEST(QosManagerTest, DepartureReleasesShareToRemaining) {
+  sim::Simulator sim;
+  auto kernel = MakeAtroposKernel(&sim);
+  QosManagerDomain::Options opts;
+  opts.target_utilization = 0.8;
+  opts.reclaim_unused = false;
+  QosManagerDomain mgr(&sim, "qosmgr",
+                       QosParams::Guaranteed(sim::Microseconds(500), Milliseconds(50)), opts);
+  BatchDomain a("a", QosParams::Guaranteed(Milliseconds(1), Milliseconds(100)));
+  BatchDomain b("b", QosParams::Guaranteed(Milliseconds(1), Milliseconds(100)));
+  ASSERT_TRUE(kernel->AddDomain(&mgr));
+  ASSERT_TRUE(kernel->AddDomain(&a));
+  ASSERT_TRUE(kernel->AddDomain(&b));
+  mgr.Register(&a, 1.0, QosParams::Guaranteed(Milliseconds(100), Milliseconds(100)));
+  mgr.Register(&b, 1.0, QosParams::Guaranteed(Milliseconds(100), Milliseconds(100)));
+  kernel->Start();
+  sim.RunUntil(Seconds(5));
+  EXPECT_NEAR(mgr.GrantedUtilization(&a), 0.4, 0.02);
+  // b leaves; a should converge to the whole target.
+  mgr.Unregister(&b);
+  kernel->RemoveDomain(&b);
+  sim.RunUntil(Seconds(15));
+  EXPECT_NEAR(mgr.GrantedUtilization(&a), 0.8, 0.02);
+}
+
+TEST(QosManagerTest, ReclaimsUnusedAllocation) {
+  sim::Simulator sim;
+  auto kernel = MakeAtroposKernel(&sim);
+  QosManagerDomain::Options opts;
+  opts.target_utilization = 0.9;
+  opts.reclaim_unused = true;
+  QosManagerDomain mgr(&sim, "qosmgr",
+                       QosParams::Guaranteed(sim::Microseconds(500), Milliseconds(50)), opts);
+  // `idle` asks for 50% but only ever uses ~5% (1ms job per 20ms period);
+  // `greedy` can use everything it gets.
+  PeriodicDomain idle(&sim, "idle", QosParams::Guaranteed(Milliseconds(10), Milliseconds(20)),
+                      Milliseconds(1), Milliseconds(20));
+  BatchDomain greedy("greedy", QosParams::Guaranteed(Milliseconds(1), Milliseconds(100)));
+  ASSERT_TRUE(kernel->AddDomain(&mgr));
+  ASSERT_TRUE(kernel->AddDomain(&idle));
+  ASSERT_TRUE(kernel->AddDomain(&greedy));
+  mgr.Register(&idle, 1.0, QosParams::Guaranteed(Milliseconds(10), Milliseconds(20)));
+  mgr.Register(&greedy, 1.0, QosParams::Guaranteed(Milliseconds(90), Milliseconds(100)));
+  kernel->Start();
+  sim.RunUntil(Seconds(20));
+  // The idle domain's grant shrinks towards observed usage; greedy absorbs it.
+  EXPECT_LT(mgr.GrantedUtilization(&idle), 0.15);
+  EXPECT_GT(mgr.GrantedUtilization(&greedy), 0.7);
+  // And the idle domain still meets its deadlines with the trimmed share.
+  EXPECT_EQ(idle.deadline_misses(), 0);
+}
+
+}  // namespace
+}  // namespace pegasus::nemesis

@@ -1,0 +1,527 @@
+// Tests for the Pegasus file-server core layer, cleaner, failure model,
+// client agent and continuous-media streams (§5).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/pfs/client.h"
+#include "src/pfs/server.h"
+#include "src/sim/event_queue.h"
+
+namespace pegasus::pfs {
+namespace {
+
+using sim::Milliseconds;
+using sim::Seconds;
+
+PfsConfig TestConfig() {
+  PfsConfig cfg;
+  cfg.segment_size = 64 << 10;
+  cfg.block_size = 8 << 10;
+  cfg.geometry.capacity_bytes = 64 << 20;
+  cfg.write_back_delay = Seconds(30);
+  return cfg;
+}
+
+std::vector<uint8_t> Pattern(int64_t len, uint8_t seed) {
+  std::vector<uint8_t> v(static_cast<size_t>(len));
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<uint8_t>(seed + i * 13);
+  }
+  return v;
+}
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  ServerFixture() : server_(&sim_, TestConfig()) {}
+
+  // Convenience synchronous wrappers (they pump the simulator).
+  bool WriteSync(FileId f, int64_t off, std::vector<uint8_t> data) {
+    bool result = false;
+    bool done = false;
+    server_.Write(f, off, std::move(data), [&](bool ok) {
+      result = ok;
+      done = true;
+    });
+    sim_.RunUntilPredicate([&]() { return done; });
+    return result;
+  }
+
+  std::pair<bool, std::vector<uint8_t>> ReadSync(FileId f, int64_t off, int64_t len) {
+    std::pair<bool, std::vector<uint8_t>> out{false, {}};
+    bool done = false;
+    server_.Read(f, off, len, [&](bool ok, std::vector<uint8_t> data) {
+      out = {ok, std::move(data)};
+      done = true;
+    });
+    sim_.RunUntilPredicate([&]() { return done; });
+    return out;
+  }
+
+  void SyncAll() {
+    bool done = false;
+    server_.Sync([&]() { done = true; });
+    sim_.RunUntilPredicate([&]() { return done; });
+  }
+
+  void CheckpointSync() {
+    bool done = false;
+    server_.Checkpoint([&]() { done = true; });
+    sim_.RunUntilPredicate([&]() { return done; });
+  }
+
+  CleanStats CleanSync(bool full_scan = false) {
+    CleanStats stats;
+    bool done = false;
+    auto cb = [&](CleanStats s) {
+      stats = s;
+      done = true;
+    };
+    if (full_scan) {
+      server_.CleanFullScan(cb);
+    } else {
+      server_.Clean(cb);
+    }
+    sim_.RunUntilPredicate([&]() { return done; });
+    return stats;
+  }
+
+  sim::Simulator sim_;
+  PegasusFileServer server_;
+};
+
+TEST_F(ServerFixture, WriteReadRoundTripFromBuffer) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  auto data = Pattern(10000, 7);
+  EXPECT_TRUE(WriteSync(f, 0, data));
+  EXPECT_EQ(server_.FileSize(f), 10000);
+  auto [ok, got] = ReadSync(f, 0, 10000);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, data);
+  // Nothing has touched the disk yet: the data is in the open segment.
+  EXPECT_EQ(server_.segments_written(), 0);
+  EXPECT_GT(server_.buffered_bytes(), 0);
+}
+
+TEST_F(ServerFixture, WriteReadRoundTripFromDisk) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  auto data = Pattern(20000, 3);
+  EXPECT_TRUE(WriteSync(f, 0, data));
+  SyncAll();
+  EXPECT_EQ(server_.buffered_bytes(), 0);
+  EXPECT_GE(server_.segments_written(), 1);
+  auto [ok, got] = ReadSync(f, 0, 20000);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, data);
+}
+
+TEST_F(ServerFixture, UnalignedWritesAndReads) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  EXPECT_TRUE(WriteSync(f, 5000, Pattern(1000, 1)));
+  SyncAll();
+  // Read-modify-write against the on-disk block.
+  EXPECT_TRUE(WriteSync(f, 5500, Pattern(100, 9)));
+  auto [ok, got] = ReadSync(f, 4990, 1020);
+  EXPECT_TRUE(ok);
+  // Hole before 5000 reads zero.
+  EXPECT_EQ(got[0], 0);
+  EXPECT_EQ(got[9], 0);
+  EXPECT_EQ(got[10], Pattern(1000, 1)[0]);
+  // Overwritten region.
+  EXPECT_EQ(got[510], Pattern(100, 9)[0]);
+  // Tail of the original write survives the RMW (got[610] is file offset
+  // 5600, i.e. index 600 of the pattern written at 5000).
+  EXPECT_EQ(got[610], Pattern(1000, 1)[600]);
+}
+
+TEST_F(ServerFixture, HolesReadAsZeros) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  EXPECT_TRUE(WriteSync(f, 100 * 8192, Pattern(8192, 2)));
+  auto [ok, got] = ReadSync(f, 0, 8192);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, std::vector<uint8_t>(8192, 0));
+}
+
+TEST_F(ServerFixture, MemoryPressureFlushesOldestBlocks) {
+  // A small write buffer: the oldest segment's worth spills early even
+  // though the write-back window has not elapsed.
+  PfsConfig cfg = TestConfig();
+  cfg.max_buffered_bytes = 64 << 10;  // one segment of buffer
+  PegasusFileServer server(&sim_, cfg);
+  FileId f = server.CreateFile(FileType::kNormal);
+  bool done = false;
+  server.Write(f, 0, Pattern(16 * 8192, 4), [&](bool) { done = true; });
+  sim_.RunUntilPredicate([&]() { return done; });
+  sim_.RunUntil(sim_.now() + Seconds(1));
+  EXPECT_GE(server.segments_written(), 1);
+  // The young blocks are still buffered, awaiting the 30 s window.
+  EXPECT_GT(server.buffered_bytes(), 0);
+  EXPECT_LE(server.buffered_bytes(), cfg.max_buffered_bytes);
+}
+
+TEST_F(ServerFixture, DelayedWriteTimerFlushes) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  EXPECT_TRUE(WriteSync(f, 0, Pattern(100, 5)));
+  EXPECT_EQ(server_.segments_written(), 0);
+  sim_.RunUntil(sim_.now() + Seconds(31));
+  EXPECT_EQ(server_.segments_written(), 1);
+  EXPECT_EQ(server_.buffered_bytes(), 0);
+}
+
+TEST_F(ServerFixture, OverwriteBeforeFlushSavesDiskWrites) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(WriteSync(f, 0, Pattern(8192, static_cast<uint8_t>(i))));
+  }
+  SyncAll();
+  // Ten writes of the same block produced one disk block and no garbage:
+  // nine died in memory — the delayed-write benefit of §5.
+  EXPECT_EQ(server_.blocks_written_to_disk(), 1);
+  EXPECT_EQ(server_.blocks_died_in_buffer(), 9);
+  EXPECT_EQ(server_.garbage_bytes(), 0);
+}
+
+TEST_F(ServerFixture, OverwriteAfterFlushCreatesGarbage) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  EXPECT_TRUE(WriteSync(f, 0, Pattern(8192, 1)));
+  SyncAll();
+  EXPECT_TRUE(WriteSync(f, 0, Pattern(8192, 2)));
+  SyncAll();
+  EXPECT_EQ(server_.garbage_entries(), 1);
+  EXPECT_EQ(server_.garbage_bytes(), 8192);
+  // The fresh copy wins.
+  auto [ok, got] = ReadSync(f, 0, 8192);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, Pattern(8192, 2));
+}
+
+TEST_F(ServerFixture, DeleteCreatesGarbageAndRemovesFile) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  EXPECT_TRUE(WriteSync(f, 0, Pattern(3 * 8192, 1)));
+  SyncAll();
+  EXPECT_TRUE(server_.Delete(f));
+  EXPECT_EQ(server_.garbage_entries(), 3);
+  EXPECT_FALSE(server_.FileTypeOf(f).has_value());
+  auto [ok, got] = ReadSync(f, 0, 100);
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(ServerFixture, CleanerReclaimsDeletedSegments) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  EXPECT_TRUE(WriteSync(f, 0, Pattern(16 * 8192, 1)));  // two full segments
+  SyncAll();
+  const int64_t free_before = server_.free_segments();
+  server_.Delete(f);
+  CleanStats stats = CleanSync();
+  EXPECT_EQ(stats.entries_processed, 16);
+  EXPECT_EQ(stats.segments_cleaned, 2);
+  EXPECT_EQ(stats.live_bytes_copied, 0);  // fully dead: freed without copying
+  EXPECT_EQ(server_.free_segments(), free_before + 2);
+  EXPECT_EQ(server_.garbage_entries(), 0);  // garbage file truncated
+}
+
+TEST_F(ServerFixture, CleanerRelocatesLiveData) {
+  FileId dead = server_.CreateFile(FileType::kNormal);
+  FileId live = server_.CreateFile(FileType::kNormal);
+  // Interleave blocks of the two files so segments hold a mix.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(WriteSync(dead, i * 8192, Pattern(8192, 0xD0)));
+    EXPECT_TRUE(WriteSync(live, i * 8192, Pattern(8192, static_cast<uint8_t>(i))));
+  }
+  SyncAll();
+  server_.Delete(dead);
+  CleanStats stats = CleanSync();
+  EXPECT_GT(stats.live_bytes_copied, 0);
+  EXPECT_GT(stats.bytes_reclaimed, 0);
+  // The live file still reads back intact after relocation.
+  for (int i = 0; i < 8; ++i) {
+    auto [ok, got] = ReadSync(live, i * 8192, 8192);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(got, Pattern(8192, static_cast<uint8_t>(i)));
+  }
+  EXPECT_EQ(server_.garbage_entries(), 0);
+}
+
+TEST_F(ServerFixture, CleanerCostIndependentOfStoreSize) {
+  // The paper's scaling claim: the garbage-file cleaner touches only dirty
+  // segments, while the full-scan baseline examines every segment.
+  FileId f = server_.CreateFile(FileType::kNormal);
+  EXPECT_TRUE(WriteSync(f, 0, Pattern(8 * 8192, 1)));
+  SyncAll();
+  server_.Delete(f);
+  CleanStats garbage_file = CleanSync();
+  EXPECT_EQ(garbage_file.segments_examined, 1);
+
+  FileId g = server_.CreateFile(FileType::kNormal);
+  EXPECT_TRUE(WriteSync(g, 0, Pattern(8 * 8192, 2)));
+  SyncAll();
+  server_.Delete(g);
+  CleanStats full = CleanSync(/*full_scan=*/true);
+  // 64 MiB store at 16 KiB chunks = 4096 segments, all examined.
+  EXPECT_EQ(full.segments_examined, server_.total_segments());
+  EXPECT_GT(full.segments_examined, 1000);
+}
+
+TEST_F(ServerFixture, ConcurrentWritesDuringCleanSurvive) {
+  FileId dead = server_.CreateFile(FileType::kNormal);
+  FileId live = server_.CreateFile(FileType::kNormal);
+  EXPECT_TRUE(WriteSync(dead, 0, Pattern(8 * 8192, 1)));
+  EXPECT_TRUE(WriteSync(live, 0, Pattern(8 * 8192, 2)));
+  SyncAll();
+  server_.Delete(dead);
+  bool clean_done = false;
+  server_.Clean([&](CleanStats) { clean_done = true; });
+  // New work arrives while the cleaner runs.
+  bool write_done = false;
+  server_.Write(live, 8 * 8192, Pattern(8192, 3), [&](bool) { write_done = true; });
+  sim_.RunUntilPredicate([&]() { return clean_done && write_done; });
+  SyncAll();
+  auto [ok, got] = ReadSync(live, 8 * 8192, 8192);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, Pattern(8192, 3));
+  // Garbage created during the clean (none here) would stay after marker; at
+  // minimum the pre-clean garbage is gone.
+  EXPECT_EQ(server_.garbage_bytes(), 0);
+}
+
+TEST_F(ServerFixture, CrashLosesBufferedDataKeepsDurable) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  EXPECT_TRUE(WriteSync(f, 0, Pattern(8192, 1)));
+  SyncAll();  // durable + checkpointed
+  EXPECT_TRUE(WriteSync(f, 8192, Pattern(8192, 2)));  // only buffered
+  server_.Crash();
+  EXPECT_TRUE(server_.crashed());
+  bool recovered = false;
+  server_.Recover([&](bool ok) { recovered = ok; });
+  sim_.RunUntilPredicate([&]() { return recovered; });
+  auto [ok1, got1] = ReadSync(f, 0, 8192);
+  EXPECT_TRUE(ok1);
+  EXPECT_EQ(got1, Pattern(8192, 1));  // durable data survived
+  auto [ok2, got2] = ReadSync(f, 8192, 8192);
+  EXPECT_TRUE(ok2);
+  EXPECT_EQ(got2, std::vector<uint8_t>(8192, 0));  // buffered data lost
+}
+
+TEST_F(ServerFixture, PowerFailureWithUpsFlushesBuffers) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  EXPECT_TRUE(WriteSync(f, 0, Pattern(8192, 7)));
+  bool halted = false;
+  server_.PowerFailure(/*has_ups=*/true, [&]() { halted = true; });
+  sim_.RunUntilPredicate([&]() { return halted; });
+  bool recovered = false;
+  server_.Recover([&](bool ok) { recovered = ok; });
+  sim_.RunUntilPredicate([&]() { return recovered; });
+  auto [ok, got] = ReadSync(f, 0, 8192);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, Pattern(8192, 7));  // the UPS window saved the buffer
+}
+
+TEST_F(ServerFixture, PowerFailureWithoutUpsLosesBuffers) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  CheckpointSync();  // the file's existence is durable, its data is not
+  EXPECT_TRUE(WriteSync(f, 0, Pattern(8192, 7)));
+  bool halted = false;
+  server_.PowerFailure(/*has_ups=*/false, [&]() { halted = true; });
+  sim_.RunUntilPredicate([&]() { return halted; });
+  bool recovered = false;
+  server_.Recover([&](bool ok) { recovered = ok; });
+  sim_.RunUntilPredicate([&]() { return recovered; });
+  auto [ok, got] = ReadSync(f, 0, 8192);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, std::vector<uint8_t>(8192, 0));  // buffered data is gone
+}
+
+TEST_F(ServerFixture, StreamReservationAdmissionControl) {
+  FileId f = server_.CreateFile(FileType::kContinuous);
+  // Budget: 4 disks * 5 MiB/s * 0.8 = 16.78 MB/s.
+  EXPECT_TRUE(server_.ReserveStream(f, 10'000'000));
+  FileId g = server_.CreateFile(FileType::kContinuous);
+  EXPECT_FALSE(server_.ReserveStream(g, 10'000'000));
+  server_.ReleaseStream(f);
+  EXPECT_TRUE(server_.ReserveStream(g, 10'000'000));
+}
+
+TEST_F(ServerFixture, IndexLookupFindsNearestEntry) {
+  FileId f = server_.CreateFile(FileType::kContinuous);
+  EXPECT_TRUE(server_.AppendIndexEntry(f, Seconds(0), 0));
+  EXPECT_TRUE(server_.AppendIndexEntry(f, Seconds(1), 100000));
+  EXPECT_TRUE(server_.AppendIndexEntry(f, Seconds(2), 200000));
+  EXPECT_EQ(server_.LookupIndex(f, Seconds(1)), 100000);
+  EXPECT_EQ(server_.LookupIndex(f, Seconds(1) + Milliseconds(500)), 100000);
+  EXPECT_EQ(server_.LookupIndex(f, Seconds(5)), 200000);
+  EXPECT_FALSE(server_.LookupIndex(f, -1).has_value());
+  EXPECT_FALSE(server_.LookupIndex(9999, 0).has_value());
+}
+
+TEST_F(ServerFixture, StreamReaderDeliversAtRate) {
+  FileId f = server_.CreateFile(FileType::kContinuous);
+  // Half a megabyte of "video".
+  EXPECT_TRUE(WriteSync(f, 0, Pattern(512 << 10, 1)));
+  SyncAll();
+  int64_t bytes = 0;
+  StreamReader reader(&sim_, &server_, f, 64 << 10, Milliseconds(40),
+                      [&](bool ok, std::vector<uint8_t> data, sim::TimeNs) {
+                        EXPECT_TRUE(ok);
+                        bytes += static_cast<int64_t>(data.size());
+                      });
+  reader.Start();
+  sim_.RunUntil(sim_.now() + Seconds(2));
+  EXPECT_EQ(reader.chunks_delivered(), 8);  // 512K / 64K
+  EXPECT_EQ(bytes, 512 << 10);
+  EXPECT_EQ(reader.deadline_misses(), 0);
+}
+
+TEST_F(ServerFixture, StreamSeekViaIndex) {
+  FileId f = server_.CreateFile(FileType::kContinuous);
+  EXPECT_TRUE(WriteSync(f, 0, Pattern(256 << 10, 1)));
+  SyncAll();
+  // "Frame" index: 25 fps, 10 KiB per frame.
+  for (int i = 0; i < 25; ++i) {
+    server_.AppendIndexEntry(f, i * Milliseconds(40), i * 10240);
+  }
+  auto offset = server_.LookupIndex(f, Milliseconds(400));
+  ASSERT_TRUE(offset.has_value());
+  EXPECT_EQ(*offset, 10 * 10240);
+  std::vector<uint8_t> first_chunk;
+  StreamReader reader(&sim_, &server_, f, 10240, Milliseconds(40),
+                      [&](bool, std::vector<uint8_t> data, sim::TimeNs) {
+                        if (first_chunk.empty()) {
+                          first_chunk = std::move(data);
+                        }
+                      });
+  reader.Start(*offset);
+  sim_.RunUntil(sim_.now() + Milliseconds(200));
+  reader.Stop();
+  ASSERT_EQ(first_chunk.size(), 10240u);
+  EXPECT_EQ(first_chunk[0], Pattern(256 << 10, 1)[10 * 10240]);
+}
+
+class ClientFixture : public ServerFixture {
+ protected:
+  ClientFixture() : agent_(&sim_, &server_, ClientAgent::Options{}) {}
+
+  bool AgentWrite(FileId f, int64_t off, std::vector<uint8_t> data) {
+    bool result = false;
+    bool done = false;
+    agent_.Write(f, off, std::move(data), [&](bool ok) {
+      result = ok;
+      done = true;
+    });
+    sim_.RunUntilPredicate([&]() { return done; });
+    return result;
+  }
+
+  std::pair<bool, std::vector<uint8_t>> AgentRead(FileId f, int64_t off, int64_t len) {
+    std::pair<bool, std::vector<uint8_t>> out{false, {}};
+    bool done = false;
+    agent_.Read(f, off, len, [&](bool ok, std::vector<uint8_t> data) {
+      out = {ok, std::move(data)};
+      done = true;
+    });
+    sim_.RunUntilPredicate([&]() { return done; });
+    return out;
+  }
+
+  ClientAgent agent_;
+};
+
+TEST_F(ClientFixture, WriteAcksBeforeDurable) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  EXPECT_TRUE(AgentWrite(f, 0, Pattern(8192, 1)));
+  // Acked but not flushed: the agent still holds the safety copy.
+  EXPECT_EQ(agent_.unflushed_writes(), 1);
+  EXPECT_EQ(server_.segments_written(), 0);
+  SyncAll();
+  sim_.RunUntil(sim_.now() + Milliseconds(10));
+  // Durable notification released the copy.
+  EXPECT_EQ(agent_.unflushed_writes(), 0);
+}
+
+TEST_F(ClientFixture, ServerCrashThenResendPreservesData) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  CheckpointSync();  // file creation reaches the checkpoint
+  EXPECT_TRUE(AgentWrite(f, 0, Pattern(8192, 5)));
+  server_.Crash();
+  bool recovered = false;
+  server_.Recover([&](bool ok) { recovered = ok; });
+  sim_.RunUntilPredicate([&]() { return recovered; });
+  // The write was lost with the server's volatile buffer...
+  auto [ok0, got0] = ReadSync(f, 0, 8192);
+  EXPECT_TRUE(ok0);
+  EXPECT_EQ(got0, std::vector<uint8_t>(8192, 0));
+  // ...but the agent's copy survives the single-point failure.
+  bool resent = false;
+  agent_.ResendUnacknowledged([&]() { resent = true; });
+  sim_.RunUntilPredicate([&]() { return resent; });
+  EXPECT_GT(agent_.resends(), 0);
+  auto [ok, got] = ReadSync(f, 0, 8192);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, Pattern(8192, 5));
+}
+
+TEST_F(ClientFixture, ClientCrashServerCompletesWrite) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  EXPECT_TRUE(AgentWrite(f, 0, Pattern(8192, 6)));
+  // The client machine dies; the server already has the data and completes
+  // the write on its own.
+  agent_.ClientCrash();
+  EXPECT_EQ(agent_.unflushed_writes(), 0);
+  SyncAll();
+  auto [ok, got] = ReadSync(f, 0, 8192);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, Pattern(8192, 6));
+}
+
+TEST_F(ClientFixture, CacheServesRepeatedReads) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  EXPECT_TRUE(WriteSync(f, 0, Pattern(4 * 8192, 3)));
+  SyncAll();
+  auto first = AgentRead(f, 0, 4 * 8192);
+  EXPECT_TRUE(first.first);
+  const int64_t misses_after_first = agent_.cache().misses();
+  const sim::TimeNs t0 = sim_.now();
+  auto second = AgentRead(f, 0, 4 * 8192);
+  EXPECT_TRUE(second.first);
+  EXPECT_EQ(second.second, first.second);
+  EXPECT_EQ(agent_.cache().misses(), misses_after_first);  // pure cache hit
+  EXPECT_GT(agent_.cache().hits(), 0);
+  // And it was instantaneous: no network, no disk.
+  EXPECT_EQ(sim_.now(), t0);
+}
+
+TEST_F(ClientFixture, ContinuousFilesBypassCache) {
+  FileId f = server_.CreateFile(FileType::kContinuous);
+  EXPECT_TRUE(WriteSync(f, 0, Pattern(4 * 8192, 3)));
+  SyncAll();
+  AgentRead(f, 0, 4 * 8192);
+  AgentRead(f, 0, 4 * 8192);
+  EXPECT_EQ(agent_.cache().hits(), 0);  // §5: caching video is counterproductive
+  EXPECT_EQ(agent_.cache().size_bytes(), 0);
+}
+
+TEST(BlockCacheTest, LruEvictionOrder) {
+  BlockCache cache(3 * 100);
+  cache.Put(1, 0, std::vector<uint8_t>(100, 1));
+  cache.Put(1, 1, std::vector<uint8_t>(100, 2));
+  cache.Put(1, 2, std::vector<uint8_t>(100, 3));
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(cache.Get(1, 0, &out));  // touch block 0: block 1 is now LRU
+  cache.Put(1, 3, std::vector<uint8_t>(100, 4));
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_FALSE(cache.Get(1, 1, &out));  // evicted
+  EXPECT_TRUE(cache.Get(1, 0, &out));
+  EXPECT_TRUE(cache.Get(1, 3, &out));
+}
+
+TEST(BlockCacheTest, InvalidateFileRemovesAllItsBlocks) {
+  BlockCache cache(1000);
+  cache.Put(1, 0, std::vector<uint8_t>(100, 1));
+  cache.Put(2, 0, std::vector<uint8_t>(100, 2));
+  cache.InvalidateFile(1);
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(cache.Get(1, 0, &out));
+  EXPECT_TRUE(cache.Get(2, 0, &out));
+}
+
+}  // namespace
+}  // namespace pegasus::pfs

@@ -1,0 +1,239 @@
+// Tests for the v-node layer and disk rebuild (§5 extensions).
+#include <gtest/gtest.h>
+
+#include "src/pfs/server.h"
+#include "src/pfs/vnode.h"
+#include "src/sim/event_queue.h"
+
+namespace pegasus::pfs {
+namespace {
+
+using sim::Seconds;
+
+PfsConfig TestConfig() {
+  PfsConfig cfg;
+  cfg.segment_size = 64 << 10;
+  cfg.block_size = 8 << 10;
+  cfg.geometry.capacity_bytes = 64 << 20;
+  return cfg;
+}
+
+class VnodeFixture : public ::testing::Test {
+ protected:
+  VnodeFixture() : server_(&sim_, TestConfig()), vfs_(&server_) {}
+
+  bool WriteFd(VnodeLayer::Fd fd, const std::vector<uint8_t>& data) {
+    bool ok = false;
+    bool done = false;
+    vfs_.Write(fd, data, [&](bool k, int64_t) {
+      ok = k;
+      done = true;
+    });
+    sim_.RunUntilPredicate([&]() { return done; });
+    return ok;
+  }
+
+  std::pair<bool, std::vector<uint8_t>> ReadFd(VnodeLayer::Fd fd, int64_t len) {
+    std::pair<bool, std::vector<uint8_t>> out{false, {}};
+    bool done = false;
+    vfs_.Read(fd, len, [&](bool ok, std::vector<uint8_t> data) {
+      out = {ok, std::move(data)};
+      done = true;
+    });
+    sim_.RunUntilPredicate([&]() { return done; });
+    return out;
+  }
+
+  sim::Simulator sim_;
+  PegasusFileServer server_;
+  VnodeLayer vfs_;
+};
+
+TEST_F(VnodeFixture, CreateWriteReadThroughPaths) {
+  auto fd = vfs_.Create("home/user/notes.txt");
+  ASSERT_TRUE(fd.has_value());
+  std::vector<uint8_t> text{'h', 'e', 'l', 'l', 'o'};
+  EXPECT_TRUE(WriteFd(*fd, text));
+  EXPECT_EQ(vfs_.Tell(*fd), 5);
+  EXPECT_TRUE(vfs_.Close(*fd));
+
+  auto fd2 = vfs_.Open("home/user/notes.txt");
+  ASSERT_TRUE(fd2.has_value());
+  auto [ok, got] = ReadFd(*fd2, 100);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, text);  // read clamps at EOF
+  auto [ok2, got2] = ReadFd(*fd2, 100);
+  EXPECT_TRUE(ok2);
+  EXPECT_TRUE(got2.empty());  // at EOF
+}
+
+TEST_F(VnodeFixture, SequentialWritesAdvanceCursor) {
+  auto fd = vfs_.Create("log");
+  ASSERT_TRUE(fd.has_value());
+  EXPECT_TRUE(WriteFd(*fd, std::vector<uint8_t>(100, 1)));
+  EXPECT_TRUE(WriteFd(*fd, std::vector<uint8_t>(100, 2)));
+  vfs_.Seek(*fd, 0);
+  auto [ok, got] = ReadFd(*fd, 200);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(got[0], 1);
+  EXPECT_EQ(got[99], 1);
+  EXPECT_EQ(got[100], 2);
+  EXPECT_EQ(got[199], 2);
+}
+
+TEST_F(VnodeFixture, DirectoryOperations) {
+  EXPECT_TRUE(vfs_.Mkdir("a/b"));
+  EXPECT_FALSE(vfs_.Mkdir("a/b"));  // exists
+  ASSERT_TRUE(vfs_.Create("a/b/file1").has_value());
+  ASSERT_TRUE(vfs_.Create("a/b/file2").has_value());
+  auto names = vfs_.ReadDir("a/b");
+  ASSERT_TRUE(names.has_value());
+  EXPECT_EQ(*names, (std::vector<std::string>{"file1", "file2"}));
+  EXPECT_FALSE(vfs_.Rmdir("a/b"));  // not empty
+  EXPECT_TRUE(vfs_.Unlink("a/b/file1"));
+  EXPECT_TRUE(vfs_.Unlink("a/b/file2"));
+  EXPECT_TRUE(vfs_.Rmdir("a/b"));
+  EXPECT_FALSE(vfs_.ReadDir("a/b").has_value());
+}
+
+TEST_F(VnodeFixture, CreateRefusesDuplicatesAndOpenMissing) {
+  ASSERT_TRUE(vfs_.Create("x").has_value());
+  EXPECT_FALSE(vfs_.Create("x").has_value());
+  EXPECT_FALSE(vfs_.Open("missing").has_value());
+  EXPECT_FALSE(vfs_.Open("x/not-a-dir").has_value());
+}
+
+TEST_F(VnodeFixture, StatReportsSizeAndType) {
+  auto fd = vfs_.Create("media/clip", FileType::kContinuous);
+  ASSERT_TRUE(fd.has_value());
+  EXPECT_TRUE(WriteFd(*fd, std::vector<uint8_t>(12345, 7)));
+  auto st = vfs_.Stat("media/clip");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(st->size, 12345);
+  EXPECT_EQ(st->type, FileType::kContinuous);
+  EXPECT_FALSE(vfs_.Stat("media").has_value());  // directories have no stat here
+}
+
+TEST_F(VnodeFixture, RenameMovesAcrossDirectories) {
+  auto fd = vfs_.Create("tmp/draft");
+  ASSERT_TRUE(fd.has_value());
+  EXPECT_TRUE(WriteFd(*fd, {1, 2, 3}));
+  EXPECT_TRUE(vfs_.Rename("tmp/draft", "docs/final"));
+  EXPECT_FALSE(vfs_.Open("tmp/draft").has_value());
+  auto fd2 = vfs_.Open("docs/final");
+  ASSERT_TRUE(fd2.has_value());
+  auto [ok, got] = ReadFd(*fd2, 3);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, (std::vector<uint8_t>{1, 2, 3}));
+  // Renaming over an existing target is refused.
+  ASSERT_TRUE(vfs_.Create("docs/other").has_value());
+  EXPECT_FALSE(vfs_.Rename("docs/other", "docs/final"));
+}
+
+TEST_F(VnodeFixture, UnlinkDeletesBackingFile) {
+  auto fd = vfs_.Create("gone");
+  ASSERT_TRUE(fd.has_value());
+  EXPECT_TRUE(WriteFd(*fd, std::vector<uint8_t>(8192, 1)));
+  bool synced = false;
+  server_.Sync([&]() { synced = true; });
+  sim_.RunUntilPredicate([&]() { return synced; });
+  const auto st = vfs_.Stat("gone");
+  ASSERT_TRUE(st.has_value());
+  EXPECT_TRUE(vfs_.Unlink("gone"));
+  // The core-layer file is gone too: its blocks became garbage.
+  EXPECT_FALSE(server_.FileTypeOf(st->file).has_value());
+  EXPECT_GT(server_.garbage_bytes(), 0);
+}
+
+TEST_F(VnodeFixture, BadFdsFailGracefully) {
+  bool done = false;
+  vfs_.Write(99, {1}, [&](bool ok, int64_t n) {
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(n, 0);
+    done = true;
+  });
+  EXPECT_TRUE(done);  // bad-fd errors are synchronous
+  EXPECT_EQ(vfs_.Seek(99, 0), -1);
+  EXPECT_EQ(vfs_.Tell(99), -1);
+  EXPECT_FALSE(vfs_.Close(99));
+}
+
+class RebuildFixture : public ::testing::Test {
+ protected:
+  RebuildFixture() : server_(&sim_, TestConfig()) {}
+
+  sim::Simulator sim_;
+  PegasusFileServer server_;
+};
+
+TEST_F(RebuildFixture, RebuiltDiskRestoresRedundancy) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  std::vector<uint8_t> data(32 << 10);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 31);
+  }
+  bool done = false;
+  server_.Write(f, 0, data, [&](bool) { done = true; });
+  sim_.RunUntilPredicate([&]() { return done; });
+  bool synced = false;
+  server_.Sync([&]() { synced = true; });
+  sim_.RunUntilPredicate([&]() { return synced; });
+
+  // Disk 1 dies and is replaced by a blank drive.
+  server_.store().disk(1)->Fail();
+  server_.store().disk(1)->ReplaceBlank();
+  bool rebuilt = false;
+  bool rebuild_ok = false;
+  server_.RebuildDisk(1, [&](bool ok, int64_t segments) {
+    rebuild_ok = ok;
+    EXPECT_GE(segments, 1);
+    rebuilt = true;
+  });
+  sim_.RunUntilPredicate([&]() { return rebuilt; });
+  EXPECT_TRUE(rebuild_ok);
+
+  // Redundancy is restored: a *different* disk can now fail and the data
+  // still reads back (which requires disk 1's rebuilt content).
+  server_.store().disk(0)->Fail();
+  bool read_done = false;
+  server_.Read(f, 0, static_cast<int64_t>(data.size()),
+               [&](bool ok, std::vector<uint8_t> got) {
+                 EXPECT_TRUE(ok);
+                 EXPECT_EQ(got, data);
+                 read_done = true;
+               });
+  sim_.RunUntilPredicate([&]() { return read_done; });
+}
+
+TEST_F(RebuildFixture, ParityDiskRebuilds) {
+  FileId f = server_.CreateFile(FileType::kNormal);
+  bool done = false;
+  server_.Write(f, 0, std::vector<uint8_t>(16 << 10, 0xEE), [&](bool) { done = true; });
+  sim_.RunUntilPredicate([&]() { return done; });
+  bool synced = false;
+  server_.Sync([&]() { synced = true; });
+  sim_.RunUntilPredicate([&]() { return synced; });
+
+  const int parity = server_.config().num_data_disks;
+  server_.store().disk(parity)->Fail();
+  server_.store().disk(parity)->ReplaceBlank();
+  bool rebuilt = false;
+  server_.RebuildDisk(parity, [&](bool ok, int64_t) {
+    EXPECT_TRUE(ok);
+    rebuilt = true;
+  });
+  sim_.RunUntilPredicate([&]() { return rebuilt; });
+
+  // Parity works again: lose a data disk, data survives.
+  server_.store().disk(2)->Fail();
+  bool read_done = false;
+  server_.Read(f, 0, 16 << 10, [&](bool ok, std::vector<uint8_t> got) {
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(got, std::vector<uint8_t>(16 << 10, 0xEE));
+    read_done = true;
+  });
+  sim_.RunUntilPredicate([&]() { return read_done; });
+}
+
+}  // namespace
+}  // namespace pegasus::pfs

@@ -1,0 +1,454 @@
+// Property-style tests: invariants swept over parameter spaces with
+// TEST_P / INSTANTIATE_TEST_SUITE_P.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "src/atm/aal5.h"
+#include "src/atm/crc32.h"
+#include "src/atm/wire.h"
+#include "src/devices/compression.h"
+#include "src/devices/frame_source.h"
+#include "src/nemesis/atropos.h"
+#include "src/nemesis/kernel.h"
+#include "src/nemesis/workloads.h"
+#include "src/pfs/server.h"
+#include "src/pfs/stripe.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+
+namespace pegasus {
+namespace {
+
+using sim::Milliseconds;
+using sim::Seconds;
+
+// --- AAL5: any SDU size round-trips ---
+
+class Aal5SizeProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Aal5SizeProperty, RoundTripsAtAnySize) {
+  const size_t size = GetParam();
+  sim::Rng rng(size + 1);
+  std::vector<uint8_t> sdu(size);
+  for (auto& b : sdu) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  auto cells = atm::Aal5Segment(7, sdu);
+  ASSERT_FALSE(cells.empty());
+  // Exactly ceil((size + 8) / 48) cells.
+  EXPECT_EQ(cells.size(), (size + 8 + 47) / 48);
+  atm::Aal5Reassembler reasm;
+  std::optional<std::vector<uint8_t>> out;
+  for (const atm::Cell& c : cells) {
+    out = reasm.Push(c);
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, sdu);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Aal5SizeProperty,
+                         ::testing::Values(0, 1, 39, 40, 41, 47, 48, 49, 95, 96, 1000, 4096,
+                                           65535));
+
+// --- AAL5: a flipped bit anywhere is detected ---
+
+class Aal5CorruptionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(Aal5CorruptionProperty, AnySingleBitFlipIsDetected) {
+  const int flip_position = GetParam();
+  std::vector<uint8_t> sdu(500);
+  std::iota(sdu.begin(), sdu.end(), 0);
+  auto cells = atm::Aal5Segment(7, sdu);
+  const int cell_idx = flip_position / atm::kCellPayloadSize;
+  const int byte_idx = flip_position % atm::kCellPayloadSize;
+  ASSERT_LT(static_cast<size_t>(cell_idx), cells.size());
+  cells[static_cast<size_t>(cell_idx)].payload[static_cast<size_t>(byte_idx)] ^= 0x40;
+
+  atm::Aal5Reassembler reasm;
+  std::optional<std::vector<uint8_t>> out;
+  for (const atm::Cell& c : cells) {
+    out = reasm.Push(c);
+  }
+  // Either rejected outright, or (if the flip hit pad/trailer-length bytes in
+  // a way CRC catches) never equal to the original while accepted.
+  if (out.has_value()) {
+    EXPECT_NE(*out, sdu);
+  } else {
+    EXPECT_EQ(reasm.crc_errors() + reasm.length_errors(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FlipPositions, Aal5CorruptionProperty,
+                         ::testing::Values(0, 17, 48, 99, 200, 300, 433, 499, 505));
+
+// --- CRC32: incremental == whole, for any split point ---
+
+class CrcSplitProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CrcSplitProperty, SeedChainingMatchesWhole) {
+  std::vector<uint8_t> data(1024);
+  sim::Rng rng(99);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  const size_t split = GetParam();
+  const uint32_t whole = atm::Crc32(data.data(), data.size());
+  const uint32_t part =
+      atm::Crc32(data.data() + split, data.size() - split, atm::Crc32(data.data(), split));
+  EXPECT_EQ(whole, part);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, CrcSplitProperty,
+                         ::testing::Values(0, 1, 7, 64, 512, 1000, 1023, 1024));
+
+// --- Codec: round trip bounded error at any quality ---
+
+class CodecQualityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecQualityProperty, RoundTripWithinQualityBound) {
+  const int quality = GetParam();
+  dev::FrameSource source(64, 64, 0.2, 7);
+  dev::Frame frame = source.Render(3);
+  for (int ty = 0; ty < 64; ty += 16) {
+    dev::Tile tile = frame.ExtractTile(ty, ty);
+    auto compressed = dev::CompressTile(tile.data, quality);
+    auto restored = dev::DecompressTile(compressed);
+    ASSERT_TRUE(restored.has_value());
+    ASSERT_EQ(restored->size(), static_cast<size_t>(dev::kTilePixels));
+    double rmse = 0;
+    for (int i = 0; i < dev::kTilePixels; ++i) {
+      const double d = static_cast<double>((*restored)[static_cast<size_t>(i)]) -
+                       static_cast<double>(tile.data[static_cast<size_t>(i)]);
+      rmse += d * d;
+    }
+    rmse = std::sqrt(rmse / dev::kTilePixels);
+    // Higher quality must bound error tighter; even q=10 stays sane.
+    EXPECT_LT(rmse, quality >= 80 ? 11.0 : (quality >= 40 ? 17.0 : 40.0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, CodecQualityProperty,
+                         ::testing::Values(10, 25, 40, 60, 80, 95, 100));
+
+// --- Wire format: random message structures round-trip ---
+
+class WireProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireProperty, RandomMessagesRoundTrip) {
+  sim::Rng rng(GetParam());
+  atm::WireWriter w;
+  struct Op {
+    int kind;
+    uint64_t value;
+    std::string str;
+  };
+  std::vector<Op> ops;
+  const int n = static_cast<int>(rng.UniformInt(1, 30));
+  for (int i = 0; i < n; ++i) {
+    Op op;
+    op.kind = static_cast<int>(rng.UniformInt(0, 4));
+    op.value = rng.Next();
+    if (op.kind == 4) {
+      const auto len = static_cast<size_t>(rng.UniformInt(0, 100));
+      for (size_t j = 0; j < len; ++j) {
+        op.str.push_back(static_cast<char>('a' + rng.UniformInt(0, 25)));
+      }
+    }
+    ops.push_back(op);
+    switch (op.kind) {
+      case 0:
+        w.PutU8(static_cast<uint8_t>(op.value));
+        break;
+      case 1:
+        w.PutU16(static_cast<uint16_t>(op.value));
+        break;
+      case 2:
+        w.PutU32(static_cast<uint32_t>(op.value));
+        break;
+      case 3:
+        w.PutU64(op.value);
+        break;
+      case 4:
+        w.PutString(op.str);
+        break;
+    }
+  }
+  atm::WireReader r(w.data());
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case 0:
+        EXPECT_EQ(r.GetU8(), static_cast<uint8_t>(op.value));
+        break;
+      case 1:
+        EXPECT_EQ(r.GetU16(), static_cast<uint16_t>(op.value));
+        break;
+      case 2:
+        EXPECT_EQ(r.GetU32(), static_cast<uint32_t>(op.value));
+        break;
+      case 3:
+        EXPECT_EQ(r.GetU64(), op.value);
+        break;
+      case 4:
+        EXPECT_EQ(r.GetString(), op.str);
+        break;
+    }
+  }
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireProperty, ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+// --- Simulator: events always execute in nondecreasing time order ---
+
+class SimOrderProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimOrderProperty, RandomSchedulesExecuteInOrder) {
+  sim::Simulator sim;
+  sim::Rng rng(GetParam());
+  std::vector<sim::TimeNs> executed;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 500; ++i) {
+    const sim::TimeNs t = rng.UniformInt(0, 10'000);
+    ids.push_back(sim.ScheduleAt(t, [&executed, &sim]() { executed.push_back(sim.now()); }));
+  }
+  // Cancel a random subset.
+  int cancelled = 0;
+  for (size_t i = 0; i < ids.size(); i += 3) {
+    cancelled += sim.Cancel(ids[i]) ? 1 : 0;
+  }
+  sim.Run();
+  EXPECT_EQ(executed.size(), 500u - static_cast<size_t>(cancelled));
+  EXPECT_TRUE(std::is_sorted(executed.begin(), executed.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimOrderProperty, ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+// --- Stripe: reconstruction works whichever single disk dies ---
+
+class StripeFailureProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(StripeFailureProperty, AnySingleDiskIsRecoverable) {
+  const int victim = GetParam();
+  sim::Simulator sim;
+  pfs::DiskGeometry geom;
+  geom.capacity_bytes = 16 << 20;
+  pfs::StripeStore store(&sim, 4, 64 << 10, geom);
+  std::vector<uint8_t> data(64 << 10);
+  sim::Rng rng(5);
+  for (auto& b : data) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  store.WriteSegment(3, data, [](bool) {});
+  sim.Run();
+  store.disk(victim)->Fail();  // includes the parity disk (index 4)
+  std::vector<uint8_t> got;
+  bool ok = false;
+  store.ReadSegment(3, [&](bool k, std::vector<uint8_t> d) {
+    ok = k;
+    got = std::move(d);
+  });
+  sim.Run();
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(got, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Victims, StripeFailureProperty, ::testing::Range(0, 5));
+
+// --- Atropos: contracts delivered exactly, over a (slice, period) sweep ---
+
+struct Contract {
+  int64_t slice_ms;
+  int64_t period_ms;
+};
+
+class AtroposContractProperty : public ::testing::TestWithParam<Contract> {};
+
+TEST_P(AtroposContractProperty, GuaranteeDeliveredWithinTolerance) {
+  const Contract contract = GetParam();
+  sim::Simulator sim;
+  nemesis::Kernel kernel(&sim, std::make_unique<nemesis::AtroposScheduler>(1.0),
+                         nemesis::KernelCosts::Zero());
+  nemesis::BatchDomain subject("subject",
+                               nemesis::QosParams::Guaranteed(Milliseconds(contract.slice_ms),
+                                                              Milliseconds(contract.period_ms),
+                                                              false));
+  nemesis::BatchDomain hog1("hog1", nemesis::QosParams::BestEffort());
+  nemesis::BatchDomain hog2("hog2", nemesis::QosParams::BestEffort());
+  ASSERT_TRUE(kernel.AddDomain(&subject));
+  ASSERT_TRUE(kernel.AddDomain(&hog1));
+  ASSERT_TRUE(kernel.AddDomain(&hog2));
+  kernel.Start();
+  sim.RunUntil(Seconds(10));
+  const double expected = 10e9 * static_cast<double>(contract.slice_ms) /
+                          static_cast<double>(contract.period_ms);
+  EXPECT_NEAR(static_cast<double>(subject.cpu_guaranteed()), expected, expected * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Contracts, AtroposContractProperty,
+                         ::testing::Values(Contract{1, 10}, Contract{5, 10}, Contract{9, 10},
+                                           Contract{10, 100}, Contract{33, 100},
+                                           Contract{16, 40}, Contract{2, 8},
+                                           Contract{90, 100}),
+                         [](const ::testing::TestParamInfo<Contract>& param_info) {
+                           return std::to_string(param_info.param.slice_ms) + "per" +
+                                  std::to_string(param_info.param.period_ms);
+                         });
+
+// --- Atropos: N equal domains share the machine equally ---
+
+class FairShareProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairShareProperty, EqualContractsGetEqualService) {
+  const int n = GetParam();
+  sim::Simulator sim;
+  nemesis::Kernel kernel(&sim, std::make_unique<nemesis::AtroposScheduler>(1.0),
+                         nemesis::KernelCosts::Zero());
+  std::vector<std::unique_ptr<nemesis::BatchDomain>> domains;
+  for (int i = 0; i < n; ++i) {
+    domains.push_back(std::make_unique<nemesis::BatchDomain>(
+        "d" + std::to_string(i),
+        nemesis::QosParams::Guaranteed(Milliseconds(100 / n), Milliseconds(100), true)));
+    ASSERT_TRUE(kernel.AddDomain(domains.back().get()));
+  }
+  kernel.Start();
+  sim.RunUntil(Seconds(10));
+  for (auto& d : domains) {
+    EXPECT_NEAR(static_cast<double>(d->cpu_total()), 10e9 / n, 10e9 / n * 0.05) << d->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FairShareProperty, ::testing::Values(1, 2, 4, 5, 10));
+
+// --- PFS: random write/read sequences match a reference model ---
+
+class PfsRandomOpsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PfsRandomOpsProperty, MatchesReferenceModel) {
+  sim::Simulator sim;
+  pfs::PfsConfig cfg;
+  cfg.segment_size = 64 << 10;
+  cfg.block_size = 8 << 10;
+  cfg.geometry.capacity_bytes = 64 << 20;
+  cfg.write_back_delay = Seconds(5);
+  pfs::PegasusFileServer server(&sim, cfg);
+  sim::Rng rng(GetParam());
+
+  const pfs::FileId f = server.CreateFile(pfs::FileType::kNormal);
+  std::vector<uint8_t> reference(96 << 10, 0);  // the file's true contents
+  for (int op = 0; op < 40; ++op) {
+    const int64_t offset = rng.UniformInt(0, (80 << 10));
+    const int64_t len = rng.UniformInt(1, 16 << 10);
+    std::vector<uint8_t> data(static_cast<size_t>(len));
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    std::copy(data.begin(), data.end(), reference.begin() + offset);
+    bool done = false;
+    server.Write(f, offset, data, [&](bool ok) {
+      EXPECT_TRUE(ok);
+      done = true;
+    });
+    sim.RunUntilPredicate([&]() { return done; });
+    // Occasionally force everything to disk mid-sequence.
+    if (op % 13 == 12) {
+      bool synced = false;
+      server.Sync([&]() { synced = true; });
+      sim.RunUntilPredicate([&]() { return synced; });
+    }
+  }
+  bool synced = false;
+  server.Sync([&]() { synced = true; });
+  sim.RunUntilPredicate([&]() { return synced; });
+
+  // Read back in random chunks and compare with the reference.
+  for (int i = 0; i < 20; ++i) {
+    const int64_t offset = rng.UniformInt(0, (90 << 10));
+    const int64_t len = rng.UniformInt(1, 8 << 10);
+    bool done = false;
+    server.Read(f, offset, len, [&](bool ok, std::vector<uint8_t> got) {
+      ASSERT_TRUE(ok);
+      const std::vector<uint8_t> want(reference.begin() + offset,
+                                      reference.begin() + offset + len);
+      EXPECT_EQ(got, want) << "offset " << offset << " len " << len;
+      done = true;
+    });
+    sim.RunUntilPredicate([&]() { return done; });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PfsRandomOpsProperty, ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+// --- Cleaner: random delete patterns never lose live data ---
+
+class CleanerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CleanerProperty, LiveDataSurvivesCleaning) {
+  sim::Simulator sim;
+  pfs::PfsConfig cfg;
+  cfg.segment_size = 64 << 10;
+  cfg.block_size = 8 << 10;
+  cfg.geometry.capacity_bytes = 64 << 20;
+  cfg.write_back_delay = 0;
+  pfs::PegasusFileServer server(&sim, cfg);
+  sim::Rng rng(GetParam());
+
+  struct FileState {
+    pfs::FileId id;
+    uint8_t fill;
+    int64_t blocks;
+    bool alive = true;
+  };
+  std::vector<FileState> files;
+  for (int i = 0; i < 12; ++i) {
+    FileState fs;
+    fs.id = server.CreateFile(pfs::FileType::kNormal);
+    fs.fill = static_cast<uint8_t>(rng.UniformInt(1, 255));
+    fs.blocks = rng.UniformInt(1, 6);
+    bool done = false;
+    server.Write(fs.id, 0,
+                 std::vector<uint8_t>(static_cast<size_t>(fs.blocks) * 8192, fs.fill),
+                 [&](bool) { done = true; });
+    sim.RunUntilPredicate([&]() { return done; });
+    files.push_back(fs);
+  }
+  bool synced = false;
+  server.Sync([&]() { synced = true; });
+  sim.RunUntilPredicate([&]() { return synced; });
+
+  // Delete a random subset, clean, repeat.
+  for (int round = 0; round < 2; ++round) {
+    for (auto& fs : files) {
+      if (fs.alive && rng.Bernoulli(0.4)) {
+        EXPECT_TRUE(server.Delete(fs.id));
+        fs.alive = false;
+      }
+    }
+    bool cleaned = false;
+    server.Clean([&](pfs::CleanStats) { cleaned = true; });
+    sim.RunUntilPredicate([&]() { return cleaned; });
+  }
+  EXPECT_EQ(server.garbage_entries(), 0);
+
+  // Every surviving file reads back exactly.
+  for (const auto& fs : files) {
+    if (!fs.alive) {
+      continue;
+    }
+    bool done = false;
+    server.Read(fs.id, 0, fs.blocks * 8192, [&](bool ok, std::vector<uint8_t> got) {
+      ASSERT_TRUE(ok);
+      EXPECT_EQ(got, std::vector<uint8_t>(static_cast<size_t>(fs.blocks) * 8192, fs.fill));
+      done = true;
+    });
+    sim.RunUntilPredicate([&]() { return done; });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CleanerProperty, ::testing::Range(uint64_t{1}, uint64_t{11}));
+
+}  // namespace
+}  // namespace pegasus

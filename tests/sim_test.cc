@@ -1,0 +1,331 @@
+// Unit tests for the discrete-event simulation core.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+#include "src/sim/table.h"
+#include "src/sim/time.h"
+
+namespace pegasus::sim {
+namespace {
+
+TEST(TimeTest, Constructors) {
+  EXPECT_EQ(Nanoseconds(7), 7);
+  EXPECT_EQ(Microseconds(3), 3'000);
+  EXPECT_EQ(Milliseconds(2), 2'000'000);
+  EXPECT_EQ(Seconds(1), 1'000'000'000);
+}
+
+TEST(TimeTest, Accessors) {
+  EXPECT_EQ(ToMicroseconds(Microseconds(5)), 5);
+  EXPECT_EQ(ToMilliseconds(Milliseconds(9)), 9);
+  EXPECT_DOUBLE_EQ(ToSecondsF(Milliseconds(1500)), 1.5);
+}
+
+TEST(TimeTest, TransmissionTimeRoundsUp) {
+  // 53 bytes at 100 Mb/s = 4.24 us exactly.
+  EXPECT_EQ(TransmissionTime(53, 100'000'000), 4240);
+  // 1 byte at 3 bps doesn't divide evenly; must round up.
+  EXPECT_EQ(TransmissionTime(1, 3), (8 * 1'000'000'000LL + 2) / 3);
+}
+
+TEST(TimeTest, FormatDurationPicksUnits) {
+  EXPECT_EQ(FormatDuration(500), "500ns");
+  EXPECT_EQ(FormatDuration(Microseconds(38)), "38.0us");
+  EXPECT_EQ(FormatDuration(Milliseconds(33)), "33.0ms");
+  EXPECT_EQ(FormatDuration(Seconds(2)), "2.00s");
+  EXPECT_EQ(FormatDuration(-Milliseconds(1)), "-1.0ms");
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&]() { order.push_back(3); });
+  sim.ScheduleAt(10, [&]() { order.push_back(1); });
+  sim.ScheduleAt(20, [&]() { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i]() { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, PastTimesClampToNow) {
+  Simulator sim;
+  TimeNs seen = -1;
+  sim.ScheduleAt(100, [&]() {
+    sim.ScheduleAt(50, [&]() { seen = sim.now(); });  // in the past
+  });
+  sim.Run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.ScheduleAt(10, [&]() { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(SimulatorTest, CancelAfterRunReportsFalse) {
+  Simulator sim;
+  EventId id = sim.ScheduleAt(10, []() {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(EventId{}));  // invalid id
+  // The id already ran; cancelling is accepted but has no effect. We only
+  // guarantee no crash and no double-run.
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockExactly) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAt(10, [&]() { ++count; });
+  sim.ScheduleAt(20, [&]() { ++count; });
+  sim.ScheduleAt(30, [&]() { ++count; });
+  sim.RunUntil(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), 20);
+  sim.RunUntil(100);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, RunUntilPredicate) {
+  Simulator sim;
+  int count = 0;
+  for (int t = 1; t <= 100; ++t) {
+    sim.ScheduleAt(t, [&]() { ++count; });
+  }
+  EXPECT_TRUE(sim.RunUntilPredicate([&]() { return count == 42; }));
+  EXPECT_EQ(count, 42);
+  EXPECT_FALSE(sim.RunUntilPredicate([&]() { return count == 1000; }));
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 64) {
+      sim.ScheduleAfter(1, recurse);
+    }
+  };
+  sim.ScheduleAt(0, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 64);
+  EXPECT_EQ(sim.now(), 63);
+}
+
+TEST(SimulatorTest, PendingCountExcludesCancelled) {
+  Simulator sim;
+  EventId a = sim.ScheduleAt(1, []() {});
+  sim.ScheduleAt(2, []() {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    int64_t v = rng.UniformInt(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10'000; ++i) {
+    ++hits[static_cast<size_t>(rng.UniformInt(0, 9))];
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, 800);  // roughly uniform
+    EXPECT_LT(h, 1200);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(250.0);
+  }
+  EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+TEST(RngTest, BoundedParetoStaysBounded) {
+  Rng rng(13);
+  for (int i = 0; i < 10'000; ++i) {
+    double v = rng.BoundedPareto(1.1, 1.0, 1000.0);
+    EXPECT_GE(v, 0.999);
+    EXPECT_LE(v, 1000.001);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(17);
+  std::vector<int> hits(100, 0);
+  for (int i = 0; i < 50'000; ++i) {
+    ++hits[static_cast<size_t>(rng.Zipf(100, 0.9))];
+  }
+  EXPECT_GT(hits[0], hits[50] * 5);
+  EXPECT_GT(hits[0], hits[99] * 10);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int heads = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    heads += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(heads, 3000, 300);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(SummaryTest, BasicStatistics) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+}
+
+TEST(SummaryTest, EmptySummaryIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.Quantile(0.5), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryTest, QuantilesAreExact) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Quantile(0.01), 1.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 1.0);
+}
+
+TEST(SummaryTest, QuantileAfterIncrementalAdds) {
+  Summary s;
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 10.0);
+  s.Add(20.0);
+  s.Add(0.0);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 10.0);  // re-sorts after new samples
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(0.0, 100.0, 10);
+  h.Add(5.0);    // bucket 0
+  h.Add(15.0);   // bucket 1
+  h.Add(95.0);   // bucket 9
+  h.Add(-1.0);   // underflow
+  h.Add(100.0);  // overflow (hi is exclusive)
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.bucket_count(0), 1);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(9), 1);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(1), 20.0);
+}
+
+TEST(HistogramTest, ToStringMentionsNonEmptyBuckets) {
+  Histogram h(0.0, 10.0, 2);
+  h.Add(1.0);
+  std::string s = h.ToString("ms");
+  EXPECT_NE(s.find("ms"), std::string::npos);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"a", "long-header", "c"});
+  t.AddRow({"1", "2", "3"});
+  t.AddRow({"row-with-long-cell", "x"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("long-header"), std::string::npos);
+  EXPECT_NE(s.find("row-with-long-cell"), std::string::npos);
+  // Header + rule + 2 rows = 4 lines.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(TableTest, Formatters) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Int(1234), "1234");
+  EXPECT_EQ(Table::Factor(2.5), "2.5x");
+  EXPECT_EQ(Table::Percent(0.123), "12.3%");
+}
+
+}  // namespace
+}  // namespace pegasus::sim
