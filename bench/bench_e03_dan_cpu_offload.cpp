@@ -29,8 +29,8 @@ int main() {
     cfg.height = 120;
     dev::AtmCamera* camera = ws->AddCamera(cfg);
     dev::AtmDisplay* display = ws->AddDisplay(640, 480);
-    auto s = system.ConnectCameraToDisplay(ws, camera, ws, display, 0, 0);
-    camera->Start(s->source_data_vci);
+    auto s = system.BuildStream("dan").From(ws, camera).To(ws, display).WithWindow(0, 0).Open();
+    camera->Start(s.session->source_vci());
     sim.RunUntil(sim::Seconds(2));
     dan_median = display->tile_latency().Quantile(0.5);
     dan_p99 = display->tile_latency().Quantile(0.99);

@@ -4,11 +4,17 @@
 // not only in response to applications entering or leaving the system, but
 // also adaptively as applications modify their behaviour ... on a longer
 // time scale ... to smooth out short-term variations in load."
+//
+// The applications are media streams opened through the cross-layer stream
+// API: each admits a small initial CPU contract and registers its full
+// demand with the QoS manager, which grows the contracts toward weighted
+// shares — and re-divides them as streams enter and leave. Every grant
+// change surfaces through the sessions' degradation callbacks.
 #include "bench/bench_util.h"
+#include "src/core/system.h"
 #include "src/nemesis/atropos.h"
 #include "src/nemesis/kernel.h"
 #include "src/nemesis/qos_manager.h"
-#include "src/nemesis/workloads.h"
 
 using namespace pegasus;
 using nemesis::QosParams;
@@ -16,12 +22,17 @@ using sim::Milliseconds;
 using sim::Seconds;
 
 int main() {
-  bench::PrintHeader("E05", "QoS manager adaptation on application entry/exit",
-                     "weights re-computed as applications enter and leave, smoothed over a "
-                     "longer timescale than individual scheduling decisions");
+  bench::PrintHeader("E05", "QoS manager adaptation on stream entry/exit",
+                     "per-stream CPU contracts re-computed as streams enter and leave, "
+                     "smoothed over a longer timescale than individual scheduling decisions");
 
   sim::Simulator sim;
   nemesis::Kernel kernel(&sim, std::make_unique<nemesis::AtroposScheduler>(0.98));
+  core::PegasusSystem system(&sim);
+  core::Workstation* desk = system.AddWorkstation("desk");
+  desk->AttachKernel(&kernel);
+  dev::AtmDisplay* display = desk->AddDisplay(800, 600);
+
   nemesis::QosManagerDomain::Options opts;
   opts.epoch = Milliseconds(250);
   opts.target_utilization = 0.9;
@@ -32,24 +43,41 @@ int main() {
                                     opts);
   kernel.AddDomain(&manager);
 
-  // Three applications with different policy weights; b joins at t=10 s and
-  // leaves at t=25 s.
-  nemesis::BatchDomain a("editor (w=1)", QosParams::Guaranteed(Milliseconds(1), Milliseconds(100)));
-  nemesis::BatchDomain b("video (w=4)", QosParams::Guaranteed(Milliseconds(1), Milliseconds(100)));
-  nemesis::BatchDomain c("viz (w=2)", QosParams::Guaranteed(Milliseconds(1), Milliseconds(100)));
-  kernel.AddDomain(&a);
-  kernel.AddDomain(&c);
-  manager.Register(&a, 1.0, QosParams::Guaranteed(Milliseconds(100), Milliseconds(100)));
-  manager.Register(&c, 2.0, QosParams::Guaranteed(Milliseconds(100), Milliseconds(100)));
+  // Three applications as managed streams with different policy weights;
+  // each opens with a token 1% contract and asks the manager for everything.
+  int64_t grant_updates = 0;
+  auto open_stream = [&](const char* name, double weight) -> core::StreamSession* {
+    dev::AtmCamera::Config cfg;
+    cfg.width = 64;
+    cfg.height = 48;
+    dev::AtmCamera* cam = desk->AddCamera(cfg);
+    core::StreamSpec spec = core::StreamSpec::Video(25, 0);
+    spec.sink_cpu = QosParams::Guaranteed(Milliseconds(1), Milliseconds(100));
+    auto r = system.BuildStream(name)
+                 .From(desk, cam)
+                 .To(desk, display)
+                 .WithSpec(spec)
+                 .ManagedBy(&manager, weight)
+                 .RequestingSinkCpu(QosParams::Guaranteed(Milliseconds(100), Milliseconds(100)))
+                 .OnDegrade([&grant_updates](const core::QosContract&) { ++grant_updates; })
+                 .Open();
+    return r.report.ok() ? r.session : nullptr;
+  };
 
-  sim.ScheduleAt(Seconds(10), [&]() {
-    kernel.AddDomain(&b);
-    manager.Register(&b, 4.0, QosParams::Guaranteed(Milliseconds(100), Milliseconds(100)));
-  });
+  core::StreamSession* a = open_stream("editor (w=1)", 1.0);
+  core::StreamSession* c = open_stream("viz (w=2)", 2.0);
+  if (a == nullptr || c == nullptr) {
+    std::printf("stream admission failed\n");
+    return 1;
+  }
+  core::StreamSession* b = nullptr;
+  sim.ScheduleAt(Seconds(10), [&]() { b = open_stream("video (w=4)", 4.0); });
+  // The departing stream closes its whole session: the manager registration,
+  // the CPU contract and the VCs all go together.
   sim.ScheduleAt(Seconds(25), [&]() {
-    manager.Unregister(&b);
-    // The departing app gives its share back; zero its contract.
-    kernel.UpdateQos(&b, QosParams::BestEffort());
+    if (b != nullptr) {
+      b->Close();
+    }
   });
 
   kernel.Start();
@@ -58,17 +86,20 @@ int main() {
     sim.RunUntil(Seconds(t));
     const char* phase = t < 10 ? "a+c" : (t < 25 ? "a+b+c" : "a+c (b left)");
     table.AddRow({sim::Table::Int(t),
-                  sim::Table::Percent(manager.GrantedUtilization(&a)),
-                  sim::Table::Percent(manager.GrantedUtilization(&b)),
-                  sim::Table::Percent(manager.GrantedUtilization(&c)), phase});
+                  sim::Table::Percent(manager.GrantedUtilization(a->sink_handler())),
+                  sim::Table::Percent(
+                      b != nullptr ? manager.GrantedUtilization(b->sink_handler()) : 0.0),
+                  sim::Table::Percent(manager.GrantedUtilization(c->sink_handler())), phase});
   }
   bench::PrintTable("granted utilisation per epoch (weights 1:4:2, target 90%)", table);
 
   // Expected steady states: a+c => 30%/60%; a+b+c => ~12.9%/51.4%/25.7%.
-  const double a_end = manager.GrantedUtilization(&a);
-  const double c_end = manager.GrantedUtilization(&c);
+  const double a_end = manager.GrantedUtilization(a->sink_handler());
+  const double c_end = manager.GrantedUtilization(c->sink_handler());
   std::printf("\nfinal shares after departure: editor %.1f%%, viz %.1f%% (expect 30/60)\n",
               a_end * 100, c_end * 100);
+  std::printf("cross-layer grant callbacks fired: %lld\n",
+              static_cast<long long>(grant_updates));
   bench::PrintVerdict(std::abs(a_end - 0.3) < 0.03 && std::abs(c_end - 0.6) < 0.05,
                       "shares track weighted policy through entry and exit, converging over "
                       "a few 250 ms epochs rather than instantaneously (the smoothing)");

@@ -87,21 +87,25 @@ int main() {
   cam_cfg.height = 48;
   cam_cfg.compression = dev::CompressionMode::kMotionJpeg;
   dev::AtmCamera* camera = ws->AddCamera(cam_cfg);
-  auto rec = system.ConnectDeviceToStorage(ws, ws->device_endpoint(camera), storage);
-  pfs::FileId file = storage->StartRecording(rec->sink_data_vci, rec->control_receive_vci, 1);
+  auto rec = system.BuildStream("av-rec")
+                 .FromEndpoint(ws, ws->device_endpoint(camera))
+                 .ToStorage(storage, /*stream_id=*/1)
+                 .Open();
+  core::StreamSession* rec_session = rec.session;
+  pfs::FileId file = rec_session->file();
   for (int s = 0; s <= 10; ++s) {
     sim.ScheduleAt(Seconds(s), [&, s]() {
       dev::ControlMessage mark;
       mark.type = dev::ControlType::kSyncMark;
       mark.media_ts = Seconds(s);
-      ws->host_transport()->Send(rec->control_send_vci, mark.Serialize());
+      ws->host_transport()->Send(rec_session->control_send_vci(), mark.Serialize());
     });
   }
-  camera->Start(rec->source_data_vci);
+  camera->Start(rec_session->source_vci());
   sim.RunUntil(Seconds(10));
   camera->Stop();
   bool synced = false;
-  storage->StopRecording(rec->sink_data_vci, [&]() { synced = true; });
+  storage->StopRecording(rec_session->sink_vci(), [&]() { synced = true; });
   sim.RunUntilPredicate([&]() { return synced; });
 
   sim::Table index({"seek target", "index offset", "file size"});

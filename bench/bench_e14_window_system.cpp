@@ -33,10 +33,14 @@ int main() {
     cfg.height = 96;
     cfg.compression = dev::CompressionMode::kMotionJpeg;
     dev::AtmCamera* cam = ws->AddCamera(cfg);
-    auto s = system.ConnectCameraToDisplay(ws, cam, ws, display, 40 + i * 160, 60);
-    cam->Start(s->source_data_vci);
+    auto s = system.BuildStream("win-" + std::to_string(i))
+                 .From(ws, cam)
+                 .To(ws, display)
+                 .WithWindow(40 + i * 160, 60)
+                 .Open();
+    cam->Start(s.session->source_vci());
     cameras.push_back(cam);
-    vcis.push_back(s->sink_data_vci);
+    vcis.push_back(s.session->sink_vci());
   }
 
   // A window-manager stress: move/raise/resize/iconify storm while video

@@ -33,12 +33,21 @@ int main() {
   pfs_cfg.write_back_delay = sim::Seconds(5);
   core::StorageNode* storage = system.AddStorageServer(pfs_cfg);
 
-  auto rec = system.ConnectDeviceToStorage(ws, ws->device_endpoint(camera), storage);
-  if (!rec.has_value()) {
-    std::printf("session setup failed\n");
+  // The recording contract spans the network path and the file server's
+  // stream budget; admission binds both or neither.
+  core::StreamSpec rec_spec = core::StreamSpec::Video(25, 4'000'000);
+  rec_spec.disk_bps = 1'000'000;
+  auto rec = system.BuildStream("movie")
+                 .FromEndpoint(ws, ws->device_endpoint(camera))
+                 .ToStorage(storage, /*stream_id=*/7)
+                 .WithSpec(rec_spec)
+                 .Open();
+  if (!rec.report.ok()) {
+    std::printf("session setup failed: %s\n", core::AdmitFailureName(rec.report.failure));
     return 1;
   }
-  pfs::FileId movie = storage->StartRecording(rec->sink_data_vci, rec->control_receive_vci, 7);
+  core::StreamSession* session = rec.session;
+  pfs::FileId movie = session->file();
   std::printf("media recorder: recording 30 s of MJPEG video to the PFS\n");
 
   // One index mark per second from the managing host's control stream.
@@ -48,14 +57,14 @@ int main() {
       mark.type = dev::ControlType::kSyncMark;
       mark.stream_id = 7;
       mark.media_ts = sim::Seconds(s);
-      ws->host_transport()->Send(rec->control_send_vci, mark.Serialize());
+      ws->host_transport()->Send(session->control_send_vci(), mark.Serialize());
     });
   }
-  camera->Start(rec->source_data_vci);
+  camera->Start(session->source_vci());
   sim.RunUntil(sim::Seconds(30));
   camera->Stop();
   bool synced = false;
-  storage->StopRecording(rec->sink_data_vci, [&]() { synced = true; });
+  storage->StopRecording(session->sink_vci(), [&]() { synced = true; });
   sim.RunUntilPredicate([&]() { return synced; });
 
   pfs::PegasusFileServer* server = storage->server();
@@ -70,23 +79,27 @@ int main() {
 
   // Seek: play 3 seconds starting at t=20s via the control-stream index.
   dev::AtmDisplay* monitor = ws->AddDisplay(640, 480);
-  auto play = system.ConnectStorageToDisplay(storage, ws, monitor, 0, 0, 128, 96);
-  if (play.has_value()) {
-    storage->StartPlayback(movie, play->source_data_vci, 1.0, sim::Seconds(20));
+  auto play = system.BuildStream("playout")
+                  .FromStorage(storage, movie)
+                  .To(ws, monitor)
+                  .WithWindow(0, 0, 128, 96)
+                  .Open();
+  if (play.report.ok()) {
+    storage->StartPlayback(movie, play.session->source_vci(), 1.0, sim::Seconds(20));
     sim.RunUntil(sim.now() + sim::Seconds(3));
     storage->StopPlayback(movie);
     std::printf("  seek to t=20s: %lld records played, %lld tiles on screen\n",
                 static_cast<long long>(storage->records_played()),
                 static_cast<long long>(monitor->tiles_blitted()));
-  }
 
-  // Fast forward at 4x from the beginning.
-  const int64_t before_ff = storage->records_played();
-  storage->StartPlayback(movie, play->source_data_vci, 4.0);
-  sim.RunUntil(sim.now() + sim::Seconds(3));
-  storage->StopPlayback(movie);
-  std::printf("  4x fast-forward: %lld records in 3 s of wall time\n",
-              static_cast<long long>(storage->records_played() - before_ff));
+    // Fast forward at 4x from the beginning.
+    const int64_t before_ff = storage->records_played();
+    storage->StartPlayback(movie, play.session->source_vci(), 4.0);
+    sim.RunUntil(sim.now() + sim::Seconds(3));
+    storage->StopPlayback(movie);
+    std::printf("  4x fast-forward: %lld records in 3 s of wall time\n",
+                static_cast<long long>(storage->records_played() - before_ff));
+  }
 
   // Crash the server and recover: metadata comes back from the checkpoint.
   server->Crash();

@@ -1,14 +1,18 @@
-// QoS studio: the Nemesis scheduling story (§3) in one program.
+// QoS studio: the Nemesis scheduling story (§3) meets the stream API.
 //
-// A simulated CPU runs a media decoder domain (25 fps, 8 ms per frame), an
-// interactive RPC server/client pair, a user-level-threaded transcoder and a
-// pile of batch hogs — all under the share+EDF scheduler with the QoS
-// manager re-weighting on its longer timescale. Watch the guarantees hold
-// while the hogs fight over the slack.
+// A workstation's host CPU runs a media decoder domain (25 fps, 8 ms per
+// frame), an interactive RPC server/client pair, a user-level-threaded
+// transcoder and a pile of batch hogs — all under the share+EDF scheduler
+// with the QoS manager re-weighting on its longer timescale. On top of that
+// the studio's camera feed is opened through the cross-layer stream API: its
+// protocol-handling CPU contract is admitted against the same Atropos
+// headroom the applications compete for, so an over-greedy stream gets a
+// counter-offer instead of silently wrecking the guarantees.
 //
 //   ./build/examples/qos_studio
 #include <cstdio>
 
+#include "src/core/system.h"
 #include "src/nemesis/atropos.h"
 #include "src/nemesis/kernel.h"
 #include "src/nemesis/qos_manager.h"
@@ -23,6 +27,19 @@ using sim::Seconds;
 int main() {
   sim::Simulator sim;
   nemesis::Kernel kernel(&sim, std::make_unique<nemesis::AtroposScheduler>(0.98));
+
+  // The workstation whose host CPU the kernel models; attaching it lets
+  // stream admission see the scheduler's headroom.
+  core::PegasusSystem system(&sim);
+  core::Workstation* desk = system.AddWorkstation("desk");
+  desk->AttachKernel(&kernel);
+  dev::AtmCamera::Config cam_cfg;
+  cam_cfg.width = 160;
+  cam_cfg.height = 120;
+  cam_cfg.fps = 25;
+  cam_cfg.compression = dev::CompressionMode::kMotionJpeg;
+  dev::AtmCamera* camera = desk->AddCamera(cam_cfg);
+  dev::AtmDisplay* display = desk->AddDisplay(640, 480);
 
   // The QoS manager itself runs as a domain.
   nemesis::QosManagerDomain::Options mgr_opts;
@@ -70,8 +87,66 @@ int main() {
   manager.Register(&transcoder, /*weight=*/2.0,
                    QosParams::Guaranteed(Milliseconds(20), Milliseconds(100)));
 
+  // --- the cross-layer stream: network bandwidth AND a CPU contract for the
+  // sink-side protocol handling, admitted in one decision.
+  core::StreamSpec feed_spec = core::StreamSpec::Video(25, 8'000'000);
+  feed_spec.sink_cpu = QosParams::Guaranteed(Milliseconds(8), Milliseconds(40));
+  int64_t grant_updates = 0;
+  auto feed = system.BuildStream("studio-feed")
+                  .From(desk, camera)
+                  .To(desk, display)
+                  .WithSpec(feed_spec)
+                  .WithWindow(240, 180)
+                  .ManagedBy(&manager, /*weight=*/3.0)
+                  .OnDegrade([&grant_updates](const core::QosContract& c) {
+                    // The manager adapts on its epoch timescale; report the
+                    // first few adjustments, count the rest.
+                    if (++grant_updates <= 3) {
+                      std::printf("  [qos-manager] feed CPU grant now %.1f%%\n",
+                                  c.granted.sink_cpu.Utilization() * 100);
+                    }
+                  })
+                  .Open();
+  if (!feed.report.ok()) {
+    std::printf("feed admission failed: %s\n", core::AdmitFailureName(feed.report.failure));
+    return 1;
+  }
+  camera->Start(feed.session->source_vci());
+  std::printf("studio feed admitted: %.1f Mb/s network, %.1f%% sink CPU, %d hops\n",
+              static_cast<double>(feed.session->contract().granted.bandwidth_bps) / 1e6,
+              feed.session->contract().granted.sink_cpu.Utilization() * 100,
+              feed.session->contract().hop_count);
+
+  // A greedy second stream: its CPU demand exceeds the remaining Atropos
+  // headroom, so admission counter-offers what is actually left.
+  core::StreamSpec greedy = core::StreamSpec::Video(25, 8'000'000);
+  greedy.sink_cpu = QosParams::Guaranteed(Milliseconds(20), Milliseconds(40));
+  auto rejected = system.BuildStream("greedy")
+                      .From(desk, camera)
+                      .To(desk, display)
+                      .WithSpec(greedy)
+                      .Open();
+  std::printf("greedy stream (50%% CPU): %s",
+              rejected.report.ok() ? "accepted?!\n" : "refused");
+  if (rejected.report.counter_offer.has_value()) {
+    const core::StreamSpec& offer = *rejected.report.counter_offer;
+    std::printf(", counter-offer %.1f%% CPU\n", offer.sink_cpu.Utilization() * 100);
+    auto retry = system.BuildStream("greedy-degraded")
+                     .From(desk, camera)
+                     .To(desk, display)
+                     .WithSpec(offer)
+                     .Open();
+    std::printf("counter-offer re-submitted: %s\n",
+                retry.report.ok() ? "accepted" : "refused");
+    if (retry.report.ok()) {
+      retry.session->Close();  // give the headroom back for the run below
+    }
+  } else {
+    std::printf("\n");
+  }
+
   kernel.Start();
-  std::printf("qos studio: 30 simulated seconds on one CPU\n\n");
+  std::printf("\nqos studio: 30 simulated seconds on one CPU\n\n");
   std::printf("%6s %10s %10s %10s %10s %10s\n", "t(s)", "decoder%", "xcode%", "hogs%",
               "misses", "rpc(ms)");
   sim::DurationNs last_dec = 0;
@@ -93,6 +168,15 @@ int main() {
     last_hogs = hogs;
   }
 
+  // Renegotiate the feed's CPU contract upward mid-session: the kernel
+  // re-runs admission, the network reservation is untouched.
+  core::StreamSpec more = feed.session->contract().granted;
+  more.sink_cpu = QosParams::Guaranteed(Milliseconds(10), Milliseconds(40));
+  auto renegotiation = feed.session->Renegotiate(more);
+  std::printf("\nrenegotiation to %.1f%% sink CPU: %s\n",
+              more.sink_cpu.Utilization() * 100,
+              renegotiation.ok() ? "accepted" : "refused");
+
   std::printf("\n  decoder frames %lld, misses %lld (guarantee held under load)\n",
               static_cast<long long>(decoder.jobs_completed()),
               static_cast<long long>(decoder.deadline_misses()));
@@ -102,9 +186,10 @@ int main() {
   std::printf("  rpc calls %lld, mean round trip %.2f ms (sync events + shared memory)\n",
               static_cast<long long>(client.calls_completed()),
               client.round_trip().mean() / 1e6);
-  std::printf("  qos manager reviews %lld (epoch %s)\n",
+  std::printf("  qos manager reviews %lld (epoch %s), feed grant updates %lld\n",
               static_cast<long long>(manager.reviews()),
-              sim::FormatDuration(mgr_opts.epoch).c_str());
+              sim::FormatDuration(mgr_opts.epoch).c_str(),
+              static_cast<long long>(grant_updates));
   std::printf("  context switches %llu, activations %llu, preemptions %llu\n",
               static_cast<unsigned long long>(kernel.context_switches()),
               static_cast<unsigned long long>(kernel.activation_count()),

@@ -26,13 +26,20 @@ int main() {
   dev::AtmCamera* camera = ws->AddCamera(cam_cfg);
   dev::AtmDisplay* display = ws->AddDisplay(640, 480);
 
-  // Establish the session (data VC + control VC + a window) and roll.
-  auto session = system.ConnectCameraToDisplay(ws, camera, ws, display, 100, 80);
-  if (!session.has_value()) {
-    std::printf("failed to establish the media session\n");
+  // Establish the session: one admission-controlled contract covering the
+  // network path (data VC + control VC) and the window, then roll.
+  auto session = system.BuildStream("quickstart")
+                     .From(ws, camera)
+                     .To(ws, display)
+                     .WithSpec(core::StreamSpec::Video(25, 8'000'000))
+                     .WithWindow(100, 80)
+                     .Open();
+  if (!session.report.ok()) {
+    std::printf("admission rejected the stream: %s\n",
+                core::AdmitFailureName(session.report.failure));
     return 1;
   }
-  camera->Start(session->source_data_vci);
+  camera->Start(session.session->source_vci());
 
   // Run five seconds of simulated time.
   sim.RunUntil(sim::Seconds(5));

@@ -39,14 +39,18 @@ int main() {
 
   std::vector<atm::Vci> feed_vci;
   for (int i = 0; i < 3; ++i) {
-    auto s = system.ConnectCameraToDisplay(studio, cameras[static_cast<size_t>(i)], gallery,
-                                           monitor, 20 + i * 150, 420);
-    if (!s.has_value()) {
-      std::printf("feed %d failed\n", i);
+    auto s = system.BuildStream("feed-" + std::to_string(i))
+                 .From(studio, cameras[static_cast<size_t>(i)])
+                 .To(gallery, monitor)
+                 .WithSpec(core::StreamSpec::Video(25, 4'000'000))
+                 .WithWindow(20 + i * 150, 420)
+                 .Open();
+    if (!s.report.ok()) {
+      std::printf("feed %d failed: %s\n", i, core::AdmitFailureName(s.report.failure));
       return 1;
     }
-    feed_vci.push_back(s->sink_data_vci);
-    cameras[static_cast<size_t>(i)]->Start(s->source_data_vci);
+    feed_vci.push_back(s.session->sink_vci());
+    cameras[static_cast<size_t>(i)]->Start(s.session->source_vci());
   }
 
   // Record the programme (camera 0's stream, as a second VC from the same
@@ -56,15 +60,25 @@ int main() {
   pfs_cfg.block_size = 8 << 10;
   pfs_cfg.geometry.capacity_bytes = 256 << 20;
   core::StorageNode* storage = system.AddStorageServer(pfs_cfg);
-  auto rec = system.ConnectDeviceToStorage(studio, studio->device_endpoint(cameras[0]), storage);
-  if (!rec.has_value()) {
-    std::printf("recording session failed\n");
+  // The recording session reserves disk rate at the file server alongside
+  // the network path — one contract across both layers.
+  auto rec = system.BuildStream("programme")
+                 .FromEndpoint(studio, studio->device_endpoint(cameras[0]))
+                 .ToStorage(storage, /*stream_id=*/1)
+                 .WithSpec([] {
+                   core::StreamSpec s = core::StreamSpec::Video(25, 4'000'000);
+                   s.disk_bps = 1'000'000;
+                   return s;
+                 }())
+                 .Open();
+  if (!rec.report.ok()) {
+    std::printf("recording session failed: %s\n", core::AdmitFailureName(rec.report.failure));
     return 1;
   }
-  pfs::FileId programme =
-      storage->StartRecording(rec->sink_data_vci, rec->control_receive_vci, /*stream_id=*/1);
+  core::StreamSession* rec_session = rec.session;
+  pfs::FileId programme = rec_session->file();
   // Point-to-multipoint: camera 0 also ships every packet on the recording VC.
-  cameras[0]->AddOutput(rec->source_data_vci);
+  cameras[0]->AddOutput(rec_session->source_vci());
 
   // The studio host emits a sync mark per second of programme time.
   for (int s = 0; s <= 20; ++s) {
@@ -73,7 +87,7 @@ int main() {
       mark.type = dev::ControlType::kSyncMark;
       mark.stream_id = 1;
       mark.media_ts = sim::Seconds(s);
-      studio->host_transport()->Send(rec->control_send_vci, mark.Serialize());
+      studio->host_transport()->Send(rec_session->control_send_vci(), mark.Serialize());
     });
   }
 
@@ -97,7 +111,7 @@ int main() {
 
   sim.RunUntil(sim::Seconds(20));
   bool synced = false;
-  storage->StopRecording(rec->sink_data_vci, [&]() { synced = true; });
+  storage->StopRecording(rec_session->sink_vci(), [&]() { synced = true; });
   sim.RunUntilPredicate([&]() { return synced; });
 
   std::printf("\ntv director: 20 simulated seconds, 5 cuts, programme recorded\n\n");
@@ -115,9 +129,13 @@ int main() {
 
   // Instant replay: jump to t=10s of the programme using the index.
   dev::AtmDisplay* replay_monitor = gallery->AddDisplay(640, 480);
-  auto play = system.ConnectStorageToDisplay(storage, gallery, replay_monitor, 0, 0, 128, 96);
-  if (play.has_value() &&
-      storage->StartPlayback(programme, play->source_data_vci, 1.0, sim::Seconds(10))) {
+  auto play = system.BuildStream("replay")
+                  .FromStorage(storage, programme)
+                  .To(gallery, replay_monitor)
+                  .WithWindow(0, 0, 128, 96)
+                  .Open();
+  if (play.report.ok() &&
+      storage->StartPlayback(programme, play.session->source_vci(), 1.0, sim::Seconds(10))) {
     sim.RunUntil(sim.now() + sim::Seconds(3));
     std::printf("  replay from t=10s       %lld records, %lld tiles\n",
                 static_cast<long long>(storage->records_played()),

@@ -30,10 +30,16 @@ int main() {
 
   // Two side-by-side windows: the raw feed, and the edge-detected feed that
   // detours through the compute server.
-  auto raw = system.ConnectCameraToDisplay(ws, camera, ws, display, 40, 60);
-  if (!raw.has_value()) {
+  auto raw = system.BuildStream("raw")
+                 .From(ws, camera)
+                 .To(ws, display)
+                 .WithWindow(40, 60)
+                 .Open();
+  if (!raw.report.ok()) {
     return 1;
   }
+  // The filter detour is plumbed as raw VCs: the compute stage is a
+  // cell-level pipeline element, not a stream endpoint.
   auto leg_in = system.network().OpenVc(ws->device_endpoint(camera), compute->endpoint());
   auto leg_out = system.network().OpenVc(compute->endpoint(), ws->device_endpoint(display));
   if (!leg_in.has_value() || !leg_out.has_value()) {
@@ -48,7 +54,7 @@ int main() {
   wm.CreateWindow(leg_out->destination_vci, 260, 60, 128, 96);
 
   camera->AddOutput(leg_in->source_vci);  // tap the camera into the filter path
-  camera->Start(raw->source_data_vci);
+  camera->Start(raw.session->source_vci());
   sim.RunUntil(sim::Seconds(5));
 
   std::printf("video filter: 5 s of live video, edge-detected in transit\n\n");

@@ -61,21 +61,28 @@ int main() {
   Equip(system, bob, sim);
 
   // Both directions: video needs ~2 Mb/s MJPEG, audio a few hundred kb/s.
-  atm::QosSpec video_qos;
-  video_qos.peak_bps = 8'000'000;
-  atm::QosSpec audio_qos;
-  audio_qos.peak_bps = 500'000;
+  // Each leg is one end-to-end contract, admitted across every hop.
+  const core::StreamSpec video_spec = core::StreamSpec::Video(25, 8'000'000);
+  const core::StreamSpec audio_spec = core::StreamSpec::Audio(500'000);
 
   auto wire = [&](Party& from, Party& to) {
-    auto v = system.ConnectCameraToDisplay(from.ws, from.camera, to.ws, to.display, 240, 180,
-                                           video_qos);
-    auto a = system.ConnectAudio(from.ws, from.mic, to.ws, to.speaker, audio_qos);
-    if (!v.has_value() || !a.has_value()) {
+    auto v = system.BuildStream(std::string(from.name) + "/video")
+                 .From(from.ws, from.camera)
+                 .To(to.ws, to.display)
+                 .WithSpec(video_spec)
+                 .WithWindow(240, 180)
+                 .Open();
+    auto a = system.BuildStream(std::string(from.name) + "/audio")
+                 .From(from.ws, from.mic)
+                 .To(to.ws, to.speaker)
+                 .WithSpec(audio_spec)
+                 .Open();
+    if (!v.report.ok() || !a.report.ok()) {
       std::printf("call setup failed\n");
       std::exit(1);
     }
-    from.camera->Start(v->source_data_vci);
-    from.mic->Start(a->source_data_vci);
+    from.camera->Start(v.session->source_vci());
+    from.mic->Start(a.session->source_vci());
     // Both sinks report arrivals to the playback controller for lip sync.
     dev::PlaybackController* sync = to.sync.get();
     to.display->set_packet_callback(

@@ -1,6 +1,8 @@
 #include "src/atm/network.h"
 
+#include <algorithm>
 #include <deque>
+#include <limits>
 #include <set>
 
 namespace pegasus::atm {
@@ -101,6 +103,61 @@ int64_t Network::ReservedBps(const Link* link) const {
   return it == reserved_bps_.end() ? 0 : it->second;
 }
 
+int64_t Network::AvailableBandwidth(const Link* link) const {
+  return link->bits_per_second() - ReservedBps(link);
+}
+
+std::optional<std::vector<Link*>> Network::HopLinks(const Endpoint* src,
+                                                    const Endpoint* dst) const {
+  auto src_it = endpoint_attachments_.find(src);
+  auto dst_it = endpoint_attachments_.find(dst);
+  if (src_it == endpoint_attachments_.end() || dst_it == endpoint_attachments_.end()) {
+    return std::nullopt;
+  }
+  const Attachment& src_at = src_it->second;
+  const Attachment& dst_at = dst_it->second;
+  auto path = FindPath(src_at.sw, dst_at.sw);
+  if (!path.has_value()) {
+    return std::nullopt;
+  }
+  std::vector<Link*> hop_links;
+  hop_links.push_back(src_at.to_switch);
+  for (size_t i = 0; i + 1 < path->size(); ++i) {
+    auto edge = EdgeBetween((*path)[i], (*path)[i + 1]);
+    if (!edge.has_value()) {
+      return std::nullopt;
+    }
+    hop_links.push_back(edge->second);
+  }
+  hop_links.push_back(dst_at.from_switch);
+  return hop_links;
+}
+
+std::optional<int64_t> Network::PathAvailableBps(const Endpoint* src, const Endpoint* dst) const {
+  auto hop_links = HopLinks(src, dst);
+  if (!hop_links.has_value()) {
+    return std::nullopt;
+  }
+  int64_t available = std::numeric_limits<int64_t>::max();
+  for (const Link* l : *hop_links) {
+    available = std::min(available, AvailableBandwidth(l));
+  }
+  return std::max<int64_t>(available, 0);
+}
+
+std::optional<sim::DurationNs> Network::PathLatencyNs(const Endpoint* src,
+                                                      const Endpoint* dst) const {
+  auto hop_links = HopLinks(src, dst);
+  if (!hop_links.has_value()) {
+    return std::nullopt;
+  }
+  sim::DurationNs latency = 0;
+  for (const Link* l : *hop_links) {
+    latency += l->propagation_delay() + l->cell_time();
+  }
+  return latency;
+}
+
 std::optional<VcDescriptor> Network::OpenVc(Endpoint* src, Endpoint* dst, QosSpec qos) {
   auto src_it = endpoint_attachments_.find(src);
   auto dst_it = endpoint_attachments_.find(dst);
@@ -170,9 +227,9 @@ std::optional<VcDescriptor> Network::OpenVc(Endpoint* src, Endpoint* dst, QosSpe
   if (qos.peak_bps > 0) {
     for (Link* l : hop_links) {
       reserved_bps_[l] += qos.peak_bps;
-      state.reserved_links.push_back(l);
     }
   }
+  state.hop_links = std::move(hop_links);
 
   VcDescriptor desc;
   desc.id = next_vc_id_++;
@@ -212,11 +269,36 @@ bool Network::CloseVc(VcId id) {
   for (const HopRecord& hop : state.hops) {
     hop.sw->RemoveRoute(hop.in_port, hop.in_vci);
   }
-  for (Link* l : state.reserved_links) {
-    reserved_bps_[l] -= state.desc.qos.peak_bps;
+  if (state.desc.qos.peak_bps > 0) {
+    for (Link* l : state.hop_links) {
+      reserved_bps_[l] -= state.desc.qos.peak_bps;
+    }
   }
   state.desc.destination->ReleaseIncomingVci(state.desc.destination_vci);
   vcs_.erase(it);
+  return true;
+}
+
+bool Network::UpdateVcQos(VcId id, QosSpec qos) {
+  auto it = vcs_.find(id);
+  if (it == vcs_.end()) {
+    return false;
+  }
+  VcState& state = it->second;
+  const int64_t old_bps = state.desc.qos.peak_bps;
+  const int64_t new_bps = qos.peak_bps;
+  if (new_bps > old_bps) {
+    for (Link* l : state.hop_links) {
+      if (ReservedBps(l) - old_bps + new_bps > l->bits_per_second()) {
+        ++admission_rejections_;
+        return false;
+      }
+    }
+  }
+  for (Link* l : state.hop_links) {
+    reserved_bps_[l] += new_bps - old_bps;
+  }
+  state.desc.qos = qos;
   return true;
 }
 

@@ -76,9 +76,25 @@ class Network {
                                                                   QosSpec control_qos = {});
   bool CloseVc(VcId id);
   const VcDescriptor* GetVc(VcId id) const;
+  // Re-negotiates the reservation of an open VC in place — the routes stay,
+  // only the admission-control books change. An increase is checked against
+  // the headroom of every traversed link; on failure the old reservation
+  // stays and an admission rejection is counted.
+  bool UpdateVcQos(VcId id, QosSpec qos);
 
   // Reserved bandwidth currently admitted on `link`, in bits per second.
   int64_t ReservedBps(const Link* link) const;
+  // Alias of ReservedBps under the name admission-control clients use.
+  int64_t ReservedBandwidth(const Link* link) const { return ReservedBps(link); }
+  // Unreserved capacity remaining on `link`, in bits per second.
+  int64_t AvailableBandwidth(const Link* link) const;
+  // Smallest unreserved capacity over the links a VC from `src` to `dst`
+  // would traverse — the largest reservation the path can still admit.
+  // nullopt when either endpoint is unattached or no path exists.
+  std::optional<int64_t> PathAvailableBps(const Endpoint* src, const Endpoint* dst) const;
+  // One-way delivery-time floor for a cell along src -> dst: propagation
+  // plus one cell serialisation per traversed link (queueing excluded).
+  std::optional<sim::DurationNs> PathLatencyNs(const Endpoint* src, const Endpoint* dst) const;
 
   int64_t open_vc_count() const { return static_cast<int64_t>(vcs_.size()); }
   int64_t admission_rejections() const { return admission_rejections_; }
@@ -94,7 +110,9 @@ class Network {
   struct VcState {
     VcDescriptor desc;
     std::vector<HopRecord> hops;
-    std::vector<Link*> reserved_links;
+    // Every link the VC traverses, in order; reservation bookkeeping applies
+    // desc.qos.peak_bps to each (nothing when best-effort).
+    std::vector<Link*> hop_links;
   };
   // Either a switch-to-switch edge or an endpoint attachment.
   struct Attachment {
@@ -106,6 +124,8 @@ class Network {
 
   // Breadth-first path of switches from `from` to `to` (inclusive).
   std::optional<std::vector<Switch*>> FindPath(Switch* from, Switch* to) const;
+  // The ordered links a VC from `src` to `dst` would traverse.
+  std::optional<std::vector<Link*>> HopLinks(const Endpoint* src, const Endpoint* dst) const;
   // The (out_port on `a`, link a->b) wiring between two adjacent switches.
   std::optional<std::pair<int, Link*>> EdgeBetween(Switch* a, Switch* b) const;
 

@@ -1,0 +1,697 @@
+#include "src/core/stream.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/core/system.h"
+#include "src/devices/display.h"
+#include "src/nemesis/kernel.h"
+#include "src/nemesis/scheduler.h"
+
+namespace pegasus::core {
+
+namespace {
+
+// Spare guaranteed-CPU utilisation on a host kernel.
+double CpuHeadroom(nemesis::Kernel* kernel) {
+  return kernel->scheduler()->Capacity() - kernel->scheduler()->AdmittedUtilization();
+}
+
+// The largest slice of `period` that fits into `headroom` utilisation, with
+// a small safety margin against floating-point admission arithmetic.
+sim::DurationNs SliceFor(double headroom, sim::DurationNs period) {
+  if (headroom <= 0.0) {
+    return 0;
+  }
+  return static_cast<sim::DurationNs>(headroom * 0.999 * static_cast<double>(period));
+}
+
+}  // namespace
+
+const char* AdmitFailureName(AdmitFailure failure) {
+  switch (failure) {
+    case AdmitFailure::kNone:
+      return "none";
+    case AdmitFailure::kEndpoint:
+      return "endpoint";
+    case AdmitFailure::kNoPath:
+      return "no-path";
+    case AdmitFailure::kNetworkBandwidth:
+      return "network-bandwidth";
+    case AdmitFailure::kLatency:
+      return "latency";
+    case AdmitFailure::kSourceCpu:
+      return "source-cpu";
+    case AdmitFailure::kSinkCpu:
+      return "sink-cpu";
+    case AdmitFailure::kDiskBandwidth:
+      return "disk-bandwidth";
+  }
+  return "unknown";
+}
+
+// --- StreamSession ---
+
+StreamSession::~StreamSession() = default;
+
+void StreamSession::ReleaseCpuEnd(std::unique_ptr<nemesis::PeriodicDomain>* handler,
+                                  nemesis::Kernel* kernel) {
+  nemesis::PeriodicDomain* domain = handler->get();
+  if (domain == nullptr) {
+    return;
+  }
+  if (manager_ != nullptr) {
+    manager_->Unregister(domain);
+  }
+  domain->Stop();
+  if (kernel != nullptr && domain->kernel() == kernel) {
+    kernel->RemoveDomain(domain);
+  }
+  // The object must outlive any pending job-release timer in the simulator;
+  // Stop() made it inert, the graveyard keeps it alive.
+  retired_handlers_.push_back(std::move(*handler));
+}
+
+void StreamSession::OnGrantChanged(bool source_end, double granted_util) {
+  (void)granted_util;
+  nemesis::PeriodicDomain* handler =
+      source_end ? source_handler_.get() : sink_handler_.get();
+  if (handler == nullptr) {
+    return;
+  }
+  // The manager already applied the new contract through Kernel::UpdateQos;
+  // reflect it in the cross-layer contract and tell the application.
+  if (source_end) {
+    contract_.granted.source_cpu = handler->qos();
+  } else {
+    contract_.granted.sink_cpu = handler->qos();
+  }
+  if (degrade_cb_) {
+    degrade_cb_(contract_);
+  }
+}
+
+AdmissionReport StreamSession::Renegotiate(const StreamSpec& spec) {
+  AdmissionReport report;
+  if (!active_) {
+    report.verdict = AdmitVerdict::kRejected;
+    report.failure = AdmitFailure::kEndpoint;
+    report.detail = "session is closed";
+    return report;
+  }
+  atm::Network& network = system_->network();
+  const StreamSpec old = contract_.granted;
+
+  // 1. Network: adjust the reservation on the VC's own links.
+  bool network_changed = false;
+  if (spec.bandwidth_bps != old.bandwidth_bps) {
+    if (!network.UpdateVcQos(data_vc_, atm::QosSpec{spec.bandwidth_bps})) {
+      report.verdict = AdmitVerdict::kCounterOffer;
+      report.failure = AdmitFailure::kNetworkBandwidth;
+      report.detail = "a traversed link lacks spare capacity for the increase";
+      StreamSpec counter = spec;
+      counter.bandwidth_bps =
+          old.bandwidth_bps +
+          std::max<int64_t>(0, network.PathAvailableBps(source_ep_, sink_ep_).value_or(0));
+      report.counter_offer = counter;
+      return report;
+    }
+    network_changed = true;
+  }
+  auto rollback_network = [&]() {
+    if (network_changed) {
+      network.UpdateVcQos(data_vc_, atm::QosSpec{old.bandwidth_bps});
+    }
+  };
+
+  // 2. CPU at each end, through the kernel so admission re-runs.
+  struct CpuEnd {
+    std::unique_ptr<nemesis::PeriodicDomain>* handler;
+    Workstation* ws;
+    nemesis::QosParams wanted;
+    nemesis::QosParams previous;
+    AdmitFailure failure;
+    bool source_end;
+  };
+  CpuEnd ends[2] = {
+      {&source_handler_, source_ws_, spec.source_cpu, old.source_cpu,
+       AdmitFailure::kSourceCpu, true},
+      {&sink_handler_, sink_ws_, spec.sink_cpu, old.sink_cpu, AdmitFailure::kSinkCpu, false},
+  };
+  // `request` is the long-term demand (re-)registered with the QoS manager:
+  // on a forward apply the renegotiated spec, on a rollback the original
+  // request the session was opened with.
+  auto apply_cpu = [&](CpuEnd& end, const nemesis::QosParams& qos,
+                       const nemesis::QosParams& request) -> bool {
+    nemesis::Kernel* kernel = end.ws != nullptr ? end.ws->kernel() : nullptr;
+    nemesis::PeriodicDomain* handler = end.handler->get();
+    if (qos.slice <= 0) {
+      if (handler != nullptr) {
+        ReleaseCpuEnd(end.handler, kernel);
+      }
+      return true;
+    }
+    if (kernel == nullptr) {
+      return false;
+    }
+    if (handler != nullptr && handler->kernel() != nullptr) {
+      if (!kernel->UpdateQos(handler, qos)) {
+        return false;
+      }
+      if (manager_ != nullptr && manager_->kernel() == kernel) {
+        manager_->Register(handler, manager_weight_, request,
+                           [this, src = end.source_end](double granted) {
+                             OnGrantChanged(src, granted);
+                           });
+      }
+      return true;
+    }
+    auto domain = std::make_unique<nemesis::PeriodicDomain>(
+        system_->simulator(), name_ + (end.source_end ? "/src" : "/snk"), qos, qos.slice,
+        qos.period);
+    if (!kernel->AddDomain(domain.get())) {
+      return false;
+    }
+    if (manager_ != nullptr && manager_->kernel() == kernel) {
+      manager_->Register(domain.get(), manager_weight_, request,
+                         [this, src = end.source_end](double granted) {
+                           OnGrantChanged(src, granted);
+                         });
+    }
+    *end.handler = std::move(domain);
+    return true;
+  };
+  auto original_request = [this](const CpuEnd& end) -> const nemesis::QosParams& {
+    return end.source_end ? requested_source_cpu_ : requested_sink_cpu_;
+  };
+  for (int i = 0; i < 2; ++i) {
+    if (!apply_cpu(ends[i], ends[i].wanted, ends[i].wanted)) {
+      // Roll back the ends already re-contracted, then the network.
+      for (int j = 0; j < i; ++j) {
+        apply_cpu(ends[j], ends[j].previous, original_request(ends[j]));
+      }
+      rollback_network();
+      nemesis::Kernel* kernel = ends[i].ws != nullptr ? ends[i].ws->kernel() : nullptr;
+      report.failure = ends[i].failure;
+      if (kernel == nullptr) {
+        report.verdict = AdmitVerdict::kRejected;
+        report.detail = "no kernel attached to the host";
+        return report;
+      }
+      const double headroom = CpuHeadroom(kernel) + ends[i].previous.Utilization();
+      const sim::DurationNs slice = SliceFor(headroom, ends[i].wanted.period);
+      report.detail = "CPU demand exceeds Atropos headroom";
+      if (slice > 0) {
+        report.verdict = AdmitVerdict::kCounterOffer;
+        StreamSpec counter = spec;
+        nemesis::QosParams& cpu = ends[i].source_end ? counter.source_cpu : counter.sink_cpu;
+        cpu.slice = slice;
+        report.counter_offer = counter;
+      } else {
+        report.verdict = AdmitVerdict::kRejected;
+      }
+      return report;
+    }
+  }
+
+  // 3. Disk rate at the file server.
+  if (spec.disk_bps > 0 && (storage_ == nullptr || file_ < 0)) {
+    apply_cpu(ends[0], ends[0].previous, original_request(ends[0]));
+    apply_cpu(ends[1], ends[1].previous, original_request(ends[1]));
+    rollback_network();
+    report.verdict = AdmitVerdict::kRejected;
+    report.failure = AdmitFailure::kDiskBandwidth;
+    report.detail = "disk rate demanded but no storage endpoint on the path";
+    return report;
+  }
+  if (storage_ != nullptr && spec.disk_bps != old.disk_bps && file_ >= 0) {
+    pfs::PegasusFileServer* server = storage_->server();
+    if (disk_reserved_) {
+      server->ReleaseStream(file_);
+      disk_reserved_ = false;
+    }
+    if (spec.disk_bps > 0 && !server->ReserveStream(file_, spec.disk_bps)) {
+      const int64_t available = server->AvailableStreamBps();
+      if (old.disk_bps > 0) {
+        server->ReserveStream(file_, old.disk_bps);
+        disk_reserved_ = true;
+      }
+      apply_cpu(ends[0], ends[0].previous, original_request(ends[0]));
+      apply_cpu(ends[1], ends[1].previous, original_request(ends[1]));
+      rollback_network();
+      report.verdict = available > 0 ? AdmitVerdict::kCounterOffer : AdmitVerdict::kRejected;
+      report.failure = AdmitFailure::kDiskBandwidth;
+      report.detail = "PFS stream budget exhausted";
+      if (available > 0) {
+        StreamSpec counter = spec;
+        counter.disk_bps = available;
+        report.counter_offer = counter;
+      }
+      return report;
+    }
+    disk_reserved_ = spec.disk_bps > 0;
+  }
+
+  // Bind the new contract; the renegotiated demand becomes the long-term
+  // request the QoS manager steers toward.
+  contract_.granted = spec;
+  requested_source_cpu_ = spec.source_cpu;
+  requested_sink_cpu_ = spec.sink_cpu;
+  if (source_handler_ != nullptr) {
+    contract_.granted.source_cpu = source_handler_->qos();
+  }
+  if (sink_handler_ != nullptr) {
+    contract_.granted.sink_cpu = sink_handler_->qos();
+  }
+  ++contract_.renegotiations;
+  if (source_camera_ != nullptr) {
+    source_camera_->set_pace_bps(spec.bandwidth_bps);
+  }
+  report.verdict = AdmitVerdict::kAccepted;
+  return report;
+}
+
+void StreamSession::Close() {
+  if (!active_) {
+    return;
+  }
+  active_ = false;
+  atm::Network& network = system_->network();
+
+  // Storage layer: stop the transfer, release the rate reservation.
+  if (storage_ != nullptr) {
+    if (recording_) {
+      storage_->StopRecording(sink_vci_, []() {});
+    } else if (file_ >= 0) {
+      storage_->StopPlayback(file_);
+    }
+    if (disk_reserved_) {
+      storage_->server()->ReleaseStream(file_);
+      disk_reserved_ = false;
+    }
+  }
+
+  // Display layer: retire the window granted to the data VC.
+  if (window_created_ && sink_display_ != nullptr) {
+    dev::WindowManager wm(sink_display_);
+    wm.DestroyWindow(sink_vci_);
+    window_created_ = false;
+  }
+
+  // CPU layer: retire the handler domains and their manager registrations.
+  ReleaseCpuEnd(&source_handler_, source_ws_ != nullptr ? source_ws_->kernel() : nullptr);
+  ReleaseCpuEnd(&sink_handler_, sink_ws_ != nullptr ? sink_ws_->kernel() : nullptr);
+
+  // Network layer: close the VCs, releasing every link reservation.
+  if (data_vc_ >= 0) {
+    network.CloseVc(data_vc_);
+    data_vc_ = -1;
+  }
+  for (atm::VcId vc : control_vcs_) {
+    network.CloseVc(vc);
+  }
+  control_vcs_.clear();
+}
+
+// --- StreamBuilder ---
+
+StreamBuilder::StreamBuilder(PegasusSystem* system, std::string name)
+    : system_(system), name_(std::move(name)) {}
+
+StreamBuilder& StreamBuilder::From(Workstation* ws, dev::AtmCamera* camera) {
+  source_kind_ = EndpointKind::kWorkstationDevice;
+  source_ws_ = ws;
+  source_ep_ = ws != nullptr ? ws->device_endpoint(camera) : nullptr;
+  source_camera_ = camera;
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::From(Workstation* ws, dev::AudioCapture* capture) {
+  source_kind_ = EndpointKind::kWorkstationDevice;
+  source_ws_ = ws;
+  source_ep_ = ws != nullptr ? ws->device_endpoint(capture) : nullptr;
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::FromEndpoint(Workstation* ws, atm::Endpoint* endpoint) {
+  source_kind_ = EndpointKind::kWorkstationDevice;
+  source_ws_ = ws;
+  source_ep_ = endpoint;
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::FromStorage(StorageNode* storage, pfs::FileId file) {
+  source_kind_ = EndpointKind::kStorage;
+  source_storage_ = storage;
+  source_ep_ = storage != nullptr ? storage->endpoint() : nullptr;
+  playback_file_ = file;
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::To(Workstation* ws, dev::AtmDisplay* display) {
+  sink_kind_ = EndpointKind::kWorkstationDevice;
+  sink_ws_ = ws;
+  sink_ep_ = ws != nullptr ? ws->device_endpoint(display) : nullptr;
+  sink_display_ = display;
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::To(Workstation* ws, dev::AudioPlayback* playback) {
+  sink_kind_ = EndpointKind::kWorkstationDevice;
+  sink_ws_ = ws;
+  sink_ep_ = ws != nullptr ? ws->device_endpoint(playback) : nullptr;
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::ToEndpoint(Workstation* ws, atm::Endpoint* endpoint) {
+  sink_kind_ = EndpointKind::kWorkstationDevice;
+  sink_ws_ = ws;
+  sink_ep_ = endpoint;
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::ToStorage(StorageNode* storage, uint32_t stream_id) {
+  sink_kind_ = EndpointKind::kStorage;
+  sink_storage_ = storage;
+  sink_ep_ = storage != nullptr ? storage->endpoint() : nullptr;
+  record_stream_id_ = stream_id;
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::WithSpec(const StreamSpec& spec) {
+  spec_ = spec;
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::WithWindow(int x, int y, int w, int h) {
+  window_requested_ = true;
+  window_x_ = x;
+  window_y_ = y;
+  window_w_ = w;
+  window_h_ = h;
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::ManagedBy(nemesis::QosManagerDomain* manager, double weight) {
+  manager_ = manager;
+  manager_weight_ = weight;
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::RequestingSourceCpu(const nemesis::QosParams& cpu) {
+  requested_source_cpu_ = cpu;
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::RequestingSinkCpu(const nemesis::QosParams& cpu) {
+  requested_sink_cpu_ = cpu;
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::OnDegrade(StreamSession::DegradeCallback cb) {
+  degrade_cb_ = std::move(cb);
+  return *this;
+}
+
+StreamResult StreamBuilder::Open() {
+  StreamResult result;
+  AdmissionReport& report = result.report;
+  atm::Network& network = system_->network();
+
+  // --- resolve endpoints ---
+  if (source_ep_ == nullptr || sink_ep_ == nullptr ||
+      source_kind_ == EndpointKind::kNone || sink_kind_ == EndpointKind::kNone) {
+    report.verdict = AdmitVerdict::kRejected;
+    report.failure = AdmitFailure::kEndpoint;
+    report.detail = "source or sink endpoint missing";
+    return result;
+  }
+  StorageNode* storage = sink_storage_ != nullptr ? sink_storage_ : source_storage_;
+
+  // --- cross-layer admission: check every layer before binding any ---
+  StreamSpec counter = spec_;
+  AdmitFailure first_failure = AdmitFailure::kNone;
+  std::string detail;
+  auto fail = [&](AdmitFailure failure, const std::string& text) {
+    if (first_failure == AdmitFailure::kNone) {
+      first_failure = failure;
+      detail = text;
+    }
+  };
+
+  // Network bandwidth, on every hop of the path.
+  auto path_available = network.PathAvailableBps(source_ep_, sink_ep_);
+  if (!path_available.has_value()) {
+    report.verdict = AdmitVerdict::kRejected;
+    report.failure = AdmitFailure::kNoPath;
+    report.detail = "no switch path between the endpoints";
+    return result;
+  }
+  if (spec_.bandwidth_bps > 0 && *path_available < spec_.bandwidth_bps) {
+    counter.bandwidth_bps = *path_available;
+    fail(AdmitFailure::kNetworkBandwidth, "a traversed link lacks spare capacity");
+  }
+
+  // Latency bound against the path's delivery-time floor.
+  if (spec_.latency_bound > 0) {
+    auto latency = network.PathLatencyNs(source_ep_, sink_ep_);
+    if (latency.has_value() && *latency > spec_.latency_bound) {
+      report.verdict = AdmitVerdict::kRejected;
+      report.failure = AdmitFailure::kLatency;
+      report.detail = "path latency floor exceeds the bound";
+      return result;
+    }
+  }
+
+  // CPU headroom on each host kernel that a contract is demanded of.
+  struct CpuCheck {
+    const nemesis::QosParams& wanted;
+    Workstation* ws;
+    nemesis::QosParams& counter_cpu;
+    AdmitFailure failure;
+  };
+  CpuCheck cpu_checks[2] = {
+      {spec_.source_cpu, source_ws_, counter.source_cpu, AdmitFailure::kSourceCpu},
+      {spec_.sink_cpu, sink_ws_, counter.sink_cpu, AdmitFailure::kSinkCpu},
+  };
+  double claimed[2] = {0.0, 0.0};
+  for (int i = 0; i < 2; ++i) {
+    const CpuCheck& check = cpu_checks[i];
+    if (check.wanted.slice <= 0) {
+      continue;
+    }
+    nemesis::Kernel* kernel = check.ws != nullptr ? check.ws->kernel() : nullptr;
+    if (kernel == nullptr) {
+      report.verdict = AdmitVerdict::kRejected;
+      report.failure = check.failure;
+      report.detail = "no kernel attached to the host";
+      return result;
+    }
+    // Both ends may share one kernel; count what the other end claims.
+    double shared = 0.0;
+    if (i == 1 && source_ws_ != nullptr && sink_ws_ != nullptr &&
+        source_ws_->kernel() == kernel) {
+      shared = claimed[0];
+    }
+    const double headroom = CpuHeadroom(kernel) - shared;
+    if (check.wanted.Utilization() > headroom) {
+      cpu_checks[i].counter_cpu.slice = SliceFor(headroom, check.wanted.period);
+      fail(check.failure, "CPU demand exceeds Atropos headroom");
+    } else {
+      claimed[i] = check.wanted.Utilization();
+    }
+  }
+
+  // Disk rate at the file server.
+  if (spec_.disk_bps > 0) {
+    if (storage == nullptr) {
+      report.verdict = AdmitVerdict::kRejected;
+      report.failure = AdmitFailure::kDiskBandwidth;
+      report.detail = "disk rate demanded but no storage endpoint on the path";
+      return result;
+    }
+    const int64_t available = storage->server()->AvailableStreamBps();
+    if (available < spec_.disk_bps) {
+      counter.disk_bps = std::max<int64_t>(available, 0);
+      fail(AdmitFailure::kDiskBandwidth, "PFS stream budget exhausted");
+    }
+  }
+
+  if (first_failure != AdmitFailure::kNone) {
+    report.failure = first_failure;
+    report.detail = detail;
+    // A counter-offer is only useful if every demanded layer still has
+    // something to give.
+    const bool viable = (spec_.bandwidth_bps == 0 || counter.bandwidth_bps > 0) &&
+                        (spec_.source_cpu.slice == 0 || counter.source_cpu.slice > 0) &&
+                        (spec_.sink_cpu.slice == 0 || counter.sink_cpu.slice > 0) &&
+                        (spec_.disk_bps == 0 || counter.disk_bps > 0);
+    report.verdict = viable ? AdmitVerdict::kCounterOffer : AdmitVerdict::kRejected;
+    if (viable) {
+      report.counter_offer = counter;
+    }
+    return result;
+  }
+
+  // --- every layer accepts: bind the contract ---
+  auto session = std::unique_ptr<StreamSession>(new StreamSession());
+  StreamSession* s = session.get();
+  s->name_ = name_;
+  s->system_ = system_;
+  s->source_ws_ = source_ws_;
+  s->sink_ws_ = sink_ws_;
+  s->source_ep_ = source_ep_;
+  s->sink_ep_ = sink_ep_;
+  s->source_camera_ = source_camera_;
+  s->sink_display_ = sink_display_;
+  s->storage_ = storage;
+  s->recording_ = sink_storage_ != nullptr;
+  s->manager_ = manager_;
+  s->manager_weight_ = manager_weight_;
+  s->requested_source_cpu_ = requested_source_cpu_.value_or(spec_.source_cpu);
+  s->requested_sink_cpu_ = requested_sink_cpu_.value_or(spec_.sink_cpu);
+  s->degrade_cb_ = std::move(degrade_cb_);
+  s->active_ = true;
+
+  // Network: the data VC carries the reservation; control VCs are
+  // best-effort, as in the paper's signalling.
+  auto data = network.OpenVc(source_ep_, sink_ep_, atm::QosSpec{spec_.bandwidth_bps});
+  if (!data.has_value()) {
+    report.verdict = AdmitVerdict::kRejected;
+    report.failure = AdmitFailure::kNetworkBandwidth;
+    report.detail = "VC establishment failed after admission";
+    s->active_ = false;
+    return result;
+  }
+  s->data_vc_ = data->id;
+  s->source_vci_ = data->source_vci;
+  s->sink_vci_ = data->destination_vci;
+
+  bool control_failed = false;
+  if (source_kind_ == EndpointKind::kWorkstationDevice &&
+      sink_kind_ == EndpointKind::kWorkstationDevice) {
+    // Control duplex: sink host -> source host (start/stop, mode select,
+    // sync), plus the reverse path, as every Pegasus device pairs (§2.2).
+    auto control = network.OpenDuplex(sink_ws_->host(), source_ws_->host());
+    if (control.has_value()) {
+      s->control_vcs_ = {control->first.id, control->second.id};
+      s->control_send_vci_ = control->first.source_vci;
+      s->control_receive_vci_ = control->second.destination_vci;
+    } else {
+      control_failed = true;
+    }
+  } else if (storage != nullptr) {
+    // Control stream from the managing host to the file server, which "can
+    // also be viewed as a multimedia device" (§2.2): index marks ride here.
+    Workstation* managing = sink_storage_ != nullptr ? source_ws_ : sink_ws_;
+    if (managing != nullptr) {
+      auto control = network.OpenVc(managing->host(), storage->endpoint());
+      if (control.has_value()) {
+        s->control_vcs_ = {control->id};
+        s->control_send_vci_ = control->source_vci;
+        s->control_receive_vci_ = control->destination_vci;
+      } else {
+        control_failed = true;
+      }
+    }
+  }
+  if (control_failed) {
+    // A session without its control path is not the contract that was asked
+    // for (index marks and device control would vanish silently).
+    s->Close();
+    report.verdict = AdmitVerdict::kRejected;
+    report.failure = AdmitFailure::kNoPath;
+    report.detail = "control VC establishment failed";
+    system_->AdoptSession(std::move(session));
+    return result;
+  }
+
+  // CPU: bind the per-end handler domains through scheduler admission.
+  struct CpuBind {
+    std::unique_ptr<nemesis::PeriodicDomain>* handler;
+    const nemesis::QosParams& qos;
+    Workstation* ws;
+    const char* suffix;
+    AdmitFailure failure;
+    bool source_end;
+  };
+  CpuBind binds[2] = {
+      {&s->source_handler_, spec_.source_cpu, source_ws_, "/src", AdmitFailure::kSourceCpu,
+       true},
+      {&s->sink_handler_, spec_.sink_cpu, sink_ws_, "/snk", AdmitFailure::kSinkCpu, false},
+  };
+  for (const CpuBind& bind : binds) {
+    if (bind.qos.slice <= 0) {
+      continue;
+    }
+    nemesis::Kernel* kernel = bind.ws->kernel();
+    auto domain = std::make_unique<nemesis::PeriodicDomain>(
+        system_->simulator(), name_ + bind.suffix, bind.qos, bind.qos.slice, bind.qos.period);
+    if (!kernel->AddDomain(domain.get())) {
+      s->Close();
+      report.verdict = AdmitVerdict::kRejected;
+      report.failure = bind.failure;
+      report.detail = "scheduler admission refused the contract after the headroom check";
+      system_->AdoptSession(std::move(session));
+      return result;
+    }
+    if (manager_ != nullptr && manager_->kernel() == kernel) {
+      const nemesis::QosParams requested =
+          bind.source_end ? s->requested_source_cpu_ : s->requested_sink_cpu_;
+      manager_->Register(domain.get(), manager_weight_, requested,
+                         [s, src = bind.source_end](double granted) {
+                           s->OnGrantChanged(src, granted);
+                         });
+    }
+    *bind.handler = std::move(domain);
+  }
+
+  // Storage: start the transfer under the rate reservation.
+  if (sink_storage_ != nullptr) {
+    s->file_ = sink_storage_->StartRecording(s->sink_vci_, s->control_receive_vci_,
+                                             record_stream_id_);
+  } else if (source_storage_ != nullptr) {
+    s->file_ = playback_file_;
+  }
+  if (spec_.disk_bps > 0 && storage != nullptr && s->file_ >= 0) {
+    if (!storage->server()->ReserveStream(s->file_, spec_.disk_bps)) {
+      s->Close();
+      report.verdict = AdmitVerdict::kRejected;
+      report.failure = AdmitFailure::kDiskBandwidth;
+      report.detail = "PFS reservation refused after the budget check";
+      system_->AdoptSession(std::move(session));
+      return result;
+    }
+    s->disk_reserved_ = true;
+  }
+
+  // Display: the window manager grants the data VC a window on the screen.
+  if (sink_display_ != nullptr && window_requested_) {
+    int w = window_w_;
+    int h = window_h_;
+    if ((w == 0 || h == 0) && source_camera_ != nullptr) {
+      w = source_camera_->config().width;
+      h = source_camera_->config().height;
+    }
+    dev::WindowManager wm(sink_display_);
+    wm.CreateWindow(s->sink_vci_, window_x_, window_y_, w, h);
+    s->window_created_ = true;
+  }
+
+  // Pace the source to the granted bandwidth so the reservation holds.
+  if (source_camera_ != nullptr && spec_.bandwidth_bps > 0) {
+    source_camera_->set_pace_bps(spec_.bandwidth_bps);
+  }
+
+  s->contract_.granted = spec_;
+  s->contract_.hop_count = data->hop_count;
+  s->contract_.established_at = system_->simulator()->now();
+
+  report.verdict = AdmitVerdict::kAccepted;
+  report.failure = AdmitFailure::kNone;
+  result.session = s;
+  system_->AdoptSession(std::move(session));
+  return result;
+}
+
+}  // namespace pegasus::core

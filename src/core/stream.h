@@ -1,0 +1,307 @@
+// The unified cross-layer QoS stream API.
+//
+// The paper's thesis is that multimedia needs *end-to-end* guarantees:
+// processor time from the Atropos scheduler (§3.3), network bandwidth from
+// ATM signalling (§4) and disk rate from the Pegasus File Server (§5),
+// negotiated together per stream. A StreamSpec states what a stream needs
+// from every layer; StreamBuilder admission-controls the full path —
+// bandwidth on every traversed link, CPU headroom on the source and sink
+// hosts, disk rate at the storage server — and either binds the whole
+// contract (VC pacing, per-stream handler domains, PFS reservation, a
+// window on the sink display) or rejects it with a counter-offer stating
+// the largest contract each layer could still grant. An established
+// StreamSession can re-negotiate in place and hears about QoS-manager
+// degradation through a callback, so the feedback loop of §3.3 spans
+// layers. Teardown releases all three layers' reservations.
+#ifndef PEGASUS_SRC_CORE_STREAM_H_
+#define PEGASUS_SRC_CORE_STREAM_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/atm/network.h"
+#include "src/core/storage_node.h"
+#include "src/core/workstation.h"
+#include "src/nemesis/qos.h"
+#include "src/nemesis/qos_manager.h"
+#include "src/nemesis/workloads.h"
+#include "src/pfs/server.h"
+
+namespace pegasus::core {
+
+class PegasusSystem;
+class StreamBuilder;
+
+enum class MediaType { kVideo, kAudio, kData };
+
+// What a stream asks of — or is granted by — every layer. Fields left at
+// zero are "no demand on this layer" and are skipped by admission.
+struct StreamSpec {
+  MediaType media = MediaType::kData;
+  // Nominal presentation rate (frames or packets per second); informational.
+  double frame_rate = 0.0;
+  // Peak network bandwidth to reserve on every traversed link. 0 = best
+  // effort (never rejected by the network).
+  int64_t bandwidth_bps = 0;
+  // End-to-end network latency bound. 0 = unconstrained. Admission rejects
+  // paths whose propagation plus per-hop serialisation exceed it.
+  sim::DurationNs latency_bound = 0;
+  // CPU contract for the protocol/decode work at each end, admitted against
+  // the host kernel's Atropos headroom. slice == 0 = no CPU demand.
+  nemesis::QosParams source_cpu = nemesis::QosParams{0, sim::Milliseconds(100), true};
+  nemesis::QosParams sink_cpu = nemesis::QosParams{0, sim::Milliseconds(100), true};
+  // Disk rate to reserve at the Pegasus File Server when a storage endpoint
+  // is on the path, in bytes per second. 0 = no reservation.
+  int64_t disk_bps = 0;
+
+  static StreamSpec Video(double fps, int64_t bandwidth_bps) {
+    StreamSpec s;
+    s.media = MediaType::kVideo;
+    s.frame_rate = fps;
+    s.bandwidth_bps = bandwidth_bps;
+    return s;
+  }
+  static StreamSpec Audio(int64_t bandwidth_bps) {
+    StreamSpec s;
+    s.media = MediaType::kAudio;
+    s.bandwidth_bps = bandwidth_bps;
+    return s;
+  }
+  static StreamSpec BestEffort() { return StreamSpec{}; }
+};
+
+enum class AdmitVerdict {
+  kAccepted,      // the full contract is bound
+  kCounterOffer,  // rejected, but `counter_offer` states an admissible spec
+  kRejected,      // rejected with nothing useful to offer
+};
+
+// Which layer turned the stream away.
+enum class AdmitFailure {
+  kNone,
+  kEndpoint,          // source/sink missing or not attached to the network
+  kNoPath,            // no switch path between the endpoints
+  kNetworkBandwidth,  // a traversed link lacks spare capacity
+  kLatency,           // the path cannot meet the latency bound
+  kSourceCpu,         // source host kernel lacks CPU headroom (or a kernel)
+  kSinkCpu,           // sink host kernel lacks CPU headroom (or a kernel)
+  kDiskBandwidth,     // PFS stream budget exhausted
+};
+
+const char* AdmitFailureName(AdmitFailure failure);
+
+struct AdmissionReport {
+  AdmitVerdict verdict = AdmitVerdict::kRejected;
+  AdmitFailure failure = AdmitFailure::kNone;
+  std::string detail;
+  // On kCounterOffer: the requested spec clamped to what every layer could
+  // still grant right now.
+  std::optional<StreamSpec> counter_offer;
+
+  bool ok() const { return verdict == AdmitVerdict::kAccepted; }
+};
+
+// The bound end-to-end contract of an established session.
+struct QosContract {
+  StreamSpec granted;
+  int hop_count = 0;
+  sim::TimeNs established_at = 0;
+  int renegotiations = 0;
+};
+
+// An admitted stream: the data VC (paced to the granted bandwidth), the
+// control VC(s), the per-end handler domains holding the CPU contracts, the
+// PFS reservation and the sink window — all released together by Close().
+class StreamSession {
+ public:
+  // Invoked after the QoS manager degraded (or restored) one of the
+  // session's CPU contracts; `contract().granted` is already updated.
+  using DegradeCallback = std::function<void(const QosContract& contract)>;
+
+  ~StreamSession();
+
+  StreamSession(const StreamSession&) = delete;
+  StreamSession& operator=(const StreamSession&) = delete;
+
+  const std::string& name() const { return name_; }
+  const QosContract& contract() const { return contract_; }
+  bool active() const { return active_; }
+
+  // --- data plane handles ---
+  atm::VcId data_vc() const { return data_vc_; }
+  // VCI the source device must stamp on outgoing packets.
+  atm::Vci source_vci() const { return source_vci_; }
+  // VCI the sink observes on delivered packets.
+  atm::Vci sink_vci() const { return sink_vci_; }
+  // Control stream: managing host -> far end (index marks, start/stop).
+  atm::Vci control_send_vci() const { return control_send_vci_; }
+  atm::Vci control_receive_vci() const { return control_receive_vci_; }
+  // The continuous file a ToStorage session records into, or the file a
+  // FromStorage session plays; -1 otherwise.
+  pfs::FileId file() const { return file_; }
+  // The handler domains holding the CPU contracts (null when no CPU was
+  // demanded at that end). Exposed so callers can observe manager grants.
+  nemesis::PeriodicDomain* source_handler() const { return source_handler_.get(); }
+  nemesis::PeriodicDomain* sink_handler() const { return sink_handler_.get(); }
+
+  // Re-negotiates the contract in place: bandwidth deltas are re-admitted on
+  // the VC's own links (no route churn), CPU through Kernel::UpdateQos, disk
+  // by release-and-re-reserve. All-or-nothing — on rejection every layer
+  // keeps the old contract.
+  AdmissionReport Renegotiate(const StreamSpec& spec);
+
+  void set_degrade_callback(DegradeCallback cb) { degrade_cb_ = std::move(cb); }
+
+  // Releases every layer's resources: VCs and their link reservations, the
+  // handler domains (and their QoS-manager registrations), the PFS stream
+  // reservation (stopping recording/playback), and the sink window.
+  // Idempotent.
+  void Close();
+
+ private:
+  friend class StreamBuilder;
+
+  StreamSession() = default;
+
+  // Creates or retires the per-end handler domains to match `spec`.
+  bool BindCpu(const StreamSpec& spec, AdmissionReport* report);
+  void ReleaseCpuEnd(std::unique_ptr<nemesis::PeriodicDomain>* handler,
+                     nemesis::Kernel* kernel);
+  void OnGrantChanged(bool source_end, double granted_util);
+
+  std::string name_;
+  PegasusSystem* system_ = nullptr;
+  QosContract contract_;
+  bool active_ = false;
+
+  // Endpoints.
+  Workstation* source_ws_ = nullptr;
+  Workstation* sink_ws_ = nullptr;
+  atm::Endpoint* source_ep_ = nullptr;
+  atm::Endpoint* sink_ep_ = nullptr;
+  dev::AtmCamera* source_camera_ = nullptr;
+  dev::AtmDisplay* sink_display_ = nullptr;
+  StorageNode* storage_ = nullptr;
+  bool recording_ = false;
+
+  // Network.
+  atm::VcId data_vc_ = -1;
+  std::vector<atm::VcId> control_vcs_;
+  atm::Vci source_vci_ = atm::kVciUnassigned;
+  atm::Vci sink_vci_ = atm::kVciUnassigned;
+  atm::Vci control_send_vci_ = atm::kVciUnassigned;
+  atm::Vci control_receive_vci_ = atm::kVciUnassigned;
+
+  // CPU.
+  std::unique_ptr<nemesis::PeriodicDomain> source_handler_;
+  std::unique_ptr<nemesis::PeriodicDomain> sink_handler_;
+  // Handlers removed from their kernel stay here, inert, because a pending
+  // job-release timer in the simulator may still reference them.
+  std::vector<std::unique_ptr<nemesis::PeriodicDomain>> retired_handlers_;
+  nemesis::QosManagerDomain* manager_ = nullptr;
+  double manager_weight_ = 1.0;
+  // What the stream wants long-term at each end — the demand registered
+  // with the QoS manager, which may exceed the contract admitted now.
+  nemesis::QosParams requested_source_cpu_;
+  nemesis::QosParams requested_sink_cpu_;
+
+  // Storage.
+  pfs::FileId file_ = -1;
+  bool disk_reserved_ = false;
+
+  // Display.
+  bool window_created_ = false;
+
+  DegradeCallback degrade_cb_;
+};
+
+struct StreamResult {
+  AdmissionReport report;
+  // Non-null iff report.ok(). Owned by the PegasusSystem.
+  StreamSession* session = nullptr;
+};
+
+// Fluent construction of a cross-layer stream:
+//
+//   auto r = system.BuildStream("phone/video")
+//                .From(alice, camera)
+//                .To(bob, display)
+//                .WithSpec(StreamSpec::Video(25, 8'000'000))
+//                .WithWindow(240, 180)
+//                .Open();
+//   if (r.report.ok()) camera->Start(r.session->source_vci());
+class StreamBuilder {
+ public:
+  StreamBuilder(PegasusSystem* system, std::string name);
+
+  StreamBuilder& From(Workstation* ws, dev::AtmCamera* camera);
+  StreamBuilder& From(Workstation* ws, dev::AudioCapture* capture);
+  // Any device endpoint on `ws` (tap points, relays, the host NIC).
+  StreamBuilder& FromEndpoint(Workstation* ws, atm::Endpoint* endpoint);
+  // Play-out of an existing continuous file from the storage server.
+  StreamBuilder& FromStorage(StorageNode* storage, pfs::FileId file);
+
+  StreamBuilder& To(Workstation* ws, dev::AtmDisplay* display);
+  StreamBuilder& To(Workstation* ws, dev::AudioPlayback* playback);
+  StreamBuilder& ToEndpoint(Workstation* ws, atm::Endpoint* endpoint);
+  // Record into a fresh continuous file; index marks for `stream_id` on the
+  // control VC drive the time index.
+  StreamBuilder& ToStorage(StorageNode* storage, uint32_t stream_id = 1);
+
+  StreamBuilder& WithSpec(const StreamSpec& spec);
+  // Window on the sink display. w/h default to the source camera image.
+  StreamBuilder& WithWindow(int x, int y, int w = 0, int h = 0);
+  // Registers the session's CPU contracts with the QoS manager (clients are
+  // matched to the manager's kernel), wiring its longer-timescale reviews to
+  // the session's degradation callback.
+  StreamBuilder& ManagedBy(nemesis::QosManagerDomain* manager, double weight = 1.0);
+  // The CPU the stream *wants* long-term at an end, possibly more than the
+  // spec admits now; the QoS manager grows the contract toward it as
+  // capacity frees and shrinks it under pressure. Defaults to the spec.
+  StreamBuilder& RequestingSourceCpu(const nemesis::QosParams& cpu);
+  StreamBuilder& RequestingSinkCpu(const nemesis::QosParams& cpu);
+  StreamBuilder& OnDegrade(StreamSession::DegradeCallback cb);
+
+  // Runs cross-layer admission and, if every layer accepts, binds the
+  // contract. On rejection nothing is left allocated.
+  StreamResult Open();
+
+ private:
+  enum class EndpointKind { kNone, kWorkstationDevice, kStorage };
+
+  PegasusSystem* system_;
+  std::string name_;
+  StreamSpec spec_;
+
+  EndpointKind source_kind_ = EndpointKind::kNone;
+  EndpointKind sink_kind_ = EndpointKind::kNone;
+  Workstation* source_ws_ = nullptr;
+  Workstation* sink_ws_ = nullptr;
+  atm::Endpoint* source_ep_ = nullptr;
+  atm::Endpoint* sink_ep_ = nullptr;
+  dev::AtmCamera* source_camera_ = nullptr;
+  dev::AtmDisplay* sink_display_ = nullptr;
+  StorageNode* source_storage_ = nullptr;
+  StorageNode* sink_storage_ = nullptr;
+  pfs::FileId playback_file_ = -1;
+  uint32_t record_stream_id_ = 1;
+
+  bool window_requested_ = false;
+  int window_x_ = 0;
+  int window_y_ = 0;
+  int window_w_ = 0;
+  int window_h_ = 0;
+
+  nemesis::QosManagerDomain* manager_ = nullptr;
+  double manager_weight_ = 1.0;
+  std::optional<nemesis::QosParams> requested_source_cpu_;
+  std::optional<nemesis::QosParams> requested_sink_cpu_;
+  StreamSession::DegradeCallback degrade_cb_;
+};
+
+}  // namespace pegasus::core
+
+#endif  // PEGASUS_SRC_CORE_STREAM_H_

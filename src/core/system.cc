@@ -45,116 +45,18 @@ ComputeNode* PegasusSystem::AddComputeServer(const std::string& name) {
   return compute_nodes_.back().get();
 }
 
-std::optional<MediaSession> PegasusSystem::ConnectCameraToDisplay(Workstation* src,
-                                                                  dev::AtmCamera* camera,
-                                                                  Workstation* dst,
-                                                                  dev::AtmDisplay* display,
-                                                                  int x, int y,
-                                                                  atm::QosSpec qos) {
-  atm::Endpoint* cam_ep = src->device_endpoint(camera);
-  atm::Endpoint* disp_ep = dst->device_endpoint(display);
-  if (cam_ep == nullptr || disp_ep == nullptr) {
-    return std::nullopt;
+StreamBuilder PegasusSystem::BuildStream(const std::string& name) {
+  std::string stream_name = name;
+  if (stream_name.empty()) {
+    stream_name = "stream-" + std::to_string(next_stream_id_);
   }
-  auto data = network_.OpenVc(cam_ep, disp_ep, qos);
-  if (!data.has_value()) {
-    return std::nullopt;
-  }
-  // Control stream: sink host -> source host (start/stop, mode select, sync).
-  auto control = network_.OpenDuplex(dst->host(), src->host());
-  if (!control.has_value()) {
-    network_.CloseVc(data->id);
-    return std::nullopt;
-  }
-  // The window manager grants the camera's VC a window on the screen.
-  dev::WindowManager wm(display);
-  wm.CreateWindow(data->destination_vci, x, y, camera->config().width,
-                  camera->config().height);
-
-  MediaSession session;
-  session.data_vc = data->id;
-  session.control_vc = control->first.id;
-  session.source_data_vci = data->source_vci;
-  session.sink_data_vci = data->destination_vci;
-  session.control_send_vci = control->first.source_vci;
-  session.control_receive_vci = control->second.destination_vci;
-  return session;
+  ++next_stream_id_;
+  return StreamBuilder(this, std::move(stream_name));
 }
 
-std::optional<MediaSession> PegasusSystem::ConnectAudio(Workstation* src,
-                                                        dev::AudioCapture* capture,
-                                                        Workstation* dst,
-                                                        dev::AudioPlayback* playback,
-                                                        atm::QosSpec qos) {
-  atm::Endpoint* in_ep = src->device_endpoint(capture);
-  atm::Endpoint* out_ep = dst->device_endpoint(playback);
-  if (in_ep == nullptr || out_ep == nullptr) {
-    return std::nullopt;
-  }
-  auto data = network_.OpenVc(in_ep, out_ep, qos);
-  if (!data.has_value()) {
-    return std::nullopt;
-  }
-  auto control = network_.OpenDuplex(dst->host(), src->host());
-  if (!control.has_value()) {
-    network_.CloseVc(data->id);
-    return std::nullopt;
-  }
-  MediaSession session;
-  session.data_vc = data->id;
-  session.control_vc = control->first.id;
-  session.source_data_vci = data->source_vci;
-  session.sink_data_vci = data->destination_vci;
-  session.control_send_vci = control->first.source_vci;
-  session.control_receive_vci = control->second.destination_vci;
-  return session;
-}
-
-std::optional<MediaSession> PegasusSystem::ConnectDeviceToStorage(Workstation* src,
-                                                                  atm::Endpoint* device_ep,
-                                                                  StorageNode* storage,
-                                                                  atm::QosSpec qos) {
-  auto data = network_.OpenVc(device_ep, storage->endpoint(), qos);
-  if (!data.has_value()) {
-    return std::nullopt;
-  }
-  // Control stream from the managing host to the storage server, alongside
-  // the data (the file server is "also a multimedia device", §2.2).
-  auto control = network_.OpenVc(src->host(), storage->endpoint());
-  if (!control.has_value()) {
-    network_.CloseVc(data->id);
-    return std::nullopt;
-  }
-  MediaSession session;
-  session.data_vc = data->id;
-  session.control_vc = control->id;
-  session.source_data_vci = data->source_vci;
-  session.sink_data_vci = data->destination_vci;
-  session.control_send_vci = control->source_vci;
-  session.control_receive_vci = control->destination_vci;
-  return session;
-}
-
-std::optional<MediaSession> PegasusSystem::ConnectStorageToDisplay(StorageNode* storage,
-                                                                   Workstation* dst,
-                                                                   dev::AtmDisplay* display,
-                                                                   int x, int y, int w, int h,
-                                                                   atm::QosSpec qos) {
-  atm::Endpoint* disp_ep = dst->device_endpoint(display);
-  if (disp_ep == nullptr) {
-    return std::nullopt;
-  }
-  auto data = network_.OpenVc(storage->endpoint(), disp_ep, qos);
-  if (!data.has_value()) {
-    return std::nullopt;
-  }
-  dev::WindowManager wm(display);
-  wm.CreateWindow(data->destination_vci, x, y, w, h);
-  MediaSession session;
-  session.data_vc = data->id;
-  session.source_data_vci = data->source_vci;
-  session.sink_data_vci = data->destination_vci;
-  return session;
+StreamSession* PegasusSystem::AdoptSession(std::unique_ptr<StreamSession> session) {
+  streams_.push_back(std::move(session));
+  return streams_.back().get();
 }
 
 }  // namespace pegasus::core

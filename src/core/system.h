@@ -4,8 +4,9 @@
 // workstation, multimedia compute server, storage server and Unix server,
 // all interconnected by an ATM network." PegasusSystem wires that picture:
 // a backbone switch, workstations with their own local switches, a storage
-// node, Unix nodes hosting the control halves of applications, plus the
-// session helpers that set up the paper's canonical media paths.
+// node, Unix nodes hosting the control halves of applications. Media paths
+// are set up through BuildStream(), the admission-controlled cross-layer
+// session API of src/core/stream.h.
 #ifndef PEGASUS_SRC_CORE_SYSTEM_H_
 #define PEGASUS_SRC_CORE_SYSTEM_H_
 
@@ -17,22 +18,12 @@
 #include "src/atm/network.h"
 #include "src/core/compute_node.h"
 #include "src/core/storage_node.h"
+#include "src/core/stream.h"
 #include "src/core/unix_node.h"
 #include "src/core/workstation.h"
 #include "src/pfs/server.h"
 
 namespace pegasus::core {
-
-// A established media session: the data VC from a source device to a sink
-// device plus the control VC back to the source's managing host.
-struct MediaSession {
-  atm::VcId data_vc = -1;
-  atm::VcId control_vc = -1;
-  atm::Vci source_data_vci = atm::kVciUnassigned;
-  atm::Vci sink_data_vci = atm::kVciUnassigned;
-  atm::Vci control_send_vci = atm::kVciUnassigned;
-  atm::Vci control_receive_vci = atm::kVciUnassigned;
-};
 
 class PegasusSystem {
  public:
@@ -58,26 +49,15 @@ class PegasusSystem {
   ComputeNode* AddComputeServer(const std::string& name = "compute");
 
   // --- session management (the device manager's job, §2.2) ---
-  // Camera -> display: data VC direct through the switches (no CPU on the
-  // path), control VC from the sink's host back to the source's host, and a
-  // window at (x, y) sized to the camera image.
-  std::optional<MediaSession> ConnectCameraToDisplay(Workstation* src, dev::AtmCamera* camera,
-                                                     Workstation* dst, dev::AtmDisplay* display,
-                                                     int x, int y,
-                                                     atm::QosSpec qos = atm::QosSpec{});
-  // Audio capture -> playback.
-  std::optional<MediaSession> ConnectAudio(Workstation* src, dev::AudioCapture* capture,
-                                           Workstation* dst, dev::AudioPlayback* playback,
-                                           atm::QosSpec qos = atm::QosSpec{});
-  // Device -> storage recording session (data + control VC to the server).
-  std::optional<MediaSession> ConnectDeviceToStorage(Workstation* src, atm::Endpoint* device_ep,
-                                                     StorageNode* storage,
-                                                     atm::QosSpec qos = atm::QosSpec{});
-  // Storage -> display playout session.
-  std::optional<MediaSession> ConnectStorageToDisplay(StorageNode* storage, Workstation* dst,
-                                                      dev::AtmDisplay* display, int x, int y,
-                                                      int w, int h,
-                                                      atm::QosSpec qos = atm::QosSpec{});
+  // Starts a fluent, admission-controlled stream setup. The returned builder
+  // checks network bandwidth on every hop, CPU headroom at each end and PFS
+  // disk rate together before binding anything.
+  StreamBuilder BuildStream(const std::string& name = "");
+  // Takes ownership of a session built by a StreamBuilder. Sessions live
+  // until the system dies, even after Close() (pending simulator events may
+  // still reference their handler domains).
+  StreamSession* AdoptSession(std::unique_ptr<StreamSession> session);
+  const std::vector<std::unique_ptr<StreamSession>>& streams() const { return streams_; }
 
   const std::vector<std::unique_ptr<Workstation>>& workstations() const {
     return workstations_;
@@ -96,6 +76,8 @@ class PegasusSystem {
   std::vector<std::unique_ptr<StorageNode>> storage_nodes_;
   std::vector<std::unique_ptr<UnixNode>> unix_nodes_;
   std::vector<std::unique_ptr<ComputeNode>> compute_nodes_;
+  std::vector<std::unique_ptr<StreamSession>> streams_;
+  int next_stream_id_ = 1;
 };
 
 }  // namespace pegasus::core

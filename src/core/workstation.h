@@ -20,6 +20,10 @@
 #include "src/devices/display.h"
 #include "src/sim/event_queue.h"
 
+namespace pegasus::nemesis {
+class Kernel;
+}
+
 namespace pegasus::core {
 
 // Forwards cells arriving on one VCI out on another, charging per-cell CPU
@@ -59,6 +63,12 @@ class Workstation {
   atm::Endpoint* host() const { return host_; }
   atm::MessageTransport* host_transport() const { return host_transport_.get(); }
 
+  // The Nemesis kernel modelling this workstation's host CPU, when one is
+  // attached (not owned). Stream admission checks per-stream CPU contracts
+  // against it; without a kernel, CPU demands are not admissible here.
+  void AttachKernel(nemesis::Kernel* kernel) { kernel_ = kernel; }
+  nemesis::Kernel* kernel() const { return kernel_; }
+
   // Reserves the next free switch port (for backbone uplinks).
   int ClaimPort();
 
@@ -83,6 +93,7 @@ class Workstation {
   atm::Switch* switch_;
   atm::Endpoint* host_;
   std::unique_ptr<atm::MessageTransport> host_transport_;
+  nemesis::Kernel* kernel_ = nullptr;
   int64_t device_link_bps_;
   int next_port_ = 1;
   std::unique_ptr<HostRelay> relay_;

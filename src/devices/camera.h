@@ -55,6 +55,9 @@ class AtmCamera {
   void AddOutput(atm::Vci vci) { extra_vcis_.push_back(vci); }
 
   const Config& config() const { return config_; }
+  // Re-shapes the outgoing cell stream; stream admission sets this to the
+  // granted bandwidth so the camera never bursts past its reservation.
+  void set_pace_bps(int64_t bps) { config_.pace_bps = bps; }
   uint32_t frames_captured() const { return frames_captured_; }
   int64_t packets_sent() const { return packets_sent_; }
   int64_t bytes_sent() const { return bytes_sent_; }

@@ -49,6 +49,7 @@ class AtroposScheduler : public Scheduler {
   void Charge(Domain* domain, const SchedDecision& decision, sim::TimeNs start,
               sim::DurationNs ran) override;
   double AdmittedUtilization() const override;
+  double Capacity() const override { return capacity_; }
 
   // Introspection for tests: remaining credit / current deadline of a domain.
   sim::DurationNs CreditOf(Domain* domain) const;

@@ -11,12 +11,14 @@ QosManagerDomain::QosManagerDomain(sim::Simulator* sim, std::string name, QosPar
                                    Options options)
     : Domain(std::move(name), own_qos), sim_(sim), options_(options) {}
 
-void QosManagerDomain::Register(Domain* client, double weight, QosParams requested) {
+void QosManagerDomain::Register(Domain* client, double weight, QosParams requested,
+                                GrantCallback on_grant) {
   ClientState st;
   st.weight = std::max(weight, 1e-6);
   st.requested = requested;
   st.granted_util = client->qos().Utilization();
   st.last_cpu_total = client->cpu_total();
+  st.on_grant = std::move(on_grant);
   clients_[client] = st;
 }
 
@@ -127,14 +129,22 @@ void QosManagerDomain::Review() {
   }
 
   // Smooth and apply — shrinking contracts first so that admission control
-  // never transiently sees more than the target utilisation.
-  auto apply = [this](Domain* client, ClientState& st, double next) {
+  // never transiently sees more than the target utilisation. Grant
+  // callbacks are collected and fired only after the iteration: a callback
+  // may Unregister or re-Register its client (closing or renegotiating a
+  // stream), which mutates clients_.
+  std::vector<std::pair<GrantCallback, double>> notifications;
+  auto apply = [this, &notifications](Domain* client, ClientState& st, double next) {
     QosParams qos = client->qos();
     qos.period = st.requested.period;
     qos.extra_time = st.requested.extra_time;
     qos.slice = static_cast<sim::DurationNs>(next * static_cast<double>(qos.period));
     if (kernel()->UpdateQos(client, qos)) {
+      const double previous = st.granted_util;
       st.granted_util = next;
+      if (st.on_grant && std::abs(next - previous) > 1e-9) {
+        notifications.emplace_back(st.on_grant, next);
+      }
     }
   };
   for (int pass = 0; pass < 2; ++pass) {
@@ -145,6 +155,9 @@ void QosManagerDomain::Review() {
         apply(client, st, next);
       }
     }
+  }
+  for (auto& [callback, granted] : notifications) {
+    callback(granted);
   }
 }
 

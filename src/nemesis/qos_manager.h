@@ -16,6 +16,7 @@
 #ifndef PEGASUS_SRC_NEMESIS_QOS_MANAGER_H_
 #define PEGASUS_SRC_NEMESIS_QOS_MANAGER_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -45,9 +46,15 @@ class QosManagerDomain : public Domain {
 
   QosManagerDomain(sim::Simulator* sim, std::string name, QosParams own_qos, Options options);
 
+  // Invoked after a review changed a client's granted utilisation — the
+  // cross-layer hook stream sessions use to learn of degradation and
+  // re-negotiate the other layers.
+  using GrantCallback = std::function<void(double granted_util)>;
+
   // Registers a client with a policy weight (the "user's current policy")
   // and the QoS it *asks* for. Takes effect at the next epoch.
-  void Register(Domain* client, double weight, QosParams requested);
+  void Register(Domain* client, double weight, QosParams requested,
+                GrantCallback on_grant = nullptr);
   void Unregister(Domain* client);
 
   // Granted utilisation for a client, as of the last review.
@@ -66,6 +73,7 @@ class QosManagerDomain : public Domain {
     // EWMA of observed utilisation.
     double observed_util = 0.0;
     sim::DurationNs last_cpu_total = 0;
+    GrantCallback on_grant;
   };
 
   void Review();

@@ -68,6 +68,11 @@ class Scheduler {
 
   // Sum of admitted guarantees, for tests and the QoS manager.
   virtual double AdmittedUtilization() const = 0;
+
+  // Utilisation ceiling the discipline admits guarantees against. Stream
+  // admission control measures CPU headroom as Capacity() minus
+  // AdmittedUtilization(). Disciplines without explicit admission report 1.
+  virtual double Capacity() const { return 1.0; }
 };
 
 }  // namespace pegasus::nemesis

@@ -488,12 +488,14 @@ bool PegasusFileServer::Delete(FileId file) {
 
 // --- continuous-media support ---
 
+int64_t PegasusFileServer::StreamBudgetBps() const {
+  return static_cast<int64_t>(static_cast<double>(config_.num_data_disks) *
+                              static_cast<double>(config_.geometry.transfer_bytes_per_sec) *
+                              config_.stream_admission_fraction);
+}
+
 bool PegasusFileServer::ReserveStream(FileId file, int64_t bytes_per_second) {
-  const auto budget = static_cast<int64_t>(
-      static_cast<double>(config_.num_data_disks) *
-      static_cast<double>(config_.geometry.transfer_bytes_per_sec) *
-      config_.stream_admission_fraction);
-  if (reserved_bps_ + bytes_per_second > budget) {
+  if (reserved_bps_ + bytes_per_second > StreamBudgetBps()) {
     return false;
   }
   reserved_bps_ += bytes_per_second;

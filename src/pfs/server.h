@@ -101,6 +101,12 @@ class PegasusFileServer {
   bool ReserveStream(FileId file, int64_t bytes_per_second);
   void ReleaseStream(FileId file);
   int64_t reserved_stream_bps() const { return reserved_bps_; }
+  // Aggregate disk bandwidth the admission controller hands out to stream
+  // reservations (stream_admission_fraction of the raw disk rate).
+  int64_t StreamBudgetBps() const;
+  // Unreserved stream bandwidth remaining — the largest reservation the
+  // store can still admit.
+  int64_t AvailableStreamBps() const { return StreamBudgetBps() - reserved_bps_; }
   // Control-stream indexing: record that media timestamp `ts` lives at byte
   // `offset` of `file`; look it up later for seek/ff/reverse.
   bool AppendIndexEntry(FileId file, int64_t media_ts, int64_t byte_offset);

@@ -30,9 +30,14 @@ TEST_F(SystemFixture, VideoPhoneAcrossWorkstations) {
   dev::AtmCamera* camera = alice->AddCamera(cam_cfg);
   dev::AtmDisplay* display = bob->AddDisplay(320, 240);
 
-  auto session = system_.ConnectCameraToDisplay(alice, camera, bob, display, 20, 20);
-  ASSERT_TRUE(session.has_value());
-  camera->Start(session->source_data_vci);
+  auto session = system_.BuildStream("phone/video")
+                     .From(alice, camera)
+                     .To(bob, display)
+                     .WithSpec(StreamSpec::Video(25, 0))
+                     .WithWindow(20, 20)
+                     .Open();
+  ASSERT_TRUE(session.report.ok());
+  camera->Start(session.session->source_vci());
   sim_.RunUntil(Seconds(1));
 
   EXPECT_GT(display->tiles_blitted(), 500);
@@ -54,9 +59,13 @@ TEST_F(SystemFixture, DanPathBeatsBusPathOnCpuAndLatency) {
   dev::AtmCamera* camera = ws->AddCamera(cam_cfg);
   dev::AtmDisplay* display = ws->AddDisplay(320, 240);
 
-  auto dan = system_.ConnectCameraToDisplay(ws, camera, ws, display, 0, 0);
-  ASSERT_TRUE(dan.has_value());
-  camera->Start(dan->source_data_vci);
+  auto dan = system_.BuildStream("dan")
+                 .From(ws, camera)
+                 .To(ws, display)
+                 .WithWindow(0, 0)
+                 .Open();
+  ASSERT_TRUE(dan.report.ok());
+  camera->Start(dan.session->source_vci());
   sim_.RunUntil(Seconds(1));
   camera->Stop();
   const double dan_latency = display->tile_latency().mean();
@@ -99,28 +108,32 @@ TEST_F(SystemFixture, RecordThenPlayback) {
   pfs_cfg.geometry.capacity_bytes = 64 << 20;
   StorageNode* storage = system_.AddStorageServer(pfs_cfg);
 
-  auto rec = system_.ConnectDeviceToStorage(ws, ws->device_endpoint(camera), storage);
-  ASSERT_TRUE(rec.has_value());
-  pfs::FileId file = storage->StartRecording(rec->sink_data_vci, rec->control_receive_vci, 1);
+  auto rec = system_.BuildStream("rec")
+                 .FromEndpoint(ws, ws->device_endpoint(camera))
+                 .ToStorage(storage, /*stream_id=*/1)
+                 .Open();
+  ASSERT_TRUE(rec.report.ok());
+  StreamSession* session = rec.session;
+  pfs::FileId file = session->file();
   ASSERT_GE(file, 0);
 
   // The camera's manager announces sync marks on the control stream once per
   // frame, which the storage node turns into index entries.
   atm::MessageTransport* host_t = ws->host_transport();
   for (int i = 0; i < 25; ++i) {
-    sim_.ScheduleAt(i * Milliseconds(40), [host_t, rec, i]() {
+    sim_.ScheduleAt(i * Milliseconds(40), [host_t, session, i]() {
       dev::ControlMessage mark;
       mark.type = dev::ControlType::kSyncMark;
       mark.stream_id = 1;
       mark.media_ts = i * Milliseconds(40);
-      host_t->Send(rec->control_send_vci, mark.Serialize());
+      host_t->Send(session->control_send_vci(), mark.Serialize());
     });
   }
-  camera->Start(rec->source_data_vci);
+  camera->Start(session->source_vci());
   sim_.RunUntil(Seconds(1));
   camera->Stop();
   bool synced = false;
-  storage->StopRecording(rec->sink_data_vci, [&]() { synced = true; });
+  storage->StopRecording(session->sink_vci(), [&]() { synced = true; });
   sim_.RunUntilPredicate([&]() { return synced; });
 
   EXPECT_GT(storage->records_recorded(), 50);
@@ -130,9 +143,13 @@ TEST_F(SystemFixture, RecordThenPlayback) {
 
   // Play the recording back to a display.
   dev::AtmDisplay* display = ws->AddDisplay(320, 240);
-  auto play = system_.ConnectStorageToDisplay(storage, ws, display, 0, 0, 32, 32);
-  ASSERT_TRUE(play.has_value());
-  ASSERT_TRUE(storage->StartPlayback(file, play->source_data_vci));
+  auto play = system_.BuildStream("play")
+                  .FromStorage(storage, file)
+                  .To(ws, display)
+                  .WithWindow(0, 0, 32, 32)
+                  .Open();
+  ASSERT_TRUE(play.report.ok());
+  ASSERT_TRUE(storage->StartPlayback(file, play.session->source_vci()));
   sim_.RunUntil(sim_.now() + Seconds(3));
   EXPECT_GT(storage->records_played(), 50);
   EXPECT_GT(display->tiles_blitted(), 100);
@@ -238,10 +255,18 @@ TEST_F(SystemFixture, LiveAvSessionStaysInLipSync) {
   dev::AtmDisplay* display = dst->AddDisplay(320, 240);
   dev::AudioPlayback* speaker = dst->AddAudioPlayback();
 
-  auto v = system_.ConnectCameraToDisplay(src, camera, dst, display, 0, 0);
-  auto a = system_.ConnectAudio(src, mic, dst, speaker);
-  ASSERT_TRUE(v.has_value());
-  ASSERT_TRUE(a.has_value());
+  auto v = system_.BuildStream("av/video")
+               .From(src, camera)
+               .To(dst, display)
+               .WithWindow(0, 0)
+               .Open();
+  auto a = system_.BuildStream("av/audio")
+               .From(src, mic)
+               .To(dst, speaker)
+               .WithSpec(StreamSpec::Audio(0))
+               .Open();
+  ASSERT_TRUE(v.report.ok());
+  ASSERT_TRUE(a.report.ok());
 
   dev::PlaybackController::Options opts;
   opts.margin = Milliseconds(30);
@@ -259,8 +284,8 @@ TEST_F(SystemFixture, LiveAvSessionStaysInLipSync) {
   speaker->set_playout_callback(
       [&sync, as](sim::TimeNs capture_ts, sim::TimeNs) { sync.OnArrival(as, capture_ts); });
 
-  camera->Start(v->source_data_vci);
-  mic->Start(a->source_data_vci);
+  camera->Start(v.session->source_vci());
+  mic->Start(a.session->source_vci());
   sim_.RunUntil(Seconds(5));
 
   ASSERT_GT(sync.skew().count(), 100);
@@ -278,14 +303,27 @@ TEST_F(SystemFixture, QosSessionRejectedWhenLinksFull) {
   dev::AtmCamera* cam2 = a->AddCamera(cfg);
   dev::AtmDisplay* disp = b->AddDisplay(640, 480);
 
-  atm::QosSpec heavy;
-  heavy.peak_bps = 100'000'000;
-  auto s1 = system_.ConnectCameraToDisplay(a, cam1, b, disp, 0, 0, heavy);
-  EXPECT_TRUE(s1.has_value());
-  // The second 100 Mb/s reservation exceeds the 155 Mb/s backbone uplink.
-  auto s2 = system_.ConnectCameraToDisplay(a, cam2, b, disp, 0, 200, heavy);
-  EXPECT_FALSE(s2.has_value());
-  EXPECT_GE(system_.network().admission_rejections(), 1);
+  const StreamSpec heavy = StreamSpec::Video(25, 100'000'000);
+  auto s1 = system_.BuildStream("s1")
+                .From(a, cam1)
+                .To(b, disp)
+                .WithSpec(heavy)
+                .WithWindow(0, 0)
+                .Open();
+  EXPECT_TRUE(s1.report.ok());
+  // The second 100 Mb/s reservation exceeds the 155 Mb/s backbone uplink;
+  // admission answers with a counter-offer for the remaining capacity.
+  auto s2 = system_.BuildStream("s2")
+                .From(a, cam2)
+                .To(b, disp)
+                .WithSpec(heavy)
+                .WithWindow(0, 200)
+                .Open();
+  EXPECT_FALSE(s2.report.ok());
+  EXPECT_EQ(s2.report.failure, AdmitFailure::kNetworkBandwidth);
+  ASSERT_EQ(s2.report.verdict, AdmitVerdict::kCounterOffer);
+  ASSERT_TRUE(s2.report.counter_offer.has_value());
+  EXPECT_EQ(s2.report.counter_offer->bandwidth_bps, 55'000'000);
 }
 
 }  // namespace

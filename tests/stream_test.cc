@@ -1,0 +1,288 @@
+// The cross-layer stream API: admission across network, CPU and disk,
+// counter-offers, teardown releasing every layer, and renegotiation.
+#include <gtest/gtest.h>
+
+#include "src/core/stream.h"
+#include "src/core/system.h"
+#include "src/nemesis/atropos.h"
+#include "src/nemesis/kernel.h"
+#include "src/nemesis/qos_manager.h"
+
+namespace pegasus::core {
+namespace {
+
+using nemesis::QosParams;
+using sim::Milliseconds;
+using sim::Seconds;
+
+class StreamFixture : public ::testing::Test {
+ protected:
+  StreamFixture() : system_(&sim_) {}
+
+  // Total bandwidth currently reserved anywhere in the network.
+  int64_t TotalReservedBps() {
+    int64_t total = 0;
+    for (const auto& link : system_.network().links()) {
+      total += system_.network().ReservedBandwidth(link.get());
+    }
+    return total;
+  }
+
+  sim::Simulator sim_;
+  PegasusSystem system_;
+};
+
+TEST_F(StreamFixture, AdmitAcceptBindsEveryLayer) {
+  Workstation* src = system_.AddWorkstation("src");
+  Workstation* dst = system_.AddWorkstation("dst");
+  nemesis::Kernel kernel(&sim_, std::make_unique<nemesis::AtroposScheduler>(1.0));
+  dst->AttachKernel(&kernel);
+
+  dev::AtmCamera::Config cfg;
+  dev::AtmCamera* camera = src->AddCamera(cfg);
+  dev::AtmDisplay* display = dst->AddDisplay(640, 480);
+
+  StreamSpec spec = StreamSpec::Video(25, 10'000'000);
+  spec.sink_cpu = QosParams::Guaranteed(Milliseconds(5), Milliseconds(40));
+
+  auto r = system_.BuildStream("accept")
+               .From(src, camera)
+               .To(dst, display)
+               .WithSpec(spec)
+               .WithWindow(10, 10)
+               .Open();
+  ASSERT_TRUE(r.report.ok());
+  ASSERT_NE(r.session, nullptr);
+  EXPECT_TRUE(r.session->active());
+  EXPECT_EQ(r.session->contract().granted.bandwidth_bps, 10'000'000);
+  EXPECT_GT(r.session->contract().hop_count, 0);
+
+  // Network layer: the reservation shows on the traversed links.
+  EXPECT_GT(TotalReservedBps(), 0);
+  // Every hop carries the full peak rate: camera uplink, two inter-switch
+  // hops (src->backbone, backbone->dst), display downlink.
+  EXPECT_GE(TotalReservedBps(), 4 * 10'000'000);
+  // CPU layer: the sink host's scheduler now carries the handler contract.
+  EXPECT_NEAR(kernel.scheduler()->AdmittedUtilization(), 0.125, 1e-9);
+  ASSERT_NE(r.session->sink_handler(), nullptr);
+  EXPECT_EQ(r.session->source_handler(), nullptr);
+  // Device layer: the camera is paced to the granted bandwidth.
+  EXPECT_EQ(camera->config().pace_bps, 10'000'000);
+}
+
+TEST_F(StreamFixture, AdmitRejectsOversubscribedLink) {
+  Workstation* a = system_.AddWorkstation("a");
+  Workstation* b = system_.AddWorkstation("b");
+  dev::AtmCamera::Config cfg;
+  dev::AtmCamera* cam1 = a->AddCamera(cfg);
+  dev::AtmCamera* cam2 = a->AddCamera(cfg);
+  dev::AtmDisplay* disp = b->AddDisplay(640, 480);
+
+  // Two 100 Mb/s reservations cannot share one 155 Mb/s backbone uplink.
+  const StreamSpec heavy = StreamSpec::Video(25, 100'000'000);
+  auto s1 = system_.BuildStream("s1").From(a, cam1).To(b, disp).WithSpec(heavy).Open();
+  ASSERT_TRUE(s1.report.ok());
+
+  auto s2 = system_.BuildStream("s2").From(a, cam2).To(b, disp).WithSpec(heavy).Open();
+  EXPECT_FALSE(s2.report.ok());
+  EXPECT_EQ(s2.report.failure, AdmitFailure::kNetworkBandwidth);
+  EXPECT_EQ(s2.session, nullptr);
+  // The counter-offer is the remaining capacity of the tightest hop.
+  ASSERT_EQ(s2.report.verdict, AdmitVerdict::kCounterOffer);
+  ASSERT_TRUE(s2.report.counter_offer.has_value());
+  EXPECT_EQ(s2.report.counter_offer->bandwidth_bps, 55'000'000);
+
+  // Accepting the counter-offer succeeds.
+  auto s3 = system_.BuildStream("s3")
+                .From(a, cam2)
+                .To(b, disp)
+                .WithSpec(*s2.report.counter_offer)
+                .Open();
+  EXPECT_TRUE(s3.report.ok());
+}
+
+TEST_F(StreamFixture, AdmitRejectsCpuOverCommitment) {
+  Workstation* src = system_.AddWorkstation("src");
+  Workstation* dst = system_.AddWorkstation("dst");
+  nemesis::Kernel kernel(&sim_, std::make_unique<nemesis::AtroposScheduler>(1.0));
+  dst->AttachKernel(&kernel);
+  dev::AtmCamera::Config cfg;
+  dev::AtmCamera* cam1 = src->AddCamera(cfg);
+  dev::AtmCamera* cam2 = src->AddCamera(cfg);
+  dev::AtmDisplay* disp = dst->AddDisplay(640, 480);
+
+  StreamSpec first = StreamSpec::Video(25, 0);
+  first.sink_cpu = QosParams::Guaranteed(Milliseconds(600), Milliseconds(1000));
+  auto s1 = system_.BuildStream("s1").From(src, cam1).To(dst, disp).WithSpec(first).Open();
+  ASSERT_TRUE(s1.report.ok());
+
+  // Another 60% demand exceeds the remaining 40% Atropos headroom.
+  auto s2 = system_.BuildStream("s2").From(src, cam2).To(dst, disp).WithSpec(first).Open();
+  EXPECT_FALSE(s2.report.ok());
+  EXPECT_EQ(s2.report.failure, AdmitFailure::kSinkCpu);
+  ASSERT_EQ(s2.report.verdict, AdmitVerdict::kCounterOffer);
+  ASSERT_TRUE(s2.report.counter_offer.has_value());
+  const sim::DurationNs offered = s2.report.counter_offer->sink_cpu.slice;
+  EXPECT_GT(offered, Milliseconds(300));
+  EXPECT_LE(offered, Milliseconds(400));
+
+  // A CPU demand on a host with no kernel attached is an outright reject.
+  StreamSpec no_kernel = StreamSpec::Video(25, 0);
+  no_kernel.source_cpu = QosParams::Guaranteed(Milliseconds(1), Milliseconds(100));
+  auto s3 = system_.BuildStream("s3").From(src, cam2).To(dst, disp).WithSpec(no_kernel).Open();
+  EXPECT_FALSE(s3.report.ok());
+  EXPECT_EQ(s3.report.failure, AdmitFailure::kSourceCpu);
+  EXPECT_EQ(s3.report.verdict, AdmitVerdict::kRejected);
+}
+
+TEST_F(StreamFixture, TeardownReleasesAllThreeLayers) {
+  Workstation* ws = system_.AddWorkstation("ws");
+  nemesis::Kernel kernel(&sim_, std::make_unique<nemesis::AtroposScheduler>(1.0));
+  ws->AttachKernel(&kernel);
+  dev::AtmCamera::Config cfg;
+  dev::AtmCamera* camera = ws->AddCamera(cfg);
+  pfs::PfsConfig pfs_cfg;
+  pfs_cfg.segment_size = 64 << 10;
+  pfs_cfg.block_size = 8 << 10;
+  pfs_cfg.geometry.capacity_bytes = 64 << 20;
+  StorageNode* storage = system_.AddStorageServer(pfs_cfg);
+
+  const int64_t base_vcs = system_.network().open_vc_count();
+  StreamSpec spec = StreamSpec::Video(25, 20'000'000);
+  spec.source_cpu = QosParams::Guaranteed(Milliseconds(4), Milliseconds(40));
+  spec.disk_bps = 2'000'000;
+  auto r = system_.BuildStream("rec")
+               .FromEndpoint(ws, ws->device_endpoint(camera))
+               .ToStorage(storage, /*stream_id=*/1)
+               .WithSpec(spec)
+               .Open();
+  ASSERT_TRUE(r.report.ok());
+
+  // All three layers hold reservations while the session is live.
+  EXPECT_GT(TotalReservedBps(), 0);
+  EXPECT_GT(kernel.scheduler()->AdmittedUtilization(), 0.0);
+  EXPECT_EQ(storage->server()->reserved_stream_bps(), 2'000'000);
+  EXPECT_GT(system_.network().open_vc_count(), base_vcs);
+
+  r.session->Close();
+  EXPECT_FALSE(r.session->active());
+
+  // ...and all three are fully released on teardown.
+  EXPECT_EQ(TotalReservedBps(), 0);
+  EXPECT_EQ(kernel.scheduler()->AdmittedUtilization(), 0.0);
+  EXPECT_EQ(storage->server()->reserved_stream_bps(), 0);
+  EXPECT_EQ(system_.network().open_vc_count(), base_vcs);
+
+  // Close is idempotent.
+  r.session->Close();
+  EXPECT_EQ(TotalReservedBps(), 0);
+}
+
+TEST_F(StreamFixture, RenegotiationRoundTrip) {
+  Workstation* src = system_.AddWorkstation("src");
+  Workstation* dst = system_.AddWorkstation("dst");
+  nemesis::Kernel kernel(&sim_, std::make_unique<nemesis::AtroposScheduler>(1.0));
+  dst->AttachKernel(&kernel);
+  dev::AtmCamera::Config cfg;
+  dev::AtmCamera* camera = src->AddCamera(cfg);
+  dev::AtmDisplay* display = dst->AddDisplay(640, 480);
+
+  StreamSpec spec = StreamSpec::Video(25, 10'000'000);
+  spec.sink_cpu = QosParams::Guaranteed(Milliseconds(4), Milliseconds(40));
+  auto r = system_.BuildStream("stream")
+               .From(src, camera)
+               .To(dst, display)
+               .WithSpec(spec)
+               .Open();
+  ASSERT_TRUE(r.report.ok());
+  const int64_t reserved_before = TotalReservedBps();
+
+  // Scale up within capacity: both layers re-admit in place.
+  StreamSpec more = r.session->contract().granted;
+  more.bandwidth_bps = 40'000'000;
+  more.sink_cpu = QosParams::Guaranteed(Milliseconds(8), Milliseconds(40));
+  auto up = r.session->Renegotiate(more);
+  EXPECT_TRUE(up.ok());
+  EXPECT_EQ(r.session->contract().granted.bandwidth_bps, 40'000'000);
+  EXPECT_EQ(r.session->contract().renegotiations, 1);
+  EXPECT_EQ(TotalReservedBps(), reserved_before * 4);
+  EXPECT_NEAR(kernel.scheduler()->AdmittedUtilization(), 0.2, 1e-9);
+  EXPECT_EQ(camera->config().pace_bps, 40'000'000);
+
+  // An infeasible demand is refused atomically: nothing changes.
+  StreamSpec too_much = more;
+  too_much.bandwidth_bps = 500'000'000;
+  auto refused = r.session->Renegotiate(too_much);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.failure, AdmitFailure::kNetworkBandwidth);
+  ASSERT_TRUE(refused.counter_offer.has_value());
+  EXPECT_EQ(refused.counter_offer->bandwidth_bps, 155'000'000);
+  EXPECT_EQ(r.session->contract().granted.bandwidth_bps, 40'000'000);
+  EXPECT_EQ(TotalReservedBps(), reserved_before * 4);
+  EXPECT_NEAR(kernel.scheduler()->AdmittedUtilization(), 0.2, 1e-9);
+
+  // Scale back down: the freed bandwidth is admissible again elsewhere.
+  StreamSpec back = r.session->contract().granted;
+  back.bandwidth_bps = 10'000'000;
+  back.sink_cpu = QosParams::Guaranteed(Milliseconds(4), Milliseconds(40));
+  EXPECT_TRUE(r.session->Renegotiate(back).ok());
+  EXPECT_EQ(TotalReservedBps(), reserved_before);
+  EXPECT_NEAR(kernel.scheduler()->AdmittedUtilization(), 0.1, 1e-9);
+  // The refused attempt does not count: only bound contracts do.
+  EXPECT_EQ(r.session->contract().renegotiations, 2);
+}
+
+TEST_F(StreamFixture, ManagerDegradationReachesTheSession) {
+  Workstation* ws = system_.AddWorkstation("ws");
+  nemesis::Kernel kernel(&sim_, std::make_unique<nemesis::AtroposScheduler>(1.0));
+  ws->AttachKernel(&kernel);
+  dev::AtmCamera::Config cfg;
+  dev::AtmCamera* camera = ws->AddCamera(cfg);
+  dev::AtmDisplay* display = ws->AddDisplay(640, 480);
+
+  nemesis::QosManagerDomain::Options opts;
+  opts.epoch = Milliseconds(250);
+  opts.target_utilization = 0.5;
+  opts.reclaim_unused = false;
+  opts.smoothing = 1.0;
+  nemesis::QosManagerDomain manager(&sim_, "mgr",
+                                    QosParams::Guaranteed(Milliseconds(1), Milliseconds(100)),
+                                    opts);
+  ASSERT_TRUE(kernel.AddDomain(&manager));
+
+  // The stream holds 40% but the manager's target only sustains 50% total;
+  // a second registered client forces a weighted squeeze.
+  StreamSpec spec = StreamSpec::Video(25, 0);
+  spec.sink_cpu = QosParams::Guaranteed(Milliseconds(40), Milliseconds(100));
+  int degrade_calls = 0;
+  double last_granted = -1.0;
+  auto r = system_.BuildStream("managed")
+               .From(ws, camera)
+               .To(ws, display)
+               .WithSpec(spec)
+               .ManagedBy(&manager, /*weight=*/1.0)
+               .OnDegrade([&](const QosContract& c) {
+                 ++degrade_calls;
+                 last_granted = c.granted.sink_cpu.Utilization();
+               })
+               .Open();
+  ASSERT_TRUE(r.report.ok());
+
+  nemesis::BatchDomain competitor("competitor",
+                                  QosParams::Guaranteed(Milliseconds(1), Milliseconds(100)));
+  ASSERT_TRUE(kernel.AddDomain(&competitor));
+  manager.Register(&competitor, /*weight=*/1.0,
+                   QosParams::Guaranteed(Milliseconds(40), Milliseconds(100)));
+
+  kernel.Start();
+  sim_.RunUntil(Seconds(2));
+
+  // Equal weights, 50% to divide: the stream was squeezed to ~25% and the
+  // session heard about it through the degradation callback.
+  EXPECT_GT(degrade_calls, 0);
+  EXPECT_NEAR(last_granted, 0.25, 0.02);
+  EXPECT_NEAR(r.session->contract().granted.sink_cpu.Utilization(), 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace pegasus::core
