@@ -3,8 +3,16 @@
 // "Using frame-by-frame compression, for instance with JPEG, a video stream
 // requires no more than a megabyte per second. ... Audio has modest
 // bandwidth requirements compared to video."
+//
+// Every stream here rides the admission-controlled StreamBuilder path — the
+// same cross-layer contract the system uses — rather than raw OpenVc, so
+// the measured rates are of streams the network actually admitted, and the
+// signalling cost of that admission is itself measured at the end.
+#include <chrono>
+#include <cstdlib>
+
 #include "bench/bench_util.h"
-#include "src/atm/network.h"
+#include "src/core/system.h"
 #include "src/devices/audio.h"
 #include "src/devices/camera.h"
 
@@ -12,13 +20,14 @@ using namespace pegasus;
 
 namespace {
 
+// Peak reservation comfortably above every tested encoding, well inside the
+// 155 Mb/s device links, so pacing never distorts the measured rate.
+constexpr int64_t kReserveBps = 100'000'000;
+
 double CameraBandwidth(dev::CompressionMode mode, int quality, int w, int h, double noise) {
   sim::Simulator sim;
-  atm::Network net(&sim);
-  atm::Switch* sw = net.AddSwitch("sw", 4);
-  atm::Endpoint* cam_ep = net.AddEndpoint("cam", sw, 0, 622'000'000);
-  atm::Endpoint* sink_ep = net.AddEndpoint("sink", sw, 1, 622'000'000);
-  auto vc = net.OpenVc(cam_ep, sink_ep);
+  core::PegasusSystem system(&sim);
+  core::Workstation* ws = system.AddWorkstation("desk");
   dev::AtmCamera::Config cfg;
   cfg.width = w;
   cfg.height = h;
@@ -26,10 +35,30 @@ double CameraBandwidth(dev::CompressionMode mode, int quality, int w, int h, dou
   cfg.compression = mode;
   cfg.jpeg_quality = quality;
   cfg.content_noise = noise;
-  dev::AtmCamera camera(&sim, cam_ep, cfg);
-  camera.Start(vc->source_vci);
+  dev::AtmCamera* camera = ws->AddCamera(cfg);
+  dev::AtmDisplay* display = ws->AddDisplay(640, 480);
+  auto r = system.BuildStream("bw")
+               .From(ws, camera)
+               .To(ws, display)
+               .WithSpec(core::StreamSpec::Video(25, kReserveBps))
+               .Open();
+  if (!r.report.ok()) {
+    return 0.0;
+  }
+  camera->Start(r.session->source_vci());
   sim.RunUntil(sim::Seconds(2));
-  return camera.average_bandwidth_bps(sim.now());
+  return camera->average_bandwidth_bps(sim.now());
+}
+
+// Wall-clock microseconds per open+close cycle of `body`, amortised.
+template <typename Body>
+double MicrosPerCycle(int cycles, Body body) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < cycles; ++i) {
+    body();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::micro>(elapsed).count() / cycles;
 }
 
 }  // namespace
@@ -60,16 +89,21 @@ int main() {
   // Audio: 44.1 kHz, 8-bit samples, 40 per timestamped cell.
   {
     sim::Simulator sim;
-    atm::Network net(&sim);
-    atm::Switch* sw = net.AddSwitch("sw", 4);
-    atm::Endpoint* in = net.AddEndpoint("in", sw, 0, 155'000'000);
-    atm::Endpoint* out = net.AddEndpoint("out", sw, 1, 155'000'000);
-    auto vc = net.OpenVc(in, out);
-    dev::AudioCapture capture(&sim, in, 44'100);
-    capture.Start(vc->source_vci);
-    sim.RunUntil(sim::Seconds(2));
-    const double bps =
-        static_cast<double>(capture.cells_sent()) * atm::kCellSize * 8.0 / 2.0;
+    core::PegasusSystem system(&sim);
+    core::Workstation* ws = system.AddWorkstation("desk");
+    dev::AudioCapture* capture = ws->AddAudioCapture(44'100);
+    dev::AudioPlayback* playback = ws->AddAudioPlayback(44'100);
+    auto r = system.BuildStream("audio")
+                 .From(ws, capture)
+                 .To(ws, playback)
+                 .WithSpec(core::StreamSpec::Audio(2'000'000))
+                 .Open();
+    double bps = 0.0;
+    if (r.report.ok()) {
+      capture->Start(r.session->source_vci());
+      sim.RunUntil(sim::Seconds(2));
+      bps = static_cast<double>(capture->cells_sent()) * atm::kCellSize * 8.0 / 2.0;
+    }
     cases.push_back({"audio 44.1kHz", "cells+timestamps", bps});
   }
 
@@ -86,6 +120,62 @@ int main() {
     }
   }
   bench::PrintTable("sustained stream bandwidth (2 simulated seconds)", table);
+
+  // --- contract overhead: what the cross-layer admission machinery costs
+  // over a bare VC, per open+close cycle (host wall-clock) ---
+  {
+    sim::Simulator sim;
+    core::PegasusSystem system(&sim);
+    core::Workstation* ws = system.AddWorkstation("desk");
+    core::ComputeNode* compute = system.AddComputeServer();
+    dev::AtmCamera::Config cfg;
+    dev::AtmCamera* camera = ws->AddCamera(cfg);
+    dev::AtmDisplay* display = ws->AddDisplay(640, 480);
+    atm::Endpoint* cam_ep = ws->device_endpoint(camera);
+    atm::Endpoint* disp_ep = ws->device_endpoint(display);
+    const int cycles = 2000;
+
+    const double raw_us = MicrosPerCycle(cycles, [&]() {
+      auto vc = system.network().OpenVc(cam_ep, disp_ep, atm::QosSpec{8'000'000});
+      system.network().CloseVc(vc->id);
+    });
+    // A mid-bench admission failure means a prior Close leaked capacity —
+    // fail loudly rather than dereference a null session.
+    auto close_or_die = [](core::StreamResult& r) {
+      if (!r.report.ok()) {
+        std::fprintf(stderr, "contract admission failed mid-bench: %s\n",
+                     core::AdmitFailureName(r.report.failure));
+        std::exit(1);
+      }
+      r.session->Close();
+    };
+    const double contract_us = MicrosPerCycle(cycles, [&]() {
+      auto r = system.BuildStream()
+                   .From(ws, camera)
+                   .To(ws, display)
+                   .WithSpec(core::StreamSpec::Video(25, 8'000'000))
+                   .Open();
+      close_or_die(r);
+    });
+    dev::TileProcessor::Config stage;
+    const double pipeline_us = MicrosPerCycle(cycles, [&]() {
+      auto r = system.BuildStream()
+                   .From(ws, camera)
+                   .Via(compute, stage)
+                   .To(ws, display)
+                   .WithSpec(core::StreamSpec::Video(25, 8'000'000))
+                   .Open();
+      close_or_die(r);
+    });
+
+    sim::Table overhead({"setup path", "us/open+close", "vs raw VC"});
+    overhead.AddRow({"raw VC (no admission)", sim::Table::Num(raw_us, 2), "1.0x"});
+    overhead.AddRow({"stream contract (1 leg)", sim::Table::Num(contract_us, 2),
+                     sim::Table::Num(contract_us / raw_us, 1) + "x"});
+    overhead.AddRow({"pipeline contract (2 legs)", sim::Table::Num(pipeline_us, 2),
+                     sim::Table::Num(pipeline_us / raw_us, 1) + "x"});
+    bench::PrintTable("cross-layer contract overhead (host wall-clock)", overhead);
+  }
 
   std::printf("\ncompression factor at q60: %.1fx\n", raw / mjpeg_q60);
   bench::PrintVerdict(mjpeg_q60 / 8e6 <= 1.0 && raw > 2 * mjpeg_q60,

@@ -145,7 +145,42 @@ int main() {
     std::printf("\n");
   }
 
+  // --- the tiled filter path: camera -> compute server -> display as ONE
+  // pipeline contract. The edge-detector stage's CPU is admitted against
+  // the compute node's own Atropos kernel in the same decision as both
+  // legs' network bandwidth and the sink-side handler on the studio host.
+  core::ComputeNode* fx_node = system.AddComputeServer("studio-fx");
+  nemesis::Kernel fx_kernel(&sim, std::make_unique<nemesis::AtroposScheduler>(1.0));
+  fx_node->AttachKernel(&fx_kernel);
+  dev::TileProcessor::Config fx_stage;
+  fx_stage.transform = dev::EdgeTransform();
+  fx_stage.per_tile_cost = sim::Microseconds(10);
+  core::StreamSpec fx_spec = core::StreamSpec::Video(25, 8'000'000);
+  fx_spec.legs.resize(2);
+  // 160x120 = 300 tiles/frame at 25 fps and 10 us/tile ~= 7.5% CPU.
+  fx_spec.legs[0].compute_cpu = QosParams::Guaranteed(Milliseconds(6), Milliseconds(40));
+  fx_spec.sink_cpu = QosParams::Guaranteed(Milliseconds(2), Milliseconds(40));
+  auto fx_feed = system.BuildStream("studio-fx-feed")
+                     .From(desk, camera)
+                     .Via(fx_node, fx_stage)
+                     .To(desk, display)
+                     .WithSpec(fx_spec)
+                     .WithWindow(420, 180)
+                     .Open();
+  if (!fx_feed.report.ok()) {
+    std::printf("fx pipeline admission failed: %s\n",
+                core::AdmitFailureName(fx_feed.report.failure));
+    return 1;
+  }
+  camera->AddOutput(fx_feed.session->source_vci());
+  std::printf("fx pipeline admitted: %d legs, stage CPU %.1f%% on %s, sink CPU %.1f%%\n",
+              fx_feed.session->leg_count(),
+              fx_feed.session->contract().granted.legs[0].compute_cpu.Utilization() * 100,
+              fx_node->name().c_str(),
+              fx_feed.session->contract().granted.sink_cpu.Utilization() * 100);
+
   kernel.Start();
+  fx_kernel.Start();
   std::printf("\nqos studio: 30 simulated seconds on one CPU\n\n");
   std::printf("%6s %10s %10s %10s %10s %10s\n", "t(s)", "decoder%", "xcode%", "hogs%",
               "misses", "rpc(ms)");
@@ -190,6 +225,11 @@ int main() {
               static_cast<long long>(manager.reviews()),
               sim::FormatDuration(mgr_opts.epoch).c_str(),
               static_cast<long long>(grant_updates));
+  dev::TileProcessor* fx = fx_feed.session->legs()[0].processor;
+  std::printf("  fx pipeline tiles %lld via %s, stage residence %s mean\n",
+              static_cast<long long>(fx->tiles_processed()), fx_node->name().c_str(),
+              sim::FormatDuration(static_cast<sim::DurationNs>(fx->processing_latency().mean()))
+                  .c_str());
   std::printf("  context switches %llu, activations %llu, preemptions %llu\n",
               static_cast<unsigned long long>(kernel.context_switches()),
               static_cast<unsigned long long>(kernel.activation_count()),

@@ -8,18 +8,30 @@
 // display — and the stream stays real time, with the extra hop visible in
 // the end-to-end latency.
 //
+// The detour is ONE pipeline contract: camera -> compute -> display is
+// admitted atomically — bandwidth on both legs' links, the filter stage's
+// CPU on the compute server's own Atropos kernel, all in a single
+// decision. Over-committing any leg refuses the whole chain with a joint
+// counter-offer covering every failing resource at once.
+//
 //   ./build/examples/video_filter
 #include <cstdio>
 
 #include "src/core/system.h"
+#include "src/nemesis/atropos.h"
+#include "src/nemesis/kernel.h"
 
 using namespace pegasus;
+using nemesis::QosParams;
+using sim::Milliseconds;
 
 int main() {
   sim::Simulator sim;
   core::PegasusSystem system(&sim);
   core::Workstation* ws = system.AddWorkstation("desk");
   core::ComputeNode* compute = system.AddComputeServer();
+  nemesis::Kernel compute_kernel(&sim, std::make_unique<nemesis::AtroposScheduler>(1.0));
+  compute->AttachKernel(&compute_kernel);
 
   dev::AtmCamera::Config cam_cfg;
   cam_cfg.width = 128;
@@ -38,26 +50,65 @@ int main() {
   if (!raw.report.ok()) {
     return 1;
   }
-  // The filter detour is plumbed as raw VCs: the compute stage is a
-  // cell-level pipeline element, not a stream endpoint.
-  auto leg_in = system.network().OpenVc(ws->device_endpoint(camera), compute->endpoint());
-  auto leg_out = system.network().OpenVc(compute->endpoint(), ws->device_endpoint(display));
-  if (!leg_in.has_value() || !leg_out.has_value()) {
-    return 1;
-  }
+
+  // The filter pipeline: two legs (camera -> compute, compute -> display)
+  // plus the Sobel stage's CPU contract, one admission decision.
   dev::TileProcessor::Config stage;
   stage.transform = dev::EdgeTransform();
   stage.per_tile_cost = sim::Microseconds(15);
-  dev::TileProcessor* processor =
-      compute->AddStage(leg_in->destination_vci, leg_out->source_vci, stage);
-  dev::WindowManager wm(display);
-  wm.CreateWindow(leg_out->destination_vci, 260, 60, 128, 96);
+  core::StreamSpec filter_spec = core::StreamSpec::Video(25, 10'000'000);
+  filter_spec.legs.resize(2);
+  // 128x96 = 192 tiles/frame at 25 fps and 15 us/tile ~= 7.2% CPU; contract
+  // 4 ms in every 40 ms frame time.
+  filter_spec.legs[0].compute_cpu = QosParams::Guaranteed(Milliseconds(4), Milliseconds(40));
+  auto filtered = system.BuildStream("filtered")
+                      .From(ws, camera)
+                      .Via(compute, stage)
+                      .To(ws, display)
+                      .WithSpec(filter_spec)
+                      .WithWindow(260, 60)
+                      .Open();
+  if (!filtered.report.ok()) {
+    std::printf("pipeline admission failed: %s\n",
+                core::AdmitFailureName(filtered.report.failure));
+    return 1;
+  }
+  std::printf("filter pipeline admitted: %d legs, %d hops, stage CPU %.1f%%\n",
+              filtered.session->leg_count(), filtered.session->contract().hop_count,
+              filtered.session->contract().granted.legs[0].compute_cpu.Utilization() * 100);
 
-  camera->AddOutput(leg_in->source_vci);  // tap the camera into the filter path
+  // Over-committing ANY single resource of the chain refuses the whole
+  // pipeline — and the counter-offer covers every failing resource in one
+  // pass, not just the first.
+  core::StreamSpec greedy = core::StreamSpec::Video(25, 500'000'000);  // > any link
+  greedy.legs.resize(2);
+  greedy.legs[0].compute_cpu =
+      QosParams::Guaranteed(Milliseconds(80), Milliseconds(40));  // 200% of the node
+  auto rejected = system.BuildStream("greedy")
+                      .From(ws, camera)
+                      .Via(compute, stage)
+                      .To(ws, display)
+                      .WithSpec(greedy)
+                      .Open();
+  std::printf("greedy pipeline (500 Mb/s, 200%% stage CPU): %s, %zu failing resources",
+              rejected.report.ok() ? "accepted?!" : "refused",
+              rejected.report.failures.size());
+  if (rejected.report.counter_offer.has_value()) {
+    const core::StreamSpec& offer = *rejected.report.counter_offer;
+    std::printf(" -> joint counter: %.1f/%.1f Mb/s, %.1f%% CPU\n",
+                static_cast<double>(offer.LegBandwidthBps(0)) / 1e6,
+                static_cast<double>(offer.LegBandwidthBps(1)) / 1e6,
+                offer.LegComputeCpu(0).Utilization() * 100);
+  } else {
+    std::printf("\n");
+  }
+
+  dev::TileProcessor* processor = filtered.session->legs()[0].processor;
+  camera->AddOutput(filtered.session->source_vci());  // tap the camera into the pipeline
   camera->Start(raw.session->source_vci());
   sim.RunUntil(sim::Seconds(5));
 
-  std::printf("video filter: 5 s of live video, edge-detected in transit\n\n");
+  std::printf("\nvideo filter: 5 s of live video, edge-detected in transit\n\n");
   std::printf("  tiles filtered           %lld (%lld packets)\n",
               static_cast<long long>(processor->tiles_processed()),
               static_cast<long long>(processor->packets_processed()));
@@ -74,5 +125,11 @@ int main() {
               display->PixelAt(280, 100));
   std::printf("  decode errors            %llu\n",
               static_cast<unsigned long long>(processor->decode_errors()));
+
+  // Teardown releases both legs, the stage and its CPU contract together.
+  filtered.session->Close();
+  std::printf("  after Close()            compute CPU admitted %.1f%%, stages active %d\n",
+              compute_kernel.scheduler()->AdmittedUtilization() * 100,
+              compute->active_stages());
   return 0;
 }

@@ -42,7 +42,9 @@ std::vector<Cell> Aal5Segment(Vci vci, const std::vector<uint8_t>& sdu, sim::Tim
   const size_t unpadded = sdu.size() + kTrailerSize;
   const size_t pdu_len = (unpadded + kCellPayloadSize - 1) / kCellPayloadSize * kCellPayloadSize;
   std::vector<uint8_t> pdu(pdu_len, 0);
-  std::memcpy(pdu.data(), sdu.data(), sdu.size());
+  if (!sdu.empty()) {
+    std::memcpy(pdu.data(), sdu.data(), sdu.size());
+  }
   uint8_t* trailer = pdu.data() + pdu_len - kTrailerSize;
   trailer[0] = 0;  // CPCS-UU
   trailer[1] = 0;  // CPI

@@ -133,6 +133,16 @@ std::optional<std::vector<Link*>> Network::HopLinks(const Endpoint* src,
   return hop_links;
 }
 
+std::optional<std::vector<Link*>> Network::PathLinks(const Endpoint* src,
+                                                     const Endpoint* dst) const {
+  return HopLinks(src, dst);
+}
+
+const std::vector<Link*>* Network::VcLinks(VcId id) const {
+  auto it = vcs_.find(id);
+  return it == vcs_.end() ? nullptr : &it->second.hop_links;
+}
+
 std::optional<int64_t> Network::PathAvailableBps(const Endpoint* src, const Endpoint* dst) const {
   auto hop_links = HopLinks(src, dst);
   if (!hop_links.has_value()) {

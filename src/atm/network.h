@@ -92,6 +92,14 @@ class Network {
   // would traverse — the largest reservation the path can still admit.
   // nullopt when either endpoint is unattached or no path exists.
   std::optional<int64_t> PathAvailableBps(const Endpoint* src, const Endpoint* dst) const;
+  // The ordered links a VC from `src` to `dst` would traverse. Multi-leg
+  // admission does joint per-link accounting over these sets, because two
+  // legs of one pipeline may share a directed link. nullopt when either
+  // endpoint is unattached or no path exists.
+  std::optional<std::vector<Link*>> PathLinks(const Endpoint* src, const Endpoint* dst) const;
+  // The links an established VC traverses (its reservation applies to each),
+  // or nullptr for an unknown id. Valid until the VC is closed.
+  const std::vector<Link*>* VcLinks(VcId id) const;
   // One-way delivery-time floor for a cell along src -> dst: propagation
   // plus one cell serialisation per traversed link (queueing excluded).
   std::optional<sim::DurationNs> PathLatencyNs(const Endpoint* src, const Endpoint* dst) const;

@@ -1,18 +1,42 @@
 #include "src/core/compute_node.h"
 
+#include <algorithm>
+
 namespace pegasus::core {
 
 ComputeNode::ComputeNode(atm::Network* network, atm::Switch* sw, int port,
                          const std::string& name)
     : endpoint_(network->AddEndpoint(name, sw, port, 155'000'000)),
       transport_(endpoint_),
-      sim_(network->simulator()) {}
+      sim_(network->simulator()),
+      name_(name) {}
 
 dev::TileProcessor* ComputeNode::AddStage(atm::Vci in_vci, atm::Vci out_vci,
                                           dev::TileProcessor::Config config) {
+  PruneDetached();
   processors_.push_back(std::make_unique<dev::TileProcessor>(sim_, &transport_, in_vci, out_vci,
                                                              std::move(config)));
+  stage_in_vcis_[processors_.back().get()] = in_vci;
   return processors_.back().get();
+}
+
+void ComputeNode::PruneDetached() {
+  const sim::TimeNs now = sim_->now();
+  processors_.erase(
+      std::remove_if(processors_.begin(), processors_.end(),
+                     [&](const std::unique_ptr<dev::TileProcessor>& p) {
+                       return stage_in_vcis_.count(p.get()) == 0 && p->drained_at(now);
+                     }),
+      processors_.end());
+}
+
+void ComputeNode::DetachStage(dev::TileProcessor* stage) {
+  auto it = stage_in_vcis_.find(stage);
+  if (it == stage_in_vcis_.end()) {
+    return;
+  }
+  transport_.ClearHandler(it->second);
+  stage_in_vcis_.erase(it);
 }
 
 }  // namespace pegasus::core

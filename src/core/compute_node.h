@@ -4,10 +4,14 @@
 // streams are routed camera -> compute server -> display, and each hop stays
 // on the ATM fabric. This is the paper's §1 claim made concrete: processing
 // video is an ordinary application, not a privilege of dedicated device
-// firmware.
+// firmware. A Nemesis kernel can be attached to model the node's processing
+// cores; pipeline admission then reserves Atropos headroom for every stage
+// a stream routes through here, exactly like the per-stream protocol
+// handlers on a workstation host.
 #ifndef PEGASUS_SRC_CORE_COMPUTE_NODE_H_
 #define PEGASUS_SRC_CORE_COMPUTE_NODE_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +20,10 @@
 #include "src/atm/transport.h"
 #include "src/devices/processing.h"
 
+namespace pegasus::nemesis {
+class Kernel;
+}
+
 namespace pegasus::core {
 
 class ComputeNode {
@@ -23,22 +31,43 @@ class ComputeNode {
   ComputeNode(atm::Network* network, atm::Switch* sw, int port,
               const std::string& name = "compute");
 
+  const std::string& name() const { return name_; }
   atm::Endpoint* endpoint() const { return endpoint_; }
   atm::MessageTransport* transport() { return &transport_; }
+
+  // The Nemesis kernel modelling this node's processing CPU, when one is
+  // attached (not owned). Pipeline admission checks per-stage CPU contracts
+  // against it; without a kernel, CPU demands are not admissible here.
+  void AttachKernel(nemesis::Kernel* kernel) { kernel_ = kernel; }
+  nemesis::Kernel* kernel() const { return kernel_; }
 
   // Instantiates a processing stage: packets arriving on `in_vci` are
   // transformed and re-emitted on `out_vci` (one simulated core per stage,
   // like the cpu/cpu/cpu boxes of Figure 4).
   dev::TileProcessor* AddStage(atm::Vci in_vci, atm::Vci out_vci,
                                dev::TileProcessor::Config config);
+  // Stops feeding `stage`: its in-VCI handler is cleared so no further
+  // packets reach it. The processor object stays owned here, inert, until a
+  // pending processing-completion event can no longer reference it (it is
+  // freed by a later AddStage once drained, so churn stays bounded).
+  void DetachStage(dev::TileProcessor* stage);
 
+  // Live stages plus detached ones not yet pruned.
   int stages() const { return static_cast<int>(processors_.size()); }
+  // Stages currently receiving traffic.
+  int active_stages() const { return static_cast<int>(stage_in_vcis_.size()); }
 
  private:
+  // Frees detached processors whose queued work has fully drained.
+  void PruneDetached();
+
   atm::Endpoint* endpoint_;
   atm::MessageTransport transport_;
   sim::Simulator* sim_;
+  std::string name_;
+  nemesis::Kernel* kernel_ = nullptr;
   std::vector<std::unique_ptr<dev::TileProcessor>> processors_;
+  std::map<dev::TileProcessor*, atm::Vci> stage_in_vcis_;
 };
 
 }  // namespace pegasus::core

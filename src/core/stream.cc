@@ -1,8 +1,11 @@
 #include "src/core/stream.h"
 
 #include <algorithm>
+#include <map>
+#include <numeric>
 #include <utility>
 
+#include "src/core/compute_node.h"
 #include "src/core/system.h"
 #include "src/devices/display.h"
 #include "src/nemesis/kernel.h"
@@ -17,13 +20,111 @@ double CpuHeadroom(nemesis::Kernel* kernel) {
   return kernel->scheduler()->Capacity() - kernel->scheduler()->AdmittedUtilization();
 }
 
-// The largest slice of `period` that fits into `headroom` utilisation, with
-// a small safety margin against floating-point admission arithmetic.
-sim::DurationNs SliceFor(double headroom, sim::DurationNs period) {
-  if (headroom <= 0.0) {
+// `slice` scaled into a proportionally fair share, with a small safety
+// margin against floating-point admission arithmetic.
+sim::DurationNs ScaledSlice(sim::DurationNs slice, double ratio) {
+  if (ratio <= 0.0) {
     return 0;
   }
-  return static_cast<sim::DurationNs>(headroom * 0.999 * static_cast<double>(period));
+  return static_cast<sim::DurationNs>(static_cast<double>(slice) * ratio * 0.999);
+}
+
+// One CPU contract of the pipeline: an end host's protocol handler or a
+// compute stage, identified by the session end index (0 = source host,
+// 1 = sink host, 2+k = the stage terminating leg k).
+struct CpuEndCheck {
+  int end = 0;
+  nemesis::Kernel* kernel = nullptr;
+  nemesis::QosParams wanted;
+  // Utilisation this stream already holds on the kernel (renegotiation).
+  double old_util = 0.0;
+  AdmitFailure kind = AdmitFailure::kNone;
+  const char* what = "";
+  // Outputs.
+  nemesis::QosParams clamped;
+  bool failed = false;
+};
+
+// Joint CPU admission: contracts are grouped by kernel; a kernel whose
+// summed demand exceeds its headroom (plus whatever the stream already
+// holds there) scales every demand on it proportionally, in one pass —
+// no first-failing-end-only counters.
+void JointCpuCheck(std::vector<CpuEndCheck>* ends) {
+  for (CpuEndCheck& e : *ends) {
+    e.clamped = e.wanted;
+  }
+  std::vector<nemesis::Kernel*> seen;
+  for (const CpuEndCheck& e : *ends) {
+    if (e.kernel == nullptr || std::count(seen.begin(), seen.end(), e.kernel) > 0) {
+      continue;
+    }
+    seen.push_back(e.kernel);
+    double budget = CpuHeadroom(e.kernel);
+    double total = 0.0;
+    for (const CpuEndCheck& other : *ends) {
+      if (other.kernel == e.kernel) {
+        budget += other.old_util;
+        total += other.wanted.Utilization();
+      }
+    }
+    if (total <= budget + 1e-9) {
+      continue;
+    }
+    const double ratio = budget > 0.0 ? budget / total : 0.0;
+    for (CpuEndCheck& other : *ends) {
+      if (other.kernel == e.kernel && other.wanted.slice > 0) {
+        other.clamped.slice = ScaledSlice(other.wanted.slice, ratio);
+        other.failed = true;
+      }
+    }
+  }
+}
+
+// Joint per-link bandwidth admission over all legs of a pipeline. Two legs
+// may share a directed link (a chain that revisits a switch), so demand is
+// accumulated per link; each overcommitted link scales the legs crossing it
+// proportionally, which keeps the clamped set jointly admissible.
+// `old_contrib` is the reservation each leg already holds (handed back for
+// the purpose of the check; all zero on first admission).
+void JointLinkCheck(const atm::Network& network,
+                    const std::vector<std::vector<atm::Link*>>& leg_links,
+                    const std::vector<int64_t>& wanted, const std::vector<int64_t>& old_contrib,
+                    std::vector<int64_t>* clamped) {
+  std::map<atm::Link*, int64_t> demand;
+  std::map<atm::Link*, int64_t> add_back;
+  for (size_t i = 0; i < leg_links.size(); ++i) {
+    for (atm::Link* l : leg_links[i]) {
+      if (wanted[i] > 0) {
+        demand[l] += wanted[i];
+      }
+      add_back[l] += old_contrib[i];
+    }
+  }
+  clamped->assign(wanted.begin(), wanted.end());
+  for (size_t i = 0; i < leg_links.size(); ++i) {
+    if (wanted[i] <= 0) {
+      continue;
+    }
+    for (atm::Link* l : leg_links[i]) {
+      const int64_t available =
+          std::max<int64_t>(0, network.AvailableBandwidth(l) + add_back[l]);
+      const int64_t total = demand[l];
+      if (total > available) {
+        (*clamped)[i] = std::min((*clamped)[i], wanted[i] * available / total);
+      }
+    }
+  }
+}
+
+std::string JoinDetails(const std::vector<std::string>& details) {
+  std::string joined;
+  for (const std::string& d : details) {
+    if (!joined.empty()) {
+      joined += "; ";
+    }
+    joined += d;
+  }
+  return joined;
 }
 
 }  // namespace
@@ -44,6 +145,8 @@ const char* AdmitFailureName(AdmitFailure failure) {
       return "source-cpu";
     case AdmitFailure::kSinkCpu:
       return "sink-cpu";
+    case AdmitFailure::kComputeCpu:
+      return "compute-cpu";
     case AdmitFailure::kDiskBandwidth:
       return "disk-bandwidth";
   }
@@ -72,19 +175,34 @@ void StreamSession::ReleaseCpuEnd(std::unique_ptr<nemesis::PeriodicDomain>* hand
   retired_handlers_.push_back(std::move(*handler));
 }
 
-void StreamSession::OnGrantChanged(bool source_end, double granted_util) {
+nemesis::PeriodicDomain* StreamSession::EndHandler(int end) const {
+  if (end == kSourceEnd) {
+    return source_handler_.get();
+  }
+  if (end == kSinkEnd) {
+    return sink_handler_.get();
+  }
+  const size_t leg = static_cast<size_t>(end - 2);
+  return leg < legs_.size() ? legs_[leg].handler.get() : nullptr;
+}
+
+void StreamSession::OnGrantChanged(int end, double granted_util) {
   (void)granted_util;
-  nemesis::PeriodicDomain* handler =
-      source_end ? source_handler_.get() : sink_handler_.get();
+  nemesis::PeriodicDomain* handler = EndHandler(end);
   if (handler == nullptr) {
     return;
   }
   // The manager already applied the new contract through Kernel::UpdateQos;
   // reflect it in the cross-layer contract and tell the application.
-  if (source_end) {
+  if (end == kSourceEnd) {
     contract_.granted.source_cpu = handler->qos();
-  } else {
+  } else if (end == kSinkEnd) {
     contract_.granted.sink_cpu = handler->qos();
+  } else {
+    const size_t leg = static_cast<size_t>(end - 2);
+    if (leg < contract_.granted.legs.size()) {
+      contract_.granted.legs[leg].compute_cpu = handler->qos();
+    }
   }
   if (degrade_cb_) {
     degrade_cb_(contract_);
@@ -101,53 +219,219 @@ AdmissionReport StreamSession::Renegotiate(const StreamSpec& spec) {
   }
   atm::Network& network = system_->network();
   const StreamSpec old = contract_.granted;
+  const size_t nlegs = legs_.size();
+  const size_t nstages = nlegs > 0 ? nlegs - 1 : 0;
 
-  // 1. Network: adjust the reservation on the VC's own links.
-  bool network_changed = false;
-  if (spec.bandwidth_bps != old.bandwidth_bps) {
-    if (!network.UpdateVcQos(data_vc_, atm::QosSpec{spec.bandwidth_bps})) {
-      report.verdict = AdmitVerdict::kCounterOffer;
-      report.failure = AdmitFailure::kNetworkBandwidth;
-      report.detail = "a traversed link lacks spare capacity for the increase";
-      StreamSpec counter = spec;
-      counter.bandwidth_bps =
-          old.bandwidth_bps +
-          std::max<int64_t>(0, network.PathAvailableBps(source_ep_, sink_ep_).value_or(0));
-      report.counter_offer = counter;
+  // Resolve the per-leg demands. For a point-to-point stream the classic
+  // knobs apply; for a pipeline, entries missing from spec.legs keep the
+  // leg's current grant (granted specs carry explicit legs, so editing
+  // contract().granted renegotiates naturally).
+  std::vector<int64_t> old_bps(nlegs);
+  std::vector<int64_t> wanted_bps(nlegs);
+  for (size_t i = 0; i < nlegs; ++i) {
+    old_bps[i] = legs_[i].granted_bps;
+    if (i < spec.legs.size() && spec.legs[i].bandwidth_bps != LegSpec::kInheritBps) {
+      wanted_bps[i] = spec.legs[i].bandwidth_bps;
+    } else if (nlegs == 1) {
+      wanted_bps[i] = spec.bandwidth_bps;
+    } else {
+      wanted_bps[i] = old_bps[i];
+    }
+  }
+  std::vector<nemesis::QosParams> old_stage_cpu(nstages);
+  std::vector<nemesis::QosParams> wanted_stage_cpu(nstages);
+  for (size_t k = 0; k < nstages; ++k) {
+    old_stage_cpu[k] = legs_[k].handler != nullptr
+                           ? legs_[k].handler->qos()
+                           : nemesis::QosParams{0, sim::Milliseconds(100), true};
+    wanted_stage_cpu[k] = k < spec.legs.size() ? spec.legs[k].compute_cpu : old_stage_cpu[k];
+  }
+
+  // ---- pre-check every layer jointly; nothing is touched until all pass,
+  // so a refusal leaves the original contract fully intact ----
+  std::vector<AdmitFailure> failures;
+  std::vector<std::string> details;
+  bool viable = true;
+  StreamSpec counter = spec;
+  auto fail = [&](AdmitFailure kind, const std::string& text, bool still_viable) {
+    failures.push_back(kind);
+    details.push_back(text);
+    viable = viable && still_viable;
+  };
+  // Counter legs are materialised with the resolved "keep current" demands
+  // so the counter-offer is self-contained: resubmitting it verbatim never
+  // silently drops a stage contract the caller did not mention.
+  auto counter_leg_slot = [&](size_t i) -> LegSpec* {
+    while (counter.legs.size() < nlegs) {
+      const size_t j = counter.legs.size();
+      LegSpec filled;
+      filled.bandwidth_bps = wanted_bps[j];
+      if (j < nstages) {
+        filled.compute_cpu = wanted_stage_cpu[j];
+      }
+      counter.legs.push_back(filled);
+    }
+    return &counter.legs[i];
+  };
+
+  // 1. Network, jointly over every leg's own links (no route churn).
+  std::vector<int64_t> clamped_bps = wanted_bps;
+  if (wanted_bps != old_bps) {
+    std::vector<std::vector<atm::Link*>> leg_links(nlegs);
+    for (size_t i = 0; i < nlegs; ++i) {
+      const std::vector<atm::Link*>* links = network.VcLinks(legs_[i].vc);
+      if (links == nullptr) {
+        report.verdict = AdmitVerdict::kRejected;
+        report.failure = AdmitFailure::kNoPath;
+        report.detail = "a leg's VC no longer exists";
+        return report;
+      }
+      leg_links[i] = *links;
+    }
+    JointLinkCheck(network, leg_links, wanted_bps, old_bps, &clamped_bps);
+    for (size_t i = 0; i < nlegs; ++i) {
+      if (clamped_bps[i] >= wanted_bps[i]) {
+        continue;
+      }
+      if (nlegs == 1 &&
+          (spec.legs.empty() || spec.legs[0].bandwidth_bps == LegSpec::kInheritBps)) {
+        counter.bandwidth_bps = clamped_bps[i];
+      } else {
+        counter_leg_slot(i)->bandwidth_bps = clamped_bps[i];
+      }
+      fail(AdmitFailure::kNetworkBandwidth,
+           "leg " + std::to_string(i) + ": a traversed link lacks spare capacity",
+           clamped_bps[i] > 0);
+    }
+  }
+
+  // 2. CPU at both ends and every compute stage, grouped per kernel.
+  std::vector<CpuEndCheck> cpu_ends;
+  {
+    CpuEndCheck source;
+    source.end = kSourceEnd;
+    source.kernel = source_ws_ != nullptr ? source_ws_->kernel() : nullptr;
+    source.wanted = spec.source_cpu;
+    source.old_util =
+        source_handler_ != nullptr ? source_handler_->qos().Utilization() : 0.0;
+    source.kind = AdmitFailure::kSourceCpu;
+    source.what = "source";
+    cpu_ends.push_back(source);
+    for (size_t k = 0; k < nstages; ++k) {
+      CpuEndCheck stage;
+      stage.end = 2 + static_cast<int>(k);
+      stage.kernel = legs_[k].compute != nullptr ? legs_[k].compute->kernel() : nullptr;
+      stage.wanted = wanted_stage_cpu[k];
+      stage.old_util = old_stage_cpu[k].Utilization();
+      stage.kind = AdmitFailure::kComputeCpu;
+      stage.what = "compute stage";
+      cpu_ends.push_back(stage);
+    }
+    CpuEndCheck sink;
+    sink.end = kSinkEnd;
+    sink.kernel = sink_ws_ != nullptr ? sink_ws_->kernel() : nullptr;
+    sink.wanted = spec.sink_cpu;
+    sink.old_util = sink_handler_ != nullptr ? sink_handler_->qos().Utilization() : 0.0;
+    sink.kind = AdmitFailure::kSinkCpu;
+    sink.what = "sink";
+    cpu_ends.push_back(sink);
+  }
+  for (const CpuEndCheck& e : cpu_ends) {
+    if (e.wanted.slice > 0 && e.kernel == nullptr) {
+      report.verdict = AdmitVerdict::kRejected;
+      report.failure = e.kind;
+      report.detail = "no kernel attached to the host";
       return report;
     }
-    network_changed = true;
   }
-  auto rollback_network = [&]() {
-    if (network_changed) {
-      network.UpdateVcQos(data_vc_, atm::QosSpec{old.bandwidth_bps});
+  JointCpuCheck(&cpu_ends);
+  for (const CpuEndCheck& e : cpu_ends) {
+    if (!e.failed) {
+      continue;
+    }
+    if (e.end == kSourceEnd) {
+      counter.source_cpu = e.clamped;
+    } else if (e.end == kSinkEnd) {
+      counter.sink_cpu = e.clamped;
+    } else {
+      counter_leg_slot(static_cast<size_t>(e.end - 2))->compute_cpu = e.clamped;
+    }
+    fail(e.kind, std::string(e.what) + " CPU demand exceeds Atropos headroom",
+         e.clamped.slice > 0);
+  }
+
+  // 3. Disk rate at the file server.
+  if (spec.disk_bps > 0 && (storage_ == nullptr || file_ < 0)) {
+    report.verdict = AdmitVerdict::kRejected;
+    report.failure = AdmitFailure::kDiskBandwidth;
+    report.detail = "disk rate demanded but no storage endpoint on the path";
+    return report;
+  }
+  if (storage_ != nullptr && file_ >= 0 && spec.disk_bps != old.disk_bps) {
+    const int64_t available = storage_->server()->AvailableStreamBps() +
+                              (disk_reserved_ ? old.disk_bps : 0);
+    if (spec.disk_bps > available) {
+      counter.disk_bps = std::max<int64_t>(available, 0);
+      fail(AdmitFailure::kDiskBandwidth, "PFS stream budget exhausted", available > 0);
+    }
+  }
+
+  if (!failures.empty()) {
+    report.failure = failures.front();
+    report.failures = std::move(failures);
+    report.detail = JoinDetails(details);
+    report.verdict = viable ? AdmitVerdict::kCounterOffer : AdmitVerdict::kRejected;
+    if (viable) {
+      report.counter_offer = counter;
+    }
+    return report;
+  }
+
+  // ---- every layer accepts: apply, decreases before increases so shared
+  // links and kernels never transiently overcommit. The undo stack keeps
+  // the apply all-or-nothing even if a layer refuses after the pre-check.
+  std::vector<std::function<void()>> undo;
+  auto rollback = [&]() {
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+      (*it)();
     }
   };
 
-  // 2. CPU at each end, through the kernel so admission re-runs.
-  struct CpuEnd {
-    std::unique_ptr<nemesis::PeriodicDomain>* handler;
-    Workstation* ws;
-    nemesis::QosParams wanted;
-    nemesis::QosParams previous;
-    AdmitFailure failure;
-    bool source_end;
-  };
-  CpuEnd ends[2] = {
-      {&source_handler_, source_ws_, spec.source_cpu, old.source_cpu,
-       AdmitFailure::kSourceCpu, true},
-      {&sink_handler_, sink_ws_, spec.sink_cpu, old.sink_cpu, AdmitFailure::kSinkCpu, false},
-  };
-  // `request` is the long-term demand (re-)registered with the QoS manager:
-  // on a forward apply the renegotiated spec, on a rollback the original
-  // request the session was opened with.
-  auto apply_cpu = [&](CpuEnd& end, const nemesis::QosParams& qos,
-                       const nemesis::QosParams& request) -> bool {
-    nemesis::Kernel* kernel = end.ws != nullptr ? end.ws->kernel() : nullptr;
-    nemesis::PeriodicDomain* handler = end.handler->get();
+  // Network.
+  std::vector<size_t> net_order(nlegs);
+  std::iota(net_order.begin(), net_order.end(), size_t{0});
+  std::sort(net_order.begin(), net_order.end(), [&](size_t a, size_t b) {
+    return wanted_bps[a] - old_bps[a] < wanted_bps[b] - old_bps[b];
+  });
+  for (size_t i : net_order) {
+    if (wanted_bps[i] == old_bps[i]) {
+      continue;
+    }
+    if (!network.UpdateVcQos(legs_[i].vc, atm::QosSpec{wanted_bps[i]})) {
+      rollback();
+      report.verdict = AdmitVerdict::kRejected;
+      report.failure = AdmitFailure::kNetworkBandwidth;
+      report.detail = "network re-admission refused after the joint pre-check";
+      return report;
+    }
+    legs_[i].granted_bps = wanted_bps[i];
+    undo.push_back([this, &network, i, prev = old_bps[i]]() {
+      network.UpdateVcQos(legs_[i].vc, atm::QosSpec{prev});
+      legs_[i].granted_bps = prev;
+    });
+  }
+
+  // CPU. `request` is the long-term demand (re-)registered with the QoS
+  // manager: on a forward apply the renegotiated spec, on a rollback the
+  // original request the session was opened with.
+  auto apply_cpu = [&](std::unique_ptr<nemesis::PeriodicDomain>* slot,
+                       nemesis::Kernel* kernel, const nemesis::QosParams& qos,
+                       const nemesis::QosParams& request, int end,
+                       const std::string& suffix) -> bool {
+    nemesis::PeriodicDomain* handler = slot->get();
     if (qos.slice <= 0) {
       if (handler != nullptr) {
-        ReleaseCpuEnd(end.handler, kernel);
+        ReleaseCpuEnd(slot, kernel);
       }
       return true;
     }
@@ -160,101 +444,112 @@ AdmissionReport StreamSession::Renegotiate(const StreamSpec& spec) {
       }
       if (manager_ != nullptr && manager_->kernel() == kernel) {
         manager_->Register(handler, manager_weight_, request,
-                           [this, src = end.source_end](double granted) {
-                             OnGrantChanged(src, granted);
-                           });
+                           [this, end](double granted) { OnGrantChanged(end, granted); });
       }
       return true;
     }
     auto domain = std::make_unique<nemesis::PeriodicDomain>(
-        system_->simulator(), name_ + (end.source_end ? "/src" : "/snk"), qos, qos.slice,
-        qos.period);
+        system_->simulator(), name_ + suffix, qos, qos.slice, qos.period);
     if (!kernel->AddDomain(domain.get())) {
       return false;
     }
     if (manager_ != nullptr && manager_->kernel() == kernel) {
       manager_->Register(domain.get(), manager_weight_, request,
-                         [this, src = end.source_end](double granted) {
-                           OnGrantChanged(src, granted);
-                         });
+                         [this, end](double granted) { OnGrantChanged(end, granted); });
     }
-    *end.handler = std::move(domain);
+    *slot = std::move(domain);
     return true;
   };
-  auto original_request = [this](const CpuEnd& end) -> const nemesis::QosParams& {
-    return end.source_end ? requested_source_cpu_ : requested_sink_cpu_;
+  struct CpuApply {
+    std::unique_ptr<nemesis::PeriodicDomain>* slot;
+    nemesis::Kernel* kernel;
+    nemesis::QosParams wanted;
+    nemesis::QosParams prev;
+    nemesis::QosParams prev_request;
+    int end;
+    std::string suffix;
+    AdmitFailure kind;
   };
-  for (int i = 0; i < 2; ++i) {
-    if (!apply_cpu(ends[i], ends[i].wanted, ends[i].wanted)) {
-      // Roll back the ends already re-contracted, then the network.
-      for (int j = 0; j < i; ++j) {
-        apply_cpu(ends[j], ends[j].previous, original_request(ends[j]));
-      }
-      rollback_network();
-      nemesis::Kernel* kernel = ends[i].ws != nullptr ? ends[i].ws->kernel() : nullptr;
-      report.failure = ends[i].failure;
-      if (kernel == nullptr) {
-        report.verdict = AdmitVerdict::kRejected;
-        report.detail = "no kernel attached to the host";
-        return report;
-      }
-      const double headroom = CpuHeadroom(kernel) + ends[i].previous.Utilization();
-      const sim::DurationNs slice = SliceFor(headroom, ends[i].wanted.period);
-      report.detail = "CPU demand exceeds Atropos headroom";
-      if (slice > 0) {
-        report.verdict = AdmitVerdict::kCounterOffer;
-        StreamSpec counter = spec;
-        nemesis::QosParams& cpu = ends[i].source_end ? counter.source_cpu : counter.sink_cpu;
-        cpu.slice = slice;
-        report.counter_offer = counter;
-      } else {
-        report.verdict = AdmitVerdict::kRejected;
-      }
+  const nemesis::QosParams no_cpu{0, sim::Milliseconds(100), true};
+  std::vector<CpuApply> cpu_applies;
+  cpu_applies.push_back({&source_handler_,
+                         source_ws_ != nullptr ? source_ws_->kernel() : nullptr,
+                         spec.source_cpu,
+                         source_handler_ != nullptr ? source_handler_->qos() : no_cpu,
+                         requested_source_cpu_, kSourceEnd, "/src", AdmitFailure::kSourceCpu});
+  for (size_t k = 0; k < nstages; ++k) {
+    cpu_applies.push_back({&legs_[k].handler,
+                           legs_[k].compute != nullptr ? legs_[k].compute->kernel() : nullptr,
+                           wanted_stage_cpu[k], old_stage_cpu[k], old_stage_cpu[k],
+                           2 + static_cast<int>(k), "/via" + std::to_string(k),
+                           AdmitFailure::kComputeCpu});
+  }
+  cpu_applies.push_back({&sink_handler_, sink_ws_ != nullptr ? sink_ws_->kernel() : nullptr,
+                         spec.sink_cpu,
+                         sink_handler_ != nullptr ? sink_handler_->qos() : no_cpu,
+                         requested_sink_cpu_, kSinkEnd, "/snk", AdmitFailure::kSinkCpu});
+  std::sort(cpu_applies.begin(), cpu_applies.end(), [](const CpuApply& a, const CpuApply& b) {
+    return a.wanted.Utilization() - a.prev.Utilization() <
+           b.wanted.Utilization() - b.prev.Utilization();
+  });
+  for (CpuApply& apply : cpu_applies) {
+    if (!apply_cpu(apply.slot, apply.kernel, apply.wanted, apply.wanted, apply.end,
+                   apply.suffix)) {
+      rollback();
+      report.verdict = AdmitVerdict::kRejected;
+      report.failure = apply.kind;
+      report.detail = "CPU re-admission refused after the joint pre-check";
       return report;
     }
+    undo.push_back([this, &apply_cpu, apply]() mutable {
+      apply_cpu(apply.slot, apply.kernel, apply.prev, apply.prev_request, apply.end,
+                apply.suffix);
+    });
   }
 
-  // 3. Disk rate at the file server.
-  if (spec.disk_bps > 0 && (storage_ == nullptr || file_ < 0)) {
-    apply_cpu(ends[0], ends[0].previous, original_request(ends[0]));
-    apply_cpu(ends[1], ends[1].previous, original_request(ends[1]));
-    rollback_network();
-    report.verdict = AdmitVerdict::kRejected;
-    report.failure = AdmitFailure::kDiskBandwidth;
-    report.detail = "disk rate demanded but no storage endpoint on the path";
-    return report;
-  }
-  if (storage_ != nullptr && spec.disk_bps != old.disk_bps && file_ >= 0) {
+  // Disk, by release-and-re-reserve.
+  if (storage_ != nullptr && file_ >= 0 && spec.disk_bps != old.disk_bps) {
     pfs::PegasusFileServer* server = storage_->server();
+    const bool was_reserved = disk_reserved_;
     if (disk_reserved_) {
       server->ReleaseStream(file_);
       disk_reserved_ = false;
     }
     if (spec.disk_bps > 0 && !server->ReserveStream(file_, spec.disk_bps)) {
-      const int64_t available = server->AvailableStreamBps();
-      if (old.disk_bps > 0) {
+      if (was_reserved && old.disk_bps > 0) {
         server->ReserveStream(file_, old.disk_bps);
         disk_reserved_ = true;
       }
-      apply_cpu(ends[0], ends[0].previous, original_request(ends[0]));
-      apply_cpu(ends[1], ends[1].previous, original_request(ends[1]));
-      rollback_network();
-      report.verdict = available > 0 ? AdmitVerdict::kCounterOffer : AdmitVerdict::kRejected;
+      rollback();
+      report.verdict = AdmitVerdict::kRejected;
       report.failure = AdmitFailure::kDiskBandwidth;
-      report.detail = "PFS stream budget exhausted";
-      if (available > 0) {
-        StreamSpec counter = spec;
-        counter.disk_bps = available;
-        report.counter_offer = counter;
-      }
+      report.detail = "PFS re-reservation refused after the joint pre-check";
       return report;
     }
     disk_reserved_ = spec.disk_bps > 0;
   }
 
-  // Bind the new contract; the renegotiated demand becomes the long-term
-  // request the QoS manager steers toward.
+  // ---- bind the new contract; the renegotiated demand becomes the
+  // long-term request the QoS manager steers toward ----
   contract_.granted = spec;
+  if (nlegs > 1) {
+    // The stream-wide bandwidth knob plays no part in a pipeline
+    // renegotiation (legs carry the real demands); keep the previous value
+    // rather than echoing an ignored edit into the granted contract.
+    contract_.granted.bandwidth_bps = old.bandwidth_bps;
+    if (contract_.granted.legs.size() < nlegs) {
+      contract_.granted.legs.resize(nlegs);
+    }
+    for (size_t i = 0; i < nlegs; ++i) {
+      contract_.granted.legs[i].bandwidth_bps = wanted_bps[i];
+    }
+    for (size_t k = 0; k < nstages; ++k) {
+      contract_.granted.legs[k].compute_cpu =
+          legs_[k].handler != nullptr ? legs_[k].handler->qos() : no_cpu;
+    }
+  } else if (nlegs == 1) {
+    contract_.granted.bandwidth_bps = wanted_bps[0];
+  }
   requested_source_cpu_ = spec.source_cpu;
   requested_sink_cpu_ = spec.sink_cpu;
   if (source_handler_ != nullptr) {
@@ -264,8 +559,8 @@ AdmissionReport StreamSession::Renegotiate(const StreamSpec& spec) {
     contract_.granted.sink_cpu = sink_handler_->qos();
   }
   ++contract_.renegotiations;
-  if (source_camera_ != nullptr) {
-    source_camera_->set_pace_bps(spec.bandwidth_bps);
+  if (source_camera_ != nullptr && !legs_.empty()) {
+    source_camera_->set_pace_bps(legs_.front().granted_bps);
   }
   report.verdict = AdmitVerdict::kAccepted;
   return report;
@@ -281,7 +576,7 @@ void StreamSession::Close() {
   // Storage layer: stop the transfer, release the rate reservation.
   if (storage_ != nullptr) {
     if (recording_) {
-      storage_->StopRecording(sink_vci_, []() {});
+      storage_->StopRecording(sink_vci(), []() {});
     } else if (file_ >= 0) {
       storage_->StopPlayback(file_);
     }
@@ -291,10 +586,10 @@ void StreamSession::Close() {
     }
   }
 
-  // Display layer: retire the window granted to the data VC.
+  // Display layer: retire the window granted to the final leg's VC.
   if (window_created_ && sink_display_ != nullptr) {
     dev::WindowManager wm(sink_display_);
-    wm.DestroyWindow(sink_vci_);
+    wm.DestroyWindow(sink_vci());
     window_created_ = false;
   }
 
@@ -302,10 +597,21 @@ void StreamSession::Close() {
   ReleaseCpuEnd(&source_handler_, source_ws_ != nullptr ? source_ws_->kernel() : nullptr);
   ReleaseCpuEnd(&sink_handler_, sink_ws_ != nullptr ? sink_ws_->kernel() : nullptr);
 
-  // Network layer: close the VCs, releasing every link reservation.
-  if (data_vc_ >= 0) {
-    network.CloseVc(data_vc_);
-    data_vc_ = -1;
+  // Compute layer: detach every stage (no more packets reach it) and
+  // release its contract domain.
+  for (Leg& leg : legs_) {
+    if (leg.compute != nullptr && leg.processor != nullptr) {
+      leg.compute->DetachStage(leg.processor);
+    }
+    ReleaseCpuEnd(&leg.handler, leg.compute != nullptr ? leg.compute->kernel() : nullptr);
+  }
+
+  // Network layer: close every leg's VC, releasing every link reservation.
+  for (Leg& leg : legs_) {
+    if (leg.vc >= 0) {
+      network.CloseVc(leg.vc);
+      leg.vc = -1;
+    }
   }
   for (atm::VcId vc : control_vcs_) {
     network.CloseVc(vc);
@@ -345,6 +651,14 @@ StreamBuilder& StreamBuilder::FromStorage(StorageNode* storage, pfs::FileId file
   source_storage_ = storage;
   source_ep_ = storage != nullptr ? storage->endpoint() : nullptr;
   playback_file_ = file;
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::Via(ComputeNode* node, dev::TileProcessor::Config stage) {
+  ViaStage via;
+  via.node = node;
+  via.config = std::move(stage);
+  vias_.push_back(std::move(via));
   return *this;
 }
 
@@ -418,7 +732,7 @@ StreamResult StreamBuilder::Open() {
   AdmissionReport& report = result.report;
   atm::Network& network = system_->network();
 
-  // --- resolve endpoints ---
+  // --- resolve endpoints: source, every compute detour, sink ---
   if (source_ep_ == nullptr || sink_ep_ == nullptr ||
       source_kind_ == EndpointKind::kNone || sink_kind_ == EndpointKind::kNone) {
     report.verdict = AdmitVerdict::kRejected;
@@ -426,80 +740,153 @@ StreamResult StreamBuilder::Open() {
     report.detail = "source or sink endpoint missing";
     return result;
   }
-  StorageNode* storage = sink_storage_ != nullptr ? sink_storage_ : source_storage_;
-
-  // --- cross-layer admission: check every layer before binding any ---
-  StreamSpec counter = spec_;
-  AdmitFailure first_failure = AdmitFailure::kNone;
-  std::string detail;
-  auto fail = [&](AdmitFailure failure, const std::string& text) {
-    if (first_failure == AdmitFailure::kNone) {
-      first_failure = failure;
-      detail = text;
+  for (const ViaStage& via : vias_) {
+    if (via.node == nullptr || via.node->endpoint() == nullptr) {
+      report.verdict = AdmitVerdict::kRejected;
+      report.failure = AdmitFailure::kEndpoint;
+      report.detail = "compute node missing";
+      return result;
     }
+  }
+  StorageNode* storage = sink_storage_ != nullptr ? sink_storage_ : source_storage_;
+  std::vector<atm::Endpoint*> chain;
+  chain.push_back(source_ep_);
+  for (const ViaStage& via : vias_) {
+    chain.push_back(via.node->endpoint());
+  }
+  chain.push_back(sink_ep_);
+  const size_t nlegs = chain.size() - 1;
+  const size_t nstages = vias_.size();
+  std::vector<int64_t> wanted_bps(nlegs);
+  for (size_t i = 0; i < nlegs; ++i) {
+    wanted_bps[i] = spec_.LegBandwidthBps(i);
+  }
+
+  // --- cross-layer admission: check EVERY layer of EVERY leg in one pass
+  // before binding anything, collecting all failures into one joint
+  // counter-offer ---
+  std::vector<AdmitFailure> failures;
+  std::vector<std::string> details;
+  bool viable = true;
+  StreamSpec counter = spec_;
+  auto fail = [&](AdmitFailure kind, const std::string& text, bool still_viable) {
+    failures.push_back(kind);
+    details.push_back(text);
+    viable = viable && still_viable;
+  };
+  // As in Renegotiate: counter legs carry the resolved demands explicitly,
+  // so the offer can be resubmitted verbatim.
+  auto counter_leg_slot = [&](size_t i) -> LegSpec* {
+    while (counter.legs.size() < nlegs) {
+      const size_t j = counter.legs.size();
+      LegSpec filled;
+      filled.bandwidth_bps = wanted_bps[j];
+      if (j < nstages) {
+        filled.compute_cpu = spec_.LegComputeCpu(j);
+      }
+      counter.legs.push_back(filled);
+    }
+    return &counter.legs[i];
   };
 
-  // Network bandwidth, on every hop of the path.
-  auto path_available = network.PathAvailableBps(source_ep_, sink_ep_);
-  if (!path_available.has_value()) {
-    report.verdict = AdmitVerdict::kRejected;
-    report.failure = AdmitFailure::kNoPath;
-    report.detail = "no switch path between the endpoints";
-    return result;
+  // Network bandwidth, jointly on every link of every leg.
+  std::vector<std::vector<atm::Link*>> leg_links(nlegs);
+  for (size_t i = 0; i < nlegs; ++i) {
+    auto links = network.PathLinks(chain[i], chain[i + 1]);
+    if (!links.has_value()) {
+      report.verdict = AdmitVerdict::kRejected;
+      report.failure = AdmitFailure::kNoPath;
+      report.detail = "no switch path on leg " + std::to_string(i);
+      return result;
+    }
+    leg_links[i] = std::move(*links);
   }
-  if (spec_.bandwidth_bps > 0 && *path_available < spec_.bandwidth_bps) {
-    counter.bandwidth_bps = *path_available;
-    fail(AdmitFailure::kNetworkBandwidth, "a traversed link lacks spare capacity");
+  std::vector<int64_t> clamped_bps;
+  JointLinkCheck(network, leg_links, wanted_bps, std::vector<int64_t>(nlegs, 0),
+                 &clamped_bps);
+  for (size_t i = 0; i < nlegs; ++i) {
+    if (clamped_bps[i] >= wanted_bps[i]) {
+      continue;
+    }
+    if (nlegs == 1 &&
+        (spec_.legs.empty() || spec_.legs[0].bandwidth_bps == LegSpec::kInheritBps)) {
+      counter.bandwidth_bps = clamped_bps[i];
+    } else {
+      counter_leg_slot(i)->bandwidth_bps = clamped_bps[i];
+    }
+    fail(AdmitFailure::kNetworkBandwidth,
+         "leg " + std::to_string(i) + ": a traversed link lacks spare capacity",
+         clamped_bps[i] > 0);
   }
 
-  // Latency bound against the path's delivery-time floor.
+  // Latency bound against the chain's delivery-time floor.
   if (spec_.latency_bound > 0) {
-    auto latency = network.PathLatencyNs(source_ep_, sink_ep_);
-    if (latency.has_value() && *latency > spec_.latency_bound) {
+    sim::DurationNs total_latency = 0;
+    for (size_t i = 0; i < nlegs; ++i) {
+      auto latency = network.PathLatencyNs(chain[i], chain[i + 1]);
+      if (latency.has_value()) {
+        total_latency += *latency;
+      }
+    }
+    if (total_latency > spec_.latency_bound) {
       report.verdict = AdmitVerdict::kRejected;
       report.failure = AdmitFailure::kLatency;
-      report.detail = "path latency floor exceeds the bound";
+      report.detail = "chain latency floor exceeds the bound";
       return result;
     }
   }
 
-  // CPU headroom on each host kernel that a contract is demanded of.
-  struct CpuCheck {
-    const nemesis::QosParams& wanted;
-    Workstation* ws;
-    nemesis::QosParams& counter_cpu;
-    AdmitFailure failure;
-  };
-  CpuCheck cpu_checks[2] = {
-      {spec_.source_cpu, source_ws_, counter.source_cpu, AdmitFailure::kSourceCpu},
-      {spec_.sink_cpu, sink_ws_, counter.sink_cpu, AdmitFailure::kSinkCpu},
-  };
-  double claimed[2] = {0.0, 0.0};
-  for (int i = 0; i < 2; ++i) {
-    const CpuCheck& check = cpu_checks[i];
-    if (check.wanted.slice <= 0) {
-      continue;
+  // CPU headroom on each kernel a contract is demanded of — the end hosts
+  // and every compute detour, grouped so kernels shared between ends are
+  // charged once.
+  std::vector<CpuEndCheck> cpu_ends;
+  {
+    CpuEndCheck source;
+    source.end = StreamSession::kSourceEnd;
+    source.kernel = source_ws_ != nullptr ? source_ws_->kernel() : nullptr;
+    source.wanted = spec_.source_cpu;
+    source.kind = AdmitFailure::kSourceCpu;
+    source.what = "source";
+    cpu_ends.push_back(source);
+    for (size_t k = 0; k < nstages; ++k) {
+      CpuEndCheck stage;
+      stage.end = 2 + static_cast<int>(k);
+      stage.kernel = vias_[k].node->kernel();
+      stage.wanted = spec_.LegComputeCpu(k);
+      stage.kind = AdmitFailure::kComputeCpu;
+      stage.what = "compute stage";
+      cpu_ends.push_back(stage);
     }
-    nemesis::Kernel* kernel = check.ws != nullptr ? check.ws->kernel() : nullptr;
-    if (kernel == nullptr) {
+    CpuEndCheck sink;
+    sink.end = StreamSession::kSinkEnd;
+    sink.kernel = sink_ws_ != nullptr ? sink_ws_->kernel() : nullptr;
+    sink.wanted = spec_.sink_cpu;
+    sink.kind = AdmitFailure::kSinkCpu;
+    sink.what = "sink";
+    cpu_ends.push_back(sink);
+  }
+  for (const CpuEndCheck& e : cpu_ends) {
+    if (e.wanted.slice > 0 && e.kernel == nullptr) {
       report.verdict = AdmitVerdict::kRejected;
-      report.failure = check.failure;
+      report.failure = e.kind;
       report.detail = "no kernel attached to the host";
       return result;
     }
-    // Both ends may share one kernel; count what the other end claims.
-    double shared = 0.0;
-    if (i == 1 && source_ws_ != nullptr && sink_ws_ != nullptr &&
-        source_ws_->kernel() == kernel) {
-      shared = claimed[0];
+  }
+  JointCpuCheck(&cpu_ends);
+  for (const CpuEndCheck& e : cpu_ends) {
+    if (!e.failed) {
+      continue;
     }
-    const double headroom = CpuHeadroom(kernel) - shared;
-    if (check.wanted.Utilization() > headroom) {
-      cpu_checks[i].counter_cpu.slice = SliceFor(headroom, check.wanted.period);
-      fail(check.failure, "CPU demand exceeds Atropos headroom");
+    if (e.end == StreamSession::kSourceEnd) {
+      counter.source_cpu = e.clamped;
+    } else if (e.end == StreamSession::kSinkEnd) {
+      counter.sink_cpu = e.clamped;
     } else {
-      claimed[i] = check.wanted.Utilization();
+      counter_leg_slot(static_cast<size_t>(e.end - 2))->compute_cpu = e.clamped;
     }
+    fail(e.kind, std::string(e.what) + " CPU demand exceeds Atropos headroom",
+         e.clamped.slice > 0);
   }
 
   // Disk rate at the file server.
@@ -513,19 +900,16 @@ StreamResult StreamBuilder::Open() {
     const int64_t available = storage->server()->AvailableStreamBps();
     if (available < spec_.disk_bps) {
       counter.disk_bps = std::max<int64_t>(available, 0);
-      fail(AdmitFailure::kDiskBandwidth, "PFS stream budget exhausted");
+      fail(AdmitFailure::kDiskBandwidth, "PFS stream budget exhausted", available > 0);
     }
   }
 
-  if (first_failure != AdmitFailure::kNone) {
-    report.failure = first_failure;
-    report.detail = detail;
+  if (!failures.empty()) {
+    report.failure = failures.front();
+    report.failures = std::move(failures);
+    report.detail = JoinDetails(details);
     // A counter-offer is only useful if every demanded layer still has
     // something to give.
-    const bool viable = (spec_.bandwidth_bps == 0 || counter.bandwidth_bps > 0) &&
-                        (spec_.source_cpu.slice == 0 || counter.source_cpu.slice > 0) &&
-                        (spec_.sink_cpu.slice == 0 || counter.sink_cpu.slice > 0) &&
-                        (spec_.disk_bps == 0 || counter.disk_bps > 0);
     report.verdict = viable ? AdmitVerdict::kCounterOffer : AdmitVerdict::kRejected;
     if (viable) {
       report.counter_offer = counter;
@@ -533,7 +917,7 @@ StreamResult StreamBuilder::Open() {
     return result;
   }
 
-  // --- every layer accepts: bind the contract ---
+  // --- every layer accepts: bind the whole chain ---
   auto session = std::unique_ptr<StreamSession>(new StreamSession());
   StreamSession* s = session.get();
   s->name_ = name_;
@@ -553,19 +937,36 @@ StreamResult StreamBuilder::Open() {
   s->degrade_cb_ = std::move(degrade_cb_);
   s->active_ = true;
 
-  // Network: the data VC carries the reservation; control VCs are
-  // best-effort, as in the paper's signalling.
-  auto data = network.OpenVc(source_ep_, sink_ep_, atm::QosSpec{spec_.bandwidth_bps});
-  if (!data.has_value()) {
-    report.verdict = AdmitVerdict::kRejected;
-    report.failure = AdmitFailure::kNetworkBandwidth;
-    report.detail = "VC establishment failed after admission";
-    s->active_ = false;
-    return result;
+  // Network: one reserved VC per leg; control VCs are best-effort, as in
+  // the paper's signalling.
+  int total_hops = 0;
+  for (size_t i = 0; i < nlegs; ++i) {
+    auto vc = network.OpenVc(chain[i], chain[i + 1], atm::QosSpec{wanted_bps[i]});
+    if (!vc.has_value()) {
+      s->Close();
+      report.verdict = AdmitVerdict::kRejected;
+      report.failure = AdmitFailure::kNetworkBandwidth;
+      report.detail = "VC establishment failed after admission on leg " + std::to_string(i);
+      system_->AdoptSession(std::move(session));
+      return result;
+    }
+    StreamSession::Leg leg;
+    leg.vc = vc->id;
+    leg.source_vci = vc->source_vci;
+    leg.sink_vci = vc->destination_vci;
+    leg.granted_bps = wanted_bps[i];
+    leg.hop_count = vc->hop_count;
+    leg.compute = i < nstages ? vias_[i].node : nullptr;
+    s->legs_.push_back(std::move(leg));
+    total_hops += vc->hop_count;
   }
-  s->data_vc_ = data->id;
-  s->source_vci_ = data->source_vci;
-  s->sink_vci_ = data->destination_vci;
+
+  // Compute: instantiate each detour's processing stage between its
+  // incoming and outgoing legs.
+  for (size_t k = 0; k < nstages; ++k) {
+    s->legs_[k].processor = vias_[k].node->AddStage(
+        s->legs_[k].sink_vci, s->legs_[k + 1].source_vci, vias_[k].config);
+  }
 
   bool control_failed = false;
   if (source_kind_ == EndpointKind::kWorkstationDevice &&
@@ -606,28 +1007,39 @@ StreamResult StreamBuilder::Open() {
     return result;
   }
 
-  // CPU: bind the per-end handler domains through scheduler admission.
+  // CPU: bind the per-end handler domains and per-stage compute domains
+  // through scheduler admission.
   struct CpuBind {
     std::unique_ptr<nemesis::PeriodicDomain>* handler;
-    const nemesis::QosParams& qos;
-    Workstation* ws;
-    const char* suffix;
+    nemesis::QosParams qos;
+    nemesis::Kernel* kernel;
+    nemesis::QosParams requested;
+    std::string suffix;
     AdmitFailure failure;
-    bool source_end;
+    int end;
   };
-  CpuBind binds[2] = {
-      {&s->source_handler_, spec_.source_cpu, source_ws_, "/src", AdmitFailure::kSourceCpu,
-       true},
-      {&s->sink_handler_, spec_.sink_cpu, sink_ws_, "/snk", AdmitFailure::kSinkCpu, false},
-  };
+  std::vector<CpuBind> binds;
+  binds.push_back({&s->source_handler_, spec_.source_cpu,
+                   source_ws_ != nullptr ? source_ws_->kernel() : nullptr,
+                   s->requested_source_cpu_, "/src", AdmitFailure::kSourceCpu,
+                   StreamSession::kSourceEnd});
+  for (size_t k = 0; k < nstages; ++k) {
+    const nemesis::QosParams stage_cpu = spec_.LegComputeCpu(k);
+    binds.push_back({&s->legs_[k].handler, stage_cpu, vias_[k].node->kernel(), stage_cpu,
+                     "/via" + std::to_string(k), AdmitFailure::kComputeCpu,
+                     2 + static_cast<int>(k)});
+  }
+  binds.push_back({&s->sink_handler_, spec_.sink_cpu,
+                   sink_ws_ != nullptr ? sink_ws_->kernel() : nullptr,
+                   s->requested_sink_cpu_, "/snk", AdmitFailure::kSinkCpu,
+                   StreamSession::kSinkEnd});
   for (const CpuBind& bind : binds) {
     if (bind.qos.slice <= 0) {
       continue;
     }
-    nemesis::Kernel* kernel = bind.ws->kernel();
     auto domain = std::make_unique<nemesis::PeriodicDomain>(
         system_->simulator(), name_ + bind.suffix, bind.qos, bind.qos.slice, bind.qos.period);
-    if (!kernel->AddDomain(domain.get())) {
+    if (!bind.kernel->AddDomain(domain.get())) {
       s->Close();
       report.verdict = AdmitVerdict::kRejected;
       report.failure = bind.failure;
@@ -635,12 +1047,10 @@ StreamResult StreamBuilder::Open() {
       system_->AdoptSession(std::move(session));
       return result;
     }
-    if (manager_ != nullptr && manager_->kernel() == kernel) {
-      const nemesis::QosParams requested =
-          bind.source_end ? s->requested_source_cpu_ : s->requested_sink_cpu_;
-      manager_->Register(domain.get(), manager_weight_, requested,
-                         [s, src = bind.source_end](double granted) {
-                           s->OnGrantChanged(src, granted);
+    if (manager_ != nullptr && manager_->kernel() == bind.kernel) {
+      manager_->Register(domain.get(), manager_weight_, bind.requested,
+                         [s, end = bind.end](double granted) {
+                           s->OnGrantChanged(end, granted);
                          });
     }
     *bind.handler = std::move(domain);
@@ -648,7 +1058,7 @@ StreamResult StreamBuilder::Open() {
 
   // Storage: start the transfer under the rate reservation.
   if (sink_storage_ != nullptr) {
-    s->file_ = sink_storage_->StartRecording(s->sink_vci_, s->control_receive_vci_,
+    s->file_ = sink_storage_->StartRecording(s->sink_vci(), s->control_receive_vci_,
                                              record_stream_id_);
   } else if (source_storage_ != nullptr) {
     s->file_ = playback_file_;
@@ -665,7 +1075,7 @@ StreamResult StreamBuilder::Open() {
     s->disk_reserved_ = true;
   }
 
-  // Display: the window manager grants the data VC a window on the screen.
+  // Display: the window manager grants the final leg's VC a window.
   if (sink_display_ != nullptr && window_requested_) {
     int w = window_w_;
     int h = window_h_;
@@ -674,17 +1084,26 @@ StreamResult StreamBuilder::Open() {
       h = source_camera_->config().height;
     }
     dev::WindowManager wm(sink_display_);
-    wm.CreateWindow(s->sink_vci_, window_x_, window_y_, w, h);
+    wm.CreateWindow(s->sink_vci(), window_x_, window_y_, w, h);
     s->window_created_ = true;
   }
 
-  // Pace the source to the granted bandwidth so the reservation holds.
-  if (source_camera_ != nullptr && spec_.bandwidth_bps > 0) {
-    source_camera_->set_pace_bps(spec_.bandwidth_bps);
+  // Pace the source to the first leg's granted bandwidth so the
+  // reservation holds.
+  if (source_camera_ != nullptr && wanted_bps[0] > 0) {
+    source_camera_->set_pace_bps(wanted_bps[0]);
   }
 
+  // The granted contract carries fully explicit legs for pipelines, so
+  // callers renegotiate by editing contract().granted.
   s->contract_.granted = spec_;
-  s->contract_.hop_count = data->hop_count;
+  if (nlegs > 1 && s->contract_.granted.legs.size() < nlegs) {
+    s->contract_.granted.legs.resize(nlegs);
+  }
+  for (size_t i = 0; i < s->contract_.granted.legs.size() && i < nlegs; ++i) {
+    s->contract_.granted.legs[i].bandwidth_bps = wanted_bps[i];
+  }
+  s->contract_.hop_count = total_hops;
   s->contract_.established_at = system_->simulator()->now();
 
   report.verdict = AdmitVerdict::kAccepted;

@@ -13,6 +13,15 @@
 // StreamSession can re-negotiate in place and hears about QoS-manager
 // degradation through a callback, so the feedback loop of §3.3 spans
 // layers. Teardown releases all three layers' reservations.
+//
+// A stream may be a multi-leg *pipeline*: Via() routes it through compute
+// servers (Figure 4) that process the media in transit, and the whole chain
+// — every leg's links, every compute stage's CPU, both end hosts' CPU and
+// the disk rate — is admitted atomically as ONE contract. When admission
+// fails, the report carries a single joint counter-offer computed across
+// all failing resources in one pass: each overcommitted link scales the
+// legs crossing it proportionally, each overcommitted kernel scales the
+// CPU contracts it would host, and the disk clamp rides in the same spec.
 #ifndef PEGASUS_SRC_CORE_STREAM_H_
 #define PEGASUS_SRC_CORE_STREAM_H_
 
@@ -21,10 +30,12 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/atm/network.h"
 #include "src/core/storage_node.h"
 #include "src/core/workstation.h"
+#include "src/devices/processing.h"
 #include "src/nemesis/qos.h"
 #include "src/nemesis/qos_manager.h"
 #include "src/nemesis/workloads.h"
@@ -32,10 +43,30 @@
 
 namespace pegasus::core {
 
+class ComputeNode;
 class PegasusSystem;
 class StreamBuilder;
 
 enum class MediaType { kVideo, kAudio, kData };
+
+// Per-leg quantities of a pipeline. Leg i spans the i-th pair of adjacent
+// pipeline nodes; for every leg but the last, the node the leg ends on is a
+// compute server and `compute_cpu` is the CPU contract its processing stage
+// demands there. On Open(), a missing or inherit-valued entry takes the
+// stream-wide `bandwidth_bps`; on Renegotiate() of a pipeline it keeps the
+// leg's currently granted value (granted specs always carry explicit legs,
+// so editing `contract().granted` is the natural way to renegotiate — the
+// stream-wide `bandwidth_bps` knob is ignored by pipeline renegotiation).
+struct LegSpec {
+  static constexpr int64_t kInheritBps = -1;
+  // Peak bandwidth to reserve on every link of this leg. kInheritBps
+  // defers to the stream-wide default; 0 is best effort.
+  int64_t bandwidth_bps = kInheritBps;
+  // CPU contract for the compute stage at the node this leg ends on,
+  // admitted against that node's Atropos kernel. Ignored on the final leg
+  // (the sink end uses StreamSpec::sink_cpu). slice == 0 = no demand.
+  nemesis::QosParams compute_cpu = nemesis::QosParams{0, sim::Milliseconds(100), true};
+};
 
 // What a stream asks of — or is granted by — every layer. Fields left at
 // zero are "no demand on this layer" and are skipped by admission.
@@ -44,10 +75,12 @@ struct StreamSpec {
   // Nominal presentation rate (frames or packets per second); informational.
   double frame_rate = 0.0;
   // Peak network bandwidth to reserve on every traversed link. 0 = best
-  // effort (never rejected by the network).
+  // effort (never rejected by the network). For pipelines this is the
+  // default every leg without an explicit LegSpec entry inherits.
   int64_t bandwidth_bps = 0;
-  // End-to-end network latency bound. 0 = unconstrained. Admission rejects
-  // paths whose propagation plus per-hop serialisation exceed it.
+  // End-to-end network latency bound, summed over every leg. 0 =
+  // unconstrained. Admission rejects chains whose propagation plus per-hop
+  // serialisation exceed it.
   sim::DurationNs latency_bound = 0;
   // CPU contract for the protocol/decode work at each end, admitted against
   // the host kernel's Atropos headroom. slice == 0 = no CPU demand.
@@ -56,6 +89,25 @@ struct StreamSpec {
   // Disk rate to reserve at the Pegasus File Server when a storage endpoint
   // is on the path, in bytes per second. 0 = no reservation.
   int64_t disk_bps = 0;
+  // Per-leg overrides for multi-leg pipelines (one leg per Via() stage plus
+  // the final leg to the sink). May be shorter than the pipeline; missing
+  // entries inherit as described on LegSpec.
+  std::vector<LegSpec> legs;
+
+  // The bandwidth leg `leg` asks for, with inheritance resolved.
+  int64_t LegBandwidthBps(size_t leg) const {
+    if (leg < legs.size() && legs[leg].bandwidth_bps != LegSpec::kInheritBps) {
+      return legs[leg].bandwidth_bps;
+    }
+    return bandwidth_bps;
+  }
+  // The CPU contract demanded of the compute stage terminating leg `leg`.
+  nemesis::QosParams LegComputeCpu(size_t leg) const {
+    if (leg < legs.size()) {
+      return legs[leg].compute_cpu;
+    }
+    return nemesis::QosParams{0, sim::Milliseconds(100), true};
+  }
 
   static StreamSpec Video(double fps, int64_t bandwidth_bps) {
     StreamSpec s;
@@ -82,12 +134,13 @@ enum class AdmitVerdict {
 // Which layer turned the stream away.
 enum class AdmitFailure {
   kNone,
-  kEndpoint,          // source/sink missing or not attached to the network
-  kNoPath,            // no switch path between the endpoints
+  kEndpoint,          // source/sink/via endpoint missing or unattached
+  kNoPath,            // no switch path along one of the legs
   kNetworkBandwidth,  // a traversed link lacks spare capacity
-  kLatency,           // the path cannot meet the latency bound
+  kLatency,           // the chain cannot meet the latency bound
   kSourceCpu,         // source host kernel lacks CPU headroom (or a kernel)
   kSinkCpu,           // sink host kernel lacks CPU headroom (or a kernel)
+  kComputeCpu,        // a compute node's kernel lacks headroom (or a kernel)
   kDiskBandwidth,     // PFS stream budget exhausted
 };
 
@@ -95,10 +148,15 @@ const char* AdmitFailureName(AdmitFailure failure);
 
 struct AdmissionReport {
   AdmitVerdict verdict = AdmitVerdict::kRejected;
+  // The first failing resource in path order; kNone on acceptance.
   AdmitFailure failure = AdmitFailure::kNone;
+  // EVERY failing resource, in path order (legs, then source CPU, compute
+  // stages, sink CPU, then disk) — admission checks all layers in one pass
+  // rather than stopping at the first refusal.
+  std::vector<AdmitFailure> failures;
   std::string detail;
   // On kCounterOffer: the requested spec clamped to what every layer could
-  // still grant right now.
+  // still grant right now, jointly feasible across all failing resources.
   std::optional<StreamSpec> counter_offer;
 
   bool ok() const { return verdict == AdmitVerdict::kAccepted; }
@@ -107,16 +165,35 @@ struct AdmissionReport {
 // The bound end-to-end contract of an established session.
 struct QosContract {
   StreamSpec granted;
-  int hop_count = 0;
+  int hop_count = 0;  // summed over every leg
   sim::TimeNs established_at = 0;
   int renegotiations = 0;
 };
 
-// An admitted stream: the data VC (paced to the granted bandwidth), the
-// control VC(s), the per-end handler domains holding the CPU contracts, the
-// PFS reservation and the sink window — all released together by Close().
+// An admitted stream: one VC per pipeline leg (each paced to its granted
+// bandwidth), the control VC(s), the per-end handler domains and per-stage
+// compute domains holding the CPU contracts, the PFS reservation and the
+// sink window — all released together by Close().
 class StreamSession {
  public:
+  // One bound leg of the pipeline, in path order.
+  struct Leg {
+    atm::VcId vc = -1;
+    // VCI stamped on packets entering this leg.
+    atm::Vci source_vci = atm::kVciUnassigned;
+    // VCI observed on packets leaving this leg.
+    atm::Vci sink_vci = atm::kVciUnassigned;
+    int64_t granted_bps = 0;
+    int hop_count = 0;
+    // The compute node this leg terminates at (null for the final leg).
+    ComputeNode* compute = nullptr;
+    // The processing stage instantiated there.
+    dev::TileProcessor* processor = nullptr;
+    // The handler domain holding the stage's CPU contract on the compute
+    // node's kernel (null when no CPU was demanded).
+    std::unique_ptr<nemesis::PeriodicDomain> handler;
+  };
+
   // Invoked after the QoS manager degraded (or restored) one of the
   // session's CPU contracts; `contract().granted` is already updated.
   using DegradeCallback = std::function<void(const QosContract& contract)>;
@@ -131,11 +208,19 @@ class StreamSession {
   bool active() const { return active_; }
 
   // --- data plane handles ---
-  atm::VcId data_vc() const { return data_vc_; }
+  // The pipeline's legs in path order; size 1 for a point-to-point stream.
+  const std::vector<Leg>& legs() const { return legs_; }
+  int leg_count() const { return static_cast<int>(legs_.size()); }
+  // The first leg's VC (the data VC of a point-to-point stream).
+  atm::VcId data_vc() const { return legs_.empty() ? -1 : legs_.front().vc; }
   // VCI the source device must stamp on outgoing packets.
-  atm::Vci source_vci() const { return source_vci_; }
+  atm::Vci source_vci() const {
+    return legs_.empty() ? atm::kVciUnassigned : legs_.front().source_vci;
+  }
   // VCI the sink observes on delivered packets.
-  atm::Vci sink_vci() const { return sink_vci_; }
+  atm::Vci sink_vci() const {
+    return legs_.empty() ? atm::kVciUnassigned : legs_.back().sink_vci;
+  }
   // Control stream: managing host -> far end (index marks, start/stop).
   atm::Vci control_send_vci() const { return control_send_vci_; }
   atm::Vci control_receive_vci() const { return control_receive_vci_; }
@@ -147,30 +232,38 @@ class StreamSession {
   nemesis::PeriodicDomain* source_handler() const { return source_handler_.get(); }
   nemesis::PeriodicDomain* sink_handler() const { return sink_handler_.get(); }
 
-  // Re-negotiates the contract in place: bandwidth deltas are re-admitted on
-  // the VC's own links (no route churn), CPU through Kernel::UpdateQos, disk
-  // by release-and-re-reserve. All-or-nothing — on rejection every layer
-  // keeps the old contract.
+  // Re-negotiates the contract in place, all-or-nothing: every layer's new
+  // demand — bandwidth on each leg's own links (no route churn), CPU at
+  // both ends and every compute stage, disk rate — is checked jointly
+  // BEFORE anything is re-bound, so a refusal leaves the original contract
+  // fully intact and carries one joint counter-offer across all failing
+  // resources.
   AdmissionReport Renegotiate(const StreamSpec& spec);
 
   void set_degrade_callback(DegradeCallback cb) { degrade_cb_ = std::move(cb); }
 
-  // Releases every layer's resources: VCs and their link reservations, the
-  // handler domains (and their QoS-manager registrations), the PFS stream
-  // reservation (stopping recording/playback), and the sink window.
+  // Releases every layer's resources: all legs' VCs and their link
+  // reservations, the compute stages and their contract domains, the
+  // per-end handler domains (and their QoS-manager registrations), the PFS
+  // stream reservation (stopping recording/playback), and the sink window.
   // Idempotent.
   void Close();
 
  private:
   friend class StreamBuilder;
 
+  // CPU contract "ends": 0 = source host, 1 = sink host, 2+k = the compute
+  // stage terminating leg k.
+  static constexpr int kSourceEnd = 0;
+  static constexpr int kSinkEnd = 1;
+
   StreamSession() = default;
 
-  // Creates or retires the per-end handler domains to match `spec`.
-  bool BindCpu(const StreamSpec& spec, AdmissionReport* report);
   void ReleaseCpuEnd(std::unique_ptr<nemesis::PeriodicDomain>* handler,
                      nemesis::Kernel* kernel);
-  void OnGrantChanged(bool source_end, double granted_util);
+  // The handler holding the contract for `end`, or null.
+  nemesis::PeriodicDomain* EndHandler(int end) const;
+  void OnGrantChanged(int end, double granted_util);
 
   std::string name_;
   PegasusSystem* system_ = nullptr;
@@ -187,11 +280,9 @@ class StreamSession {
   StorageNode* storage_ = nullptr;
   bool recording_ = false;
 
-  // Network.
-  atm::VcId data_vc_ = -1;
+  // Network + compute: the bound pipeline.
+  std::vector<Leg> legs_;
   std::vector<atm::VcId> control_vcs_;
-  atm::Vci source_vci_ = atm::kVciUnassigned;
-  atm::Vci sink_vci_ = atm::kVciUnassigned;
   atm::Vci control_send_vci_ = atm::kVciUnassigned;
   atm::Vci control_receive_vci_ = atm::kVciUnassigned;
 
@@ -233,6 +324,18 @@ struct StreamResult {
 //                .WithWindow(240, 180)
 //                .Open();
 //   if (r.report.ok()) camera->Start(r.session->source_vci());
+//
+// A pipeline detours through compute servers, still as one contract:
+//
+//   core::StreamSpec spec = core::StreamSpec::Video(25, 8'000'000);
+//   spec.legs.resize(2);
+//   spec.legs[0].compute_cpu = QosParams::Guaranteed(ms(10), ms(40));
+//   auto r = system.BuildStream("filtered")
+//                .From(alice, camera)
+//                .Via(compute, stage_config)
+//                .To(bob, display)
+//                .WithSpec(spec)
+//                .Open();
 class StreamBuilder {
  public:
   StreamBuilder(PegasusSystem* system, std::string name);
@@ -243,6 +346,15 @@ class StreamBuilder {
   StreamBuilder& FromEndpoint(Workstation* ws, atm::Endpoint* endpoint);
   // Play-out of an existing continuous file from the storage server.
   StreamBuilder& FromStorage(StorageNode* storage, pfs::FileId file);
+
+  // Routes the stream through `node` on its way to the sink: a processing
+  // stage running `stage` is instantiated there, wired between the
+  // incoming and outgoing legs' VCs. The stage's CPU demand comes from
+  // spec.legs[k].compute_cpu (k = the Via() call's position) and is
+  // admitted against the node's attached kernel atomically with every
+  // other layer of the pipeline. May be called repeatedly for longer
+  // chains.
+  StreamBuilder& Via(ComputeNode* node, dev::TileProcessor::Config stage);
 
   StreamBuilder& To(Workstation* ws, dev::AtmDisplay* display);
   StreamBuilder& To(Workstation* ws, dev::AudioPlayback* playback);
@@ -265,12 +377,16 @@ class StreamBuilder {
   StreamBuilder& RequestingSinkCpu(const nemesis::QosParams& cpu);
   StreamBuilder& OnDegrade(StreamSession::DegradeCallback cb);
 
-  // Runs cross-layer admission and, if every layer accepts, binds the
-  // contract. On rejection nothing is left allocated.
+  // Runs cross-layer admission over the whole pipeline and, if every layer
+  // accepts, binds the contract. On rejection nothing is left allocated.
   StreamResult Open();
 
  private:
   enum class EndpointKind { kNone, kWorkstationDevice, kStorage };
+  struct ViaStage {
+    ComputeNode* node = nullptr;
+    dev::TileProcessor::Config config;
+  };
 
   PegasusSystem* system_;
   std::string name_;
@@ -288,6 +404,7 @@ class StreamBuilder {
   StorageNode* sink_storage_ = nullptr;
   pfs::FileId playback_file_ = -1;
   uint32_t record_stream_id_ = 1;
+  std::vector<ViaStage> vias_;
 
   bool window_requested_ = false;
   int window_x_ = 0;

@@ -102,7 +102,10 @@ std::vector<uint8_t> CompressTile(const std::vector<uint8_t>& pixels, int qualit
       continue;
     }
     out.push_back(static_cast<uint8_t>(run));
-    uint16_t u = static_cast<uint16_t>((v << 1) ^ (v >> 15));  // zig-zag sign fold
+    // Zig-zag sign fold, in unsigned arithmetic (shifting a negative
+    // int16_t left is undefined); the bit pattern is identical mod 2^16.
+    uint16_t u = static_cast<uint16_t>(
+        (static_cast<uint16_t>(v) << 1) ^ static_cast<uint16_t>(v >> 15));
     while (u >= 0x80) {
       out.push_back(static_cast<uint8_t>(u | 0x80));
       u >>= 7;

@@ -49,6 +49,11 @@ class TileProcessor {
   TileProcessor(sim::Simulator* sim, atm::MessageTransport* transport, atm::Vci in_vci,
                 atm::Vci out_vci, Config config);
 
+  // True when every queued packet has finished processing: the serial core
+  // schedules each completion at the time it will be free, so strictly past
+  // that instant no pending simulator event references this processor.
+  bool drained_at(sim::TimeNs now) const { return now > core_free_at_; }
+
   int64_t packets_processed() const { return packets_processed_; }
   int64_t tiles_processed() const { return tiles_processed_; }
   uint64_t decode_errors() const { return decode_errors_; }

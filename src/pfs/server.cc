@@ -602,7 +602,15 @@ void PegasusFileServer::CleanSegments(std::vector<int64_t> victims, size_t garba
   const uint64_t epoch = epoch_;
   // Processes victims one at a time (bounded memory, like the real cleaner).
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, state, epoch, step]() {
+  // The closure holds itself only weakly; the strong references live in the
+  // caller and the pending async continuations, so the chain frees itself
+  // after the last step (a strong self-capture would leak the closure).
+  *step = [this, state, epoch,
+           weak_step = std::weak_ptr<std::function<void()>>(step)]() {
+    auto step = weak_step.lock();
+    if (step == nullptr) {
+      return;
+    }
     if (epoch != epoch_ || crashed_) {
       state->callback(state->stats);
       return;
@@ -717,8 +725,15 @@ void PegasusFileServer::RebuildDisk(int disk_index,
   auto state = std::make_shared<std::pair<size_t, bool>>(0, true);  // next index, ok
   auto step = std::make_shared<std::function<void()>>();
   const uint64_t epoch = epoch_;
-  *step = [this, epoch, disk_index, victims, state, step,
+  // Weak self-capture, as in CleanSegments: the pending RebuildChunk
+  // continuations carry the strong references.
+  *step = [this, epoch, disk_index, victims, state,
+           weak_step = std::weak_ptr<std::function<void()>>(step),
            callback = std::move(callback)]() {
+    auto step = weak_step.lock();
+    if (step == nullptr) {
+      return;
+    }
     if (epoch != epoch_ || crashed_) {
       callback(false, static_cast<int64_t>(state->first));
       return;
