@@ -1,4 +1,5 @@
-// E05 — The QoS manager's longer-timescale adaptation (§3.3).
+// E05 — The QoS manager's longer-timescale adaptation (§3.3), now across
+// every resource layer.
 //
 // "A Quality-of-Service-manager domain ... updates the scheduler weights;
 // not only in response to applications entering or leaving the system, but
@@ -6,10 +7,17 @@
 // time scale ... to smooth out short-term variations in load."
 //
 // The applications are media streams opened through the cross-layer stream
-// API: each admits a small initial CPU contract and registers its full
-// demand with the QoS manager, which grows the contracts toward weighted
-// shares — and re-divides them as streams enter and leave. Every grant
-// change surfaces through the sessions' degradation callbacks.
+// API. Three display streams register their full CPU demand and grow toward
+// weighted shares. A fourth stream records to the file server under an
+// AdaptationPolicy: every steady-state change of its CPU grant drives
+// exactly ONE joint renegotiation in which network bandwidth, disk rate and
+// camera pacing all move to the proportional target — the per-layer deltas
+// of each degradation event are the output of this experiment.
+//
+//   ./build/bench/bench_e05_qos_adaptation [total_seconds]   (default 34;
+//   CI smoke-runs a short clock)
+#include <cstdlib>
+
 #include "bench/bench_util.h"
 #include "src/core/system.h"
 #include "src/nemesis/atropos.h"
@@ -21,10 +29,12 @@ using nemesis::QosParams;
 using sim::Milliseconds;
 using sim::Seconds;
 
-int main() {
-  bench::PrintHeader("E05", "QoS manager adaptation on stream entry/exit",
-                     "per-stream CPU contracts re-computed as streams enter and leave, "
-                     "smoothed over a longer timescale than individual scheduling decisions");
+int main(int argc, char** argv) {
+  const int total_seconds = argc > 1 ? std::max(8, std::atoi(argv[1])) : 34;
+  bench::PrintHeader("E05", "QoS manager adaptation across CPU, network and disk",
+                     "per-stream CPU contracts re-computed as streams enter and leave; an "
+                     "adaptation policy turns each steady-state change into one joint "
+                     "renegotiation moving network bandwidth and disk rate proportionally");
 
   sim::Simulator sim;
   nemesis::Kernel kernel(&sim, std::make_unique<nemesis::AtroposScheduler>(0.98));
@@ -32,6 +42,11 @@ int main() {
   core::Workstation* desk = system.AddWorkstation("desk");
   desk->AttachKernel(&kernel);
   dev::AtmDisplay* display = desk->AddDisplay(800, 600);
+  pfs::PfsConfig pfs_cfg;
+  pfs_cfg.segment_size = 64 << 10;
+  pfs_cfg.block_size = 8 << 10;
+  pfs_cfg.geometry.capacity_bytes = 64 << 20;
+  core::StorageNode* storage = system.AddStorageServer(pfs_cfg);
 
   nemesis::QosManagerDomain::Options opts;
   opts.epoch = Milliseconds(250);
@@ -43,8 +58,8 @@ int main() {
                                     opts);
   kernel.AddDomain(&manager);
 
-  // Three applications as managed streams with different policy weights;
-  // each opens with a token 1% contract and asks the manager for everything.
+  // Three applications as managed display streams with different policy
+  // weights; each opens with a token 1% contract and asks for everything.
   int64_t grant_updates = 0;
   auto open_stream = [&](const char* name, double weight) -> core::StreamSession* {
     dev::AtmCamera::Config cfg;
@@ -66,42 +81,133 @@ int main() {
 
   core::StreamSession* a = open_stream("editor (w=1)", 1.0);
   core::StreamSession* c = open_stream("viz (w=2)", 2.0);
-  if (a == nullptr || c == nullptr) {
+
+  // The adapting application: a recorder whose CPU, network bandwidth, disk
+  // rate and camera pacing form ONE cross-layer contract. When its CPU
+  // grant's steady state moves, the policy renegotiates everything.
+  dev::AtmCamera::Config rec_cfg;
+  rec_cfg.width = 64;
+  rec_cfg.height = 48;
+  dev::AtmCamera* rec_camera = desk->AddCamera(rec_cfg);
+  core::StreamSpec rec_spec = core::StreamSpec::Video(25, 8'000'000);
+  rec_spec.source_cpu = QosParams::Guaranteed(Milliseconds(30), Milliseconds(100));
+  rec_spec.disk_bps = 1'000'000;
+  core::AdaptationPolicy rec_policy;
+  rec_policy.mode = core::AdaptationMode::kFrameRateScaling;
+  rec_policy.floor = 0.05;
+  rec_policy.hysteresis = 0.02;
+  rec_policy.smoothing = 1.0;
+  auto rec = system.BuildStream("recorder (w=1)")
+                 .From(desk, rec_camera)
+                 .ToStorage(storage)
+                 .WithSpec(rec_spec)
+                 .ManagedBy(&manager, 1.0)
+                 .WithAdaptation(rec_policy)
+                 .Open();
+  if (a == nullptr || c == nullptr || !rec.report.ok()) {
     std::printf("stream admission failed\n");
     return 1;
   }
+  core::StreamSession* recorder = rec.session;
+
+  // A heavy stream enters around a third of the run and leaves near three
+  // quarters; each transition moves every client's steady-state share.
+  const int t_enter = total_seconds * 3 / 10;
+  const int t_leave = total_seconds * 3 / 4;
   core::StreamSession* b = nullptr;
-  sim.ScheduleAt(Seconds(10), [&]() { b = open_stream("video (w=4)", 4.0); });
-  // The departing stream closes its whole session: the manager registration,
-  // the CPU contract and the VCs all go together.
-  sim.ScheduleAt(Seconds(25), [&]() {
+  sim.ScheduleAt(Seconds(t_enter), [&]() { b = open_stream("video (w=4)", 4.0); });
+  sim.ScheduleAt(Seconds(t_leave), [&]() {
     if (b != nullptr) {
       b->Close();
     }
   });
 
   kernel.Start();
-  sim::Table table({"t(s)", "editor w=1", "video w=4", "viz w=2", "phase"});
-  for (int t = 2; t <= 34; t += 4) {
+  sim::Table shares({"t(s)", "editor w=1", "video w=4", "viz w=2", "recorder w=1", "phase"});
+  const int step = std::max(1, total_seconds / 8);
+  for (int t = step; t <= total_seconds; t += step) {
     sim.RunUntil(Seconds(t));
-    const char* phase = t < 10 ? "a+c" : (t < 25 ? "a+b+c" : "a+c (b left)");
-    table.AddRow({sim::Table::Int(t),
-                  sim::Table::Percent(manager.GrantedUtilization(a->sink_handler())),
-                  sim::Table::Percent(
-                      b != nullptr ? manager.GrantedUtilization(b->sink_handler()) : 0.0),
-                  sim::Table::Percent(manager.GrantedUtilization(c->sink_handler())), phase});
+    const char* phase = t < t_enter ? "a+c+rec" : (t < t_leave ? "all four" : "video left");
+    shares.AddRow({sim::Table::Int(t),
+                   sim::Table::Percent(manager.GrantedUtilization(a->sink_handler())),
+                   sim::Table::Percent(
+                       b != nullptr ? manager.GrantedUtilization(b->sink_handler()) : 0.0),
+                   sim::Table::Percent(manager.GrantedUtilization(c->sink_handler())),
+                   sim::Table::Percent(manager.GrantedUtilization(recorder->source_handler())),
+                   phase});
   }
-  bench::PrintTable("granted utilisation per epoch (weights 1:4:2, target 90%)", table);
+  bench::PrintTable("granted utilisation per epoch (weights 1:4:2:1, target 90%)", shares);
 
-  // Expected steady states: a+c => 30%/60%; a+b+c => ~12.9%/51.4%/25.7%.
+  // --- the adaptation plane's per-layer report: every degradation event,
+  // with what each layer did about it ---
+  sim::Table events({"event", "trigger", "reason", "target", "cpu", "net Mb/s", "disk kB/s"});
+  int applied = 0;
+  bool refused = false;
+  bool proportional = true;
+  char buf[5][64];
+  for (const core::AdaptationEvent& e : recorder->adaptation_log()) {
+    if (e.held) {
+      continue;
+    }
+    if (!e.applied) {
+      // A mid-bench renegotiation refusal is a correctness failure, not a
+      // data point: every degraded target must be jointly admissible.
+      std::printf("FAIL: adaptation (%s, target %.2f) was refused mid-bench\n",
+                  core::AdaptationTriggerName(e.trigger), e.target_fraction);
+      refused = true;
+      continue;
+    }
+    ++applied;
+    std::snprintf(buf[0], sizeof(buf[0]), "#%d", applied);
+    std::snprintf(buf[1], sizeof(buf[1]), "%.2f", e.target_fraction);
+    std::snprintf(buf[2], sizeof(buf[2]), "%.1f%% -> %.1f%%", e.cpu_util_before * 100,
+                  e.cpu_util_after * 100);
+    std::snprintf(buf[3], sizeof(buf[3]), "%.1f -> %.1f",
+                  static_cast<double>(e.net_bps_before) / 1e6,
+                  static_cast<double>(e.net_bps_after) / 1e6);
+    std::snprintf(buf[4], sizeof(buf[4]), "%.0f -> %.0f",
+                  static_cast<double>(e.disk_bps_before) / 1e3,
+                  static_cast<double>(e.disk_bps_after) / 1e3);
+    events.AddRow({buf[0], core::AdaptationTriggerName(e.trigger),
+                   nemesis::GrantReasonName(e.reason), buf[1], buf[2], buf[3], buf[4]});
+    // Every layer lands on the proportional target of THIS event.
+    const double f = e.target_fraction;
+    proportional = proportional &&
+                   std::abs(static_cast<double>(e.net_bps_after) - 8e6 * f) < 8e6 * 0.01 &&
+                   std::abs(static_cast<double>(e.disk_bps_after) - 1e6 * f) < 1e6 * 0.01;
+  }
+  bench::PrintTable("recorder adaptation events (one joint renegotiation each)", events);
+
+  std::printf("\ncross-layer grant callbacks fired: %lld; held by hysteresis/reclaim: %lld\n",
+              static_cast<long long>(grant_updates),
+              static_cast<long long>(recorder->adaptations_held()));
+  std::printf("recorder: %d joint renegotiations for %d applied events; camera now paced at "
+              "%.1f Mb/s, disk reservation %.0f kB/s, frame rate %.1f fps\n",
+              recorder->contract().renegotiations, applied,
+              static_cast<double>(rec_camera->config().pace_bps) / 1e6,
+              static_cast<double>(storage->server()->reserved_stream_bps()) / 1e3,
+              recorder->contract().granted.frame_rate);
+
+  // Expected steady states (weights 1:2:1 of 90%): editor 22.5%, viz 45%,
+  // recorder 22.5% => recorder fraction 0.75 of its 30% request. With the
+  // heavy w=4 stream in: 11.25% / 45% / 22.5% / 11.25% => fraction 0.375.
   const double a_end = manager.GrantedUtilization(a->sink_handler());
   const double c_end = manager.GrantedUtilization(c->sink_handler());
-  std::printf("\nfinal shares after departure: editor %.1f%%, viz %.1f%% (expect 30/60)\n",
-              a_end * 100, c_end * 100);
-  std::printf("cross-layer grant callbacks fired: %lld\n",
-              static_cast<long long>(grant_updates));
-  bench::PrintVerdict(std::abs(a_end - 0.3) < 0.03 && std::abs(c_end - 0.6) < 0.05,
-                      "shares track weighted policy through entry and exit, converging over "
-                      "a few 250 ms epochs rather than instantaneously (the smoothing)");
-  return 0;
+  const double rec_end = manager.GrantedUtilization(recorder->source_handler());
+  std::printf("final shares after departure: editor %.1f%%, viz %.1f%%, recorder %.1f%% "
+              "(expect 22.5/45/22.5)\n",
+              a_end * 100, c_end * 100, rec_end * 100);
+
+  const bool shares_ok = std::abs(a_end - 0.225) < 0.03 && std::abs(c_end - 0.45) < 0.05 &&
+                         std::abs(rec_end - 0.225) < 0.03;
+  // Entry and exit of the heavy stream plus the initial squeeze: exactly
+  // one joint renegotiation each, not one per EWMA epoch.
+  const bool one_per_event = applied == 3 && recorder->contract().renegotiations == 3;
+  const bool paced = rec_camera->config().pace_bps ==
+                     recorder->contract().granted.bandwidth_bps;
+  bench::PrintVerdict(!refused && shares_ok && one_per_event && proportional && paced,
+                      "shares track weighted policy through entry and exit; each steady-state "
+                      "change drives ONE joint renegotiation whose CPU, network and disk all "
+                      "land on the proportional target, with the camera paced to match");
+  return refused ? 1 : 0;
 }

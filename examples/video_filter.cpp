@@ -131,5 +131,87 @@ int main() {
   std::printf("  after Close()            compute CPU admitted %.1f%%, stages active %d\n",
               compute_kernel.scheduler()->AdmittedUtilization() * 100,
               compute->active_stages());
+
+  // --- a heterogeneous 3-stage chain: decode -> analyse -> re-encode ---
+  //
+  // Two Via() detours make three legs of ONE contract, with per-stage
+  // bandwidth narrowing: the raw feed needs 12 Mb/s, the analysed stream
+  // 8 Mb/s, and the re-encoded output only 4 Mb/s — each leg reserves
+  // exactly what that section of the pipeline still carries.
+  core::ComputeNode* analyse_node = system.AddComputeServer("analyse");
+  nemesis::Kernel analyse_kernel(&sim, std::make_unique<nemesis::AtroposScheduler>(1.0));
+  analyse_node->AttachKernel(&analyse_kernel);
+  core::ComputeNode* encode_node = system.AddComputeServer("encode", ws);  // desk-side
+  nemesis::Kernel encode_kernel(&sim, std::make_unique<nemesis::AtroposScheduler>(1.0));
+  encode_node->AttachKernel(&encode_kernel);
+
+  dev::TileProcessor::Config analyse_stage;
+  analyse_stage.transform = dev::EdgeTransform();  // the "analysis"
+  analyse_stage.per_tile_cost = sim::Microseconds(20);
+  dev::TileProcessor::Config encode_stage;
+  encode_stage.transform = dev::BrightnessTransform(10);
+  encode_stage.per_tile_cost = sim::Microseconds(10);
+  encode_stage.output_compression = dev::CompressionMode::kMotionJpeg;  // the re-encode
+
+  core::StreamSpec chain_spec = core::StreamSpec::Video(25, 12'000'000);
+  chain_spec.legs.resize(3);
+  chain_spec.legs[0].bandwidth_bps = 12'000'000;  // camera -> analyse (raw)
+  chain_spec.legs[0].compute_cpu = QosParams::Guaranteed(Milliseconds(6), Milliseconds(40));
+  chain_spec.legs[1].bandwidth_bps = 8'000'000;  // analyse -> encode (edges)
+  chain_spec.legs[1].compute_cpu = QosParams::Guaranteed(Milliseconds(3), Milliseconds(40));
+  chain_spec.legs[2].bandwidth_bps = 4'000'000;  // encode -> display (mjpeg)
+  auto chain = system.BuildStream("3-stage")
+                   .From(ws, camera)
+                   .Via(analyse_node, analyse_stage)
+                   .Via(encode_node, encode_stage)
+                   .To(ws, display)
+                   .WithSpec(chain_spec)
+                   .WithWindow(460, 60)
+                   .Open();
+  if (!chain.report.ok()) {
+    std::printf("3-stage chain admission failed: %s\n",
+                core::AdmitFailureName(chain.report.failure));
+    return 1;
+  }
+  // The narrowed grants hold end-to-end, leg by leg.
+  const core::StreamSpec& granted = chain.session->contract().granted;
+  const int64_t expect_bps[3] = {12'000'000, 8'000'000, 4'000'000};
+  for (int i = 0; i < 3; ++i) {
+    if (granted.LegBandwidthBps(static_cast<size_t>(i)) != expect_bps[i] ||
+        chain.session->legs()[static_cast<size_t>(i)].granted_bps != expect_bps[i]) {
+      std::printf("3-stage chain: leg %d granted %lld bps, wanted %lld\n", i,
+                  static_cast<long long>(chain.session->legs()[static_cast<size_t>(i)].granted_bps),
+                  static_cast<long long>(expect_bps[i]));
+      return 1;
+    }
+  }
+  std::printf("\n3-stage chain admitted: %d legs narrowing 12 -> 8 -> 4 Mb/s, stage CPU "
+              "%.1f%% + %.1f%%\n",
+              chain.session->leg_count(),
+              granted.LegComputeCpu(0).Utilization() * 100,
+              granted.LegComputeCpu(1).Utilization() * 100);
+
+  camera->AddOutput(chain.session->source_vci());
+  sim.RunUntil(sim::Seconds(8));
+  dev::TileProcessor* analyser = chain.session->legs()[0].processor;
+  dev::TileProcessor* encoder = chain.session->legs()[1].processor;
+  std::printf("  analyse stage            %lld tiles (%s mean residence)\n",
+              static_cast<long long>(analyser->tiles_processed()),
+              sim::FormatDuration(
+                  static_cast<sim::DurationNs>(analyser->processing_latency().mean()))
+                  .c_str());
+  std::printf("  re-encode stage          %lld tiles (%s mean residence)\n",
+              static_cast<long long>(encoder->tiles_processed()),
+              sim::FormatDuration(
+                  static_cast<sim::DurationNs>(encoder->processing_latency().mean()))
+                  .c_str());
+  if (analyser->tiles_processed() == 0 || encoder->tiles_processed() == 0) {
+    std::printf("3-stage chain: no tiles flowed through a stage\n");
+    return 1;
+  }
+  chain.session->Close();
+  std::printf("  after Close()            analyse CPU %.1f%%, encode CPU %.1f%%\n",
+              analyse_kernel.scheduler()->AdmittedUtilization() * 100,
+              encode_kernel.scheduler()->AdmittedUtilization() * 100);
   return 0;
 }

@@ -285,8 +285,37 @@ bool Network::CloseVc(VcId id) {
     }
   }
   state.desc.destination->ReleaseIncomingVci(state.desc.destination_vci);
+  congestion_handlers_.erase(id);
   vcs_.erase(it);
   return true;
+}
+
+void Network::SetCongestionHandler(VcId id, CongestionCallback callback) {
+  if (vcs_.count(id) == 0) {
+    return;
+  }
+  congestion_handlers_[id] = std::move(callback);
+}
+
+void Network::ClearCongestionHandler(VcId id) { congestion_handlers_.erase(id); }
+
+int Network::SignalCongestion(const Link* link, double severity) {
+  // Collect first: a handler may renegotiate its VC, mutating vcs_.
+  std::vector<std::pair<CongestionCallback, VcId>> to_notify;
+  for (const auto& [id, state] : vcs_) {
+    if (std::find(state.hop_links.begin(), state.hop_links.end(), link) ==
+        state.hop_links.end()) {
+      continue;
+    }
+    auto handler = congestion_handlers_.find(id);
+    if (handler != congestion_handlers_.end()) {
+      to_notify.emplace_back(handler->second, id);
+    }
+  }
+  for (auto& [callback, id] : to_notify) {
+    callback(id, link, severity);
+  }
+  return static_cast<int>(to_notify.size());
 }
 
 bool Network::UpdateVcQos(VcId id, QosSpec qos) {

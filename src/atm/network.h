@@ -9,6 +9,7 @@
 #define PEGASUS_SRC_ATM_NETWORK_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -76,6 +77,23 @@ class Network {
                                                                   QosSpec control_qos = {});
   bool CloseVc(VcId id);
   const VcDescriptor* GetVc(VcId id) const;
+
+  // --- congestion signalling ---
+  // Observer for congestion on any link the VC traverses. `severity` is the
+  // fraction of the link's deliverable capacity that is gone, in (0, 1]:
+  // reservations riding the link can only count on (1 - severity) of their
+  // rate until the condition clears (severity 0 announces the clear for
+  // that link). The link is handed through so observers spanning several
+  // links can track each one's condition independently.
+  using CongestionCallback =
+      std::function<void(VcId vc, const Link* link, double severity)>;
+  // At most one handler per VC; replaced on re-set, dropped on CloseVc.
+  void SetCongestionHandler(VcId id, CongestionCallback callback);
+  void ClearCongestionHandler(VcId id);
+  // Announces congestion on `link` (an operator/driver event: a flapping
+  // port, a policer kicking in). Every open VC traversing the link that has
+  // a handler is notified. Returns the number of VCs notified.
+  int SignalCongestion(const Link* link, double severity);
   // Re-negotiates the reservation of an open VC in place — the routes stay,
   // only the admission-control books change. An increase is checked against
   // the headroom of every traversed link; on failure the old reservation
@@ -145,6 +163,7 @@ class Network {
   // adjacency: switch -> (neighbour switch -> (out_port, link))
   std::map<Switch*, std::map<Switch*, std::pair<int, Link*>>> edges_;
   std::map<VcId, VcState> vcs_;
+  std::map<VcId, CongestionCallback> congestion_handlers_;
   std::map<const Link*, int64_t> reserved_bps_;
   VcId next_vc_id_ = 1;
   int64_t admission_rejections_ = 0;

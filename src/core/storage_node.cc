@@ -119,6 +119,19 @@ bool StorageNode::StartPlayback(pfs::FileId file, atm::Vci out_vci, double speed
 
 void StorageNode::StopPlayback(pfs::FileId file) { playbacks_.erase(file); }
 
+void StorageNode::SetPlayoutPaceBps(pfs::FileId file, int64_t bps) {
+  if (bps > 0) {
+    playout_pace_bps_[file] = bps;
+  } else {
+    playout_pace_bps_.erase(file);
+  }
+}
+
+int64_t StorageNode::PlayoutPaceBps(pfs::FileId file) const {
+  auto it = playout_pace_bps_.find(file);
+  return it == playout_pace_bps_.end() ? 0 : it->second;
+}
+
 StorageNode::PlaybackState* StorageNode::LivePlayback(pfs::FileId file, uint64_t generation) {
   auto it = playbacks_.find(file);
   if (it == playbacks_.end() || it->second.generation != generation) {
@@ -179,11 +192,17 @@ void StorageNode::PlayNext(pfs::FileId file, uint64_t generation) {
   std::vector<uint8_t> payload(
       state->buffer.begin() + in_buffer_off + kRecordHeader,
       state->buffer.begin() + in_buffer_off + kRecordHeader + static_cast<int64_t>(len));
-  // Re-time: preserve the recorded cadence, scaled by speed.
+  // Re-time: preserve the recorded cadence, scaled by speed — but never
+  // faster than the granted play-out rate, so a degraded stream's records
+  // leave at the renegotiated pace rather than bursting past it.
   sim::DurationNs gap = 0;
   if (state->last_media_ts >= 0) {
     gap = static_cast<sim::DurationNs>(
         static_cast<double>(media_ts - state->last_media_ts) / state->speed);
+  }
+  const int64_t pace = PlayoutPaceBps(file);
+  if (pace > 0) {
+    gap = std::max(gap, sim::TransmissionTime(kRecordHeader + len, pace));
   }
   state->last_media_ts = media_ts;
   state->next_send = std::max(state->next_send + gap, sim_->now());

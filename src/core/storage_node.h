@@ -53,6 +53,15 @@ class StorageNode {
                      sim::TimeNs from_ts = 0);
   void StopPlayback(pfs::FileId file);
 
+  // Paces play-out of `file` to `bps` wire bits per second (0 = unpaced,
+  // the recorded cadence). Stream admission binds this to the session's
+  // granted network/disk rate, exactly as cameras and audio captures are
+  // paced: records never leave faster than the reservation can carry them.
+  // Applies to a running playback immediately and persists across
+  // StartPlayback calls for the same file.
+  void SetPlayoutPaceBps(pfs::FileId file, int64_t bps);
+  int64_t PlayoutPaceBps(pfs::FileId file) const;
+
   int64_t records_recorded() const { return records_recorded_; }
   int64_t records_played() const { return records_played_; }
 
@@ -92,6 +101,7 @@ class StorageNode {
   std::map<atm::Vci, RecordingState> recordings_;
   std::map<atm::Vci, atm::Vci> control_to_data_;
   std::map<pfs::FileId, PlaybackState> playbacks_;
+  std::map<pfs::FileId, int64_t> playout_pace_bps_;
   uint64_t next_playback_generation_ = 1;
   int64_t records_recorded_ = 0;
   int64_t records_played_ = 0;

@@ -1,12 +1,14 @@
 #include "src/core/stream.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <numeric>
 #include <utility>
 
 #include "src/core/compute_node.h"
 #include "src/core/system.h"
+#include "src/devices/audio.h"
 #include "src/devices/display.h"
 #include "src/nemesis/kernel.h"
 #include "src/nemesis/scheduler.h"
@@ -110,7 +112,11 @@ void JointLinkCheck(const atm::Network& network,
           std::max<int64_t>(0, network.AvailableBandwidth(l) + add_back[l]);
       const int64_t total = demand[l];
       if (total > available) {
-        (*clamped)[i] = std::min((*clamped)[i], wanted[i] * available / total);
+        // 128-bit intermediate: wanted * available can exceed int64 for
+        // absurd-but-legal specs, and signed overflow is UB.
+        const int64_t share = static_cast<int64_t>(
+            static_cast<__int128>(wanted[i]) * available / total);
+        (*clamped)[i] = std::min((*clamped)[i], share);
       }
     }
   }
@@ -128,6 +134,20 @@ std::string JoinDetails(const std::vector<std::string>& details) {
 }
 
 }  // namespace
+
+const char* AdaptationTriggerName(AdaptationEvent::Trigger trigger) {
+  switch (trigger) {
+    case AdaptationEvent::Trigger::kCpuGrant:
+      return "cpu-grant";
+    case AdaptationEvent::Trigger::kNetworkCongestion:
+      return "net-congestion";
+    case AdaptationEvent::Trigger::kDiskPressure:
+      return "disk-pressure";
+    case AdaptationEvent::Trigger::kManual:
+      return "manual";
+  }
+  return "unknown";
+}
 
 const char* AdmitFailureName(AdmitFailure failure) {
   switch (failure) {
@@ -186,14 +206,16 @@ nemesis::PeriodicDomain* StreamSession::EndHandler(int end) const {
   return leg < legs_.size() ? legs_[leg].handler.get() : nullptr;
 }
 
-void StreamSession::OnGrantChanged(int end, double granted_util) {
-  (void)granted_util;
+void StreamSession::OnGrantChanged(int end, const nemesis::GrantUpdate& update) {
   nemesis::PeriodicDomain* handler = EndHandler(end);
   if (handler == nullptr) {
     return;
   }
+  // CPU across ends BEFORE the manager's move is folded in, so the logged
+  // adaptation event shows the full per-layer movement of this epoch.
+  const double cpu_before = GrantedCpuUtil();
   // The manager already applied the new contract through Kernel::UpdateQos;
-  // reflect it in the cross-layer contract and tell the application.
+  // reflect it in the cross-layer contract.
   if (end == kSourceEnd) {
     contract_.granted.source_cpu = handler->qos();
   } else if (end == kSinkEnd) {
@@ -204,12 +226,281 @@ void StreamSession::OnGrantChanged(int end, double granted_util) {
       contract_.granted.legs[leg].compute_cpu = handler->qos();
     }
   }
+  // Drive the adaptation plane: the steady-state share of this end's
+  // long-term request becomes the end's limit fraction, and one joint
+  // renegotiation moves every layer toward the min over all limits —
+  // before the application hears about it, so the degradation callback
+  // sees a coherent cross-layer contract. Self-limited grants (the stream's
+  // own idleness, reclaimed) constrain nothing: the other layers could
+  // still deliver.
+  if (has_adaptation_ && active_) {
+    double requested = 0.0;
+    if (end == kSourceEnd) {
+      requested = requested_source_cpu_.Utilization();
+    } else if (end == kSinkEnd) {
+      requested = requested_sink_cpu_.Utilization();
+    } else {
+      requested = nominal_.LegComputeCpu(static_cast<size_t>(end - 2)).Utilization();
+    }
+    if (requested > 0.0) {
+      if (!update.self_limited) {
+        cpu_end_limits_[end] =
+            std::clamp(update.steady_state_util / requested, 0.0, 1.0);
+      }
+      Adapt(AdaptationEvent::Trigger::kCpuGrant, update.reason, cpu_before);
+    }
+  }
   if (degrade_cb_) {
     degrade_cb_(contract_);
   }
 }
 
+double StreamSession::CombinedLimit() const {
+  double limit = std::min(app_limit_, disk_limit_);
+  for (const auto& [link, link_limit] : net_link_limits_) {
+    (void)link;
+    limit = std::min(limit, link_limit);
+  }
+  for (const auto& [end, end_limit] : cpu_end_limits_) {
+    (void)end;
+    limit = std::min(limit, end_limit);
+  }
+  return limit;
+}
+
+bool StreamSession::EndIsManaged(int end) const {
+  if (manager_ == nullptr) {
+    return false;
+  }
+  nemesis::PeriodicDomain* handler = EndHandler(end);
+  return handler != nullptr && handler->kernel() != nullptr &&
+         manager_->kernel() == handler->kernel();
+}
+
+double StreamSession::GrantedCpuUtil() const {
+  double total = contract_.granted.source_cpu.Utilization() +
+                 contract_.granted.sink_cpu.Utilization();
+  for (size_t k = 0; k + 1 < legs_.size(); ++k) {
+    total += contract_.granted.LegComputeCpu(k).Utilization();
+  }
+  return total;
+}
+
+int64_t StreamSession::GrantedNetBps() const {
+  int64_t total = 0;
+  for (const Leg& leg : legs_) {
+    total += leg.granted_bps;
+  }
+  return total;
+}
+
+int64_t StreamSession::GrantedDiskBps() const {
+  return disk_reserved_ ? contract_.granted.disk_bps : 0;
+}
+
+namespace {
+// Oldest adaptation events are dropped past this; a managed session logs
+// one event per manager epoch, which is unbounded over its lifetime.
+constexpr size_t kAdaptationLogCap = 256;
+}  // namespace
+
+void StreamSession::LogAdaptationEvent(const AdaptationEvent& event) {
+  adaptations_applied_ += event.applied ? 1 : 0;
+  adaptations_held_ += event.held ? 1 : 0;
+  if (adaptation_log_.size() >= kAdaptationLogCap) {
+    adaptation_log_.erase(adaptation_log_.begin());
+  }
+  adaptation_log_.push_back(event);
+}
+
+void StreamSession::ApplySourcePacing() {
+  if (legs_.empty()) {
+    return;
+  }
+  // A zero rate un-paces (best effort rides at line rate), exactly like
+  // the audio and storage branches below.
+  const int64_t net = legs_.front().granted_bps;
+  if (source_camera_ != nullptr) {
+    source_camera_->set_pace_bps(net);
+  }
+  if (source_audio_ != nullptr) {
+    source_audio_->set_pace_bps(net);
+  }
+  if (storage_ != nullptr && !recording_ && file_ >= 0) {
+    // Play-out rides both the network and disk reservations; pace to the
+    // tighter of the two (disk_bps is bytes/s, the pace is wire bits/s).
+    int64_t pace = net;
+    const int64_t disk_wire_bps = contract_.granted.disk_bps * 8;
+    if (disk_wire_bps > 0 && (pace <= 0 || disk_wire_bps < pace)) {
+      pace = disk_wire_bps;
+    }
+    storage_->SetPlayoutPaceBps(file_, pace);
+  }
+}
+
+void StreamSession::BindAdaptationHooks() {
+  if (!has_adaptation_) {
+    return;
+  }
+  atm::Network& network = system_->network();
+  for (const Leg& leg : legs_) {
+    if (leg.vc < 0) {
+      continue;
+    }
+    network.SetCongestionHandler(
+        leg.vc, [this](atm::VcId, const atm::Link* link, double severity) {
+          if (!active_) {
+            return;
+          }
+          if (severity > 0.0) {
+            net_link_limits_[link] = std::clamp(1.0 - severity, 0.0, 1.0);
+          } else {
+            net_link_limits_.erase(link);  // this link's condition cleared
+          }
+          Adapt(AdaptationEvent::Trigger::kNetworkCongestion,
+                severity > 0.0 ? nemesis::GrantReason::kContention
+                               : nemesis::GrantReason::kRestore);
+        });
+  }
+  RebindDiskPressureHook();
+}
+
+void StreamSession::RebindDiskPressureHook() {
+  if (!has_adaptation_ || storage_ == nullptr || file_ < 0 || !disk_reserved_) {
+    return;
+  }
+  storage_->server()->SetStreamPressureCallback(file_, [this](double fraction) {
+    if (!active_) {
+      return;
+    }
+    disk_limit_ = std::clamp(fraction, 0.0, 1.0);
+    Adapt(AdaptationEvent::Trigger::kDiskPressure,
+          fraction < 1.0 ? nemesis::GrantReason::kContention
+                         : nemesis::GrantReason::kRestore);
+  });
+}
+
+StreamSpec StreamSession::ScaledSpec(double fraction) const {
+  StreamSpec spec = contract_.granted;
+  auto scaled_bps = [fraction](int64_t nominal) {
+    return nominal > 0
+               ? static_cast<int64_t>(std::llround(static_cast<double>(nominal) * fraction))
+               : nominal;
+  };
+  auto scaled_cpu = [fraction](nemesis::QosParams nominal) {
+    nominal.slice =
+        static_cast<sim::DurationNs>(static_cast<double>(nominal.slice) * fraction);
+    return nominal;
+  };
+  if (policy_.mode == AdaptationMode::kFrameRateScaling) {
+    spec.frame_rate = nominal_.frame_rate * fraction;
+  }
+  const size_t nlegs = legs_.size();
+  if (nlegs == 1) {
+    spec.bandwidth_bps = scaled_bps(nominal_.bandwidth_bps);
+    if (!spec.legs.empty()) {
+      spec.legs[0].bandwidth_bps = spec.bandwidth_bps;
+    }
+  } else {
+    if (spec.legs.size() < nlegs) {
+      spec.legs.resize(nlegs);
+    }
+    for (size_t i = 0; i < nlegs; ++i) {
+      spec.legs[i].bandwidth_bps = scaled_bps(nominal_.LegBandwidthBps(i));
+    }
+  }
+  // CPU moves with the stream except where the manager owns the slice: a
+  // managed end keeps the manager's current grant (contract_.granted).
+  for (size_t k = 0; k + 1 < nlegs; ++k) {
+    if (EndIsManaged(2 + static_cast<int>(k))) {
+      continue;
+    }
+    const nemesis::QosParams nominal_cpu = nominal_.LegComputeCpu(k);
+    if (nominal_cpu.slice > 0) {
+      spec.legs[k].compute_cpu = scaled_cpu(nominal_cpu);
+    }
+  }
+  if (!EndIsManaged(kSourceEnd) && nominal_.source_cpu.slice > 0) {
+    spec.source_cpu = scaled_cpu(nominal_.source_cpu);
+  }
+  if (!EndIsManaged(kSinkEnd) && nominal_.sink_cpu.slice > 0) {
+    spec.sink_cpu = scaled_cpu(nominal_.sink_cpu);
+  }
+  spec.disk_bps = scaled_bps(nominal_.disk_bps);
+  return spec;
+}
+
+AdmissionReport StreamSession::AdaptTo(double target_fraction) {
+  if (!has_adaptation_) {
+    AdmissionReport report;
+    report.verdict = AdmitVerdict::kRejected;
+    report.detail = "no adaptation policy attached";
+    return report;
+  }
+  app_limit_ = std::clamp(target_fraction, 0.0, 1.0);
+  return Adapt(AdaptationEvent::Trigger::kManual,
+               app_limit_ >= current_fraction_ ? nemesis::GrantReason::kRestore
+                                               : nemesis::GrantReason::kContention);
+}
+
+AdmissionReport StreamSession::Adapt(AdaptationEvent::Trigger trigger,
+                                     nemesis::GrantReason reason) {
+  return Adapt(trigger, reason, GrantedCpuUtil());
+}
+
+AdmissionReport StreamSession::Adapt(AdaptationEvent::Trigger trigger,
+                                     nemesis::GrantReason reason, double cpu_util_before) {
+  AdaptationEvent event;
+  event.trigger = trigger;
+  event.reason = reason;
+  event.cpu_util_before = cpu_util_before;
+  event.net_bps_before = GrantedNetBps();
+  event.disk_bps_before = GrantedDiskBps();
+
+  // Reclaim signals never updated a limit, so the combined target is
+  // unchanged and hysteresis holds the contracts — the stream is idle by
+  // choice, not degraded.
+  const double target = std::clamp(CombinedLimit(), policy_.floor, 1.0);
+  double next = current_fraction_ + policy_.smoothing * (target - current_fraction_);
+  next = std::clamp(next, policy_.floor, 1.0);
+  event.target_fraction = next;
+
+  AdmissionReport report;
+  if (policy_.mode == AdaptationMode::kHold ||
+      std::abs(next - current_fraction_) < policy_.hysteresis) {
+    event.held = true;
+    event.cpu_util_after = GrantedCpuUtil();
+    event.net_bps_after = event.net_bps_before;
+    event.disk_bps_after = event.disk_bps_before;
+    LogAdaptationEvent(event);
+    report.verdict = AdmitVerdict::kAccepted;
+    report.detail = "held";
+    return report;
+  }
+
+  report = RenegotiateImpl(ScaledSpec(next), /*update_requests=*/false);
+  if (report.ok()) {
+    current_fraction_ = next;
+  }
+  event.applied = report.ok();
+  event.cpu_util_after = GrantedCpuUtil();
+  event.net_bps_after = GrantedNetBps();
+  event.disk_bps_after = GrantedDiskBps();
+  LogAdaptationEvent(event);
+  // CPU-grant triggers fire the callback from OnGrantChanged (after the
+  // manager's move is folded in); the other triggers report here, so the
+  // application always sees the post-adaptation contract.
+  if (report.ok() && trigger != AdaptationEvent::Trigger::kCpuGrant && degrade_cb_) {
+    degrade_cb_(contract_);
+  }
+  return report;
+}
+
 AdmissionReport StreamSession::Renegotiate(const StreamSpec& spec) {
+  return RenegotiateImpl(spec, /*update_requests=*/true);
+}
+
+AdmissionReport StreamSession::RenegotiateImpl(const StreamSpec& spec, bool update_requests) {
   AdmissionReport report;
   if (!active_) {
     report.verdict = AdmitVerdict::kRejected;
@@ -444,7 +735,9 @@ AdmissionReport StreamSession::Renegotiate(const StreamSpec& spec) {
       }
       if (manager_ != nullptr && manager_->kernel() == kernel) {
         manager_->Register(handler, manager_weight_, request,
-                           [this, end](double granted) { OnGrantChanged(end, granted); });
+                           [this, end](const nemesis::GrantUpdate& update) {
+                           OnGrantChanged(end, update);
+                         });
       }
       return true;
     }
@@ -455,7 +748,9 @@ AdmissionReport StreamSession::Renegotiate(const StreamSpec& spec) {
     }
     if (manager_ != nullptr && manager_->kernel() == kernel) {
       manager_->Register(domain.get(), manager_weight_, request,
-                         [this, end](double granted) { OnGrantChanged(end, granted); });
+                         [this, end](const nemesis::GrantUpdate& update) {
+                           OnGrantChanged(end, update);
+                         });
     }
     *slot = std::move(domain);
     return true;
@@ -464,6 +759,10 @@ AdmissionReport StreamSession::Renegotiate(const StreamSpec& spec) {
     std::unique_ptr<nemesis::PeriodicDomain>* slot;
     nemesis::Kernel* kernel;
     nemesis::QosParams wanted;
+    // Long-term demand (re-)registered with the manager on the forward
+    // apply: the renegotiated spec normally, but the original request when
+    // the adaptation plane drives the change (so grants can grow back).
+    nemesis::QosParams request;
     nemesis::QosParams prev;
     nemesis::QosParams prev_request;
     int end;
@@ -475,17 +774,19 @@ AdmissionReport StreamSession::Renegotiate(const StreamSpec& spec) {
   cpu_applies.push_back({&source_handler_,
                          source_ws_ != nullptr ? source_ws_->kernel() : nullptr,
                          spec.source_cpu,
+                         update_requests ? spec.source_cpu : requested_source_cpu_,
                          source_handler_ != nullptr ? source_handler_->qos() : no_cpu,
                          requested_source_cpu_, kSourceEnd, "/src", AdmitFailure::kSourceCpu});
   for (size_t k = 0; k < nstages; ++k) {
     cpu_applies.push_back({&legs_[k].handler,
                            legs_[k].compute != nullptr ? legs_[k].compute->kernel() : nullptr,
-                           wanted_stage_cpu[k], old_stage_cpu[k], old_stage_cpu[k],
-                           2 + static_cast<int>(k), "/via" + std::to_string(k),
-                           AdmitFailure::kComputeCpu});
+                           wanted_stage_cpu[k], wanted_stage_cpu[k], old_stage_cpu[k],
+                           old_stage_cpu[k], 2 + static_cast<int>(k),
+                           "/via" + std::to_string(k), AdmitFailure::kComputeCpu});
   }
   cpu_applies.push_back({&sink_handler_, sink_ws_ != nullptr ? sink_ws_->kernel() : nullptr,
                          spec.sink_cpu,
+                         update_requests ? spec.sink_cpu : requested_sink_cpu_,
                          sink_handler_ != nullptr ? sink_handler_->qos() : no_cpu,
                          requested_sink_cpu_, kSinkEnd, "/snk", AdmitFailure::kSinkCpu});
   std::sort(cpu_applies.begin(), cpu_applies.end(), [](const CpuApply& a, const CpuApply& b) {
@@ -493,7 +794,7 @@ AdmissionReport StreamSession::Renegotiate(const StreamSpec& spec) {
            b.wanted.Utilization() - b.prev.Utilization();
   });
   for (CpuApply& apply : cpu_applies) {
-    if (!apply_cpu(apply.slot, apply.kernel, apply.wanted, apply.wanted, apply.end,
+    if (!apply_cpu(apply.slot, apply.kernel, apply.wanted, apply.request, apply.end,
                    apply.suffix)) {
       rollback();
       report.verdict = AdmitVerdict::kRejected;
@@ -550,8 +851,19 @@ AdmissionReport StreamSession::Renegotiate(const StreamSpec& spec) {
   } else if (nlegs == 1) {
     contract_.granted.bandwidth_bps = wanted_bps[0];
   }
-  requested_source_cpu_ = spec.source_cpu;
-  requested_sink_cpu_ = spec.sink_cpu;
+  if (update_requests) {
+    requested_source_cpu_ = spec.source_cpu;
+    requested_sink_cpu_ = spec.sink_cpu;
+    // An application-driven renegotiation states a new nominal; the
+    // adaptation plane scales from it hereafter, with every signal
+    // source's limit reset.
+    nominal_ = contract_.granted;
+    current_fraction_ = 1.0;
+    app_limit_ = 1.0;
+    disk_limit_ = 1.0;
+    net_link_limits_.clear();
+    cpu_end_limits_.clear();
+  }
   if (source_handler_ != nullptr) {
     contract_.granted.source_cpu = source_handler_->qos();
   }
@@ -559,9 +871,9 @@ AdmissionReport StreamSession::Renegotiate(const StreamSpec& spec) {
     contract_.granted.sink_cpu = sink_handler_->qos();
   }
   ++contract_.renegotiations;
-  if (source_camera_ != nullptr && !legs_.empty()) {
-    source_camera_->set_pace_bps(legs_.front().granted_bps);
-  }
+  ApplySourcePacing();
+  // The disk release-and-re-reserve cycle dropped the pressure callback.
+  RebindDiskPressureHook();
   report.verdict = AdmitVerdict::kAccepted;
   return report;
 }
@@ -573,12 +885,14 @@ void StreamSession::Close() {
   active_ = false;
   atm::Network& network = system_->network();
 
-  // Storage layer: stop the transfer, release the rate reservation.
+  // Storage layer: stop the transfer, release the rate reservation (which
+  // also drops the budget-pressure subscription) and the play-out pacing.
   if (storage_ != nullptr) {
     if (recording_) {
       storage_->StopRecording(sink_vci(), []() {});
     } else if (file_ >= 0) {
       storage_->StopPlayback(file_);
+      storage_->SetPlayoutPaceBps(file_, 0);
     }
     if (disk_reserved_) {
       storage_->server()->ReleaseStream(file_);
@@ -636,6 +950,7 @@ StreamBuilder& StreamBuilder::From(Workstation* ws, dev::AudioCapture* capture) 
   source_kind_ = EndpointKind::kWorkstationDevice;
   source_ws_ = ws;
   source_ep_ = ws != nullptr ? ws->device_endpoint(capture) : nullptr;
+  source_audio_ = capture;
   return *this;
 }
 
@@ -719,6 +1034,11 @@ StreamBuilder& StreamBuilder::RequestingSourceCpu(const nemesis::QosParams& cpu)
 
 StreamBuilder& StreamBuilder::RequestingSinkCpu(const nemesis::QosParams& cpu) {
   requested_sink_cpu_ = cpu;
+  return *this;
+}
+
+StreamBuilder& StreamBuilder::WithAdaptation(const AdaptationPolicy& policy) {
+  adaptation_ = policy;
   return *this;
 }
 
@@ -927,6 +1247,7 @@ StreamResult StreamBuilder::Open() {
   s->source_ep_ = source_ep_;
   s->sink_ep_ = sink_ep_;
   s->source_camera_ = source_camera_;
+  s->source_audio_ = source_audio_;
   s->sink_display_ = sink_display_;
   s->storage_ = storage;
   s->recording_ = sink_storage_ != nullptr;
@@ -934,6 +1255,10 @@ StreamResult StreamBuilder::Open() {
   s->manager_weight_ = manager_weight_;
   s->requested_source_cpu_ = requested_source_cpu_.value_or(spec_.source_cpu);
   s->requested_sink_cpu_ = requested_sink_cpu_.value_or(spec_.sink_cpu);
+  if (adaptation_.has_value()) {
+    s->has_adaptation_ = true;
+    s->policy_ = *adaptation_;
+  }
   s->degrade_cb_ = std::move(degrade_cb_);
   s->active_ = true;
 
@@ -1049,8 +1374,8 @@ StreamResult StreamBuilder::Open() {
     }
     if (manager_ != nullptr && manager_->kernel() == bind.kernel) {
       manager_->Register(domain.get(), manager_weight_, bind.requested,
-                         [s, end = bind.end](double granted) {
-                           s->OnGrantChanged(end, granted);
+                         [s, end = bind.end](const nemesis::GrantUpdate& update) {
+                           s->OnGrantChanged(end, update);
                          });
     }
     *bind.handler = std::move(domain);
@@ -1088,12 +1413,6 @@ StreamResult StreamBuilder::Open() {
     s->window_created_ = true;
   }
 
-  // Pace the source to the first leg's granted bandwidth so the
-  // reservation holds.
-  if (source_camera_ != nullptr && wanted_bps[0] > 0) {
-    source_camera_->set_pace_bps(wanted_bps[0]);
-  }
-
   // The granted contract carries fully explicit legs for pipelines, so
   // callers renegotiate by editing contract().granted.
   s->contract_.granted = spec_;
@@ -1105,6 +1424,15 @@ StreamResult StreamBuilder::Open() {
   }
   s->contract_.hop_count = total_hops;
   s->contract_.established_at = system_->simulator()->now();
+  // The contract as admitted is the nominal (full-rate) point the
+  // adaptation plane scales from and restores toward.
+  s->nominal_ = s->contract_.granted;
+
+  // Pace every media source to the granted rates so the reservations hold
+  // (camera and audio to the first leg, storage play-out to min(net, disk)),
+  // and subscribe the session to the other layers' degradation signals.
+  s->ApplySourcePacing();
+  s->BindAdaptationHooks();
 
   report.verdict = AdmitVerdict::kAccepted;
   report.failure = AdmitFailure::kNone;

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -130,6 +131,59 @@ enum class AdmitVerdict {
   kCounterOffer,  // rejected, but `counter_offer` states an admissible spec
   kRejected,      // rejected with nothing useful to offer
 };
+
+// --- the adaptation plane (§3.3's feedback loop spanning all layers) ---
+//
+// How a session's application degrades when any layer loses capacity. The
+// QoS manager's grant reviews, the network's congestion signal and the file
+// server's budget-pressure hook all funnel into ONE proportional cross-layer
+// target, applied through a single joint Renegotiate() — so no layer is left
+// paying for throughput another layer can no longer deliver.
+enum class AdaptationMode {
+  // Scale the presentation rate: fewer frames, each at full fidelity.
+  kFrameRateScaling,
+  // Keep the frame rate, shrink bits per frame (coarser quantisation,
+  // fewer tiles).
+  kQualityScaling,
+  // Cross-layer contracts hold; only manager-owned CPU moves.
+  kHold,
+};
+
+struct AdaptationPolicy {
+  AdaptationMode mode = AdaptationMode::kFrameRateScaling;
+  // Never degrade below this fraction of the nominal contract.
+  double floor = 0.1;
+  // Ignore target moves smaller than this. The manager's EWMA steps all aim
+  // at one steady-state share, so a policy adapts once per real change
+  // instead of once per epoch.
+  double hysteresis = 0.02;
+  // EWMA over successive cross-layer targets, in (0, 1]; 1 = jump straight
+  // to the steady-state target.
+  double smoothing = 1.0;
+};
+
+// One adaptation-plane decision, with the per-layer movement it caused.
+struct AdaptationEvent {
+  enum class Trigger { kCpuGrant, kNetworkCongestion, kDiskPressure, kManual };
+  Trigger trigger = Trigger::kManual;
+  // For kCpuGrant: why the manager moved the grant (reclaim cuts hold the
+  // other layers — the stream is idle by choice, not degraded).
+  nemesis::GrantReason reason = nemesis::GrantReason::kContention;
+  // The smoothed, floor-clamped fraction of nominal this event aimed at.
+  double target_fraction = 1.0;
+  bool applied = false;  // the joint renegotiation was accepted
+  bool held = false;     // policy held (kHold mode, hysteresis, or reclaim)
+  // Per-layer state around the event: CPU utilisation summed over every
+  // end and compute stage, network bps summed over every leg, disk bytes/s.
+  double cpu_util_before = 0.0;
+  double cpu_util_after = 0.0;
+  int64_t net_bps_before = 0;
+  int64_t net_bps_after = 0;
+  int64_t disk_bps_before = 0;
+  int64_t disk_bps_after = 0;
+};
+
+const char* AdaptationTriggerName(AdaptationEvent::Trigger trigger);
 
 // Which layer turned the stream away.
 enum class AdmitFailure {
@@ -240,6 +294,35 @@ class StreamSession {
   // resources.
   AdmissionReport Renegotiate(const StreamSpec& spec);
 
+  // --- the adaptation plane ---
+  // States the application's own rate limit as a fraction of nominal and
+  // drives one joint cross-layer renegotiation: every leg's bandwidth,
+  // every unmanaged CPU contract (end hosts and compute stages), and the
+  // disk reservation move together; manager-owned CPU ends keep the
+  // manager's grant. Each signal source (application, CPU grants per end,
+  // network congestion, disk pressure) holds its own limit and the session
+  // always renegotiates toward the MINIMUM of them — a milder signal from
+  // one layer never un-degrades a deeper cut from another. The combined
+  // target is EWMA-smoothed per the policy, clamped to its floor, and
+  // suppressed by hysteresis (the report then reads kAccepted with detail
+  // "held"). Requires an AdaptationPolicy (WithAdaptation at build time).
+  AdmissionReport AdaptTo(double target_fraction);
+  bool has_adaptation() const { return has_adaptation_; }
+  const AdaptationPolicy& adaptation_policy() const { return policy_; }
+  // Fraction of the nominal contract currently in force (1.0 = full rate).
+  double adaptation_fraction() const { return current_fraction_; }
+  // The full-rate contract adaptation scales from (the spec granted at
+  // Open, with explicit legs).
+  const StreamSpec& nominal() const { return nominal_; }
+  // Recent adaptation decisions, in order, with per-layer deltas (bounded:
+  // the oldest are dropped past 256 entries; the counters are exact).
+  const std::vector<AdaptationEvent>& adaptation_log() const { return adaptation_log_; }
+  // Joint renegotiations the adaptation plane actually applied.
+  int64_t adaptations_applied() const { return adaptations_applied_; }
+  // Decisions held (kHold mode, hysteresis, or reclaim) without touching
+  // the contract.
+  int64_t adaptations_held() const { return adaptations_held_; }
+
   void set_degrade_callback(DegradeCallback cb) { degrade_cb_ = std::move(cb); }
 
   // Releases every layer's resources: all legs' VCs and their link
@@ -263,7 +346,38 @@ class StreamSession {
                      nemesis::Kernel* kernel);
   // The handler holding the contract for `end`, or null.
   nemesis::PeriodicDomain* EndHandler(int end) const;
-  void OnGrantChanged(int end, double granted_util);
+  void OnGrantChanged(int end, const nemesis::GrantUpdate& update);
+  // The shared body of Renegotiate and AdaptTo; `update_requests` controls
+  // whether spec CPU becomes the new long-term demand registered with the
+  // QoS manager (adaptation keeps the original request so grants can grow
+  // back toward it).
+  AdmissionReport RenegotiateImpl(const StreamSpec& spec, bool update_requests);
+  // Renegotiates toward CombinedLimit(), the min over every signal source's
+  // current limit fraction.
+  AdmissionReport Adapt(AdaptationEvent::Trigger trigger, nemesis::GrantReason reason);
+  AdmissionReport Adapt(AdaptationEvent::Trigger trigger, nemesis::GrantReason reason,
+                        double cpu_util_before);
+  double CombinedLimit() const;
+  // The nominal contract scaled to `fraction` per the policy mode, with
+  // manager-owned CPU ends left at the manager's current grant.
+  StreamSpec ScaledSpec(double fraction) const;
+  // Whether `end`'s CPU contract is registered with the QoS manager (the
+  // manager, not the adaptation plane, owns its slice then).
+  bool EndIsManaged(int end) const;
+  double GrantedCpuUtil() const;
+  int64_t GrantedNetBps() const;
+  int64_t GrantedDiskBps() const;
+  // Appends to the bounded log and maintains the exact counters.
+  void LogAdaptationEvent(const AdaptationEvent& event);
+  // Re-shapes every paced media source to the granted first-leg rate:
+  // camera, audio capture, and storage play-out (min of network and disk).
+  void ApplySourcePacing();
+  // Subscribes the session to Network::SignalCongestion on every leg's VC
+  // and to the file server's budget-pressure hook.
+  void BindAdaptationHooks();
+  // The PFS pressure callback dies with every release-and-re-reserve
+  // renegotiation cycle; re-arm it.
+  void RebindDiskPressureHook();
 
   std::string name_;
   PegasusSystem* system_ = nullptr;
@@ -276,6 +390,7 @@ class StreamSession {
   atm::Endpoint* source_ep_ = nullptr;
   atm::Endpoint* sink_ep_ = nullptr;
   dev::AtmCamera* source_camera_ = nullptr;
+  dev::AudioCapture* source_audio_ = nullptr;
   dev::AtmDisplay* sink_display_ = nullptr;
   StorageNode* storage_ = nullptr;
   bool recording_ = false;
@@ -305,6 +420,28 @@ class StreamSession {
 
   // Display.
   bool window_created_ = false;
+
+  // Adaptation plane. Each signal source holds its own limit fraction; the
+  // session adapts toward their minimum, so independent degradations
+  // compose instead of overwriting each other.
+  bool has_adaptation_ = false;
+  AdaptationPolicy policy_;
+  StreamSpec nominal_;
+  double current_fraction_ = 1.0;
+  double app_limit_ = 1.0;   // stated via AdaptTo
+  double disk_limit_ = 1.0;  // latest budget-pressure signal
+  // Per congested link: deliverable fraction from its latest signal (a
+  // severity-0 clear removes the entry). One scalar would let a mild
+  // signal on one link un-degrade a deeper cut still in force on another.
+  std::map<const atm::Link*, double> net_link_limits_;
+  // Per managed CPU end: steady-state share of the long-term request (ends
+  // whose grants are self-limited idleness do not constrain the stream).
+  std::map<int, double> cpu_end_limits_;
+  // Bounded event history (oldest dropped past kAdaptationLogCap); the
+  // counters below are exact over the session lifetime.
+  std::vector<AdaptationEvent> adaptation_log_;
+  int64_t adaptations_applied_ = 0;
+  int64_t adaptations_held_ = 0;
 
   DegradeCallback degrade_cb_;
 };
@@ -375,6 +512,11 @@ class StreamBuilder {
   // capacity frees and shrinks it under pressure. Defaults to the spec.
   StreamBuilder& RequestingSourceCpu(const nemesis::QosParams& cpu);
   StreamBuilder& RequestingSinkCpu(const nemesis::QosParams& cpu);
+  // Attaches an adaptation policy: QoS-manager grant cuts, network
+  // congestion signals and disk budget pressure each drive one joint
+  // cross-layer renegotiation per the policy, instead of degrading CPU
+  // alone.
+  StreamBuilder& WithAdaptation(const AdaptationPolicy& policy);
   StreamBuilder& OnDegrade(StreamSession::DegradeCallback cb);
 
   // Runs cross-layer admission over the whole pipeline and, if every layer
@@ -399,6 +541,7 @@ class StreamBuilder {
   atm::Endpoint* source_ep_ = nullptr;
   atm::Endpoint* sink_ep_ = nullptr;
   dev::AtmCamera* source_camera_ = nullptr;
+  dev::AudioCapture* source_audio_ = nullptr;
   dev::AtmDisplay* sink_display_ = nullptr;
   StorageNode* source_storage_ = nullptr;
   StorageNode* sink_storage_ = nullptr;
@@ -416,6 +559,7 @@ class StreamBuilder {
   double manager_weight_ = 1.0;
   std::optional<nemesis::QosParams> requested_source_cpu_;
   std::optional<nemesis::QosParams> requested_sink_cpu_;
+  std::optional<AdaptationPolicy> adaptation_;
   StreamSession::DegradeCallback degrade_cb_;
 };
 

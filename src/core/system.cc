@@ -45,6 +45,13 @@ ComputeNode* PegasusSystem::AddComputeServer(const std::string& name) {
   return compute_nodes_.back().get();
 }
 
+ComputeNode* PegasusSystem::AddComputeServer(const std::string& name, Workstation* ws) {
+  const int port = ws->ClaimPort();
+  compute_nodes_.push_back(
+      std::make_unique<ComputeNode>(&network_, ws->local_switch(), port, name));
+  return compute_nodes_.back().get();
+}
+
 StreamBuilder PegasusSystem::BuildStream(const std::string& name) {
   std::string stream_name = name;
   if (stream_name.empty()) {

@@ -47,6 +47,12 @@ class PegasusSystem {
                                 const std::string& name = "storage");
   UnixNode* AddUnixNode(const std::string& name = "unix");
   ComputeNode* AddComputeServer(const std::string& name = "compute");
+  // A compute server attached to `ws`'s local switch rather than the
+  // backbone — an accelerator sitting next to the desk. Pipelines detouring
+  // between backbone and local compute nodes revisit the workstation's
+  // uplink, so two legs of one contract share a directed link: the case the
+  // joint per-link admission accounting exists for.
+  ComputeNode* AddComputeServer(const std::string& name, Workstation* ws);
 
   // --- session management (the device manager's job, §2.2) ---
   // Starts a fluent, admission-controlled stream setup. The returned builder

@@ -1,5 +1,6 @@
 #include "src/devices/audio.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -19,10 +20,31 @@ void AudioCapture::Start(atm::Vci vci) {
 
 void AudioCapture::Stop() { running_ = false; }
 
+int64_t AudioCapture::nominal_bps() const {
+  return atm::kCellSize * 8 * sim::Seconds(1) / CellPeriod();
+}
+
+sim::DurationNs AudioCapture::CellInterval() const {
+  if (pace_bps_ <= 0) {
+    return CellPeriod();
+  }
+  return std::max(CellPeriod(), sim::TransmissionTime(atm::kCellSize, pace_bps_));
+}
+
 void AudioCapture::EmitCell() {
   if (!running_) {
     return;
   }
+  const sim::DurationNs interval = CellInterval();
+  const sim::DurationNs cell_period = CellPeriod();
+  // Paced below the sample cadence, the ADC decimates: samples captured
+  // since the last shipped cell that do not fit are skipped, not queued (an
+  // ever-growing backlog would just be deferred loss).
+  const uint64_t skipped =
+      interval > cell_period
+          ? static_cast<uint64_t>((interval - cell_period) * sample_rate_ / sim::Seconds(1))
+          : 0;
+  samples_decimated_ += static_cast<int64_t>(skipped);
   atm::Cell cell;
   cell.vci = vci_;
   cell.created_at = sim_->now();
@@ -37,12 +59,10 @@ void AudioCapture::EmitCell() {
     cell.payload[static_cast<size_t>(8 + i)] =
         static_cast<uint8_t>(128.0 + 100.0 * std::sin(2.0 * M_PI * 440.0 * t));
   }
-  sample_pos_ += kSamplesPerAudioCell;
+  sample_pos_ += kSamplesPerAudioCell + skipped;
   ++cells_sent_;
   endpoint_->SendCell(cell);
-  const sim::DurationNs cell_period =
-      sim::Seconds(1) * kSamplesPerAudioCell / sample_rate_;
-  sim_->ScheduleAfter(cell_period, [this]() { EmitCell(); });
+  sim_->ScheduleAfter(interval, [this]() { EmitCell(); });
 }
 
 AudioPlayback::AudioPlayback(sim::Simulator* sim, atm::Endpoint* endpoint, int sample_rate,

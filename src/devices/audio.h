@@ -35,8 +35,27 @@ class AudioCapture {
   int sample_rate() const { return sample_rate_; }
   int64_t cells_sent() const { return cells_sent_; }
 
+  // Re-shapes the outgoing cell stream to `bps` wire bits per second (0 =
+  // unpaced, the exact sample cadence). Stream admission binds this to the
+  // granted network bandwidth, exactly as it paces cameras: below the
+  // nominal rate the ADC decimates — cells leave at the paced interval and
+  // the skipped samples are counted.
+  void set_pace_bps(int64_t bps) { pace_bps_ = bps; }
+  int64_t pace_bps() const { return pace_bps_; }
+  // Wire bits per second of the unpaced cell stream.
+  int64_t nominal_bps() const;
+  // Samples skipped by pacing-induced decimation, as whole-cell equivalents.
+  int64_t cells_decimated() const { return samples_decimated_ / kSamplesPerAudioCell; }
+  int64_t samples_decimated() const { return samples_decimated_; }
+
  private:
   void EmitCell();
+  // One cell's worth of samples at the sample cadence.
+  sim::DurationNs CellPeriod() const {
+    return sim::Seconds(1) * kSamplesPerAudioCell / sample_rate_;
+  }
+  // Interval between cells under the current pacing.
+  sim::DurationNs CellInterval() const;
 
   sim::Simulator* sim_;
   atm::Endpoint* endpoint_;
@@ -45,6 +64,8 @@ class AudioCapture {
   bool running_ = false;
   uint64_t sample_pos_ = 0;
   int64_t cells_sent_ = 0;
+  int64_t pace_bps_ = 0;
+  int64_t samples_decimated_ = 0;
 };
 
 // DAC half: buffers arriving cells, starts the play-out clock once

@@ -8,8 +8,22 @@ PlaybackController::PlaybackController(sim::Simulator* sim, Options options)
     : sim_(sim), options_(options) {}
 
 int PlaybackController::RegisterStream(const std::string& name) {
-  streams_.push_back(Stream{name, {}});
+  streams_.push_back(Stream{name, {}, 1.0});
   return static_cast<int>(streams_.size()) - 1;
+}
+
+void PlaybackController::SetEffectiveRate(int stream, double fraction) {
+  if (stream < 0 || stream >= static_cast<int>(streams_.size())) {
+    return;
+  }
+  streams_[static_cast<size_t>(stream)].effective_rate = fraction;
+}
+
+double PlaybackController::EffectiveRate(int stream) const {
+  if (stream < 0 || stream >= static_cast<int>(streams_.size())) {
+    return 1.0;
+  }
+  return streams_[static_cast<size_t>(stream)].effective_rate;
 }
 
 void PlaybackController::OnArrival(int stream, sim::TimeNs media_ts) {
@@ -35,6 +49,9 @@ void PlaybackController::Playout(int stream, sim::TimeNs media_ts) {
   const sim::TimeNs now = sim_->now();
   ++playouts_;
   Stream& s = streams_[static_cast<size_t>(stream)];
+  if (s.effective_rate < 1.0) {
+    ++degraded_playouts_;
+  }
   s.history.emplace_back(media_ts, now);
   while (s.history.size() > 256) {
     s.history.pop_front();

@@ -58,6 +58,16 @@ class PlaybackController {
 
   void set_playout_callback(PlayoutCallback cb) { playout_cb_ = std::move(cb); }
 
+  // --- cross-layer degradation visibility ---
+  // The fraction of a stream's nominal rate currently granted (1.0 = full).
+  // Stream degradation callbacks push renegotiated rates here so the
+  // synchronisation logic and its clients see A/V degradation coherently:
+  // every play-out is counted against the rate in force at that instant.
+  void SetEffectiveRate(int stream, double fraction);
+  double EffectiveRate(int stream) const;
+  // Play-outs that happened while the stream was degraded (rate < 1).
+  int64_t degraded_playouts() const { return degraded_playouts_; }
+
   // --- measurements ---
   // Cross-stream play-out skew samples (|ns|), matched by media timestamp.
   const sim::Summary& skew() const { return skew_; }
@@ -70,6 +80,8 @@ class PlaybackController {
     std::string name;
     // Recent playouts (media_ts, playout_ts) for skew matching.
     std::deque<std::pair<sim::TimeNs, sim::TimeNs>> history;
+    // Granted fraction of the stream's nominal rate (degradation).
+    double effective_rate = 1.0;
   };
 
   void Playout(int stream, sim::TimeNs media_ts);
@@ -84,6 +96,7 @@ class PlaybackController {
   sim::Summary skew_;
   int64_t late_arrivals_ = 0;
   int64_t playouts_ = 0;
+  int64_t degraded_playouts_ = 0;
 };
 
 }  // namespace pegasus::dev

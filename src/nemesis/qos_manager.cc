@@ -7,6 +7,18 @@
 
 namespace pegasus::nemesis {
 
+const char* GrantReasonName(GrantReason reason) {
+  switch (reason) {
+    case GrantReason::kContention:
+      return "contention";
+    case GrantReason::kReclaim:
+      return "reclaim";
+    case GrantReason::kRestore:
+      return "restore";
+  }
+  return "unknown";
+}
+
 QosManagerDomain::QosManagerDomain(sim::Simulator* sim, std::string name, QosParams own_qos,
                                    Options options)
     : Domain(std::move(name), own_qos), sim_(sim), options_(options) {}
@@ -76,12 +88,15 @@ void QosManagerDomain::Review() {
   // Each client's demand: its requested utilisation, optionally trimmed
   // towards what it has actually been using.
   std::map<Domain*, double> demand;
+  std::map<Domain*, bool> trimmed;
   for (auto& [client, st] : clients_) {
-    double want = st.requested.Utilization();
+    const double requested = st.requested.Utilization();
+    double want = requested;
     if (options_.reclaim_unused && st.observed_util > 0.0) {
       want = std::min(want, std::max(st.observed_util * options_.reclaim_headroom, 0.01));
     }
     demand[client] = want;
+    trimmed[client] = want < requested - 1e-9;
   }
 
   // Weighted water-filling: hand out target_utilization; clients capped at
@@ -133,8 +148,9 @@ void QosManagerDomain::Review() {
   // callbacks are collected and fired only after the iteration: a callback
   // may Unregister or re-Register its client (closing or renegotiating a
   // stream), which mutates clients_.
-  std::vector<std::pair<GrantCallback, double>> notifications;
-  auto apply = [this, &notifications](Domain* client, ClientState& st, double next) {
+  std::vector<std::pair<GrantCallback, GrantUpdate>> notifications;
+  auto apply = [this, &notifications, &trimmed, &grant, &demand](Domain* client,
+                                                                 ClientState& st, double next) {
     QosParams qos = client->qos();
     qos.period = st.requested.period;
     qos.extra_time = st.requested.extra_time;
@@ -143,7 +159,23 @@ void QosManagerDomain::Review() {
       const double previous = st.granted_util;
       st.granted_util = next;
       if (st.on_grant && std::abs(next - previous) > 1e-9) {
-        notifications.emplace_back(st.on_grant, next);
+        GrantUpdate update;
+        update.granted_util = next;
+        update.steady_state_util = grant[client];
+        // Self-limited = the water-filling satisfied the (trimmed) demand in
+        // full; the binding constraint is the client's own idleness. When
+        // contention squeezes the grant below even the trimmed demand, that
+        // is a genuine capacity cut regardless of the trim.
+        update.self_limited =
+            trimmed[client] && grant[client] >= demand[client] - 1e-9;
+        if (next > previous) {
+          update.reason = GrantReason::kRestore;
+        } else if (update.self_limited) {
+          update.reason = GrantReason::kReclaim;
+        } else {
+          update.reason = GrantReason::kContention;
+        }
+        notifications.emplace_back(st.on_grant, update);
       }
     }
   };
@@ -156,8 +188,8 @@ void QosManagerDomain::Review() {
       }
     }
   }
-  for (auto& [callback, granted] : notifications) {
-    callback(granted);
+  for (auto& [callback, update] : notifications) {
+    callback(update);
   }
 }
 

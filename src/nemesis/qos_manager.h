@@ -26,6 +26,35 @@
 
 namespace pegasus::nemesis {
 
+// Why a review moved a client's grant. Cross-layer adaptation policies key
+// off this: a kContention cut means the CPU the stream asked for is truly
+// gone (other layers should shrink with it), a kReclaim cut only mirrors the
+// client's own idleness (the other layers' throughput is still deliverable),
+// and kRestore means capacity came back.
+enum class GrantReason {
+  kContention,  // squeezed by competing demand against the target utilisation
+  kReclaim,     // trimmed toward the client's own observed (idle) usage
+  kRestore,     // the grant grew back toward the request
+};
+
+const char* GrantReasonName(GrantReason reason);
+
+// One grant change as reported to a client's callback.
+struct GrantUpdate {
+  // The utilisation now applied through Kernel::UpdateQos (EWMA-smoothed).
+  double granted_util = 0.0;
+  // The un-smoothed water-filling target of this epoch — where the smoothed
+  // grant will converge if load stays put. Adaptation policies renegotiate
+  // toward this once instead of chasing every EWMA step (no thrash).
+  double steady_state_util = 0.0;
+  GrantReason reason = GrantReason::kContention;
+  // True when the steady state is bounded by the client's own (reclaimed)
+  // idleness rather than by competing demand: the client would get more the
+  // moment it used more. Cross-layer policies must not treat such a grant
+  // as a capacity constraint on the other layers.
+  bool self_limited = false;
+};
+
 class QosManagerDomain : public Domain {
  public:
   struct Options {
@@ -49,7 +78,7 @@ class QosManagerDomain : public Domain {
   // Invoked after a review changed a client's granted utilisation — the
   // cross-layer hook stream sessions use to learn of degradation and
   // re-negotiate the other layers.
-  using GrantCallback = std::function<void(double granted_util)>;
+  using GrantCallback = std::function<void(const GrantUpdate& update)>;
 
   // Registers a client with a policy weight (the "user's current policy")
   // and the QoS it *asks* for. Takes effect at the next epoch.

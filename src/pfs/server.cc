@@ -510,6 +510,32 @@ void PegasusFileServer::ReleaseStream(FileId file) {
   }
   reserved_bps_ -= it->second;
   stream_reservations_.erase(it);
+  stream_pressure_callbacks_.erase(file);
+}
+
+void PegasusFileServer::SetStreamPressureCallback(FileId file, PressureCallback callback) {
+  if (stream_reservations_.count(file) == 0) {
+    return;
+  }
+  stream_pressure_callbacks_[file] = std::move(callback);
+}
+
+void PegasusFileServer::ClearStreamPressureCallback(FileId file) {
+  stream_pressure_callbacks_.erase(file);
+}
+
+int PegasusFileServer::SignalBudgetPressure(double fraction) {
+  // Collect first: a callback may renegotiate its reservation, mutating the
+  // reservation and callback maps.
+  std::vector<PressureCallback> to_notify;
+  for (const auto& [file, callback] : stream_pressure_callbacks_) {
+    (void)file;
+    to_notify.push_back(callback);
+  }
+  for (PressureCallback& callback : to_notify) {
+    callback(fraction);
+  }
+  return static_cast<int>(to_notify.size());
 }
 
 bool PegasusFileServer::AppendIndexEntry(FileId file, int64_t media_ts, int64_t byte_offset) {

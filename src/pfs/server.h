@@ -107,6 +107,17 @@ class PegasusFileServer {
   // Unreserved stream bandwidth remaining — the largest reservation the
   // store can still admit.
   int64_t AvailableStreamBps() const { return StreamBudgetBps() - reserved_bps_; }
+  // Observer for disk-bandwidth pressure on a reserved stream. `fraction`
+  // is the share of its reserved rate the stream can still count on, in
+  // (0, 1]; 1.0 announces the pressure cleared.
+  using PressureCallback = std::function<void(double fraction)>;
+  // At most one callback per reserved file; dropped on ReleaseStream.
+  void SetStreamPressureCallback(FileId file, PressureCallback callback);
+  void ClearStreamPressureCallback(FileId file);
+  // Announces budget pressure (a failing disk, a rebuild eating bandwidth):
+  // every reserved stream with a callback hears that only `fraction` of its
+  // reservation is deliverable. Returns the number of streams notified.
+  int SignalBudgetPressure(double fraction);
   // Control-stream indexing: record that media timestamp `ts` lives at byte
   // `offset` of `file`; look it up later for seek/ff/reverse.
   bool AppendIndexEntry(FileId file, int64_t media_ts, int64_t byte_offset);
@@ -207,6 +218,7 @@ class PegasusFileServer {
   uint64_t epoch_ = 1;
   int64_t reserved_bps_ = 0;
   std::map<FileId, int64_t> stream_reservations_;
+  std::map<FileId, PressureCallback> stream_pressure_callbacks_;
   int pending_flushes_ = 0;
   std::vector<std::function<void()>> sync_waiters_;
   bool checkpoint_in_flight_ = false;

@@ -1,0 +1,245 @@
+// Mesh and dual-homed topologies: per-link admission accounting when VCs —
+// and legs of ONE pipeline contract — share a directed link. The hub
+// topologies of PegasusSystem never produce shared links; a triangle mesh
+// and a pipeline that revisits a workstation uplink do, which is exactly
+// what Network::PathLinks + the joint per-link admission pass exist for.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/atm/network.h"
+#include "src/core/compute_node.h"
+#include "src/core/stream.h"
+#include "src/core/system.h"
+#include "src/nemesis/atropos.h"
+#include "src/nemesis/kernel.h"
+
+namespace pegasus {
+namespace {
+
+using sim::Milliseconds;
+
+// --- raw Network mesh: a triangle of switches, endpoints on each corner,
+// plus a dual-homed storage front-end (one NIC on sw2, one on sw3) ---
+class MeshFixture : public ::testing::Test {
+ protected:
+  MeshFixture() : network_(&sim_) {
+    sw1_ = network_.AddSwitch("sw1", 8);
+    sw2_ = network_.AddSwitch("sw2", 8);
+    sw3_ = network_.AddSwitch("sw3", 8);
+    network_.ConnectSwitches(sw1_, 0, sw2_, 0, 155'000'000);
+    network_.ConnectSwitches(sw2_, 1, sw3_, 0, 155'000'000);
+    network_.ConnectSwitches(sw1_, 1, sw3_, 1, 155'000'000);
+    a_ = network_.AddEndpoint("a", sw1_, 2, 155'000'000);
+    b_ = network_.AddEndpoint("b", sw1_, 3, 155'000'000);
+    c_ = network_.AddEndpoint("c", sw2_, 2, 155'000'000);
+    // The dual-homed storage front-end: two NICs of one node.
+    store_nic1_ = network_.AddEndpoint("store-nic1", sw2_, 3, 155'000'000);
+    store_nic2_ = network_.AddEndpoint("store-nic2", sw3_, 2, 155'000'000);
+  }
+
+  // The directed inter-switch link sw1 -> sw2 (second hop of a -> c).
+  atm::Link* Sw1ToSw2() {
+    auto links = network_.PathLinks(a_, c_);
+    EXPECT_TRUE(links.has_value());
+    return (*links)[1];
+  }
+
+  sim::Simulator sim_;
+  atm::Network network_;
+  atm::Switch* sw1_;
+  atm::Switch* sw2_;
+  atm::Switch* sw3_;
+  atm::Endpoint* a_;
+  atm::Endpoint* b_;
+  atm::Endpoint* c_;
+  atm::Endpoint* store_nic1_;
+  atm::Endpoint* store_nic2_;
+};
+
+TEST_F(MeshFixture, PathLinksTakeTheDirectMeshEdge) {
+  // a(sw1) -> c(sw2): uplink, the direct sw1->sw2 edge, downlink — BFS does
+  // not detour through sw3.
+  auto links = network_.PathLinks(a_, c_);
+  ASSERT_TRUE(links.has_value());
+  EXPECT_EQ(links->size(), 3u);
+  // Both a and b reach c over the same directed middle link.
+  auto links_b = network_.PathLinks(b_, c_);
+  ASSERT_TRUE(links_b.has_value());
+  EXPECT_EQ((*links)[1], (*links_b)[1]);
+  // The reverse direction is a different link (directed accounting).
+  auto reverse = network_.PathLinks(c_, a_);
+  ASSERT_TRUE(reverse.has_value());
+  EXPECT_NE((*links)[1], (*reverse)[1]);
+}
+
+TEST_F(MeshFixture, SharedDirectedLinkAdmitsAndRejectsJointly) {
+  atm::Link* shared = Sw1ToSw2();
+  const int64_t rejections_before = network_.admission_rejections();
+
+  auto vc1 = network_.OpenVc(a_, c_, atm::QosSpec{100'000'000});
+  ASSERT_TRUE(vc1.has_value());
+  EXPECT_EQ(network_.ReservedBandwidth(shared), 100'000'000);
+
+  // A second VC from a different endpoint crosses the same directed link:
+  // joint accounting rejects what no longer fits...
+  auto vc2 = network_.OpenVc(b_, c_, atm::QosSpec{100'000'000});
+  EXPECT_FALSE(vc2.has_value());
+  EXPECT_EQ(network_.admission_rejections(), rejections_before + 1);
+  // ...and admits exactly the remainder.
+  EXPECT_EQ(network_.PathAvailableBps(b_, c_), 55'000'000);
+  auto vc3 = network_.OpenVc(b_, c_, atm::QosSpec{55'000'000});
+  ASSERT_TRUE(vc3.has_value());
+  EXPECT_EQ(network_.AvailableBandwidth(shared), 0);
+
+  // Raising either reservation in place is refused; freeing one re-opens
+  // headroom for the other.
+  EXPECT_FALSE(network_.UpdateVcQos(vc3->id, atm::QosSpec{56'000'000}));
+  ASSERT_TRUE(network_.CloseVc(vc1->id));
+  EXPECT_TRUE(network_.UpdateVcQos(vc3->id, atm::QosSpec{155'000'000}));
+  EXPECT_EQ(network_.AvailableBandwidth(shared), 0);
+}
+
+TEST_F(MeshFixture, DualHomedPathsAccountPerLink) {
+  // Another workstation saturates the sw1->sw2 edge toward the storage
+  // node's first NIC; a's path to that home now has nothing left.
+  auto vc1 = network_.OpenVc(b_, store_nic1_, atm::QosSpec{155'000'000});
+  ASSERT_TRUE(vc1.has_value());
+  EXPECT_EQ(network_.PathAvailableBps(a_, store_nic1_), 0);
+
+  // The second home rides sw1->sw3: per-link (not per-node) accounting
+  // leaves that path untouched, so the dual-homed node stays reachable at
+  // full rate.
+  EXPECT_EQ(network_.PathAvailableBps(a_, store_nic2_), 155'000'000);
+  auto vc2 = network_.OpenVc(a_, store_nic2_, atm::QosSpec{155'000'000});
+  ASSERT_TRUE(vc2.has_value());
+
+  // Releasing both reservations restores both homes in full (a's own
+  // uplink was the remaining constraint once vc2 held it).
+  ASSERT_TRUE(network_.CloseVc(vc1->id));
+  EXPECT_EQ(network_.PathAvailableBps(a_, store_nic1_), 0);  // vc2 holds a's uplink
+  ASSERT_TRUE(network_.CloseVc(vc2->id));
+  EXPECT_EQ(network_.PathAvailableBps(a_, store_nic1_), 155'000'000);
+  EXPECT_EQ(network_.PathAvailableBps(a_, store_nic2_), 155'000'000);
+}
+
+// --- system-level: two legs of ONE pipeline contract share a directed
+// uplink (camera -> backbone compute -> desk-side compute -> remote
+// display revisits the desk's uplink), exercising the joint per-link
+// admission pass end to end ---
+class SharedLegFixture : public ::testing::Test {
+ protected:
+  SharedLegFixture() : system_(&sim_) {
+    desk_ = system_.AddWorkstation("desk");
+    viewer_ = system_.AddWorkstation("viewer");
+    hub_compute_ = system_.AddComputeServer("hub-fx");
+    edge_compute_ = system_.AddComputeServer("edge-fx", desk_);
+    dev::AtmCamera::Config cfg;
+    camera_ = desk_->AddCamera(cfg);
+    display_ = viewer_->AddDisplay(640, 480);
+  }
+
+  core::StreamResult OpenChain(const core::StreamSpec& spec) {
+    dev::TileProcessor::Config stage;
+    stage.transform = dev::InvertTransform();
+    return system_.BuildStream("revisit")
+        .From(desk_, camera_)
+        .Via(hub_compute_, stage)
+        .Via(edge_compute_, stage)
+        .To(viewer_, display_)
+        .WithSpec(spec)
+        .Open();
+  }
+
+  // The directed desk -> backbone uplink, shared by legs 0 and 2.
+  atm::Link* DeskUplink(core::StreamSession* session) {
+    const std::vector<atm::Link*>* leg0 = system_.network().VcLinks(session->legs()[0].vc);
+    EXPECT_NE(leg0, nullptr);
+    return (*leg0)[1];
+  }
+
+  sim::Simulator sim_;
+  core::PegasusSystem system_;
+  core::Workstation* desk_;
+  core::Workstation* viewer_;
+  core::ComputeNode* hub_compute_;
+  core::ComputeNode* edge_compute_;
+  dev::AtmCamera* camera_;
+  dev::AtmDisplay* display_;
+};
+
+TEST_F(SharedLegFixture, LegsSharingAnUplinkAreChargedJointly) {
+  // 70 Mb/s per leg: legs 0 and 2 both cross the desk uplink, so it must
+  // carry 140 Mb/s of this ONE contract.
+  core::StreamSpec spec = core::StreamSpec::Video(25, 70'000'000);
+  auto r = OpenChain(spec);
+  ASSERT_TRUE(r.report.ok());
+  ASSERT_EQ(r.session->leg_count(), 3);
+
+  atm::Link* uplink = DeskUplink(r.session);
+  const std::vector<atm::Link*>* leg2 = system_.network().VcLinks(r.session->legs()[2].vc);
+  ASSERT_NE(leg2, nullptr);
+  ASSERT_NE(std::find(leg2->begin(), leg2->end(), uplink), leg2->end())
+      << "topology regression: legs 0 and 2 no longer share the desk uplink";
+  EXPECT_EQ(system_.network().ReservedBandwidth(uplink), 140'000'000);
+
+  // Close releases both legs' shares of the shared link.
+  r.session->Close();
+  EXPECT_EQ(system_.network().ReservedBandwidth(uplink), 0);
+}
+
+TEST_F(SharedLegFixture, OverSharedLinkCountersScaleBothLegsJointly) {
+  // 100 Mb/s per leg fits every link individually but puts 200 Mb/s on the
+  // shared 155 Mb/s uplink: the chain is refused with BOTH crossing legs
+  // scaled to their joint share, leg 1 untouched.
+  core::StreamSpec spec = core::StreamSpec::Video(25, 100'000'000);
+  auto r = OpenChain(spec);
+  EXPECT_FALSE(r.report.ok());
+  ASSERT_EQ(r.report.verdict, core::AdmitVerdict::kCounterOffer);
+  EXPECT_EQ(r.report.failure, core::AdmitFailure::kNetworkBandwidth);
+  EXPECT_EQ(std::count(r.report.failures.begin(), r.report.failures.end(),
+                       core::AdmitFailure::kNetworkBandwidth),
+            2);
+  ASSERT_TRUE(r.report.counter_offer.has_value());
+  const core::StreamSpec& counter = *r.report.counter_offer;
+  EXPECT_EQ(counter.LegBandwidthBps(0), 77'500'000);
+  EXPECT_EQ(counter.LegBandwidthBps(1), 100'000'000);
+  EXPECT_EQ(counter.LegBandwidthBps(2), 77'500'000);
+  // Nothing was left allocated by the refusal.
+  for (const auto& link : system_.network().links()) {
+    EXPECT_EQ(system_.network().ReservedBandwidth(link.get()), 0);
+  }
+
+  // The joint counter-offer is admissible verbatim.
+  auto accepted = OpenChain(counter);
+  ASSERT_TRUE(accepted.report.ok());
+  EXPECT_EQ(system_.network().ReservedBandwidth(DeskUplink(accepted.session)), 155'000'000);
+}
+
+TEST_F(SharedLegFixture, RenegotiationHonoursSharedLinkJointly) {
+  core::StreamSpec spec = core::StreamSpec::Video(25, 70'000'000);
+  auto r = OpenChain(spec);
+  ASSERT_TRUE(r.report.ok());
+
+  // Raising both crossing legs to 80 Mb/s would put 160 Mb/s on the shared
+  // uplink: the joint pre-check refuses and leaves the contract intact.
+  core::StreamSpec more = r.session->contract().granted;
+  more.legs[0].bandwidth_bps = 80'000'000;
+  more.legs[2].bandwidth_bps = 80'000'000;
+  auto refused = r.session->Renegotiate(more);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.failure, core::AdmitFailure::kNetworkBandwidth);
+  EXPECT_EQ(r.session->legs()[0].granted_bps, 70'000'000);
+  EXPECT_EQ(r.session->legs()[2].granted_bps, 70'000'000);
+  EXPECT_EQ(system_.network().ReservedBandwidth(DeskUplink(r.session)), 140'000'000);
+
+  // 77/77 fits (154 <= 155) and rebinds in place.
+  core::StreamSpec fits = r.session->contract().granted;
+  fits.legs[0].bandwidth_bps = 77'000'000;
+  fits.legs[2].bandwidth_bps = 77'000'000;
+  EXPECT_TRUE(r.session->Renegotiate(fits).ok());
+  EXPECT_EQ(system_.network().ReservedBandwidth(DeskUplink(r.session)), 154'000'000);
+}
+
+}  // namespace
+}  // namespace pegasus
