@@ -16,7 +16,18 @@
 //
 //   ./build/bench/bench_e05_qos_adaptation [total_seconds]   (default 34;
 //   CI smoke-runs a short clock)
+//
+// Closed-loop mode: NO explicit SignalCongestion / SignalBudgetPressure
+// calls anywhere. The QosMonitor derives congestion from the link queues a
+// real best-effort cross-traffic overload creates on the shared desk
+// uplink, degrades the adapting stream, and restores it when the
+// cross-traffic stops and the queues drain.
+//
+//   ./build/bench/bench_e05_qos_adaptation closed-loop [total_seconds]
+//   (default 12; exits non-zero if no adaptation event fires — the guard
+//   against the monitor silently going inert)
 #include <cstdlib>
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "src/core/system.h"
@@ -29,7 +40,151 @@ using nemesis::QosParams;
 using sim::Milliseconds;
 using sim::Seconds;
 
+namespace {
+
+// The closed-loop experiment: monitor-derived signals only.
+int RunClosedLoop(int total_seconds) {
+  bench::PrintHeader("E05b", "Closed-loop adaptation from observed link queues",
+                     "QoS feedback comes from measured resource behaviour, not "
+                     "application assertion: the monitor turns real queue growth and "
+                     "tail-drops on a shared uplink into congestion severity, and the "
+                     "drained queue back into a recovery signal — no operator calls");
+
+  sim::Simulator sim;
+  core::PegasusSystem system(&sim);
+  core::Workstation* desk = system.AddWorkstation("desk");
+  core::Workstation* peer = system.AddWorkstation("peer");
+
+  // The adapting stream: a 320x240 raw camera (~17 Mb/s of tiles on the
+  // wire) under a 16 Mb/s contract, frame-rate scaling on degradation.
+  dev::AtmCamera::Config cam_cfg;
+  cam_cfg.width = 320;
+  cam_cfg.height = 240;
+  dev::AtmCamera* camera = desk->AddCamera(cam_cfg);
+  dev::AtmDisplay* display = peer->AddDisplay(640, 480);
+  core::AdaptationPolicy policy;
+  policy.mode = core::AdaptationMode::kFrameRateScaling;
+  policy.floor = 0.05;
+  policy.hysteresis = 0.02;
+  policy.smoothing = 1.0;
+  auto r = system.BuildStream("feed")
+               .From(desk, camera)
+               .To(peer, display)
+               .WithSpec(core::StreamSpec::Video(25, 16'000'000))
+               .WithWindow(0, 0)
+               .WithAdaptation(policy)
+               .Open();
+  if (!r.report.ok()) {
+    std::printf("stream admission failed\n");
+    return 1;
+  }
+  core::StreamSession* session = r.session;
+  camera->Start(session->source_vci());
+
+  core::QosMonitor* monitor = system.EnableQosMonitor();
+
+  // Best-effort cross-traffic floods the shared desk -> backbone uplink at
+  // beyond line rate for the middle third of the run.
+  auto cross = system.network().OpenVc(desk->host(), peer->host());
+  if (!cross.has_value()) {
+    std::printf("cross-traffic VC failed\n");
+    return 1;
+  }
+  const sim::TimeNs blast_from = Seconds(total_seconds) / 3;
+  const sim::TimeNs blast_to = 2 * Seconds(total_seconds) / 3;
+  for (sim::TimeNs t = blast_from; t < blast_to; t += Milliseconds(1)) {
+    sim.ScheduleAt(t, [&system, vci = cross->source_vci, ep = desk->host()]() {
+      (void)system;
+      for (int i = 0; i < 500; ++i) {  // ~212 Mb/s offered
+        atm::Cell cell;
+        cell.vci = vci;
+        cell.low_priority = true;
+        ep->SendCell(cell);
+      }
+    });
+  }
+
+  // The shared uplink is the second link of the stream's data path.
+  const std::vector<atm::Link*>* links = system.network().VcLinks(session->data_vc());
+  const atm::Link* shared = links != nullptr && links->size() > 1 ? (*links)[1] : nullptr;
+
+  sim::Table timeline({"t(s)", "phase", "uplink score", "severity", "fraction",
+                       "granted Mb/s", "camera pace Mb/s"});
+  char buf[4][32];
+  for (int t = 1; t <= total_seconds; ++t) {
+    sim.RunUntil(Seconds(t));
+    const char* phase = Seconds(t) <= blast_from           ? "quiet"
+                        : Seconds(t) <= blast_to           ? "cross-traffic"
+                                                           : "drained";
+    std::snprintf(buf[0], sizeof(buf[0]), "%.3f",
+                  shared != nullptr ? monitor->link_score(shared) : 0.0);
+    std::snprintf(buf[1], sizeof(buf[1]), "%.3f",
+                  shared != nullptr ? monitor->link_severity(shared) : 0.0);
+    std::snprintf(buf[2], sizeof(buf[2]), "%.2f", session->adaptation_fraction());
+    std::snprintf(buf[3], sizeof(buf[3]), "%.1f",
+                  static_cast<double>(camera->config().pace_bps) / 1e6);
+    timeline.AddRow({sim::Table::Int(t), phase, buf[0], buf[1], buf[2],
+                     sim::Table::Num(
+                         static_cast<double>(session->contract().granted.bandwidth_bps) / 1e6,
+                         1),
+                     buf[3]});
+  }
+  bench::PrintTable("monitor-derived severity and the stream it steers", timeline);
+
+  // Every applied adaptation event, with its trigger: all of them must be
+  // monitor-raised (net-congestion), none manual.
+  sim::Table events({"event", "trigger", "reason", "target", "net Mb/s"});
+  int applied_congestion = 0;
+  int applied_other = 0;
+  char ebuf[2][48];
+  int n = 0;
+  for (const core::AdaptationEvent& e : session->adaptation_log()) {
+    if (!e.applied) {
+      continue;
+    }
+    const bool congestion = e.trigger == core::AdaptationEvent::Trigger::kNetworkCongestion;
+    applied_congestion += congestion ? 1 : 0;
+    applied_other += congestion ? 0 : 1;
+    std::snprintf(ebuf[0], sizeof(ebuf[0]), "%.2f", e.target_fraction);
+    std::snprintf(ebuf[1], sizeof(ebuf[1]), "%.1f -> %.1f",
+                  static_cast<double>(e.net_bps_before) / 1e6,
+                  static_cast<double>(e.net_bps_after) / 1e6);
+    events.AddRow({sim::Table::Int(++n), core::AdaptationTriggerName(e.trigger),
+                   nemesis::GrantReasonName(e.reason), ebuf[0], ebuf[1]});
+  }
+  bench::PrintTable("applied adaptation events (all monitor-raised)", events);
+
+  std::printf("\nmonitor: %lld congestion signals, %lld recoveries over %lld ticks; "
+              "uplink dropped %llu best-effort / %llu reserved-class cells\n",
+              static_cast<long long>(monitor->congestion_signals()),
+              static_cast<long long>(monitor->congestion_recoveries()),
+              static_cast<long long>(monitor->ticks()),
+              shared != nullptr
+                  ? static_cast<unsigned long long>(shared->cells_dropped_low())
+                  : 0ULL,
+              shared != nullptr
+                  ? static_cast<unsigned long long>(shared->cells_dropped_high())
+                  : 0ULL);
+
+  const bool holds = applied_congestion >= 1 && applied_other == 0 &&
+                     session->adaptation_fraction() > 0.999 &&
+                     session->contract().granted.bandwidth_bps == 16'000'000 &&
+                     monitor->congestion_recoveries() >= 1;
+  bench::PrintVerdict(holds,
+                      "with zero explicit signal calls, real cross-traffic overload "
+                      "degrades the adapting stream via monitor-derived congestion "
+                      "severity and the drained queue restores it to nominal");
+  return holds ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc > 1 && (std::strcmp(argv[1], "closed-loop") == 0 ||
+                   std::strcmp(argv[1], "--closed-loop") == 0)) {
+    const int seconds = argc > 2 ? std::max(6, std::atoi(argv[2])) : 12;
+    return RunClosedLoop(seconds);
+  }
   const int total_seconds = argc > 1 ? std::max(8, std::atoi(argv[1])) : 34;
   bench::PrintHeader("E05", "QoS manager adaptation across CPU, network and disk",
                      "per-stream CPU contracts re-computed as streams enter and leave; an "

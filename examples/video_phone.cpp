@@ -7,6 +7,12 @@
 // timestamps. "No processors need to process any video data" (§2): the
 // example prints each host's media cell count to prove it.
 //
+// The call also demonstrates closed-loop monitoring: the QosMonitor watches
+// every link, and when a best-effort bulk transfer floods alice's uplink
+// mid-call, the congestion it MEASURES (queue growth, tail-drops) degrades
+// alice's adaptive video stream — and restores it once the transfer ends —
+// with no explicit congestion signal anywhere.
+//
 //   ./build/examples/video_phone
 #include <cstdio>
 
@@ -65,12 +71,21 @@ int main() {
   const core::StreamSpec video_spec = core::StreamSpec::Video(25, 8'000'000);
   const core::StreamSpec audio_spec = core::StreamSpec::Audio(500'000);
 
+  // Video degrades by frame-rate scaling when any layer loses capacity —
+  // the monitor below is what decides that capacity is gone.
+  core::AdaptationPolicy adapt;
+  adapt.mode = core::AdaptationMode::kFrameRateScaling;
+  adapt.floor = 0.1;
+  adapt.hysteresis = 0.02;
+
+  core::StreamSession* alice_video = nullptr;
   auto wire = [&](Party& from, Party& to) {
     auto v = system.BuildStream(std::string(from.name) + "/video")
                  .From(from.ws, from.camera)
                  .To(to.ws, to.display)
                  .WithSpec(video_spec)
                  .WithWindow(240, 180)
+                 .WithAdaptation(adapt)
                  .Open();
     auto a = system.BuildStream(std::string(from.name) + "/audio")
                  .From(from.ws, from.mic)
@@ -80,6 +95,9 @@ int main() {
     if (!v.report.ok() || !a.report.ok()) {
       std::printf("call setup failed\n");
       std::exit(1);
+    }
+    if (&from == &alice) {
+      alice_video = v.session;
     }
     from.camera->Start(v.session->source_vci());
     from.mic->Start(a.session->source_vci());
@@ -101,8 +119,40 @@ int main() {
   wire(alice, bob);
   wire(bob, alice);
 
+  // Closed-loop monitoring: no explicit SignalCongestion call appears in
+  // this file — the monitor derives severity from the queues themselves.
+  system.EnableQosMonitor();
+
+  // Mid-call, a best-effort bulk transfer (a backup, say) floods alice's
+  // uplink at beyond line rate for three seconds.
+  auto bulk = system.network().OpenVc(alice.ws->host(), bob.ws->host());
+  if (bulk.has_value()) {
+    for (sim::TimeNs t = sim::Seconds(4); t < sim::Seconds(7); t += sim::Milliseconds(1)) {
+      sim.ScheduleAt(t, [&, vci = bulk->source_vci]() {
+        for (int i = 0; i < 500; ++i) {
+          atm::Cell cell;
+          cell.vci = vci;
+          cell.low_priority = true;
+          alice.ws->host()->SendCell(cell);
+        }
+      });
+    }
+  }
+
+  sim.RunUntil(sim::Seconds(6));
+  std::printf("t=6s, bulk transfer flooding alice's uplink:\n");
+  std::printf("  alice video degraded to %.0f%% of nominal (%.1f Mb/s, %.1f fps) by the\n"
+              "  monitor's measured congestion — no explicit signal was raised\n\n",
+              alice_video->adaptation_fraction() * 100,
+              static_cast<double>(alice_video->contract().granted.bandwidth_bps) / 1e6,
+              alice_video->contract().granted.frame_rate);
+
   sim.RunUntil(sim::Seconds(10));
 
+  std::printf("t=10s, transfer done: queues drained, recovery signal restored the video "
+              "to %.0f%% (%.1f Mb/s)\n\n",
+              alice_video->adaptation_fraction() * 100,
+              static_cast<double>(alice_video->contract().granted.bandwidth_bps) / 1e6);
   std::printf("video phone: 10 simulated seconds, both directions live\n\n");
   auto report = [&](const Party& p, const Party& peer) {
     std::printf("  [%s]\n", p.name);

@@ -16,7 +16,9 @@ Link::Link(sim::Simulator* sim, std::string name, int64_t bits_per_second,
 bool Link::SendCell(const Cell& cell) {
   const sim::TimeNs now = sim_->now();
   if (queued_ >= queue_limit_) {
-    ++cells_dropped_;
+    // Tail-drop: the ARRIVING cell is lost, whatever its priority bit says
+    // (see the class comment); the split counters record which class lost.
+    ++(cell.low_priority ? cells_dropped_low_ : cells_dropped_high_);
     return false;
   }
   const sim::TimeNs start = std::max(now, tx_free_at_);

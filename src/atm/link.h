@@ -2,9 +2,12 @@
 //
 // A Link is unidirectional: cells handed to SendCell are serialised at the
 // link rate, experience the propagation delay, and are delivered to the
-// attached sink. The link keeps a bounded transmit queue; cells arriving to a
-// full queue are dropped (low-priority cells first is the policy of the
-// *switch*, the link itself is a dumb pipe).
+// attached sink. The link keeps a bounded transmit queue and TAIL-DROPS:
+// a cell arriving to a full queue is dropped regardless of its cell-loss
+// priority bit (priority-aware discard would be a switch policy; the link
+// itself is a dumb pipe). Drops are counted per priority class so an
+// observer can weight the loss of reserved-class cells above best-effort
+// ones when deriving congestion severity.
 #ifndef PEGASUS_SRC_ATM_LINK_H_
 #define PEGASUS_SRC_ATM_LINK_H_
 
@@ -48,11 +51,33 @@ class Link {
   sim::DurationNs cell_time() const { return cell_time_; }
 
   uint64_t cells_sent() const { return cells_sent_; }
-  uint64_t cells_dropped() const { return cells_dropped_; }
+  uint64_t cells_dropped() const { return cells_dropped_high_ + cells_dropped_low_; }
+  // Tail-drops split by the dropped cell's loss-priority bit.
+  uint64_t cells_dropped_high() const { return cells_dropped_high_; }
+  uint64_t cells_dropped_low() const { return cells_dropped_low_; }
   int64_t bytes_sent() const { return static_cast<int64_t>(cells_sent_) * kCellSize; }
   // Fraction of wall-clock time the transmitter has been busy, in [0, 1].
   double utilization() const;
   size_t queued_cells() const { return queued_; }
+  size_t queue_limit() const { return queue_limit_; }
+  // Cumulative time the transmitter has spent busy since construction.
+  sim::DurationNs busy_time() const { return busy_time_; }
+
+  // Cheap copyable snapshot of the link's cumulative counters plus the
+  // instantaneous queue state — a monitor diffs two snapshots to get the
+  // per-interval drop/throughput deltas and interval utilisation.
+  struct StatsSnapshot {
+    uint64_t cells_sent = 0;
+    uint64_t cells_dropped_high = 0;
+    uint64_t cells_dropped_low = 0;
+    size_t queued_cells = 0;
+    size_t queue_limit = 0;
+    sim::DurationNs busy_time = 0;
+  };
+  StatsSnapshot Stats() const {
+    return StatsSnapshot{cells_sent_,  cells_dropped_high_, cells_dropped_low_,
+                         queued_,      queue_limit_,        busy_time_};
+  }
 
  private:
   sim::Simulator* sim_;
@@ -68,7 +93,8 @@ class Link {
   sim::TimeNs tx_free_at_ = 0;
   size_t queued_ = 0;
   uint64_t cells_sent_ = 0;
-  uint64_t cells_dropped_ = 0;
+  uint64_t cells_dropped_high_ = 0;
+  uint64_t cells_dropped_low_ = 0;
   sim::DurationNs busy_time_ = 0;
 };
 

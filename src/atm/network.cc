@@ -300,22 +300,40 @@ void Network::SetCongestionHandler(VcId id, CongestionCallback callback) {
 void Network::ClearCongestionHandler(VcId id) { congestion_handlers_.erase(id); }
 
 int Network::SignalCongestion(const Link* link, double severity) {
-  // Collect first: a handler may renegotiate its VC, mutating vcs_.
-  std::vector<std::pair<CongestionCallback, VcId>> to_notify;
+  // Collect ids first: a handler may renegotiate or close VCs, mutating
+  // vcs_ and the handler map mid-iteration.
+  std::vector<VcId> to_notify;
   for (const auto& [id, state] : vcs_) {
     if (std::find(state.hop_links.begin(), state.hop_links.end(), link) ==
         state.hop_links.end()) {
       continue;
     }
-    auto handler = congestion_handlers_.find(id);
-    if (handler != congestion_handlers_.end()) {
-      to_notify.emplace_back(handler->second, id);
+    if (congestion_handlers_.count(id) > 0) {
+      to_notify.push_back(id);
     }
   }
-  for (auto& [callback, id] : to_notify) {
+  int notified = 0;
+  for (VcId id : to_notify) {
+    // Re-validate right before the call: an earlier callback may have
+    // closed this VC, re-established it off the link, or dropped its
+    // handler — a stale notification would report congestion for a link
+    // the VC no longer traverses.
+    auto vc = vcs_.find(id);
+    if (vc == vcs_.end() ||
+        std::find(vc->second.hop_links.begin(), vc->second.hop_links.end(), link) ==
+            vc->second.hop_links.end()) {
+      continue;
+    }
+    auto handler = congestion_handlers_.find(id);
+    if (handler == congestion_handlers_.end()) {
+      continue;
+    }
+    // Copy the callback: the handler may replace itself mid-call.
+    CongestionCallback callback = handler->second;
     callback(id, link, severity);
+    ++notified;
   }
-  return static_cast<int>(to_notify.size());
+  return notified;
 }
 
 bool Network::UpdateVcQos(VcId id, QosSpec qos) {

@@ -1,0 +1,210 @@
+#include "src/core/qos_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pegasus::core {
+
+QosMonitor::QosMonitor(sim::Simulator* sim, atm::Network* network, Config config)
+    : sim_(sim),
+      network_(network),
+      config_(config),
+      task_(sim, config.period, [this]() { Tick(); }) {}
+
+QosMonitor::QosMonitor(sim::Simulator* sim, atm::Network* network)
+    : QosMonitor(sim, network, Config()) {}
+
+void QosMonitor::AddFileServer(pfs::PegasusFileServer* server) {
+  if (std::find(servers_.begin(), servers_.end(), server) != servers_.end()) {
+    return;
+  }
+  // The recorder excludes sub-tolerance jitter from windowed miss counts.
+  server->stream_quality().set_miss_tolerance(config_.lateness_tolerance);
+  servers_.push_back(server);
+}
+
+void QosMonitor::Start() {
+  if (!task_.running()) {
+    // A restart must not score the whole stopped stretch as one interval:
+    // drops and lateness accumulated while nobody watched are history, not
+    // current pressure.
+    Reprime();
+  }
+  task_.Start();
+}
+
+void QosMonitor::Stop() { task_.Stop(); }
+
+void QosMonitor::Reprime() {
+  for (auto& [link, state] : link_states_) {
+    (void)link;
+    state.primed = false;
+  }
+  for (auto& [server, state] : disk_states_) {
+    (void)server;
+    state.primed = false;
+  }
+}
+
+double QosMonitor::link_score(const atm::Link* link) const {
+  auto it = link_states_.find(link);
+  return it == link_states_.end() ? 0.0 : it->second.score;
+}
+
+double QosMonitor::link_severity(const atm::Link* link) const {
+  auto it = link_states_.find(link);
+  return it == link_states_.end() ? 0.0 : it->second.signalled;
+}
+
+double QosMonitor::disk_fraction(const pfs::PegasusFileServer* server) const {
+  auto it = disk_states_.find(server);
+  return it == disk_states_.end() ? 1.0 : it->second.signalled_fraction;
+}
+
+double QosMonitor::LinkRawScore(const atm::Link::StatsSnapshot& prev,
+                                const atm::Link::StatsSnapshot& cur) const {
+  // Drops destroy deliverable capacity outright: the weighted fraction of
+  // this interval's offered cells that the link tail-dropped is severity in
+  // the SignalCongestion sense ("the fraction of deliverable capacity that
+  // is gone").
+  const double sent = static_cast<double>(cur.cells_sent - prev.cells_sent);
+  const double drops_high =
+      static_cast<double>(cur.cells_dropped_high - prev.cells_dropped_high);
+  const double drops_low =
+      static_cast<double>(cur.cells_dropped_low - prev.cells_dropped_low);
+  const double weighted_drops =
+      drops_high * config_.high_drop_weight + drops_low * config_.low_drop_weight;
+  double drop_score = 0.0;
+  if (weighted_drops > 0.0) {
+    drop_score = weighted_drops / (sent + weighted_drops);
+  }
+  // A standing transmit queue is the early warning: cells are delayed but
+  // still delivered, so its contribution ramps from occupancy_floor and is
+  // capped below what real loss can reach. It only counts when the
+  // interval utilisation confirms a saturated transmitter.
+  double occupancy_score = 0.0;
+  const double interval_util =
+      config_.period > 0
+          ? static_cast<double>(cur.busy_time - prev.busy_time) /
+                static_cast<double>(config_.period)
+          : 0.0;
+  if (cur.queue_limit > 0 && interval_util >= config_.utilization_floor) {
+    const double occ =
+        static_cast<double>(cur.queued_cells) / static_cast<double>(cur.queue_limit);
+    if (occ > config_.occupancy_floor && config_.occupancy_floor < 1.0) {
+      occupancy_score = config_.occupancy_cap * (occ - config_.occupancy_floor) /
+                        (1.0 - config_.occupancy_floor);
+    }
+  }
+  return std::clamp(std::max(drop_score, occupancy_score), 0.0, 1.0);
+}
+
+void QosMonitor::Tick() {
+  // --- links: snapshot, diff, smooth, signal with hysteresis ---
+  for (const auto& link : network_->links()) {
+    atm::Link* l = link.get();
+    LinkState& state = link_states_[l];
+    const atm::Link::StatsSnapshot cur = network_->GetLinkStats(l).snapshot;
+    if (!state.primed) {
+      state.prev = cur;
+      state.primed = true;
+      continue;
+    }
+    const double raw = LinkRawScore(state.prev, cur);
+    state.prev = cur;
+    state.score += config_.smoothing * (raw - state.score);
+    ++state.ticks_since_change;
+    state.below_off_ticks =
+        state.score <= config_.off_threshold ? state.below_off_ticks + 1 : 0;
+
+    if (state.signalled == 0.0) {
+      if (state.score >= config_.on_threshold) {
+        const double severity = std::min(state.score, config_.max_severity);
+        state.signalled = severity;
+        state.ticks_since_change = 0;
+        ++congestion_signals_;
+        network_->SignalCongestion(l, severity);
+      }
+    } else if (state.below_off_ticks >= config_.min_hold_ticks) {
+      // The queue stayed drained for the whole dwell: announce the
+      // all-clear so adapting sessions restore — the recovery half of the
+      // loop. (A single quiet tick of an oscillating load is not a drain.)
+      state.signalled = 0.0;
+      state.ticks_since_change = 0;
+      ++congestion_recoveries_;
+      network_->SignalCongestion(l, 0.0);
+    } else if (std::abs(state.score - state.signalled) >= config_.severity_step &&
+               state.ticks_since_change >= config_.min_hold_ticks) {
+      // Escalate or relax only on a real, settled move; oscillations of
+      // the smoothed score around the announced severity stay silent. A
+      // relax never announces below on_threshold: sub-band severities are
+      // the dwell-clear's business (announcing them would strand the
+      // session a hair under nominal once the clear lands), but a score
+      // that settles INSIDE the band must still be able to walk a stale
+      // deep cut back down to the band's edge.
+      const double severity =
+          std::clamp(state.score, config_.on_threshold, config_.max_severity);
+      state.signalled = severity;
+      state.ticks_since_change = 0;
+      ++congestion_signals_;
+      network_->SignalCongestion(l, severity);
+    }
+  }
+
+  // --- file servers: windowed lateness -> budget pressure ---
+  for (pfs::PegasusFileServer* server : servers_) {
+    DiskState& state = disk_states_[server];
+    const pfs::StreamQualityRecorder::Window window =
+        server->stream_quality().TakeWindow();
+    if (!state.primed) {
+      // The first drain carries everything recorded before monitoring
+      // began; stale history is not current pressure.
+      state.primed = true;
+      continue;
+    }
+    // Raw score: the fraction of this window's chunks that missed their
+    // deadline by more than the jitter tolerance (the recorder's
+    // miss_tolerance, set on registration). An idle window (no chunks)
+    // scores zero, so pressure decays once play-out stops too.
+    double raw = 0.0;
+    if (window.chunks > 0) {
+      raw = static_cast<double>(window.deadline_misses) /
+            static_cast<double>(window.chunks);
+    }
+    state.score += config_.smoothing * (raw - state.score);
+    ++state.ticks_since_change;
+    state.below_off_ticks =
+        state.score <= config_.disk_off_threshold ? state.below_off_ticks + 1 : 0;
+
+    const bool signalling = state.signalled_fraction < 1.0;
+    if (!signalling) {
+      if (state.score >= config_.disk_on_threshold) {
+        const double fraction =
+            std::clamp(1.0 - state.score, config_.min_disk_fraction, 1.0);
+        state.signalled_fraction = fraction;
+        state.ticks_since_change = 0;
+        ++pressure_signals_;
+        server->SignalBudgetPressure(fraction);
+      }
+    } else if (state.below_off_ticks >= config_.min_hold_ticks) {
+      state.signalled_fraction = 1.0;
+      state.ticks_since_change = 0;
+      ++pressure_recoveries_;
+      server->SignalBudgetPressure(1.0);
+    } else {
+      // As for links: a relax stops at the band's edge (1 - on_threshold);
+      // going all the way to 1.0 is the dwell-clear's announcement.
+      const double fraction = std::clamp(1.0 - state.score, config_.min_disk_fraction,
+                                         1.0 - config_.disk_on_threshold);
+      if (std::abs(fraction - state.signalled_fraction) >= config_.disk_fraction_step &&
+          state.ticks_since_change >= config_.min_hold_ticks) {
+        state.signalled_fraction = fraction;
+        state.ticks_since_change = 0;
+        ++pressure_signals_;
+        server->SignalBudgetPressure(fraction);
+      }
+    }
+  }
+}
+
+}  // namespace pegasus::core

@@ -196,7 +196,8 @@ void StorageNode::PlayNext(pfs::FileId file, uint64_t generation) {
   // faster than the granted play-out rate, so a degraded stream's records
   // leave at the renegotiated pace rather than bursting past it.
   sim::DurationNs gap = 0;
-  if (state->last_media_ts >= 0) {
+  const bool had_cadence = state->last_media_ts >= 0;
+  if (had_cadence) {
     gap = static_cast<sim::DurationNs>(
         static_cast<double>(media_ts - state->last_media_ts) / state->speed);
   }
@@ -205,7 +206,15 @@ void StorageNode::PlayNext(pfs::FileId file, uint64_t generation) {
     gap = std::max(gap, sim::TransmissionTime(kRecordHeader + len, pace));
   }
   state->last_media_ts = media_ts;
-  state->next_send = std::max(state->next_send + gap, sim_->now());
+  // The record is due one (pace-stretched) cadence gap after its
+  // predecessor; if a read-ahead refill stalled past that, the play-out is
+  // late by the disk's fault — the quality metric the monitor watches. The
+  // first record has no cadence yet, so its start-up read is not a miss.
+  const sim::TimeNs due = state->next_send + gap;
+  if (had_cadence) {
+    server_.stream_quality().Record(sim_->now() - due);
+  }
+  state->next_send = std::max(due, sim_->now());
   state->offset += kRecordHeader + static_cast<int64_t>(len);
   const sim::TimeNs at = state->next_send;
   const atm::Vci vci = state->out_vci;

@@ -133,6 +133,174 @@ std::string JoinDetails(const std::vector<std::string>& details) {
   return joined;
 }
 
+// Assembles the pipeline's CPU contracts in path order — source host, every
+// compute stage, sink host — for the joint per-kernel check. `*_old_util` is
+// what the stream already holds (all zero on first admission).
+std::vector<CpuEndCheck> BuildCpuEnds(nemesis::Kernel* source_kernel,
+                                      const nemesis::QosParams& source_wanted,
+                                      double source_old_util, nemesis::Kernel* sink_kernel,
+                                      const nemesis::QosParams& sink_wanted,
+                                      double sink_old_util,
+                                      const std::vector<nemesis::Kernel*>& stage_kernels,
+                                      const std::vector<nemesis::QosParams>& stage_wanted,
+                                      const std::vector<double>& stage_old_util) {
+  std::vector<CpuEndCheck> cpu_ends;
+  CpuEndCheck source;
+  source.end = StreamSession::kSourceEnd;
+  source.kernel = source_kernel;
+  source.wanted = source_wanted;
+  source.old_util = source_old_util;
+  source.kind = AdmitFailure::kSourceCpu;
+  source.what = "source";
+  cpu_ends.push_back(source);
+  for (size_t k = 0; k < stage_kernels.size(); ++k) {
+    CpuEndCheck stage;
+    stage.end = 2 + static_cast<int>(k);
+    stage.kernel = stage_kernels[k];
+    stage.wanted = stage_wanted[k];
+    stage.old_util = stage_old_util[k];
+    stage.kind = AdmitFailure::kComputeCpu;
+    stage.what = "compute stage";
+    cpu_ends.push_back(stage);
+  }
+  CpuEndCheck sink;
+  sink.end = StreamSession::kSinkEnd;
+  sink.kernel = sink_kernel;
+  sink.wanted = sink_wanted;
+  sink.old_util = sink_old_util;
+  sink.kind = AdmitFailure::kSinkCpu;
+  sink.what = "sink";
+  cpu_ends.push_back(sink);
+  return cpu_ends;
+}
+
+// The one joint cross-layer admission pass shared by first admission
+// (StreamBuilder::Open) and renegotiation (StreamSession::RenegotiateImpl),
+// so counter-offer fixes cannot diverge between the two. Checks every layer
+// — bandwidth jointly per link over all legs, CPU grouped per kernel, disk
+// — collecting EVERY failure and materialising one jointly-admissible
+// counter-offer with self-contained legs.
+struct JointAdmissionRequest {
+  const atm::Network* network = nullptr;
+  size_t nlegs = 0;
+  size_t nstages = 0;
+  // Per-leg traversed links and demands; `old_bps` is the reservation each
+  // leg already holds (all zero on first admission). Renegotiations whose
+  // bandwidth is unchanged skip the link walk entirely (check_network
+  // false, leg_links may be empty).
+  bool check_network = true;
+  const std::vector<std::vector<atm::Link*>>* leg_links = nullptr;
+  std::vector<int64_t> wanted_bps;
+  std::vector<int64_t> old_bps;
+  // A point-to-point spec without an explicit leg entry takes bandwidth
+  // clamps on the stream-wide knob instead of a materialised leg.
+  bool counter_streamwide = false;
+  // CPU contracts in path order (BuildCpuEnds).
+  std::vector<CpuEndCheck> cpu_ends;
+  // Resolved per-stage CPU demands, for materialising counter legs.
+  std::vector<nemesis::QosParams> stage_cpu;
+  // Disk: headroom as seen by this stream (its current share added back).
+  bool check_disk = false;
+  int64_t disk_wanted = 0;
+  int64_t disk_available = 0;
+};
+
+// Returns true when every layer accepts. Otherwise fills `report` — verdict
+// (counter-offer when every failing layer still has something to give),
+// every failure in path order, joined detail — and returns false. `counter`
+// starts as the spec the caller was asked for.
+bool RunJointAdmission(JointAdmissionRequest& req, StreamSpec counter,
+                       AdmissionReport* report) {
+  std::vector<AdmitFailure> failures;
+  std::vector<std::string> details;
+  bool viable = true;
+  auto fail = [&](AdmitFailure kind, const std::string& text, bool still_viable) {
+    failures.push_back(kind);
+    details.push_back(text);
+    viable = viable && still_viable;
+  };
+  // Counter legs are materialised with the resolved demands so the offer is
+  // self-contained: resubmitting it verbatim never silently drops a stage
+  // contract the caller did not mention.
+  auto counter_leg_slot = [&](size_t i) -> LegSpec* {
+    while (counter.legs.size() < req.nlegs) {
+      const size_t j = counter.legs.size();
+      LegSpec filled;
+      filled.bandwidth_bps = req.wanted_bps[j];
+      if (j < req.nstages) {
+        filled.compute_cpu = req.stage_cpu[j];
+      }
+      counter.legs.push_back(filled);
+    }
+    return &counter.legs[i];
+  };
+
+  // 1. Network bandwidth, jointly on every link of every leg.
+  std::vector<int64_t> clamped_bps = req.wanted_bps;
+  if (req.check_network) {
+    JointLinkCheck(*req.network, *req.leg_links, req.wanted_bps, req.old_bps, &clamped_bps);
+  }
+  for (size_t i = 0; i < req.nlegs; ++i) {
+    if (clamped_bps[i] >= req.wanted_bps[i]) {
+      continue;
+    }
+    if (req.counter_streamwide) {
+      counter.bandwidth_bps = clamped_bps[i];
+    } else {
+      counter_leg_slot(i)->bandwidth_bps = clamped_bps[i];
+    }
+    fail(AdmitFailure::kNetworkBandwidth,
+         "leg " + std::to_string(i) + ": a traversed link lacks spare capacity",
+         clamped_bps[i] > 0);
+  }
+
+  // 2. CPU at both ends and every compute stage, grouped per kernel.
+  for (const CpuEndCheck& e : req.cpu_ends) {
+    if (e.wanted.slice > 0 && e.kernel == nullptr) {
+      report->verdict = AdmitVerdict::kRejected;
+      report->failure = e.kind;
+      report->detail = "no kernel attached to the host";
+      return false;
+    }
+  }
+  JointCpuCheck(&req.cpu_ends);
+  for (const CpuEndCheck& e : req.cpu_ends) {
+    if (!e.failed) {
+      continue;
+    }
+    if (e.end == StreamSession::kSourceEnd) {
+      counter.source_cpu = e.clamped;
+    } else if (e.end == StreamSession::kSinkEnd) {
+      counter.sink_cpu = e.clamped;
+    } else {
+      counter_leg_slot(static_cast<size_t>(e.end - 2))->compute_cpu = e.clamped;
+    }
+    fail(e.kind, std::string(e.what) + " CPU demand exceeds Atropos headroom",
+         e.clamped.slice > 0);
+  }
+
+  // 3. Disk rate at the file server.
+  if (req.check_disk && req.disk_wanted > req.disk_available) {
+    counter.disk_bps = std::max<int64_t>(req.disk_available, 0);
+    fail(AdmitFailure::kDiskBandwidth, "PFS stream budget exhausted",
+         req.disk_available > 0);
+  }
+
+  if (failures.empty()) {
+    return true;
+  }
+  report->failure = failures.front();
+  report->failures = std::move(failures);
+  report->detail = JoinDetails(details);
+  // A counter-offer is only useful if every demanded layer still has
+  // something to give.
+  report->verdict = viable ? AdmitVerdict::kCounterOffer : AdmitVerdict::kRejected;
+  if (viable) {
+    report->counter_offer = std::move(counter);
+  }
+  return false;
+}
+
 }  // namespace
 
 const char* AdaptationTriggerName(AdaptationEvent::Trigger trigger) {
@@ -538,143 +706,60 @@ AdmissionReport StreamSession::RenegotiateImpl(const StreamSpec& spec, bool upda
     wanted_stage_cpu[k] = k < spec.legs.size() ? spec.legs[k].compute_cpu : old_stage_cpu[k];
   }
 
-  // ---- pre-check every layer jointly; nothing is touched until all pass,
-  // so a refusal leaves the original contract fully intact ----
-  std::vector<AdmitFailure> failures;
-  std::vector<std::string> details;
-  bool viable = true;
-  StreamSpec counter = spec;
-  auto fail = [&](AdmitFailure kind, const std::string& text, bool still_viable) {
-    failures.push_back(kind);
-    details.push_back(text);
-    viable = viable && still_viable;
-  };
-  // Counter legs are materialised with the resolved "keep current" demands
-  // so the counter-offer is self-contained: resubmitting it verbatim never
-  // silently drops a stage contract the caller did not mention.
-  auto counter_leg_slot = [&](size_t i) -> LegSpec* {
-    while (counter.legs.size() < nlegs) {
-      const size_t j = counter.legs.size();
-      LegSpec filled;
-      filled.bandwidth_bps = wanted_bps[j];
-      if (j < nstages) {
-        filled.compute_cpu = wanted_stage_cpu[j];
-      }
-      counter.legs.push_back(filled);
-    }
-    return &counter.legs[i];
-  };
-
-  // 1. Network, jointly over every leg's own links (no route churn).
-  std::vector<int64_t> clamped_bps = wanted_bps;
-  if (wanted_bps != old_bps) {
-    std::vector<std::vector<atm::Link*>> leg_links(nlegs);
-    for (size_t i = 0; i < nlegs; ++i) {
-      const std::vector<atm::Link*>* links = network.VcLinks(legs_[i].vc);
-      if (links == nullptr) {
-        report.verdict = AdmitVerdict::kRejected;
-        report.failure = AdmitFailure::kNoPath;
-        report.detail = "a leg's VC no longer exists";
-        return report;
-      }
-      leg_links[i] = *links;
-    }
-    JointLinkCheck(network, leg_links, wanted_bps, old_bps, &clamped_bps);
-    for (size_t i = 0; i < nlegs; ++i) {
-      if (clamped_bps[i] >= wanted_bps[i]) {
-        continue;
-      }
-      if (nlegs == 1 &&
-          (spec.legs.empty() || spec.legs[0].bandwidth_bps == LegSpec::kInheritBps)) {
-        counter.bandwidth_bps = clamped_bps[i];
-      } else {
-        counter_leg_slot(i)->bandwidth_bps = clamped_bps[i];
-      }
-      fail(AdmitFailure::kNetworkBandwidth,
-           "leg " + std::to_string(i) + ": a traversed link lacks spare capacity",
-           clamped_bps[i] > 0);
-    }
-  }
-
-  // 2. CPU at both ends and every compute stage, grouped per kernel.
-  std::vector<CpuEndCheck> cpu_ends;
-  {
-    CpuEndCheck source;
-    source.end = kSourceEnd;
-    source.kernel = source_ws_ != nullptr ? source_ws_->kernel() : nullptr;
-    source.wanted = spec.source_cpu;
-    source.old_util =
-        source_handler_ != nullptr ? source_handler_->qos().Utilization() : 0.0;
-    source.kind = AdmitFailure::kSourceCpu;
-    source.what = "source";
-    cpu_ends.push_back(source);
-    for (size_t k = 0; k < nstages; ++k) {
-      CpuEndCheck stage;
-      stage.end = 2 + static_cast<int>(k);
-      stage.kernel = legs_[k].compute != nullptr ? legs_[k].compute->kernel() : nullptr;
-      stage.wanted = wanted_stage_cpu[k];
-      stage.old_util = old_stage_cpu[k].Utilization();
-      stage.kind = AdmitFailure::kComputeCpu;
-      stage.what = "compute stage";
-      cpu_ends.push_back(stage);
-    }
-    CpuEndCheck sink;
-    sink.end = kSinkEnd;
-    sink.kernel = sink_ws_ != nullptr ? sink_ws_->kernel() : nullptr;
-    sink.wanted = spec.sink_cpu;
-    sink.old_util = sink_handler_ != nullptr ? sink_handler_->qos().Utilization() : 0.0;
-    sink.kind = AdmitFailure::kSinkCpu;
-    sink.what = "sink";
-    cpu_ends.push_back(sink);
-  }
-  for (const CpuEndCheck& e : cpu_ends) {
-    if (e.wanted.slice > 0 && e.kernel == nullptr) {
+  // ---- pre-check every layer jointly (the pass shared with first
+  // admission); nothing is touched until all pass, so a refusal leaves the
+  // original contract fully intact. A renegotiation that moves no
+  // bandwidth skips the link walk ----
+  const bool bandwidth_changed = wanted_bps != old_bps;
+  std::vector<std::vector<atm::Link*>> leg_links(bandwidth_changed ? nlegs : 0);
+  for (size_t i = 0; bandwidth_changed && i < nlegs; ++i) {
+    const std::vector<atm::Link*>* links = network.VcLinks(legs_[i].vc);
+    if (links == nullptr) {
       report.verdict = AdmitVerdict::kRejected;
-      report.failure = e.kind;
-      report.detail = "no kernel attached to the host";
+      report.failure = AdmitFailure::kNoPath;
+      report.detail = "a leg's VC no longer exists";
       return report;
     }
+    leg_links[i] = *links;
   }
-  JointCpuCheck(&cpu_ends);
-  for (const CpuEndCheck& e : cpu_ends) {
-    if (!e.failed) {
-      continue;
-    }
-    if (e.end == kSourceEnd) {
-      counter.source_cpu = e.clamped;
-    } else if (e.end == kSinkEnd) {
-      counter.sink_cpu = e.clamped;
-    } else {
-      counter_leg_slot(static_cast<size_t>(e.end - 2))->compute_cpu = e.clamped;
-    }
-    fail(e.kind, std::string(e.what) + " CPU demand exceeds Atropos headroom",
-         e.clamped.slice > 0);
-  }
-
-  // 3. Disk rate at the file server.
   if (spec.disk_bps > 0 && (storage_ == nullptr || file_ < 0)) {
     report.verdict = AdmitVerdict::kRejected;
     report.failure = AdmitFailure::kDiskBandwidth;
     report.detail = "disk rate demanded but no storage endpoint on the path";
     return report;
   }
-  if (storage_ != nullptr && file_ >= 0 && spec.disk_bps != old.disk_bps) {
-    const int64_t available = storage_->server()->AvailableStreamBps() +
-                              (disk_reserved_ ? old.disk_bps : 0);
-    if (spec.disk_bps > available) {
-      counter.disk_bps = std::max<int64_t>(available, 0);
-      fail(AdmitFailure::kDiskBandwidth, "PFS stream budget exhausted", available > 0);
-    }
-  }
 
-  if (!failures.empty()) {
-    report.failure = failures.front();
-    report.failures = std::move(failures);
-    report.detail = JoinDetails(details);
-    report.verdict = viable ? AdmitVerdict::kCounterOffer : AdmitVerdict::kRejected;
-    if (viable) {
-      report.counter_offer = counter;
-    }
+  std::vector<nemesis::Kernel*> stage_kernels(nstages);
+  std::vector<double> stage_old_util(nstages);
+  for (size_t k = 0; k < nstages; ++k) {
+    stage_kernels[k] = legs_[k].compute != nullptr ? legs_[k].compute->kernel() : nullptr;
+    stage_old_util[k] = old_stage_cpu[k].Utilization();
+  }
+  JointAdmissionRequest req;
+  req.network = &network;
+  req.nlegs = nlegs;
+  req.nstages = nstages;
+  req.check_network = bandwidth_changed;
+  req.leg_links = &leg_links;
+  req.wanted_bps = wanted_bps;
+  req.old_bps = old_bps;
+  req.counter_streamwide =
+      nlegs == 1 &&
+      (spec.legs.empty() || spec.legs[0].bandwidth_bps == LegSpec::kInheritBps);
+  req.cpu_ends = BuildCpuEnds(
+      source_ws_ != nullptr ? source_ws_->kernel() : nullptr, spec.source_cpu,
+      source_handler_ != nullptr ? source_handler_->qos().Utilization() : 0.0,
+      sink_ws_ != nullptr ? sink_ws_->kernel() : nullptr, spec.sink_cpu,
+      sink_handler_ != nullptr ? sink_handler_->qos().Utilization() : 0.0, stage_kernels,
+      wanted_stage_cpu, stage_old_util);
+  req.stage_cpu = wanted_stage_cpu;
+  req.check_disk = storage_ != nullptr && file_ >= 0 && spec.disk_bps != old.disk_bps;
+  req.disk_wanted = spec.disk_bps;
+  if (req.check_disk) {
+    req.disk_available = storage_->server()->AvailableStreamBps() +
+                         (disk_reserved_ ? old.disk_bps : 0);
+  }
+  if (!RunJointAdmission(req, spec, &report)) {
     return report;
   }
 
@@ -1084,32 +1169,7 @@ StreamResult StreamBuilder::Open() {
 
   // --- cross-layer admission: check EVERY layer of EVERY leg in one pass
   // before binding anything, collecting all failures into one joint
-  // counter-offer ---
-  std::vector<AdmitFailure> failures;
-  std::vector<std::string> details;
-  bool viable = true;
-  StreamSpec counter = spec_;
-  auto fail = [&](AdmitFailure kind, const std::string& text, bool still_viable) {
-    failures.push_back(kind);
-    details.push_back(text);
-    viable = viable && still_viable;
-  };
-  // As in Renegotiate: counter legs carry the resolved demands explicitly,
-  // so the offer can be resubmitted verbatim.
-  auto counter_leg_slot = [&](size_t i) -> LegSpec* {
-    while (counter.legs.size() < nlegs) {
-      const size_t j = counter.legs.size();
-      LegSpec filled;
-      filled.bandwidth_bps = wanted_bps[j];
-      if (j < nstages) {
-        filled.compute_cpu = spec_.LegComputeCpu(j);
-      }
-      counter.legs.push_back(filled);
-    }
-    return &counter.legs[i];
-  };
-
-  // Network bandwidth, jointly on every link of every leg.
+  // counter-offer (the pass shared with RenegotiateImpl) ---
   std::vector<std::vector<atm::Link*>> leg_links(nlegs);
   for (size_t i = 0; i < nlegs; ++i) {
     auto links = network.PathLinks(chain[i], chain[i + 1]);
@@ -1120,23 +1180,6 @@ StreamResult StreamBuilder::Open() {
       return result;
     }
     leg_links[i] = std::move(*links);
-  }
-  std::vector<int64_t> clamped_bps;
-  JointLinkCheck(network, leg_links, wanted_bps, std::vector<int64_t>(nlegs, 0),
-                 &clamped_bps);
-  for (size_t i = 0; i < nlegs; ++i) {
-    if (clamped_bps[i] >= wanted_bps[i]) {
-      continue;
-    }
-    if (nlegs == 1 &&
-        (spec_.legs.empty() || spec_.legs[0].bandwidth_bps == LegSpec::kInheritBps)) {
-      counter.bandwidth_bps = clamped_bps[i];
-    } else {
-      counter_leg_slot(i)->bandwidth_bps = clamped_bps[i];
-    }
-    fail(AdmitFailure::kNetworkBandwidth,
-         "leg " + std::to_string(i) + ": a traversed link lacks spare capacity",
-         clamped_bps[i] > 0);
   }
 
   // Latency bound against the chain's delivery-time floor.
@@ -1156,84 +1199,40 @@ StreamResult StreamBuilder::Open() {
     }
   }
 
-  // CPU headroom on each kernel a contract is demanded of — the end hosts
-  // and every compute detour, grouped so kernels shared between ends are
-  // charged once.
-  std::vector<CpuEndCheck> cpu_ends;
-  {
-    CpuEndCheck source;
-    source.end = StreamSession::kSourceEnd;
-    source.kernel = source_ws_ != nullptr ? source_ws_->kernel() : nullptr;
-    source.wanted = spec_.source_cpu;
-    source.kind = AdmitFailure::kSourceCpu;
-    source.what = "source";
-    cpu_ends.push_back(source);
-    for (size_t k = 0; k < nstages; ++k) {
-      CpuEndCheck stage;
-      stage.end = 2 + static_cast<int>(k);
-      stage.kernel = vias_[k].node->kernel();
-      stage.wanted = spec_.LegComputeCpu(k);
-      stage.kind = AdmitFailure::kComputeCpu;
-      stage.what = "compute stage";
-      cpu_ends.push_back(stage);
-    }
-    CpuEndCheck sink;
-    sink.end = StreamSession::kSinkEnd;
-    sink.kernel = sink_ws_ != nullptr ? sink_ws_->kernel() : nullptr;
-    sink.wanted = spec_.sink_cpu;
-    sink.kind = AdmitFailure::kSinkCpu;
-    sink.what = "sink";
-    cpu_ends.push_back(sink);
-  }
-  for (const CpuEndCheck& e : cpu_ends) {
-    if (e.wanted.slice > 0 && e.kernel == nullptr) {
-      report.verdict = AdmitVerdict::kRejected;
-      report.failure = e.kind;
-      report.detail = "no kernel attached to the host";
-      return result;
-    }
-  }
-  JointCpuCheck(&cpu_ends);
-  for (const CpuEndCheck& e : cpu_ends) {
-    if (!e.failed) {
-      continue;
-    }
-    if (e.end == StreamSession::kSourceEnd) {
-      counter.source_cpu = e.clamped;
-    } else if (e.end == StreamSession::kSinkEnd) {
-      counter.sink_cpu = e.clamped;
-    } else {
-      counter_leg_slot(static_cast<size_t>(e.end - 2))->compute_cpu = e.clamped;
-    }
-    fail(e.kind, std::string(e.what) + " CPU demand exceeds Atropos headroom",
-         e.clamped.slice > 0);
+  if (spec_.disk_bps > 0 && storage == nullptr) {
+    report.verdict = AdmitVerdict::kRejected;
+    report.failure = AdmitFailure::kDiskBandwidth;
+    report.detail = "disk rate demanded but no storage endpoint on the path";
+    return result;
   }
 
-  // Disk rate at the file server.
-  if (spec_.disk_bps > 0) {
-    if (storage == nullptr) {
-      report.verdict = AdmitVerdict::kRejected;
-      report.failure = AdmitFailure::kDiskBandwidth;
-      report.detail = "disk rate demanded but no storage endpoint on the path";
-      return result;
-    }
-    const int64_t available = storage->server()->AvailableStreamBps();
-    if (available < spec_.disk_bps) {
-      counter.disk_bps = std::max<int64_t>(available, 0);
-      fail(AdmitFailure::kDiskBandwidth, "PFS stream budget exhausted", available > 0);
-    }
+  std::vector<nemesis::Kernel*> stage_kernels(nstages);
+  std::vector<nemesis::QosParams> stage_cpu(nstages);
+  for (size_t k = 0; k < nstages; ++k) {
+    stage_kernels[k] = vias_[k].node->kernel();
+    stage_cpu[k] = spec_.LegComputeCpu(k);
   }
-
-  if (!failures.empty()) {
-    report.failure = failures.front();
-    report.failures = std::move(failures);
-    report.detail = JoinDetails(details);
-    // A counter-offer is only useful if every demanded layer still has
-    // something to give.
-    report.verdict = viable ? AdmitVerdict::kCounterOffer : AdmitVerdict::kRejected;
-    if (viable) {
-      report.counter_offer = counter;
-    }
+  JointAdmissionRequest req;
+  req.network = &network;
+  req.nlegs = nlegs;
+  req.nstages = nstages;
+  req.leg_links = &leg_links;
+  req.wanted_bps = wanted_bps;
+  req.old_bps = std::vector<int64_t>(nlegs, 0);
+  req.counter_streamwide =
+      nlegs == 1 &&
+      (spec_.legs.empty() || spec_.legs[0].bandwidth_bps == LegSpec::kInheritBps);
+  req.cpu_ends =
+      BuildCpuEnds(source_ws_ != nullptr ? source_ws_->kernel() : nullptr, spec_.source_cpu,
+                   0.0, sink_ws_ != nullptr ? sink_ws_->kernel() : nullptr, spec_.sink_cpu,
+                   0.0, stage_kernels, stage_cpu, std::vector<double>(nstages, 0.0));
+  req.stage_cpu = stage_cpu;
+  req.check_disk = spec_.disk_bps > 0;
+  req.disk_wanted = spec_.disk_bps;
+  if (req.check_disk) {
+    req.disk_available = storage->server()->AvailableStreamBps();
+  }
+  if (!RunJointAdmission(req, spec_, &report)) {
     return result;
   }
 

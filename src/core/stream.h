@@ -230,6 +230,11 @@ struct QosContract {
 // sink window — all released together by Close().
 class StreamSession {
  public:
+  // CPU contract "ends": 0 = source host, 1 = sink host, 2+k = the compute
+  // stage terminating leg k.
+  static constexpr int kSourceEnd = 0;
+  static constexpr int kSinkEnd = 1;
+
   // One bound leg of the pipeline, in path order.
   struct Leg {
     atm::VcId vc = -1;
@@ -334,11 +339,6 @@ class StreamSession {
 
  private:
   friend class StreamBuilder;
-
-  // CPU contract "ends": 0 = source host, 1 = sink host, 2+k = the compute
-  // stage terminating leg k.
-  static constexpr int kSourceEnd = 0;
-  static constexpr int kSinkEnd = 1;
 
   StreamSession() = default;
 

@@ -30,7 +30,22 @@ StorageNode* PegasusSystem::AddStorageServer(const pfs::PfsConfig& config,
   const int port = next_backbone_port_++;
   storage_nodes_.push_back(
       std::make_unique<StorageNode>(&network_, backbone_, port, config, name));
-  return storage_nodes_.back().get();
+  StorageNode* node = storage_nodes_.back().get();
+  if (qos_monitor_ != nullptr) {
+    qos_monitor_->AddFileServer(node->server());
+  }
+  return node;
+}
+
+QosMonitor* PegasusSystem::EnableQosMonitor(QosMonitor::Config config) {
+  if (qos_monitor_ == nullptr) {
+    qos_monitor_ = std::make_unique<QosMonitor>(sim_, &network_, config);
+    for (const auto& node : storage_nodes_) {
+      qos_monitor_->AddFileServer(node->server());
+    }
+  }
+  qos_monitor_->Start();
+  return qos_monitor_.get();
 }
 
 UnixNode* PegasusSystem::AddUnixNode(const std::string& name) {

@@ -17,6 +17,7 @@
 
 #include "src/atm/network.h"
 #include "src/core/compute_node.h"
+#include "src/core/qos_monitor.h"
 #include "src/core/storage_node.h"
 #include "src/core/stream.h"
 #include "src/core/unix_node.h"
@@ -65,6 +66,16 @@ class PegasusSystem {
   StreamSession* AdoptSession(std::unique_ptr<StreamSession> session);
   const std::vector<std::unique_ptr<StreamSession>>& streams() const { return streams_; }
 
+  // --- closed-loop monitoring (opt-in) ---
+  // Starts a QosMonitor over every link of the network and every storage
+  // server (present and future): congestion and disk budget-pressure
+  // signals are thereafter derived from observed queues, drops and play-out
+  // lateness instead of explicit SignalCongestion / SignalBudgetPressure
+  // calls. Idempotent; returns the (already-)running monitor.
+  QosMonitor* EnableQosMonitor(QosMonitor::Config config = QosMonitor::Config());
+  // The running monitor, or nullptr when not enabled.
+  QosMonitor* qos_monitor() const { return qos_monitor_.get(); }
+
   const std::vector<std::unique_ptr<Workstation>>& workstations() const {
     return workstations_;
   }
@@ -83,6 +94,7 @@ class PegasusSystem {
   std::vector<std::unique_ptr<UnixNode>> unix_nodes_;
   std::vector<std::unique_ptr<ComputeNode>> compute_nodes_;
   std::vector<std::unique_ptr<StreamSession>> streams_;
+  std::unique_ptr<QosMonitor> qos_monitor_;
   int next_stream_id_ = 1;
 };
 

@@ -875,6 +875,7 @@ void StreamReader::Tick() {
                           }
                           const sim::TimeNs now = sim_->now();
                           lateness_.Add(static_cast<double>(now - due));
+                          server_->stream_quality().Record(now - due);
                           if (now > due) {
                             ++deadline_misses_;
                           }

@@ -18,6 +18,7 @@
 #ifndef PEGASUS_SRC_PFS_SERVER_H_
 #define PEGASUS_SRC_PFS_SERVER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -47,6 +48,76 @@ struct PfsConfig {
   int64_t max_buffered_bytes = 4 << 20;
   // Fraction of aggregate disk bandwidth admitted to stream reservations.
   double stream_admission_fraction = 0.8;
+};
+
+// Aggregates the delivery quality of a volume's continuous-media reads:
+// every play-out path (StreamReader ticks, StorageNode record play-out)
+// records how late each chunk left relative to its due time. Cumulative
+// counters serve dashboards; TakeWindow() drains the samples recorded since
+// the previous call — the per-tick export the QoS monitor derives disk
+// budget pressure from, without the server asserting anything itself.
+class StreamQualityRecorder {
+ public:
+  struct Window {
+    int64_t chunks = 0;
+    int64_t deadline_misses = 0;
+    sim::DurationNs max_lateness = 0;  // worst chunk in the window, ns
+    double mean_lateness = 0.0;        // over late chunks only, ns
+  };
+
+  // Window misses below this lateness are jitter, not pressure: they are
+  // excluded from the windowed miss count (the cumulative counters keep the
+  // strict > 0 definition). The QoS monitor sets this from its config.
+  void set_miss_tolerance(sim::DurationNs tolerance) { miss_tolerance_ = tolerance; }
+  sim::DurationNs miss_tolerance() const { return miss_tolerance_; }
+
+  // `lateness` is delivery time minus due time; <= 0 is on time.
+  void Record(sim::DurationNs lateness) {
+    ++chunks_;
+    ++window_.chunks;
+    if (lateness > 0) {
+      ++deadline_misses_;
+    }
+    if (lateness > miss_tolerance_) {
+      ++window_.deadline_misses;
+      window_late_sum_ += static_cast<double>(lateness);
+      window_.max_lateness = std::max(window_.max_lateness, lateness);
+    }
+    // Cumulative aggregates only — this object lives as long as the server
+    // and hears every chunk of every stream, so per-sample storage (a
+    // sim::Summary) would grow without bound.
+    lateness_sum_ += static_cast<double>(lateness);
+    max_lateness_ = std::max(max_lateness_, lateness);
+  }
+
+  // Drains the current window: deltas since the previous TakeWindow().
+  Window TakeWindow() {
+    Window out = window_;
+    if (out.deadline_misses > 0) {
+      out.mean_lateness = window_late_sum_ / static_cast<double>(out.deadline_misses);
+    }
+    window_ = Window{};
+    window_late_sum_ = 0.0;
+    return out;
+  }
+
+  int64_t chunks() const { return chunks_; }
+  int64_t deadline_misses() const { return deadline_misses_; }
+  // Mean lateness over every chunk ever recorded, ns (<= 0 when play-out
+  // runs ahead of its deadlines on average).
+  double mean_lateness() const {
+    return chunks_ > 0 ? lateness_sum_ / static_cast<double>(chunks_) : 0.0;
+  }
+  sim::DurationNs max_lateness() const { return max_lateness_; }
+
+ private:
+  int64_t chunks_ = 0;
+  int64_t deadline_misses_ = 0;
+  sim::DurationNs miss_tolerance_ = 0;
+  double lateness_sum_ = 0.0;
+  sim::DurationNs max_lateness_ = 0;
+  Window window_;
+  double window_late_sum_ = 0.0;
 };
 
 struct CleanStats {
@@ -124,6 +195,11 @@ class PegasusFileServer {
   std::optional<int64_t> LookupIndex(FileId file, int64_t media_ts) const;
   // Reads with continuous-media priority at the disks.
   void ReadRealtime(FileId file, int64_t offset, int64_t len, ReadCallback callback);
+  // Measured delivery quality of this volume's continuous-media reads.
+  // Play-out paths record per-chunk lateness here; the QoS monitor's
+  // windowed reads of it close the disk-pressure feedback loop.
+  StreamQualityRecorder& stream_quality() { return stream_quality_; }
+  const StreamQualityRecorder& stream_quality() const { return stream_quality_; }
 
   // --- cleaning ---
   // The Pegasus garbage-file cleaner: sorts the garbage file by segment,
@@ -217,6 +293,7 @@ class PegasusFileServer {
   // Bumped by Crash(): completions from a previous epoch are ignored.
   uint64_t epoch_ = 1;
   int64_t reserved_bps_ = 0;
+  StreamQualityRecorder stream_quality_;
   std::map<FileId, int64_t> stream_reservations_;
   std::map<FileId, PressureCallback> stream_pressure_callbacks_;
   int pending_flushes_ = 0;

@@ -1,0 +1,46 @@
+#include "src/sim/periodic_task.h"
+
+#include <utility>
+
+namespace pegasus::sim {
+
+PeriodicTask::PeriodicTask(Simulator* sim, DurationNs period, std::function<void()> fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {}
+
+PeriodicTask::~PeriodicTask() { Stop(); }
+
+void PeriodicTask::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  Arm();
+}
+
+void PeriodicTask::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  if (pending_.valid()) {
+    sim_->Cancel(pending_);
+    pending_ = EventId{};
+  }
+}
+
+void PeriodicTask::Arm() {
+  pending_ = sim_->ScheduleAfter(period_, [this]() {
+    pending_ = EventId{};
+    if (!running_) {
+      return;
+    }
+    ++ticks_;
+    fn_();
+    // The callback may have stopped the task (or re-armed it itself).
+    if (running_ && !pending_.valid()) {
+      Arm();
+    }
+  });
+}
+
+}  // namespace pegasus::sim

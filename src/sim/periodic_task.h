@@ -1,0 +1,47 @@
+// A self-rescheduling periodic simulated task.
+//
+// Wraps the "schedule the next tick from inside this tick" idiom used by
+// device scan-out loops and the QoS monitor: a PeriodicTask fires its
+// callback every `period` of virtual time until stopped, and cancels its
+// pending event on Stop() or destruction so no stale closure outlives the
+// owner.
+#ifndef PEGASUS_SRC_SIM_PERIODIC_TASK_H_
+#define PEGASUS_SRC_SIM_PERIODIC_TASK_H_
+
+#include <functional>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace pegasus::sim {
+
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator* sim, DurationNs period, std::function<void()> fn);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  // Arms the task; the first tick fires one period from now. Idempotent.
+  void Start();
+  // Cancels the pending tick. Idempotent; Start() re-arms.
+  void Stop();
+  bool running() const { return running_; }
+  DurationNs period() const { return period_; }
+  int64_t ticks() const { return ticks_; }
+
+ private:
+  void Arm();
+
+  Simulator* sim_;
+  DurationNs period_;
+  std::function<void()> fn_;
+  EventId pending_;
+  bool running_ = false;
+  int64_t ticks_ = 0;
+};
+
+}  // namespace pegasus::sim
+
+#endif  // PEGASUS_SRC_SIM_PERIODIC_TASK_H_

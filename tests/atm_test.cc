@@ -1,6 +1,7 @@
 // Unit tests for the ATM substrate: cells, AAL5, links, switches, signalling.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <vector>
 
@@ -203,6 +204,52 @@ TEST(LinkTest, QueueLimitDropsExcess) {
   EXPECT_EQ(sink.cells.size(), 4u);
 }
 
+// Pins the tail-drop contract: a full queue drops the ARRIVING cell no
+// matter its loss-priority bit — a queued low-priority cell is never evicted
+// to admit a high-priority arrival — and each drop lands in the counter of
+// the dropped cell's own class.
+TEST(LinkTest, FullQueueTailDropsRegardlessOfPriority) {
+  sim::Simulator sim;
+  Link link(&sim, "l", 100'000'000, 0, /*queue_limit=*/4);
+  CollectorSink sink;
+  link.set_sink(&sink);
+  // Fill the queue with low-priority cells...
+  for (int i = 0; i < 4; ++i) {
+    Cell c;
+    c.low_priority = true;
+    c.seq = static_cast<uint64_t>(i);
+    EXPECT_TRUE(link.SendCell(c));
+  }
+  // ...then offer a high-priority cell: tail-dropped, not admitted by
+  // evicting a queued low-priority cell.
+  Cell high;
+  high.low_priority = false;
+  high.seq = 100;
+  EXPECT_FALSE(link.SendCell(high));
+  EXPECT_EQ(link.cells_dropped_high(), 1u);
+  EXPECT_EQ(link.cells_dropped_low(), 0u);
+  Cell low;
+  low.low_priority = true;
+  EXPECT_FALSE(link.SendCell(low));
+  EXPECT_EQ(link.cells_dropped_low(), 1u);
+  EXPECT_EQ(link.cells_dropped(), 2u);
+
+  sim.Run();
+  // Every queued low-priority cell survived and was delivered in order.
+  ASSERT_EQ(sink.cells.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(sink.cells[i].low_priority);
+    EXPECT_EQ(sink.cells[i].seq, static_cast<uint64_t>(i));
+  }
+  // The snapshot mirrors the split counters and queue bounds.
+  const Link::StatsSnapshot stats = link.Stats();
+  EXPECT_EQ(stats.cells_sent, 4u);
+  EXPECT_EQ(stats.cells_dropped_high, 1u);
+  EXPECT_EQ(stats.cells_dropped_low, 1u);
+  EXPECT_EQ(stats.queue_limit, 4u);
+  EXPECT_EQ(stats.queued_cells, 0u);
+}
+
 TEST(LinkTest, UtilizationTracksBusyFraction) {
   sim::Simulator sim;
   Link link(&sim, "l", 100'000'000, 0);
@@ -383,6 +430,47 @@ TEST_F(NetworkFixture, PacedFrameArrivesAtPacedRate) {
   sim_.Run();
   EXPECT_GT(done_at, sim::Milliseconds(4));
   EXPECT_LT(done_at, sim::Milliseconds(5));
+}
+
+// Regression: SignalCongestion snapshots its notification set before
+// invoking handlers, and a handler may close a SIBLING VC on the same link
+// mid-signal. The closed VC's handler must not fire afterwards — it would
+// observe a congestion report for a circuit that no longer exists.
+TEST_F(NetworkFixture, CongestionHandlerClosingSiblingVcSuppressesItsCallback) {
+  auto vc1 = net_.OpenVc(a_, c_);
+  auto vc2 = net_.OpenVc(b_, c_);
+  ASSERT_TRUE(vc1.has_value());
+  ASSERT_TRUE(vc2.has_value());
+  // Both traverse the inter-switch link.
+  auto edge_links = net_.VcLinks(vc1->id);
+  ASSERT_NE(edge_links, nullptr);
+  const Link* shared = (*edge_links)[1];
+  ASSERT_NE(std::find(net_.VcLinks(vc2->id)->begin(), net_.VcLinks(vc2->id)->end(), shared),
+            net_.VcLinks(vc2->id)->end());
+
+  int first_fired = 0;
+  int second_fired = 0;
+  net_.SetCongestionHandler(vc1->id, [&](VcId, const Link*, double) {
+    ++first_fired;
+    net_.CloseVc(vc2->id);  // renegotiation closing a sibling mid-signal
+  });
+  net_.SetCongestionHandler(vc2->id, [&](VcId, const Link*, double) { ++second_fired; });
+
+  // Only the surviving VC is notified, and the return value counts it alone.
+  EXPECT_EQ(net_.SignalCongestion(shared, 0.5), 1);
+  EXPECT_EQ(first_fired, 1);
+  EXPECT_EQ(second_fired, 0);
+  EXPECT_EQ(net_.GetVc(vc2->id), nullptr);
+
+  // A handler dropping its OWN registration mid-signal is equally safe.
+  net_.SetCongestionHandler(vc1->id, [&](VcId id, const Link*, double) {
+    ++first_fired;
+    net_.ClearCongestionHandler(id);
+  });
+  EXPECT_EQ(net_.SignalCongestion(shared, 0.25), 1);
+  EXPECT_EQ(first_fired, 2);
+  EXPECT_EQ(net_.SignalCongestion(shared, 0.25), 0);  // nothing registered
+  EXPECT_EQ(first_fired, 2);
 }
 
 TEST(WireTest, RoundTrip) {
