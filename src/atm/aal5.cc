@@ -33,38 +33,66 @@ uint32_t GetU32(const uint8_t* p) {
 
 }  // namespace
 
-std::vector<Cell> Aal5Segment(Vci vci, const std::vector<uint8_t>& sdu, sim::TimeNs created_at,
-                              uint64_t first_seq) {
-  if (sdu.size() > kAal5MaxSduSize) {
-    return {};
+size_t Aal5SegmentInto(Vci vci, const uint8_t* sdu, size_t sdu_len, sim::TimeNs created_at,
+                       uint64_t first_seq, std::vector<Cell>* out) {
+  if (sdu_len > kAal5MaxSduSize) {
+    return 0;
   }
-  // Build the CS-PDU: SDU + pad + trailer, length a multiple of the payload size.
-  const size_t unpadded = sdu.size() + kTrailerSize;
-  const size_t pdu_len = (unpadded + kCellPayloadSize - 1) / kCellPayloadSize * kCellPayloadSize;
-  std::vector<uint8_t> pdu(pdu_len, 0);
-  if (!sdu.empty()) {
-    std::memcpy(pdu.data(), sdu.data(), sdu.size());
-  }
-  uint8_t* trailer = pdu.data() + pdu_len - kTrailerSize;
-  trailer[0] = 0;  // CPCS-UU
-  trailer[1] = 0;  // CPI
-  PutU16(trailer + 2, static_cast<uint16_t>(sdu.size()));
-  // CRC covers the whole PDU with the CRC field itself zeroed (it is zero here).
-  PutU32(trailer + 4, Crc32(pdu.data(), pdu_len - 4));
-
-  std::vector<Cell> cells(pdu_len / kCellPayloadSize);
-  for (size_t i = 0; i < cells.size(); ++i) {
-    Cell& c = cells[i];
+  // CS-PDU layout: SDU + zero pad + 8-octet trailer, a multiple of the cell
+  // payload size — but cut directly into cell payloads instead of being
+  // materialised.
+  const size_t unpadded = sdu_len + kTrailerSize;
+  const size_t n_cells = (unpadded + kCellPayloadSize - 1) / kCellPayloadSize;
+  const size_t base = out->size();
+  out->resize(base + n_cells);
+  size_t offset = 0;  // position within the SDU
+  for (size_t i = 0; i < n_cells; ++i) {
+    Cell& c = (*out)[base + i];
     c.vci = vci;
-    c.end_of_frame = (i + 1 == cells.size());
+    c.end_of_frame = (i + 1 == n_cells);
+    c.low_priority = false;
     c.created_at = created_at;
     c.seq = first_seq + i;
-    std::memcpy(c.payload.data(), pdu.data() + i * kCellPayloadSize, kCellPayloadSize);
+    const size_t take = std::min(sdu_len - offset, static_cast<size_t>(kCellPayloadSize));
+    if (take > 0) {
+      std::memcpy(c.payload.data(), sdu + offset, take);
+      offset += take;
+    }
+    if (take < static_cast<size_t>(kCellPayloadSize)) {
+      std::memset(c.payload.data() + take, 0, kCellPayloadSize - take);
+    }
   }
+  // Trailer lives in the last 8 octets of the last cell (the PDU is padded
+  // to a payload multiple, so it never straddles cells).
+  Cell& last = (*out)[base + n_cells - 1];
+  uint8_t* trailer = last.payload.data() + kCellPayloadSize - kTrailerSize;
+  trailer[0] = 0;  // CPCS-UU
+  trailer[1] = 0;  // CPI
+  PutU16(trailer + 2, static_cast<uint16_t>(sdu_len));
+  // CRC covers the whole PDU with the CRC field itself zeroed (it is zero
+  // here), computed incrementally over the finished cell payloads.
+  uint32_t crc = 0;
+  for (size_t i = 0; i + 1 < n_cells; ++i) {
+    crc = Crc32((*out)[base + i].payload.data(), kCellPayloadSize, crc);
+  }
+  crc = Crc32(last.payload.data(), kCellPayloadSize - 4, crc);
+  PutU32(trailer + 4, crc);
+  return n_cells;
+}
+
+std::vector<Cell> Aal5Segment(Vci vci, const std::vector<uint8_t>& sdu, sim::TimeNs created_at,
+                              uint64_t first_seq) {
+  std::vector<Cell> cells;
+  Aal5SegmentInto(vci, sdu.data(), sdu.size(), created_at, first_seq, &cells);
   return cells;
 }
 
 std::optional<std::vector<uint8_t>> Aal5Reassembler::Push(const Cell& cell) {
+  if (buffer_.empty()) {
+    // One up-front reservation sized for a typical tile/frame PDU, so the
+    // per-cell appends below never reallocate mid-frame for common sizes.
+    buffer_.reserve(64 * kCellPayloadSize);
+  }
   buffer_.insert(buffer_.end(), cell.payload.begin(), cell.payload.end());
   if (buffer_.size() > kAal5MaxSduSize + 2 * kCellPayloadSize) {
     // Lost an end-of-frame cell somewhere; resynchronise.

@@ -30,6 +30,14 @@ inline constexpr size_t kAal5MaxSduSize = 65535;
 std::vector<Cell> Aal5Segment(Vci vci, const std::vector<uint8_t>& sdu,
                               sim::TimeNs created_at = 0, uint64_t first_seq = 0);
 
+// Segmentation without the intermediate CS-PDU: cells are appended straight
+// onto `out` (an outgoing train buffer), payloads are filled in place and the
+// trailer CRC is computed incrementally over the cell payloads — no PDU
+// materialisation, no second memcpy per cell. Appends nothing when the SDU
+// exceeds kAal5MaxSduSize. Returns the number of cells appended.
+size_t Aal5SegmentInto(Vci vci, const uint8_t* sdu, size_t sdu_len, sim::TimeNs created_at,
+                       uint64_t first_seq, std::vector<Cell>* out);
+
 // Per-virtual-circuit reassembler. Feed cells in arrival order; when the
 // end-of-frame cell arrives, the CS-PDU trailer is validated (length + CRC)
 // and the SDU is returned. Corrupt or over-long PDUs are dropped and counted.

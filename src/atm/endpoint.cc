@@ -15,6 +15,15 @@ void Endpoint::DeliverCell(const Cell& cell) {
   }
 }
 
+void Endpoint::DeliverBurst(const Cell* cells, size_t count) {
+  cells_received_ += count;
+  if (handler_) {
+    for (size_t i = 0; i < count; ++i) {
+      handler_(cells[i]);
+    }
+  }
+}
+
 bool Endpoint::SendCell(Cell cell) {
   if (uplink_ == nullptr) {
     return false;
@@ -24,18 +33,22 @@ bool Endpoint::SendCell(Cell cell) {
 }
 
 void Endpoint::SendFrame(Vci vci, const std::vector<uint8_t>& sdu, int64_t pace_bps) {
-  std::vector<Cell> cells = Aal5Segment(vci, sdu, sim_->now(), next_seq_);
-  next_seq_ += cells.size();
+  tx_train_.clear();
+  Aal5SegmentInto(vci, sdu.data(), sdu.size(), sim_->now(), next_seq_, &tx_train_);
+  next_seq_ += tx_train_.size();
+  if (uplink_ == nullptr) {
+    // Matches SendCell on a detached endpoint: nothing is counted as sent.
+    return;
+  }
   if (pace_bps <= 0) {
-    for (const Cell& c : cells) {
-      SendCell(c);
-    }
+    cells_sent_ += tx_train_.size();
+    uplink_->SendBurst(tx_train_.data(), tx_train_.size());
     return;
   }
   const sim::DurationNs spacing = sim::TransmissionTime(kCellSize, pace_bps);
   sim::TimeNs& horizon = pace_free_at_[vci];
   horizon = std::max(horizon, sim_->now());
-  for (const Cell& c : cells) {
+  for (const Cell& c : tx_train_) {
     const sim::TimeNs at = horizon;
     horizon += spacing;
     if (at <= sim_->now()) {

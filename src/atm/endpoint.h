@@ -41,8 +41,10 @@ class Endpoint : public CellSink {
   int attached_port() const { return port_; }
   Link* uplink() const { return uplink_; }
 
-  // Receives a cell from the downlink and forwards it to the handler.
+  // Receives a cell (or a whole train) from the downlink and forwards it to
+  // the handler.
   void DeliverCell(const Cell& cell) override;
+  void DeliverBurst(const Cell* cells, size_t count) override;
 
   void set_cell_handler(CellHandler handler) { handler_ = std::move(handler); }
 
@@ -52,7 +54,8 @@ class Endpoint : public CellSink {
 
   // Convenience: AAL5-segments `sdu` and sends the cells. When `pace_bps` is
   // non-zero the cells are spaced at that rate (a per-VC traffic shaper);
-  // otherwise they are queued back-to-back at link rate.
+  // otherwise the frame is segmented straight into the outgoing train
+  // buffer and offered to the uplink as one burst.
   void SendFrame(Vci vci, const std::vector<uint8_t>& sdu, int64_t pace_bps = 0);
 
   // Incoming-VCI bookkeeping used by signalling: the terminating VCI of each
@@ -78,6 +81,10 @@ class Endpoint : public CellSink {
   // Per-VC pacing horizon: the earliest time the next paced cell on that VC
   // may enter the uplink.
   std::map<Vci, sim::TimeNs> pace_free_at_;
+  // Reusable segmentation buffer: frames are cut straight into it and
+  // offered to the uplink as one train, so SendFrame allocates nothing in
+  // steady state.
+  std::vector<Cell> tx_train_;
 };
 
 }  // namespace pegasus::atm

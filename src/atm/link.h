@@ -8,11 +8,25 @@
 // itself is a dumb pipe). Drops are counted per priority class so an
 // observer can weight the loss of reserved-class cells above best-effort
 // ones when deriving congestion severity.
+//
+// Cell trains: back-to-back cells queued while the transmitter is busy are
+// coalesced into a train and handed to the sink as ONE DeliverBurst — one
+// scheduled event per train instead of two per cell. A train is cut at AAL5
+// frame boundaries: the delivery event fires when the next end-of-frame
+// cell clears the transmitter (plus propagation), so a frame's completion
+// instant — the latency media code can observe — is identical to the
+// per-cell path; only interior cells move (to their frame's end). Raw
+// streams that never set end_of_frame batch up to kMaxTrainCells per event.
+// Admission (per-cell tail-drop), the split drop counters, cells_sent,
+// busy_time and the queue-occupancy view are bit-identical to the per-cell
+// path.
 #ifndef PEGASUS_SRC_ATM_LINK_H_
 #define PEGASUS_SRC_ATM_LINK_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/atm/cell.h"
 #include "src/sim/event_queue.h"
@@ -25,6 +39,14 @@ class CellSink {
  public:
   virtual ~CellSink() = default;
   virtual void DeliverCell(const Cell& cell) = 0;
+  // A train of back-to-back cells that completed the link together, in send
+  // order. Sinks that can exploit batching (a switch fabric, a NIC ring)
+  // override this; the default preserves per-cell semantics.
+  virtual void DeliverBurst(const Cell* cells, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      DeliverCell(cells[i]);
+    }
+  }
 };
 
 class Link {
@@ -44,6 +66,11 @@ class Link {
   // the transmit queue is full.
   bool SendCell(const Cell& cell);
 
+  // Offers a whole train of cells; equivalent to calling SendCell on each
+  // (admission and tail-drop stay per-cell) but schedules at most one
+  // delivery event. Returns the number of cells accepted.
+  size_t SendBurst(const Cell* cells, size_t count);
+
   const std::string& name() const { return name_; }
   int64_t bits_per_second() const { return bps_; }
   sim::DurationNs propagation_delay() const { return prop_delay_; }
@@ -58,7 +85,11 @@ class Link {
   int64_t bytes_sent() const { return static_cast<int64_t>(cells_sent_) * kCellSize; }
   // Fraction of wall-clock time the transmitter has been busy, in [0, 1].
   double utilization() const;
-  size_t queued_cells() const { return queued_; }
+  // Cells accepted but not yet clear of the transmitter. The transmitter
+  // drains deterministically (one cell per cell_time until tx_free_at_), so
+  // occupancy is computed from the busy horizon instead of counted per
+  // delivery event — same trajectory, no bookkeeping on the hot path.
+  size_t queued_cells() const;
   size_t queue_limit() const { return queue_limit_; }
   // Cumulative time the transmitter has spent busy since construction.
   sim::DurationNs busy_time() const { return busy_time_; }
@@ -75,11 +106,31 @@ class Link {
     sim::DurationNs busy_time = 0;
   };
   StatsSnapshot Stats() const {
-    return StatsSnapshot{cells_sent_,  cells_dropped_high_, cells_dropped_low_,
-                         queued_,      queue_limit_,        busy_time_};
+    return StatsSnapshot{cells_sent_,    cells_dropped_high_, cells_dropped_low_,
+                         queued_cells(), queue_limit_,        busy_time_};
   }
 
  private:
+  // Ceiling on how many cells one delivery event may defer when a stream
+  // never marks end-of-frame (raw floods): bounds the added latency of an
+  // interior cell to kMaxTrainCells serialisation times.
+  static constexpr size_t kMaxTrainCells = 128;
+
+  // A cell waiting in (or in flight beyond) the transmitter, tagged with the
+  // instant its serialisation completes.
+  struct PendingCell {
+    Cell cell;
+    sim::TimeNs done;
+  };
+
+  // Number of accepted cells whose serialisation completes after `now`.
+  size_t QueuedAt(sim::TimeNs now) const;
+  // Schedules the next delivery event: at the first undelivered
+  // end-of-frame cell's completion, or the kMaxTrainCells-th undelivered
+  // cell's, whichever is earlier.
+  void ArmDelivery();
+  void DeliverReady();
+
   sim::Simulator* sim_;
   std::string name_;
   int64_t bps_;
@@ -91,11 +142,19 @@ class Link {
   // The transmitter is modelled by a "busy until" horizon rather than an
   // explicit queue: each accepted cell reserves the next cell_time_ slot.
   sim::TimeNs tx_free_at_ = 0;
-  size_t queued_ = 0;
   uint64_t cells_sent_ = 0;
   uint64_t cells_dropped_high_ = 0;
   uint64_t cells_dropped_low_ = 0;
   sim::DurationNs busy_time_ = 0;
+
+  // The current train: accepted, undelivered cells in send order.
+  // train_head_ marks the delivered prefix (compacted when it drains).
+  std::vector<PendingCell> train_;
+  size_t train_head_ = 0;
+  bool delivery_pending_ = false;
+  // Scratch handed to the sink, so a re-entrant SendCell from the sink can
+  // grow train_ without invalidating the span being delivered.
+  std::vector<Cell> burst_buf_;
 };
 
 }  // namespace pegasus::atm

@@ -1,5 +1,7 @@
 #include "src/atm/switch.h"
 
+#include <utility>
+
 namespace pegasus::atm {
 
 Switch::Switch(sim::Simulator* sim, std::string name, int num_ports, sim::DurationNs fabric_delay)
@@ -20,11 +22,26 @@ void Switch::AttachOutput(int port, Link* link) { outputs_[static_cast<size_t>(p
 bool Switch::AddRoute(int in_port, Vci in_vci, int out_port, Vci out_vci) {
   auto [it, inserted] = routes_.insert({RouteKey{in_port, in_vci}, RouteTarget{out_port, out_vci}});
   (void)it;
+  if (inserted) {
+    cached_target_ = nullptr;
+    auto hint = vci_hints_.find(in_port);
+    if (hint != vci_hints_.end() && in_vci == hint->second) {
+      ++hint->second;
+    }
+  }
   return inserted;
 }
 
 bool Switch::RemoveRoute(int in_port, Vci in_vci) {
-  return routes_.erase(RouteKey{in_port, in_vci}) > 0;
+  if (routes_.erase(RouteKey{in_port, in_vci}) == 0) {
+    return false;
+  }
+  cached_target_ = nullptr;
+  auto hint = vci_hints_.find(in_port);
+  if (hint != vci_hints_.end() && in_vci >= kVciFirstData && in_vci < hint->second) {
+    hint->second = in_vci;
+  }
+  return true;
 }
 
 bool Switch::HasRoute(int in_port, Vci in_vci) const {
@@ -32,32 +49,73 @@ bool Switch::HasRoute(int in_port, Vci in_vci) const {
 }
 
 Vci Switch::AllocateVci(int in_port) const {
-  Vci vci = kVciFirstData;
+  Vci& hint = vci_hints_.try_emplace(in_port, kVciFirstData).first->second;
+  Vci vci = hint < kVciFirstData ? kVciFirstData : hint;
   while (HasRoute(in_port, vci)) {
     ++vci;
   }
+  // Everything in [old hint, vci) was occupied; remember that so churny
+  // allocate/release cycles never re-probe the same run. The found VCI is
+  // NOT marked used here — AddRoute advances past it when the caller
+  // commits, so repeated AllocateVci without AddRoute stays idempotent.
+  hint = vci;
   return vci;
 }
 
-void Switch::OnCell(int in_port, const Cell& cell) {
-  auto it = routes_.find(RouteKey{in_port, cell.vci});
+const Switch::RouteTarget* Switch::Lookup(int in_port, Vci vci) const {
+  if (cached_target_ != nullptr && cached_key_.in_port == in_port && cached_key_.in_vci == vci) {
+    return cached_target_;
+  }
+  auto it = routes_.find(RouteKey{in_port, vci});
   if (it == routes_.end()) {
-    ++cells_unroutable_;
-    return;
+    return nullptr;
   }
-  const RouteTarget target = it->second;
-  Link* out = outputs_[static_cast<size_t>(target.out_port)];
-  if (out == nullptr) {
-    ++cells_unroutable_;
-    return;
-  }
-  ++cells_switched_;
-  Cell relabelled = cell;
-  relabelled.vci = target.out_vci;
-  if (fabric_delay_ == 0) {
-    out->SendCell(relabelled);
-  } else {
-    sim_->ScheduleAfter(fabric_delay_, [out, relabelled]() { out->SendCell(relabelled); });
+  cached_key_ = RouteKey{in_port, vci};
+  cached_target_ = &it->second;
+  return cached_target_;
+}
+
+void Switch::OnBurst(int in_port, const Cell* cells, size_t count) {
+  size_t i = 0;
+  while (i < count) {
+    const RouteTarget* target = Lookup(in_port, cells[i].vci);
+    Link* out = target != nullptr ? outputs_[static_cast<size_t>(target->out_port)] : nullptr;
+    if (out == nullptr) {
+      ++cells_unroutable_;
+      ++i;
+      continue;
+    }
+    // Gather the maximal run of cells bound for the same output link and
+    // relabel them in one pass; the run crosses the fabric as one event.
+    // The scratch buffer is a member so the zero-delay path allocates
+    // nothing; downstream delivery is always via a scheduled event, so
+    // nothing re-enters OnBurst while the scratch is live.
+    relabel_buf_.clear();
+    do {
+      relabel_buf_.push_back(cells[i]);
+      relabel_buf_.back().vci = target->out_vci;
+      ++i;
+      if (i == count) {
+        break;
+      }
+      target = Lookup(in_port, cells[i].vci);
+    } while (target != nullptr &&
+             outputs_[static_cast<size_t>(target->out_port)] == out);
+    cells_switched_ += relabel_buf_.size();
+    if (fabric_delay_ == 0) {
+      out->SendBurst(relabel_buf_.data(), relabel_buf_.size());
+    } else if (relabel_buf_.size() == 1) {
+      // Single cell: capture it in the closure (inline in the engine's
+      // handler storage) instead of heap-allocating a one-element train.
+      const Cell relabelled = relabel_buf_[0];
+      sim_->ScheduleAfter(fabric_delay_, [out, relabelled]() { out->SendCell(relabelled); });
+    } else {
+      sim_->ScheduleAfter(fabric_delay_,
+                          [out, train = std::move(relabel_buf_)]() mutable {
+                            out->SendBurst(train.data(), train.size());
+                          });
+      relabel_buf_.clear();  // moved-from; make the state explicit
+    }
   }
 }
 

@@ -52,6 +52,8 @@ class Switch {
   bool HasRoute(int in_port, Vci in_vci) const;
 
   // Finds a VCI unused on the given *input* port, starting at kVciFirstData.
+  // A per-port next-free hint makes allocate/add/remove churn amortised
+  // O(1) instead of a linear probe over every live route.
   Vci AllocateVci(int in_port) const;
 
   uint64_t cells_switched() const { return cells_switched_; }
@@ -77,14 +79,22 @@ class Switch {
   class InputPort : public CellSink {
    public:
     InputPort(Switch* parent, int port) : parent_(parent), port_(port) {}
-    void DeliverCell(const Cell& cell) override { parent_->OnCell(port_, cell); }
+    void DeliverCell(const Cell& cell) override { parent_->OnBurst(port_, &cell, 1); }
+    void DeliverBurst(const Cell* cells, size_t count) override {
+      parent_->OnBurst(port_, cells, count);
+    }
 
    private:
     Switch* parent_;
     int port_;
   };
 
-  void OnCell(int in_port, const Cell& cell);
+  // Routes a train in one pass: consecutive cells bound for the same output
+  // link are relabelled together and cross the fabric as ONE scheduled
+  // event. Per-cell stats (switched/unroutable) are unchanged.
+  void OnBurst(int in_port, const Cell* cells, size_t count);
+  // Table lookup with a one-entry cache — trains are usually a single VCI.
+  const RouteTarget* Lookup(int in_port, Vci vci) const;
 
   sim::Simulator* sim_;
   std::string name_;
@@ -92,6 +102,15 @@ class Switch {
   std::vector<std::unique_ptr<InputPort>> inputs_;
   std::vector<Link*> outputs_;
   std::map<RouteKey, RouteTarget> routes_;
+  // Route-lookup cache; invalidated by any table mutation.
+  mutable RouteKey cached_key_{-1, 0};
+  mutable const RouteTarget* cached_target_ = nullptr;
+  // Relabel scratch for OnBurst (see there for the re-entrancy argument).
+  std::vector<Cell> relabel_buf_;
+  // Per-input-port allocation hints: every VCI below the hint (and at or
+  // above kVciFirstData) is known occupied. Advanced by AllocateVci/AddRoute,
+  // lowered by RemoveRoute.
+  mutable std::map<int, Vci> vci_hints_;
   uint64_t cells_switched_ = 0;
   uint64_t cells_unroutable_ = 0;
 };

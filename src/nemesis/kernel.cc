@@ -26,7 +26,14 @@ bool Kernel::AddDomain(Domain* domain) {
 }
 
 void Kernel::RemoveDomain(Domain* domain) {
-  assert(domain != running_ && "cannot remove the running domain");
+  if (domain == running_) {
+    // Deschedule it exactly as a preemption would — charge the partial
+    // segment and cancel the pending run-end — so removal never leaves a
+    // run-end event pointing at a detached domain. Which domain happens to
+    // be on the CPU when a client departs is schedule timing, not
+    // something callers can be asked to avoid.
+    Preempt();
+  }
   scheduler_->Remove(domain);
   domains_.erase(std::remove(domains_.begin(), domains_.end(), domain), domains_.end());
   if (last_on_cpu_ == domain) {

@@ -54,7 +54,10 @@ class Kernel {
 
   // Registers a domain. Returns false if scheduler admission rejects it.
   bool AddDomain(Domain* domain);
-  // Removes a domain. Must not be the running domain.
+  // Removes a domain. If it is the one on the CPU it is descheduled first,
+  // exactly as a preemption (partial segment charged, run-end cancelled) —
+  // callers cannot be asked to know which domain the schedule put on the
+  // CPU at departure time.
   void RemoveDomain(Domain* domain);
 
   // Changes a domain's QoS contract (used by the QoS manager). Returns false

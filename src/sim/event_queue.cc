@@ -4,56 +4,93 @@
 
 namespace pegasus::sim {
 
+namespace {
+
+constexpr uint64_t kSlotMask = 0xFFFFFFFFull;
+
+uint64_t PackId(uint32_t slot, uint32_t gen) {
+  // slot+1 keeps the value nonzero so EventId{}.valid() stays false.
+  return (static_cast<uint64_t>(gen) << 32) | (static_cast<uint64_t>(slot) + 1);
+}
+
+}  // namespace
+
+uint32_t Simulator::AcquireSlot() {
+  if (!free_slots_.empty()) {
+    const uint32_t index = free_slots_.back();
+    free_slots_.pop_back();
+    return index;
+  }
+  if (slot_count_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  return static_cast<uint32_t>(slot_count_++);
+}
+
 EventId Simulator::ScheduleAt(TimeNs t, Handler fn) {
   if (t < now_) {
     t = now_;
   }
-  const uint64_t id = next_seq_;
-  queue_.push(Entry{t, next_seq_, id, std::move(fn)});
+  const uint32_t index = AcquireSlot();
+  Slot& slot = SlotAt(index);
+  slot.fn = std::move(fn);
+  slot.seq = next_seq_;
+  queue_.push(HeapEntry{t, next_seq_, index});
   ++next_seq_;
-  return EventId{id};
+  ++live_;
+  return EventId{PackId(index, slot.gen)};
+}
+
+void Simulator::ReleaseSlot(uint32_t index) {
+  Slot& slot = SlotAt(index);
+  slot.fn = Handler();
+  slot.seq = 0;
+  ++slot.gen;
+  free_slots_.push_back(index);
 }
 
 bool Simulator::Cancel(EventId id) {
   if (!id.valid()) {
     return false;
   }
-  // The id may already have run: ids are queue sequence numbers, so an id that
-  // is no longer pending is simply absent. Track it only if still pending.
-  // We cannot cheaply test membership in the priority queue, so record the
-  // cancellation and let the pop loop discard it; report success based on
-  // whether the id could still be pending.
-  if (id.value >= next_seq_) {
+  const uint32_t index = static_cast<uint32_t>((id.value & kSlotMask) - 1);
+  const uint32_t gen = static_cast<uint32_t>(id.value >> 32);
+  if (index >= slot_count_) {
     return false;
   }
-  auto [it, inserted] = cancelled_.insert(id.value);
-  (void)it;
-  return inserted;
+  Slot& slot = SlotAt(index);
+  if (slot.gen != gen || slot.seq == 0) {
+    // Already ran, already cancelled, or the slot moved on to a newer event.
+    return false;
+  }
+  // The heap entry stays behind as a tombstone; the pop loop discards it by
+  // seeing a seq mismatch. The slot itself is reusable right away.
+  ReleaseSlot(index);
+  --live_;
+  return true;
 }
 
-void Simulator::DiscardCancelledHead() {
-  while (!queue_.empty()) {
-    const Entry& head = queue_.top();
-    auto it = cancelled_.find(head.id);
-    if (it == cancelled_.end()) {
-      return;
-    }
-    cancelled_.erase(it);
+bool Simulator::SkimStaleHead() {
+  while (!queue_.empty() && !EntryLive(queue_.top())) {
     queue_.pop();
   }
+  return !queue_.empty();
 }
 
 bool Simulator::Step() {
-  DiscardCancelledHead();
-  if (queue_.empty()) {
+  if (!SkimStaleHead()) {
     return false;
   }
-  // Move the handler out before popping so the entry can schedule new events.
-  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  const HeapEntry entry = queue_.top();
   queue_.pop();
   now_ = entry.time;
+  // Move the handler out and release the slot before invoking, so the
+  // handler is free to schedule (and land in this very slot).
+  Handler fn = std::move(SlotAt(entry.slot).fn);
+  ReleaseSlot(entry.slot);
+  --live_;
   ++executed_;
-  entry.fn();
+  fn();
   return true;
 }
 
@@ -63,11 +100,7 @@ void Simulator::Run() {
 }
 
 void Simulator::RunUntil(TimeNs t) {
-  for (;;) {
-    DiscardCancelledHead();
-    if (queue_.empty() || queue_.top().time > t) {
-      break;
-    }
+  while (SkimStaleHead() && queue_.top().time <= t) {
     Step();
   }
   if (now_ < t) {

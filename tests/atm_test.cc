@@ -170,7 +170,12 @@ TEST(LinkTest, SerialisationAndPropagationDelay) {
   EXPECT_EQ(sink.times[0], 4240 + 10'000);
 }
 
-TEST(LinkTest, BackToBackCellsSerialise) {
+// Back-to-back cells serialise at link rate and ride a cell train: the
+// first cell is delivered when its serialisation completes, the coalesced
+// remainder arrives together when the train's LAST cell clears the
+// transmitter — the same instant the last cell arrived on the per-cell
+// path, so frame completion times are unchanged.
+TEST(LinkTest, BackToBackCellsCoalesceIntoTrain) {
   sim::Simulator sim;
   Link link(&sim, "l", 100'000'000, 0);
   CollectorSink sink;
@@ -184,11 +189,14 @@ TEST(LinkTest, BackToBackCellsSerialise) {
   sim.Run();
   ASSERT_EQ(sink.cells.size(), 3u);
   EXPECT_EQ(sink.times[0], 4240);
-  EXPECT_EQ(sink.times[1], 2 * 4240);
+  EXPECT_EQ(sink.times[1], 3 * 4240);
   EXPECT_EQ(sink.times[2], 3 * 4240);
-  // Order preserved.
+  // Order preserved, and the train spent exactly its serialisation time on
+  // the wire.
   EXPECT_EQ(sink.cells[0].seq, 0u);
   EXPECT_EQ(sink.cells[2].seq, 2u);
+  EXPECT_EQ(link.busy_time(), 3 * 4240);
+  EXPECT_EQ(link.queued_cells(), 0u);
 }
 
 TEST(LinkTest, QueueLimitDropsExcess) {
@@ -307,6 +315,34 @@ TEST(SwitchTest, VciAllocationSkipsUsed) {
   EXPECT_EQ(sw.AllocateVci(0), kVciFirstData + 1);
   // Other port unaffected.
   EXPECT_EQ(sw.AllocateVci(1), kVciFirstData);
+}
+
+// The next-free hint must not change the allocator's observable behaviour:
+// a removed route's VCI becomes allocatable again, repeated AllocateVci
+// without AddRoute stays idempotent, and churny open/close cycles keep
+// handing out the lowest free VCI.
+TEST(SwitchTest, VciAllocationReusesRemovedRoutes) {
+  sim::Simulator sim;
+  Switch sw(&sim, "sw", 2);
+  for (Vci v = kVciFirstData; v < kVciFirstData + 8; ++v) {
+    EXPECT_EQ(sw.AllocateVci(0), v);
+    EXPECT_TRUE(sw.AddRoute(0, v, 1, v + 100));
+  }
+  // AllocateVci without AddRoute is idempotent (the hint must not burn it).
+  EXPECT_EQ(sw.AllocateVci(0), kVciFirstData + 8);
+  EXPECT_EQ(sw.AllocateVci(0), kVciFirstData + 8);
+  // Freeing a VCI in the middle makes it the next allocation again.
+  EXPECT_TRUE(sw.RemoveRoute(0, kVciFirstData + 3));
+  EXPECT_EQ(sw.AllocateVci(0), kVciFirstData + 3);
+  EXPECT_TRUE(sw.AddRoute(0, kVciFirstData + 3, 1, 203));
+  EXPECT_EQ(sw.AllocateVci(0), kVciFirstData + 8);
+  // Churn: open/close at the same VCI never walks past the live run.
+  for (int i = 0; i < 1000; ++i) {
+    const Vci v = sw.AllocateVci(0);
+    EXPECT_EQ(v, kVciFirstData + 8);
+    EXPECT_TRUE(sw.AddRoute(0, v, 1, 300));
+    EXPECT_TRUE(sw.RemoveRoute(0, v));
+  }
 }
 
 class NetworkFixture : public ::testing::Test {

@@ -1,0 +1,106 @@
+// Engine-swap regression: the slab/inline-handler event engine must execute
+// a fixed scheduling scenario in EXACTLY the order the std::function
+// priority-queue engine did. The golden values below were recorded by
+// running this very scenario against the pre-swap engine (commit eedd4d2);
+// any reordering of (time, seq) ties, any clamp change, or any cancellation
+// semantics drift shows up as a hash mismatch.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace pegasus::sim {
+namespace {
+
+// FNV-1a over the executed (tag, time) sequence — order-sensitive, so any
+// reordering changes the digest.
+uint64_t DigestLog(const std::vector<std::pair<int, TimeNs>>& log) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& [tag, t] : log) {
+    mix(static_cast<uint64_t>(tag));
+    mix(static_cast<uint64_t>(t));
+  }
+  return h;
+}
+
+struct ScenarioResult {
+  uint64_t digest = 0;
+  uint64_t executed = 0;
+  TimeNs final_now = 0;
+  size_t log_size = 0;
+};
+
+// A fixed pseudo-random scheduling scenario covering the engine's whole
+// surface: bulk out-of-order scheduling, same-time FIFO ties, cancellation
+// before and after execution, double-cancels, nested scheduling from inside
+// handlers, past-time clamping, and a RunUntil boundary mid-run.
+ScenarioResult RunScenario() {
+  Simulator sim;
+  Rng rng(2024);
+  std::vector<std::pair<int, TimeNs>> log;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 400; ++i) {
+    const TimeNs t = rng.UniformInt(0, 5000);
+    ids.push_back(sim.ScheduleAt(t, [&log, &sim, i]() { log.emplace_back(i, sim.now()); }));
+  }
+  // Same-time FIFO ties.
+  for (int i = 0; i < 20; ++i) {
+    sim.ScheduleAt(1234, [&log, &sim, i]() { log.emplace_back(500 + i, sim.now()); });
+  }
+  // Nested scheduling, including a past-time clamp.
+  for (int i = 0; i < 50; ++i) {
+    const TimeNs t = rng.UniformInt(0, 5000);
+    sim.ScheduleAt(t, [&log, &sim, i]() {
+      log.emplace_back(1000 + i, sim.now());
+      sim.ScheduleAfter(3, [&log, &sim, i]() { log.emplace_back(2000 + i, sim.now()); });
+      sim.ScheduleAt(sim.now() - 100, [&log, &sim, i]() {  // clamps to now
+        log.emplace_back(3000 + i, sim.now());
+      });
+    });
+  }
+  // Cancel a subset before anything runs (every 7th).
+  for (size_t i = 0; i < ids.size(); i += 7) {
+    sim.Cancel(ids[i]);
+  }
+  sim.RunUntil(2500);
+  // Mid-run cancels: a mix of already-run ids (no effect), still-pending
+  // ids, and one index cancelled in both passes (i == 14).
+  for (size_t i = 3; i < ids.size(); i += 11) {
+    sim.Cancel(ids[i]);
+  }
+  sim.Run();
+  return ScenarioResult{DigestLog(log), sim.executed(), sim.now(), log.size()};
+}
+
+TEST(DeterminismRegression, GoldenExecutionOrderSurvivesEngineSwap) {
+  const ScenarioResult r = RunScenario();
+  // Golden values from the pre-swap std::function engine.
+  EXPECT_EQ(r.log_size, 496u);
+  EXPECT_EQ(r.executed, 496u);
+  EXPECT_EQ(r.final_now, 4999);
+  EXPECT_EQ(r.digest, 9707556646098588992ull);
+}
+
+// The scenario itself must be reproducible run-to-run (no address-dependent
+// ordering anywhere in the engine).
+TEST(DeterminismRegression, ScenarioIsReproducible) {
+  const ScenarioResult a = RunScenario();
+  const ScenarioResult b = RunScenario();
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.final_now, b.final_now);
+}
+
+}  // namespace
+}  // namespace pegasus::sim

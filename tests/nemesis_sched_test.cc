@@ -151,6 +151,31 @@ TEST(AtroposTest, RemoveDomainFreesItsShare) {
   EXPECT_TRUE(kernel->AddDomain(&b));
 }
 
+// Removing the domain that is ON the CPU mid-timeslice must deschedule it
+// like a preemption (partial segment charged, run-end cancelled), not trip
+// an assert: which domain is running when a client departs is schedule
+// timing, and the QoS manager's departure path cannot be asked to avoid it.
+TEST(AtroposTest, RemoveRunningDomainDeschedulesIt) {
+  sim::Simulator sim;
+  auto kernel = MakeAtroposKernel(&sim);
+  BatchDomain a("a", QosParams::Guaranteed(Milliseconds(60), Milliseconds(100)));
+  ASSERT_TRUE(kernel->AddDomain(&a));
+  kernel->Start();
+  // A lone batch domain is always the one running; stop mid-timeslice.
+  sim.RunUntil(Milliseconds(250) + Milliseconds(1) / 2);
+  ASSERT_GT(a.cpu_total(), 0);
+  kernel->RemoveDomain(&a);
+  const sim::DurationNs charged_at_removal = a.cpu_total();
+  // The kernel goes idle and never charges the removed domain again.
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(a.cpu_total(), charged_at_removal);
+  // Its share is free for a newcomer, which then actually runs.
+  BatchDomain b("b", QosParams::Guaranteed(Milliseconds(60), Milliseconds(100)));
+  ASSERT_TRUE(kernel->AddDomain(&b));
+  sim.RunUntil(Seconds(2));
+  EXPECT_GT(b.cpu_total(), 0);
+}
+
 TEST(AtroposTest, UpdateQosRespectsCapacity) {
   sim::Simulator sim;
   auto kernel = MakeAtroposKernel(&sim);

@@ -91,11 +91,43 @@ TEST(SimulatorTest, CancelAfterRunReportsFalse) {
   EventId id = sim.ScheduleAt(10, []() {});
   sim.Run();
   EXPECT_FALSE(sim.Cancel(EventId{}));  // invalid id
-  // The id already ran; cancelling is accepted but has no effect. We only
-  // guarantee no crash and no double-run.
-  sim.Cancel(id);
+  // The id already ran: the cancel must report failure (the slot's
+  // generation moved on) and must not disturb anything.
+  EXPECT_FALSE(sim.Cancel(id));
   sim.Run();
   EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(SimulatorTest, CancelBookkeepingDoesNotLeakOrDoubleCount) {
+  Simulator sim;
+  // Cancel-after-run across slot reuse: stale ids must stay dead even when
+  // their slot has been handed to a newer event.
+  EventId first = sim.ScheduleAt(1, []() {});
+  sim.Run();
+  bool second_ran = false;
+  EventId second = sim.ScheduleAt(2, [&]() { second_ran = true; });
+  // `first` is stale; whatever slot it occupied, cancelling it must not
+  // kill `second`.
+  EXPECT_FALSE(sim.Cancel(first));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_TRUE(second_ran);
+  // Double-cancel: the second attempt reports false.
+  EventId third = sim.ScheduleAt(3, []() {});
+  EXPECT_TRUE(sim.Cancel(third));
+  EXPECT_FALSE(sim.Cancel(third));
+  EXPECT_EQ(sim.pending(), 0u);
+  // Churn through cancelled and executed events: pending() stays exact
+  // (the old engine's cancelled-id set could drift after cancel-after-run).
+  for (int round = 0; round < 100; ++round) {
+    EventId a = sim.ScheduleAfter(1, []() {});
+    EventId b = sim.ScheduleAfter(2, []() {});
+    EXPECT_TRUE(sim.Cancel(a));
+    sim.Run();
+    EXPECT_FALSE(sim.Cancel(a));
+    EXPECT_FALSE(sim.Cancel(b));  // already ran
+    EXPECT_EQ(sim.pending(), 0u);
+  }
 }
 
 TEST(SimulatorTest, RunUntilAdvancesClockExactly) {

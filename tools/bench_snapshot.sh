@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Captures the data-plane performance snapshot as BENCH_05.json:
+#   - cells/s through the link hot path and a full switch transit
+#     (BM_LinkCellHotPath / BM_SwitchForward, burst size 64)
+#   - events/s through the simulator engine (BM_SimulatorEventChurn/100000)
+#   - wall-clock seconds of the E05 closed-loop monitoring scenario
+#     (12 simulated seconds of real cross-traffic overload + recovery)
+#
+# Usage: tools/bench_snapshot.sh <build-dir> [out.json]
+# The build should be a Release build; numbers from Debug builds are noise.
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: tools/bench_snapshot.sh <build-dir> [out.json]}"
+OUT="${2:-BENCH_05.json}"
+MICRO="$BUILD_DIR/bench/bench_micro"
+E05="$BUILD_DIR/bench/bench_e05_qos_adaptation"
+
+if [[ ! -x "$MICRO" || ! -x "$E05" ]]; then
+  echo "bench binaries missing under $BUILD_DIR/bench (configure with google-benchmark installed)" >&2
+  exit 1
+fi
+
+MICRO_JSON=$(mktemp)
+trap 'rm -f "$MICRO_JSON"' EXIT
+"$MICRO" \
+  --benchmark_filter='BM_LinkCellHotPath/64|BM_SwitchForward/64|BM_SimulatorEventChurn/100000' \
+  --benchmark_min_time=0.2 --benchmark_format=json >"$MICRO_JSON" 2>/dev/null
+
+# items_per_second for an exact benchmark name, from the JSON report.
+rate() {
+  awk -v want="\"name\": \"$1\"," '
+    index($0, want) { hit = 1 }
+    hit && /"items_per_second":/ {
+      gsub(/[^0-9.eE+-]/, "", $2); print $2; exit
+    }' "$MICRO_JSON"
+}
+
+LINK_CPS=$(rate "BM_LinkCellHotPath/64")
+SWITCH_CPS=$(rate "BM_SwitchForward/64")
+EVENTS_PS=$(rate "BM_SimulatorEventChurn/100000")
+
+E05_SIM_SECONDS=12
+START_NS=$(date +%s%N)
+"$E05" closed-loop "$E05_SIM_SECONDS" >/dev/null
+END_NS=$(date +%s%N)
+E05_WALL=$(awk -v s="$START_NS" -v e="$END_NS" 'BEGIN { printf "%.3f", (e - s) / 1e9 }')
+
+cat >"$OUT" <<JSON
+{
+  "bench": "BENCH_05",
+  "description": "cell-train data plane: pooled event engine + batched link/switch forwarding",
+  "link_cells_per_sec": ${LINK_CPS:-0},
+  "switch_cells_per_sec": ${SWITCH_CPS:-0},
+  "events_per_sec": ${EVENTS_PS:-0},
+  "e05_closed_loop_sim_seconds": $E05_SIM_SECONDS,
+  "e05_closed_loop_wall_seconds": $E05_WALL
+}
+JSON
+echo "wrote $OUT:"
+cat "$OUT"
