@@ -87,6 +87,36 @@ std::vector<Cell> Aal5Segment(Vci vci, const std::vector<uint8_t>& sdu, sim::Tim
   return cells;
 }
 
+namespace {
+// Past this the PDU cannot be valid: an end-of-frame cell was lost and the
+// reassembler resynchronises by dropping the accumulated buffer.
+constexpr size_t kResyncLimit = kAal5MaxSduSize + 2 * kCellPayloadSize;
+}  // namespace
+
+void Aal5Reassembler::IngestSpan(const Cell* cells, size_t count) {
+  size_t i = 0;
+  while (i < count) {
+    if (buffer_.empty()) {
+      buffer_.reserve(64 * kCellPayloadSize);
+    }
+    // Cells that fit without tripping the resync limit; the one after them
+    // trips it, exactly as the per-cell path's append-then-check would.
+    const size_t room = (kResyncLimit - buffer_.size()) / kCellPayloadSize;
+    const size_t take = std::min(count - i, room + 1);
+    const size_t base = buffer_.size();
+    buffer_.resize(base + take * kCellPayloadSize);
+    uint8_t* dst = buffer_.data() + base;
+    for (size_t k = 0; k < take; ++k) {
+      std::memcpy(dst + k * kCellPayloadSize, cells[i + k].payload.data(), kCellPayloadSize);
+    }
+    i += take;
+    if (buffer_.size() > kResyncLimit) {
+      ++length_errors_;
+      buffer_.clear();
+    }
+  }
+}
+
 std::optional<std::vector<uint8_t>> Aal5Reassembler::Push(const Cell& cell) {
   if (buffer_.empty()) {
     // One up-front reservation sized for a typical tile/frame PDU, so the
@@ -94,7 +124,7 @@ std::optional<std::vector<uint8_t>> Aal5Reassembler::Push(const Cell& cell) {
     buffer_.reserve(64 * kCellPayloadSize);
   }
   buffer_.insert(buffer_.end(), cell.payload.begin(), cell.payload.end());
-  if (buffer_.size() > kAal5MaxSduSize + 2 * kCellPayloadSize) {
+  if (buffer_.size() > kResyncLimit) {
     // Lost an end-of-frame cell somewhere; resynchronise.
     ++length_errors_;
     buffer_.clear();

@@ -47,6 +47,14 @@ class Aal5Reassembler {
   // CS-PDU, std::nullopt otherwise.
   std::optional<std::vector<uint8_t>> Push(const Cell& cell);
 
+  // Bulk-appends the payloads of `count` cells, none of which may have
+  // end_of_frame set (the caller splits delivered trains at frame
+  // boundaries): one buffer resize per span and a tight copy loop instead of
+  // a per-cell Push with its capacity checks and optional return. The
+  // lost-end-of-frame resynchronisation fires at exactly the cell it would
+  // on the per-cell path, with the same length_errors accounting.
+  void IngestSpan(const Cell* cells, size_t count);
+
   uint64_t frames_ok() const { return frames_ok_; }
   uint64_t crc_errors() const { return crc_errors_; }
   uint64_t length_errors() const { return length_errors_; }

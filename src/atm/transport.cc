@@ -3,7 +3,10 @@
 namespace pegasus::atm {
 
 MessageTransport::MessageTransport(Endpoint* endpoint) : endpoint_(endpoint) {
+  // set_cell_handler clears any previous owner's burst handler, so install
+  // the cell path first and the span path on top of it.
   endpoint_->set_cell_handler([this](const Cell& cell) { OnCell(cell); });
+  endpoint_->set_burst_handler([this](const Cell* cells, size_t count) { OnBurst(cells, count); });
 }
 
 void MessageTransport::SetHandler(Vci vci, MessageHandler handler) {
@@ -30,6 +33,16 @@ uint64_t MessageTransport::reassembly_errors() const {
   return n;
 }
 
+void MessageTransport::Dispatch(Vci vci, std::vector<uint8_t> sdu, sim::TimeNs first_cell_at) {
+  ++messages_received_;
+  auto it = handlers_.find(vci);
+  if (it != handlers_.end()) {
+    it->second(vci, std::move(sdu), first_cell_at);
+  } else if (default_handler_) {
+    default_handler_(vci, std::move(sdu), first_cell_at);
+  }
+}
+
 void MessageTransport::OnCell(const Cell& cell) {
   VcRx& rx = rx_[cell.vci];
   if (!rx.in_frame) {
@@ -43,13 +56,37 @@ void MessageTransport::OnCell(const Cell& cell) {
   if (!sdu.has_value()) {
     return;
   }
-  ++messages_received_;
-  const sim::TimeNs first_at = rx.frame_first_cell_at;
-  auto it = handlers_.find(cell.vci);
-  if (it != handlers_.end()) {
-    it->second(cell.vci, std::move(*sdu), first_at);
-  } else if (default_handler_) {
-    default_handler_(cell.vci, std::move(*sdu), first_at);
+  Dispatch(cell.vci, std::move(*sdu), rx.frame_first_cell_at);
+}
+
+void MessageTransport::OnBurst(const Cell* cells, size_t count) {
+  size_t i = 0;
+  while (i < count) {
+    const Vci vci = cells[i].vci;
+    VcRx& rx = rx_[vci];
+    if (!rx.in_frame) {
+      rx.in_frame = true;
+      rx.frame_first_cell_at = cells[i].created_at;
+    }
+    // Maximal same-VC run with no frame boundary: one bulk append.
+    size_t j = i;
+    while (j < count && cells[j].vci == vci && !cells[j].end_of_frame) {
+      ++j;
+    }
+    if (j > i) {
+      rx.reassembler.IngestSpan(cells + i, j - i);
+    }
+    if (j < count && cells[j].vci == vci) {
+      // The run's end-of-frame cell closes the CS-PDU.
+      auto sdu = rx.reassembler.Push(cells[j]);
+      rx.in_frame = false;
+      const sim::TimeNs first_at = rx.frame_first_cell_at;
+      ++j;
+      if (sdu.has_value()) {
+        Dispatch(vci, std::move(*sdu), first_at);
+      }
+    }
+    i = j;
   }
 }
 

@@ -47,6 +47,11 @@ class MessageTransport {
 
  private:
   void OnCell(const Cell& cell);
+  // Span-ingest fast path for delivered trains: maximal same-VC runs with no
+  // frame boundary are bulk-appended by the reassembler in one go; cell-for-
+  // cell equivalent to OnCell over the same sequence.
+  void OnBurst(const Cell* cells, size_t count);
+  void Dispatch(Vci vci, std::vector<uint8_t> sdu, sim::TimeNs first_cell_at);
 
   Endpoint* endpoint_;
   std::map<Vci, MessageHandler> handlers_;

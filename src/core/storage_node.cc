@@ -12,11 +12,39 @@ constexpr int64_t kRecordHeader = 12;  // u32 length + i64 arrival timestamp
 }
 
 StorageNode::StorageNode(atm::Network* network, atm::Switch* sw, int port, pfs::PfsConfig config,
-                         const std::string& name)
+                         const std::string& name, int64_t link_bps)
     : sim_(network->simulator()),
-      endpoint_(network->AddEndpoint(name, sw, port, 155'000'000)),
+      endpoint_(network->AddEndpoint(name, sw, port, link_bps)),
       transport_(endpoint_),
       server_(network->simulator(), config) {}
+
+pfs::FileId StorageNode::SeedContinuousFile(int records, int record_bytes,
+                                            sim::DurationNs cadence) {
+  const pfs::FileId file = server_.CreateFile(pfs::FileType::kContinuous);
+  // Build the whole title in one buffer and issue a single write: the file
+  // server snapshots each block's base content when a write is *issued*, so
+  // many same-instant writes straddling shared blocks would clobber each
+  // other when their commits run.
+  std::vector<uint8_t> all;
+  all.reserve(static_cast<size_t>(records) * static_cast<size_t>(kRecordHeader + record_bytes));
+  int64_t offset = 0;
+  sim::TimeNs media_ts = sim_->now();
+  for (int i = 0; i < records; ++i) {
+    atm::WireWriter w;
+    w.PutU32(static_cast<uint32_t>(record_bytes));
+    w.PutI64(media_ts);
+    std::vector<uint8_t> record = w.Take();
+    record.resize(static_cast<size_t>(kRecordHeader + record_bytes), static_cast<uint8_t>(i));
+    all.insert(all.end(), record.begin(), record.end());
+    if (i % 25 == 0) {
+      server_.AppendIndexEntry(file, media_ts, offset);
+    }
+    offset += kRecordHeader + record_bytes;
+    media_ts += cadence;
+  }
+  server_.Write(file, 0, std::move(all), [](bool) {});
+  return file;
+}
 
 pfs::FileId StorageNode::StartRecording(atm::Vci data_vci, atm::Vci control_vci,
                                         uint32_t stream_id) {

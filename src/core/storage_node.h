@@ -29,7 +29,7 @@ namespace pegasus::core {
 class StorageNode {
  public:
   StorageNode(atm::Network* network, atm::Switch* sw, int port, pfs::PfsConfig config,
-              const std::string& name = "storage");
+              const std::string& name = "storage", int64_t link_bps = 155'000'000);
 
   pfs::PegasusFileServer* server() { return &server_; }
   atm::Endpoint* endpoint() const { return endpoint_; }
@@ -43,6 +43,14 @@ class StorageNode {
   pfs::FileId StartRecording(atm::Vci data_vci, atm::Vci control_vci, uint32_t stream_id);
   // Stops recording and syncs the file; returns bytes recorded.
   int64_t StopRecording(atm::Vci data_vci, std::function<void()> synced);
+
+  // --- catalog seeding ---
+  // Creates a continuous file pre-populated with `records` synthetic
+  // records of `record_bytes` payload each, timestamped `cadence` apart
+  // (the recorded play-out rhythm), with a periodic time index. Scenario
+  // generators use this to stock a video-on-demand catalog without
+  // replaying a live recording session per title.
+  pfs::FileId SeedContinuousFile(int records, int record_bytes, sim::DurationNs cadence);
 
   // --- playback ---
   // Plays the records of `file` to `out_vci`, re-timing each record from the

@@ -25,11 +25,33 @@ Workstation* PegasusSystem::AddWorkstation(const std::string& name) {
   return ws;
 }
 
+Workstation* PegasusSystem::AddWorkstation(const std::string& name, atm::Switch* attach,
+                                           int attach_port, int64_t uplink_bps) {
+  workstations_.push_back(std::make_unique<Workstation>(&network_, name,
+                                                        config_.workstation_ports,
+                                                        config_.device_link_bps));
+  Workstation* ws = workstations_.back().get();
+  network_.ConnectSwitches(ws->local_switch(), ws->ClaimPort(), attach, attach_port, uplink_bps);
+  return ws;
+}
+
 StorageNode* PegasusSystem::AddStorageServer(const pfs::PfsConfig& config,
                                              const std::string& name) {
   const int port = next_backbone_port_++;
   storage_nodes_.push_back(
       std::make_unique<StorageNode>(&network_, backbone_, port, config, name));
+  StorageNode* node = storage_nodes_.back().get();
+  if (qos_monitor_ != nullptr) {
+    qos_monitor_->AddFileServer(node->server());
+  }
+  return node;
+}
+
+StorageNode* PegasusSystem::AddStorageServer(const pfs::PfsConfig& config,
+                                             const std::string& name, atm::Switch* attach,
+                                             int attach_port, int64_t link_bps) {
+  storage_nodes_.push_back(
+      std::make_unique<StorageNode>(&network_, attach, attach_port, config, name, link_bps));
   StorageNode* node = storage_nodes_.back().get();
   if (qos_monitor_ != nullptr) {
     qos_monitor_->AddFileServer(node->server());

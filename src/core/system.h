@@ -44,8 +44,18 @@ class PegasusSystem {
 
   // --- component factories ---
   Workstation* AddWorkstation(const std::string& name);
+  // Attach-anywhere variant for generated fabrics: the workstation's local
+  // switch uplinks to `attach` port `attach_port` at `uplink_bps` instead of
+  // the backbone. The metro-scale topology generator hangs hosts off edge
+  // switches this way.
+  Workstation* AddWorkstation(const std::string& name, atm::Switch* attach, int attach_port,
+                              int64_t uplink_bps);
   StorageNode* AddStorageServer(const pfs::PfsConfig& config,
                                 const std::string& name = "storage");
+  // Attach-anywhere variant: the storage endpoint hangs off `attach` port
+  // `attach_port` at `link_bps` instead of the backbone.
+  StorageNode* AddStorageServer(const pfs::PfsConfig& config, const std::string& name,
+                                atm::Switch* attach, int attach_port, int64_t link_bps);
   UnixNode* AddUnixNode(const std::string& name = "unix");
   ComputeNode* AddComputeServer(const std::string& name = "compute");
   // A compute server attached to `ws`'s local switch rather than the

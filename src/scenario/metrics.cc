@@ -1,0 +1,70 @@
+#include "src/scenario/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace pegasus::scenario {
+
+namespace {
+
+void Mix(uint64_t* h, uint64_t v) {
+  // FNV-1a, folding each value in byte-wise.
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (8 * i)) & 0xffu;
+    *h *= 1099511628211ull;
+  }
+}
+
+}  // namespace
+
+uint64_t FleetMetrics::Fingerprint() const {
+  uint64_t h = 14695981039346656037ull;
+  Mix(&h, static_cast<uint64_t>(arrivals));
+  Mix(&h, static_cast<uint64_t>(admitted));
+  Mix(&h, static_cast<uint64_t>(blocked));
+  Mix(&h, static_cast<uint64_t>(blocked_network));
+  Mix(&h, static_cast<uint64_t>(blocked_disk));
+  Mix(&h, static_cast<uint64_t>(blocked_content_busy));
+  Mix(&h, static_cast<uint64_t>(blocked_other));
+  Mix(&h, static_cast<uint64_t>(counter_offers));
+  Mix(&h, static_cast<uint64_t>(departed));
+  Mix(&h, static_cast<uint64_t>(peak_concurrent));
+  Mix(&h, static_cast<uint64_t>(concurrent_at_end));
+  Mix(&h, static_cast<uint64_t>(renegotiations));
+  Mix(&h, static_cast<uint64_t>(renegotiations_refused));
+  Mix(&h, static_cast<uint64_t>(adapting_sessions));
+  Mix(&h, static_cast<uint64_t>(adaptation_events));
+  Mix(&h, static_cast<uint64_t>(convergence_total_ns));
+  Mix(&h, static_cast<uint64_t>(convergence_max_ns));
+  Mix(&h, link_cells_sent);
+  Mix(&h, link_cells_dropped);
+  Mix(&h, static_cast<uint64_t>(records_played));
+  Mix(&h, static_cast<uint64_t>(records_recorded));
+  Mix(&h, static_cast<uint64_t>(sim_duration_ns));
+  return h;
+}
+
+std::string FleetMetrics::Summary() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "arrivals=%" PRId64 " admitted=%" PRId64 " blocked=%" PRId64
+      " (net=%" PRId64 " disk=%" PRId64 " busy=%" PRId64 " other=%" PRId64
+      ") blocking_p=%.4f\n"
+      "departed=%" PRId64 " peak_concurrent=%" PRId64 " at_end=%" PRId64
+      " renegotiations=%" PRId64 "/%" PRId64 " refused\n"
+      "adaptation: sessions=%" PRId64 " events=%" PRId64
+      " mean_convergence=%.1f ms max=%.1f ms\n"
+      "data plane: cell_hops=%" PRIu64 " dropped=%" PRIu64 " played=%" PRId64
+      " recorded=%" PRId64 "\n"
+      "wall: admit_mean=%.1f us admit_max=%.1f us cells/s=%.3g",
+      arrivals, admitted, blocked, blocked_network, blocked_disk, blocked_content_busy,
+      blocked_other, blocking_probability(), departed, peak_concurrent, concurrent_at_end,
+      renegotiations, renegotiations_refused, adapting_sessions, adaptation_events,
+      mean_convergence_ms(), static_cast<double>(convergence_max_ns) / 1e6, link_cells_sent,
+      link_cells_dropped, records_played, records_recorded, mean_admit_wall_us(),
+      admit_wall_ns_max / 1e3, cells_per_wall_second());
+  return buf;
+}
+
+}  // namespace pegasus::scenario

@@ -1,0 +1,71 @@
+#include "src/scenario/topology.h"
+
+#include <string>
+
+namespace pegasus::scenario {
+
+MetroTopology BuildMetroTopology(core::PegasusSystem& system, const TopologyParams& params) {
+  MetroTopology topo;
+  topo.params = params;
+  atm::Network& net = system.network();
+
+  // Core tier: enough ports for the mesh, the aggregation fan-out and the
+  // storage servers. Ports are handed out in that order.
+  const int core_ports = (params.core_switches - 1) + params.agg_per_core +
+                         params.storage_per_core;
+  std::vector<int> core_next_port(static_cast<size_t>(params.core_switches), 0);
+  for (int c = 0; c < params.core_switches; ++c) {
+    topo.cores.push_back(net.AddSwitch("core" + std::to_string(c), core_ports));
+  }
+  for (int a = 0; a < params.core_switches; ++a) {
+    for (int b = a + 1; b < params.core_switches; ++b) {
+      net.ConnectSwitches(topo.cores[a], core_next_port[a]++, topo.cores[b], core_next_port[b]++,
+                          params.core_mesh_bps);
+    }
+  }
+
+  // Aggregation tier: one trunk up to the owning core, the rest feed edges.
+  for (int c = 0; c < params.core_switches; ++c) {
+    for (int i = 0; i < params.agg_per_core; ++i) {
+      const int a = c * params.agg_per_core + i;
+      atm::Switch* agg =
+          net.AddSwitch("agg" + std::to_string(a), 1 + params.edge_per_agg);
+      topo.aggs.push_back(agg);
+      net.ConnectSwitches(agg, 0, topo.cores[c], core_next_port[c]++, params.core_agg_bps);
+    }
+  }
+
+  // Edge tier: one trunk up, one port per subscriber workstation.
+  for (int a = 0; a < static_cast<int>(topo.aggs.size()); ++a) {
+    for (int i = 0; i < params.edge_per_agg; ++i) {
+      const int e = a * params.edge_per_agg + i;
+      atm::Switch* edge =
+          net.AddSwitch("edge" + std::to_string(e), 1 + params.hosts_per_edge);
+      topo.edges.push_back(edge);
+      net.ConnectSwitches(edge, 0, topo.aggs[a], 1 + i, params.agg_edge_bps);
+    }
+  }
+
+  // Subscriber workstations hang off the edges at the tapered uplink rate.
+  for (int e = 0; e < static_cast<int>(topo.edges.size()); ++e) {
+    for (int i = 0; i < params.hosts_per_edge; ++i) {
+      const int h = e * params.hosts_per_edge + i;
+      topo.hosts.push_back(system.AddWorkstation("ws" + std::to_string(h), topo.edges[e], 1 + i,
+                                                 params.host_uplink_bps));
+    }
+  }
+
+  // Storage servers sit at the cores, on fat links.
+  for (int c = 0; c < params.core_switches; ++c) {
+    for (int i = 0; i < params.storage_per_core; ++i) {
+      const int s = c * params.storage_per_core + i;
+      topo.storage.push_back(system.AddStorageServer(params.storage_config,
+                                                     "store" + std::to_string(s), topo.cores[c],
+                                                     core_next_port[c]++,
+                                                     params.storage_link_bps));
+    }
+  }
+  return topo;
+}
+
+}  // namespace pegasus::scenario

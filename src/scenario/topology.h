@@ -1,0 +1,95 @@
+// Metro-scale topology generation.
+//
+// The paper closes on the ambition of scaling Pegasus beyond a machine room:
+// "the system accommodates millions of users" only if the fabric between
+// them does. This generator grows the single-backbone picture of Figure 4
+// into a metropolitan hierarchy: a full mesh of core switches, each core
+// fanning out to aggregation switches, each aggregation switch to edge
+// switches, and workstations hanging off the edges — with link capacity
+// tapering toward the edge the way a carrier network is provisioned (fat
+// core trunks, thinner aggregation links, 155 Mb/s subscriber uplinks).
+// Storage servers sit at the cores, next to the bandwidth, so a popular
+// title is a trunk hop — not an edge hop — away from most viewers.
+//
+// Everything is built through the existing PegasusSystem / atm::Network
+// factories; the result is an ordinary network that BuildStream() admission
+// and the QosMonitor treat like any hand-wired one.
+#ifndef PEGASUS_SRC_SCENARIO_TOPOLOGY_H_
+#define PEGASUS_SRC_SCENARIO_TOPOLOGY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/pfs/server.h"
+
+namespace pegasus::scenario {
+
+struct TopologyParams {
+  // Tier fan-out. Defaults make a small two-core metro; benches scale them
+  // into the hundreds-of-switches regime.
+  int core_switches = 2;
+  int agg_per_core = 2;
+  int edge_per_agg = 2;
+  int hosts_per_edge = 4;
+  int storage_per_core = 1;
+
+  // Link capacity tapers toward the edge: OC-48-class core trunks down to
+  // OC-3 subscriber uplinks.
+  int64_t core_mesh_bps = 2'400'000'000;
+  int64_t core_agg_bps = 1'200'000'000;
+  int64_t agg_edge_bps = 622'000'000;
+  int64_t host_uplink_bps = 155'000'000;
+  int64_t storage_link_bps = 622'000'000;
+
+  pfs::PfsConfig storage_config;
+
+  int num_cores() const { return core_switches; }
+  int num_aggs() const { return core_switches * agg_per_core; }
+  int num_edges() const { return num_aggs() * edge_per_agg; }
+  int num_hosts() const { return num_edges() * hosts_per_edge; }
+  int num_storage() const { return core_switches * storage_per_core; }
+  // Fabric switches plus the per-workstation local switches (every
+  // Workstation owns one).
+  int num_switches() const { return num_cores() + num_aggs() + num_edges() + num_hosts(); }
+
+  // Directed links the generated network must hold. Every switch-to-switch
+  // connection and every endpoint attachment is a link pair:
+  //   core mesh        C*(C-1)   (full mesh, C choose 2 pairs)
+  //   core <-> agg     2*A
+  //   agg  <-> edge    2*E
+  //   edge <-> host switch and host switch <-> host NIC   4*H
+  //   core <-> storage endpoint                           2*S
+  // The PegasusSystem backbone switch exists but contributes no links.
+  size_t expected_network_links() const {
+    const size_t c = static_cast<size_t>(num_cores());
+    return c * (c - 1) + 2 * static_cast<size_t>(num_aggs()) +
+           2 * static_cast<size_t>(num_edges()) + 4 * static_cast<size_t>(num_hosts()) +
+           2 * static_cast<size_t>(num_storage());
+  }
+};
+
+// The generated fabric, in deterministic construction order: aggs are
+// grouped by core (agg a belongs to core a / agg_per_core), edges by agg,
+// hosts by edge, storage by core.
+struct MetroTopology {
+  TopologyParams params;
+  std::vector<atm::Switch*> cores;
+  std::vector<atm::Switch*> aggs;
+  std::vector<atm::Switch*> edges;
+  std::vector<core::Workstation*> hosts;
+  std::vector<core::StorageNode*> storage;
+
+  int edge_of_host(int host) const { return host / params.hosts_per_edge; }
+  int agg_of_host(int host) const { return edge_of_host(host) / params.edge_per_agg; }
+  int core_of_host(int host) const { return agg_of_host(host) / params.agg_per_core; }
+};
+
+// Builds the hierarchy into `system`'s network. Call on a freshly
+// constructed system: host/storage names are generated from tier indices.
+MetroTopology BuildMetroTopology(core::PegasusSystem& system, const TopologyParams& params);
+
+}  // namespace pegasus::scenario
+
+#endif  // PEGASUS_SRC_SCENARIO_TOPOLOGY_H_

@@ -1,0 +1,360 @@
+#include "src/scenario/workload.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+namespace pegasus::scenario {
+
+namespace {
+
+// Live sources frame at the classic video cadence; paced frame sizes follow
+// the granted rate.
+constexpr sim::DurationNs kFrameInterval = sim::Milliseconds(40);
+
+double WallNsSince(std::chrono::steady_clock::time_point t0) {
+  return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count());
+}
+
+}  // namespace
+
+ScenarioEngine::ScenarioEngine(core::PegasusSystem* system, const MetroTopology* topo,
+                               WorkloadParams params)
+    : system_(system),
+      topo_(topo),
+      params_(params),
+      sim_(system->simulator()),
+      rng_(params.seed) {
+  SeedCatalog();
+}
+
+void ScenarioEngine::SeedCatalog() {
+  if (params_.vod_weight <= 0.0 || topo_->storage.empty()) {
+    return;
+  }
+  // Storage-major layout: popularity rank i lives on storage node
+  // i / files_per_storage, so the head of the Zipf ranking — most of the
+  // offered VOD load — lands on the first storage node and makes it hot.
+  for (int s = 0; s < static_cast<int>(topo_->storage.size()); ++s) {
+    for (int f = 0; f < params_.catalog_files_per_storage; ++f) {
+      catalog_files_.push_back(topo_->storage[static_cast<size_t>(s)]->SeedContinuousFile(
+          params_.catalog_records_per_file, params_.catalog_record_bytes,
+          params_.catalog_record_cadence));
+      catalog_storage_.push_back(s);
+      catalog_busy_.push_back(false);
+    }
+  }
+}
+
+int ScenarioEngine::ProbeCatalog(int rank) {
+  const int n = static_cast<int>(catalog_files_.size());
+  for (int k = 0; k < n; ++k) {
+    const int idx = (rank + k) % n;
+    if (!catalog_busy_[static_cast<size_t>(idx)]) {
+      return idx;
+    }
+  }
+  return -1;
+}
+
+void ScenarioEngine::ScheduleNextArrival() {
+  const double gap_ns = rng_.Exponential(1e9 / params_.arrivals_per_sec);
+  const sim::DurationNs gap = std::max<sim::DurationNs>(1, static_cast<sim::DurationNs>(gap_ns));
+  sim_->ScheduleAfter(gap, [this]() { OnArrival(); });
+}
+
+void ScenarioEngine::RecordBlock(const core::AdmissionReport& report) {
+  ++metrics_.blocked;
+  if (report.counter_offer.has_value()) {
+    ++metrics_.counter_offers;
+  }
+  switch (report.failure) {
+    case core::AdmitFailure::kNetworkBandwidth:
+      ++metrics_.blocked_network;
+      break;
+    case core::AdmitFailure::kDiskBandwidth:
+      ++metrics_.blocked_disk;
+      break;
+    default:
+      ++metrics_.blocked_other;
+      break;
+  }
+}
+
+void ScenarioEngine::OnArrival() {
+  if (!running_) {
+    return;
+  }
+  ScheduleNextArrival();
+  ++metrics_.arrivals;
+
+  // Every arrival draws in a fixed order so a seed replays exactly.
+  const double type_draw = rng_.UniformDouble();
+  const sim::DurationNs holding = std::max<sim::DurationNs>(
+      sim::Milliseconds(1),
+      static_cast<sim::DurationNs>(rng_.Exponential(params_.mean_holding_sec * 1e9)));
+  const bool drives_data = rng_.Bernoulli(params_.data_session_fraction);
+  const bool renegotiates = rng_.Bernoulli(params_.renegotiate_fraction);
+
+  const int num_hosts = static_cast<int>(topo_->hosts.size());
+  const int num_storage = static_cast<int>(topo_->storage.size());
+  double phone_w = num_hosts >= 2 ? params_.phone_weight : 0.0;
+  double vod_w = (!catalog_files_.empty() && num_hosts >= 1) ? params_.vod_weight : 0.0;
+  double record_w = (num_storage >= 1 && num_hosts >= 1) ? params_.record_weight : 0.0;
+  const double total_w = phone_w + vod_w + record_w;
+  if (total_w <= 0.0) {
+    ++metrics_.blocked;
+    ++metrics_.blocked_other;
+    return;
+  }
+
+  const int64_t id = next_session_id_++;
+  SessionType type;
+  if (type_draw < phone_w / total_w) {
+    type = SessionType::kPhone;
+  } else if (type_draw < (phone_w + vod_w) / total_w) {
+    type = SessionType::kVod;
+  } else {
+    type = SessionType::kRecord;
+  }
+
+  ActiveSession entry;
+  entry.type = type;
+  entry.drives_data = drives_data;
+  core::StreamSpec spec;
+  core::StorageNode* storage = nullptr;
+
+  core::StreamBuilder builder = system_->BuildStream();
+  switch (type) {
+    case SessionType::kPhone: {
+      const int a = static_cast<int>(rng_.UniformInt(0, num_hosts - 1));
+      int b = static_cast<int>(rng_.UniformInt(0, num_hosts - 2));
+      if (b >= a) {
+        ++b;
+      }
+      core::Workstation* src = topo_->hosts[static_cast<size_t>(a)];
+      core::Workstation* dst = topo_->hosts[static_cast<size_t>(b)];
+      spec = core::StreamSpec::Video(25.0, params_.phone_bps);
+      builder.FromEndpoint(src, src->host()).ToEndpoint(dst, dst->host());
+      entry.source_ws = src;
+      break;
+    }
+    case SessionType::kVod: {
+      const int viewer = static_cast<int>(rng_.UniformInt(0, num_hosts - 1));
+      const int rank = static_cast<int>(
+          rng_.Zipf(static_cast<int64_t>(catalog_files_.size()), params_.zipf_theta));
+      const int idx = ProbeCatalog(rank);
+      if (idx < 0) {
+        // Whole catalog on the air: the title (and every fallback) is busy.
+        ++metrics_.blocked;
+        ++metrics_.blocked_content_busy;
+        return;
+      }
+      storage = topo_->storage[static_cast<size_t>(catalog_storage_[static_cast<size_t>(idx)])];
+      core::Workstation* dst = topo_->hosts[static_cast<size_t>(viewer)];
+      spec = core::StreamSpec::Video(25.0, params_.vod_bps);
+      spec.disk_bps = params_.vod_bps / 8;
+      builder.FromStorage(storage, catalog_files_[static_cast<size_t>(idx)])
+          .ToEndpoint(dst, dst->host());
+      entry.catalog_index = idx;
+      break;
+    }
+    case SessionType::kRecord: {
+      const int src_idx = static_cast<int>(rng_.UniformInt(0, num_hosts - 1));
+      const int st = static_cast<int>(rng_.UniformInt(0, num_storage - 1));
+      storage = topo_->storage[static_cast<size_t>(st)];
+      core::Workstation* src = topo_->hosts[static_cast<size_t>(src_idx)];
+      spec = core::StreamSpec::Video(25.0, params_.record_bps);
+      spec.disk_bps = params_.record_bps / 8;
+      builder.FromEndpoint(src, src->host()).ToStorage(storage, static_cast<uint32_t>(id));
+      entry.source_ws = src;
+      break;
+    }
+  }
+
+  builder.WithSpec(spec).WithAdaptation(params_.adaptation);
+  const auto wall0 = std::chrono::steady_clock::now();
+  core::StreamResult result = builder.Open();
+  const double admit_ns = WallNsSince(wall0);
+  ++metrics_.admit_calls;
+  metrics_.admit_wall_ns_total += admit_ns;
+  metrics_.admit_wall_ns_max = std::max(metrics_.admit_wall_ns_max, admit_ns);
+
+  if (!result.report.ok()) {
+    RecordBlock(result.report);
+    return;
+  }
+
+  ++metrics_.admitted;
+  entry.session = result.session;
+  if (entry.catalog_index >= 0) {
+    catalog_busy_[static_cast<size_t>(entry.catalog_index)] = true;
+  }
+  active_[id] = entry;
+  metrics_.peak_concurrent =
+      std::max(metrics_.peak_concurrent, static_cast<int64_t>(active_.size()));
+
+  sim_->ScheduleAfter(holding, [this, id]() { OnDeparture(id); });
+  if (renegotiates) {
+    sim_->ScheduleAfter(holding / 2, [this, id]() { OnRenegotiate(id); });
+  }
+  if (drives_data) {
+    if (type == SessionType::kVod) {
+      // Real play-out: the storage node streams the title's records onto
+      // the session's first-leg VC at the granted pace (bound by Open).
+      storage->StartPlayback(entry.session->file(), entry.session->source_vci());
+    } else {
+      DriveFrames(id);
+    }
+  }
+}
+
+void ScenarioEngine::DriveFrames(int64_t id) {
+  auto it = active_.find(id);
+  if (it == active_.end() || !running_) {
+    return;
+  }
+  ActiveSession& s = it->second;
+  const int64_t bps = s.session->legs().front().granted_bps;
+  // One frame interval's worth of the granted rate, paced onto the wire
+  // through the token-bucket shaper.
+  const size_t bytes = static_cast<size_t>(std::clamp<int64_t>(
+      bps / 8 / 25, 64, static_cast<int64_t>(atm::kAal5MaxSduSize) - 64));
+  std::vector<uint8_t> payload(bytes, static_cast<uint8_t>(id));
+  s.source_ws->host_transport()->Send(s.session->source_vci(), payload, bps);
+  sim_->ScheduleAfter(kFrameInterval, [this, id]() { DriveFrames(id); });
+}
+
+void ScenarioEngine::OnRenegotiate(int64_t id) {
+  auto it = active_.find(id);
+  if (it == active_.end() || !running_) {
+    return;
+  }
+  core::StreamSession* session = it->second.session;
+  core::StreamSpec spec = session->contract().granted;
+  spec.bandwidth_bps =
+      static_cast<int64_t>(static_cast<double>(spec.bandwidth_bps) * params_.renegotiate_scale);
+  for (auto& leg : spec.legs) {
+    if (leg.bandwidth_bps > 0) {
+      leg.bandwidth_bps = static_cast<int64_t>(static_cast<double>(leg.bandwidth_bps) *
+                                               params_.renegotiate_scale);
+    }
+  }
+  spec.disk_bps =
+      static_cast<int64_t>(static_cast<double>(spec.disk_bps) * params_.renegotiate_scale);
+  const core::AdmissionReport report = session->Renegotiate(spec);
+  if (report.ok()) {
+    ++metrics_.renegotiations;
+  } else {
+    ++metrics_.renegotiations_refused;
+  }
+}
+
+void ScenarioEngine::PollAdaptation(ActiveSession* s) {
+  if (!s->session->has_adaptation()) {
+    return;
+  }
+  const int64_t applied = s->session->adaptations_applied();
+  if (applied > s->applied_seen) {
+    if (s->first_applied_at < 0) {
+      s->first_applied_at = sim_->now();
+    }
+    s->last_applied_at = sim_->now();
+    metrics_.adaptation_events += applied - s->applied_seen;
+    s->applied_seen = applied;
+  }
+}
+
+void ScenarioEngine::FinishSession(ActiveSession* s) {
+  if (s->first_applied_at < 0) {
+    return;
+  }
+  ++metrics_.adapting_sessions;
+  const sim::DurationNs convergence = s->last_applied_at - s->first_applied_at;
+  metrics_.convergence_total_ns += convergence;
+  metrics_.convergence_max_ns = std::max(metrics_.convergence_max_ns, convergence);
+}
+
+void ScenarioEngine::OnDeparture(int64_t id) {
+  auto it = active_.find(id);
+  if (it == active_.end()) {
+    return;
+  }
+  ActiveSession& s = it->second;
+  PollAdaptation(&s);
+  FinishSession(&s);
+  if (s.catalog_index >= 0) {
+    catalog_busy_[static_cast<size_t>(s.catalog_index)] = false;
+  }
+  s.session->Close();
+  ++metrics_.departed;
+  active_.erase(it);
+}
+
+void ScenarioEngine::OnMetricsTick() {
+  if (!running_) {
+    return;
+  }
+  for (auto& [id, s] : active_) {
+    (void)id;
+    PollAdaptation(&s);
+  }
+  sim_->ScheduleAfter(params_.metrics_period, [this]() { OnMetricsTick(); });
+}
+
+const FleetMetrics& ScenarioEngine::Run(sim::DurationNs duration) {
+  const auto wall0 = std::chrono::steady_clock::now();
+  uint64_t cells0 = 0;
+  uint64_t drops0 = 0;
+  for (const auto& link : system_->network().links()) {
+    cells0 += link->cells_sent();
+    drops0 += link->cells_dropped();
+  }
+  int64_t played0 = 0;
+  int64_t recorded0 = 0;
+  for (core::StorageNode* node : topo_->storage) {
+    played0 += node->records_played();
+    recorded0 += node->records_recorded();
+  }
+
+  if (params_.enable_qos_monitor) {
+    system_->EnableQosMonitor(params_.monitor_config);
+  }
+  running_ = true;
+  end_time_ = sim_->now() + duration;
+  ScheduleNextArrival();
+  sim_->ScheduleAfter(params_.metrics_period, [this]() { OnMetricsTick(); });
+  sim_->RunUntil(end_time_);
+  running_ = false;
+
+  // Final sweep: sessions still on the air contribute their adaptation
+  // history even though they never departed.
+  for (auto& [id, s] : active_) {
+    (void)id;
+    PollAdaptation(&s);
+    FinishSession(&s);
+  }
+  metrics_.concurrent_at_end = static_cast<int64_t>(active_.size());
+  metrics_.sim_duration_ns = duration;
+
+  uint64_t cells1 = 0;
+  uint64_t drops1 = 0;
+  for (const auto& link : system_->network().links()) {
+    cells1 += link->cells_sent();
+    drops1 += link->cells_dropped();
+  }
+  metrics_.link_cells_sent = cells1 - cells0;
+  metrics_.link_cells_dropped = drops1 - drops0;
+  for (core::StorageNode* node : topo_->storage) {
+    metrics_.records_played += node->records_played();
+    metrics_.records_recorded += node->records_recorded();
+  }
+  metrics_.records_played -= played0;
+  metrics_.records_recorded -= recorded0;
+  metrics_.run_wall_seconds = WallNsSince(wall0) / 1e9;
+  return metrics_;
+}
+
+}  // namespace pegasus::scenario

@@ -1,0 +1,144 @@
+// Session-churn workload engine for metro-scale scenarios.
+//
+// Drives a generated metro fabric the way a city drives it: calls arrive as
+// a Poisson process, each opening a cross-layer StreamBuilder contract —
+// phone calls between workstations, video-on-demand play-outs from the
+// storage tier, recorder streams into it — holding it for an exponential
+// time, perhaps renegotiating mid-life, then departing. Content popularity
+// is Zipf-distributed over the catalog, so a handful of titles (and the
+// storage node shelving them) take most of the load.
+//
+// Everything stochastic draws from one seeded sim::Rng and every schedule
+// lives on the simulator clock, so a (topology, params, duration) triple
+// replays bit-for-bit: identical seeds produce identical FleetMetrics
+// fingerprints. The only wall-clock observations (admission-call latency,
+// sustained cells/s) are kept outside the fingerprint.
+#ifndef PEGASUS_SRC_SCENARIO_WORKLOAD_H_
+#define PEGASUS_SRC_SCENARIO_WORKLOAD_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/core/qos_monitor.h"
+#include "src/core/stream.h"
+#include "src/core/system.h"
+#include "src/pfs/server.h"
+#include "src/scenario/metrics.h"
+#include "src/scenario/topology.h"
+#include "src/sim/random.h"
+
+namespace pegasus::scenario {
+
+struct WorkloadParams {
+  uint64_t seed = 1;
+
+  // Session churn: Poisson arrivals, exponential holding times.
+  double arrivals_per_sec = 20.0;
+  double mean_holding_sec = 5.0;
+
+  // Session mix (normalised internally).
+  double phone_weight = 0.55;
+  double vod_weight = 0.35;
+  double record_weight = 0.10;
+  int64_t phone_bps = 2'000'000;
+  int64_t vod_bps = 4'000'000;
+  int64_t record_bps = 3'000'000;
+
+  // Content popularity: Zipf rank over the whole catalog, laid out
+  // storage-major so the hottest titles pile onto the first storage node.
+  // The PFS reservation ledger and the play-out engine are per-file, so a
+  // title can be on the air once; a viewer finding it busy probes down the
+  // popularity ranking and blocks only when every title is playing.
+  double zipf_theta = 0.8;
+  int catalog_files_per_storage = 32;
+  int catalog_records_per_file = 64;
+  int catalog_record_bytes = 4096;
+  sim::DurationNs catalog_record_cadence = sim::Milliseconds(40);
+
+  // Fraction of admitted sessions that actually move cells (live frame
+  // sources / real play-outs) rather than holding reservations only; keeps
+  // fleet-sized runs tractable while still exercising the data plane.
+  double data_session_fraction = 0.05;
+  // Fraction of sessions that renegotiate their contract down mid-life.
+  double renegotiate_fraction = 0.10;
+  double renegotiate_scale = 0.6;
+
+  core::AdaptationPolicy adaptation;
+  sim::DurationNs metrics_period = sim::Milliseconds(100);
+
+  // Closed-loop monitoring over the whole fabric; adaptation convergence
+  // metrics need it (nothing else degrades fleet sessions).
+  bool enable_qos_monitor = false;
+  core::QosMonitor::Config monitor_config;
+
+  WorkloadParams() { adaptation.floor = 0.25; }
+};
+
+class ScenarioEngine {
+ public:
+  // `system` and `topo` must outlive the engine. Seeds the VOD catalog on
+  // construction (before any churn) when the mix plays video on demand.
+  ScenarioEngine(core::PegasusSystem* system, const MetroTopology* topo, WorkloadParams params);
+
+  ScenarioEngine(const ScenarioEngine&) = delete;
+  ScenarioEngine& operator=(const ScenarioEngine&) = delete;
+
+  // Drives churn for `duration` of simulated time and finalises the
+  // metrics. One shot: call once per engine.
+  const FleetMetrics& Run(sim::DurationNs duration);
+
+  const FleetMetrics& metrics() const { return metrics_; }
+  int64_t active_sessions() const { return static_cast<int64_t>(active_.size()); }
+
+ private:
+  enum class SessionType { kPhone, kVod, kRecord };
+
+  struct ActiveSession {
+    core::StreamSession* session = nullptr;
+    SessionType type = SessionType::kPhone;
+    core::Workstation* source_ws = nullptr;  // frame-driving end (phone/record)
+    int catalog_index = -1;                  // busy flag to drop on departure
+    bool drives_data = false;
+    // Adaptation polling state: applied-counter watermark and the sim times
+    // the first/last applied change was observed at.
+    int64_t applied_seen = 0;
+    sim::TimeNs first_applied_at = -1;
+    sim::TimeNs last_applied_at = -1;
+  };
+
+  void SeedCatalog();
+  void ScheduleNextArrival();
+  void OnArrival();
+  void OnDeparture(int64_t id);
+  void OnRenegotiate(int64_t id);
+  void DriveFrames(int64_t id);
+  void OnMetricsTick();
+  void PollAdaptation(ActiveSession* s);
+  void FinishSession(ActiveSession* s);
+  void RecordBlock(const core::AdmissionReport& report);
+  // First non-busy catalog index at or below rank `rank` in popularity
+  // order (wrapping), or -1 when the whole catalog is on the air.
+  int ProbeCatalog(int rank);
+
+  core::PegasusSystem* system_;
+  const MetroTopology* topo_;
+  WorkloadParams params_;
+  sim::Simulator* sim_;
+  sim::Rng rng_;
+
+  // Catalog, popularity-ranked: index i is the i-th most popular title.
+  std::vector<pfs::FileId> catalog_files_;
+  std::vector<int> catalog_storage_;
+  std::vector<bool> catalog_busy_;
+
+  std::map<int64_t, ActiveSession> active_;
+  int64_t next_session_id_ = 1;
+  sim::TimeNs end_time_ = 0;
+  bool running_ = false;
+  FleetMetrics metrics_;
+};
+
+}  // namespace pegasus::scenario
+
+#endif  // PEGASUS_SRC_SCENARIO_WORKLOAD_H_

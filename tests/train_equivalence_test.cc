@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <vector>
 
 #include "src/atm/aal5.h"
@@ -257,6 +258,95 @@ TEST(TrainEquivalence, SwitchForwardingKeepsPerCellCounters) {
   }
   EXPECT_TRUE(std::is_sorted(seq77.begin(), seq77.end()));
   EXPECT_TRUE(std::is_sorted(seq78.begin(), seq78.end()));
+}
+
+// Span-ingest reassembly: chopping a mixed-VCI cell stream into arbitrary
+// delivered trains and feeding boundary-free same-VC runs through
+// IngestSpan (the transport's OnBurst strategy) must recover exactly the
+// SDUs — and exactly the error counters — of the per-cell Push path,
+// including resynchronisation after lost end-of-frame cells.
+TEST(TrainEquivalence, SpanIngestReassemblyMatchesPerCellPath) {
+  sim::Rng rng(23);
+  // A long interleaved stream: frames on three VCIs, some with their
+  // end-of-frame cell deleted. Frames are big enough that a lost EOF plus
+  // the next frame overflows the reassembly buffer: the corruption surfaces
+  // as BOTH mid-frame resyncs (length errors) and bad trailers (CRC
+  // errors), and the span path must reproduce each count exactly.
+  std::vector<Cell> stream;
+  const Vci kVcis[] = {5, 9, 13};
+  for (int frame = 0; frame < 120; ++frame) {
+    const Vci vci = kVcis[rng.UniformInt(0, 2)];
+    std::vector<uint8_t> sdu(static_cast<size_t>(rng.UniformInt(1, 40000)));
+    for (auto& b : sdu) {
+      b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+    }
+    auto cells = Aal5Segment(vci, sdu, 0, 0);
+    if (rng.Bernoulli(0.1)) {
+      cells.pop_back();  // lost end-of-frame: the tail joins the next frame
+    }
+    stream.insert(stream.end(), cells.begin(), cells.end());
+  }
+
+  // Per-cell reference.
+  std::map<Vci, Aal5Reassembler> ref;
+  std::map<Vci, std::vector<std::vector<uint8_t>>> ref_sdus;
+  for (const Cell& c : stream) {
+    auto sdu = ref[c.vci].Push(c);
+    if (sdu.has_value()) {
+      ref_sdus[c.vci].push_back(*sdu);
+    }
+  }
+
+  // Span path: random train boundaries, then the transport's run-splitting
+  // — maximal boundary-free same-VC runs bulk-ingested, end-of-frame cells
+  // pushed individually.
+  std::map<Vci, Aal5Reassembler> span;
+  std::map<Vci, std::vector<std::vector<uint8_t>>> span_sdus;
+  size_t pos = 0;
+  while (pos < stream.size()) {
+    const size_t train =
+        std::min(stream.size() - pos, static_cast<size_t>(rng.UniformInt(1, 128)));
+    const Cell* cells = stream.data() + pos;
+    size_t i = 0;
+    while (i < train) {
+      const Vci vci = cells[i].vci;
+      size_t j = i;
+      while (j < train && cells[j].vci == vci && !cells[j].end_of_frame) {
+        ++j;
+      }
+      if (j > i) {
+        span[vci].IngestSpan(cells + i, j - i);
+      }
+      if (j < train && cells[j].vci == vci) {
+        auto sdu = span[vci].Push(cells[j]);
+        ++j;
+        if (sdu.has_value()) {
+          span_sdus[vci].push_back(*sdu);
+        }
+      }
+      i = j;
+    }
+    pos += train;
+  }
+
+  // The span path must match the reference cell-for-cell: same SDUs, same
+  // resync/CRC accounting.
+  for (const Vci vci : kVcis) {
+    EXPECT_EQ(span_sdus[vci], ref_sdus[vci]);
+    EXPECT_EQ(span[vci].length_errors(), ref[vci].length_errors());
+    EXPECT_EQ(span[vci].crc_errors(), ref[vci].crc_errors());
+    EXPECT_EQ(span[vci].frames_ok(), ref[vci].frames_ok());
+    EXPECT_GT(span[vci].frames_ok(), 0u);
+  }
+  // The lost end-of-frame cells really exercised both failure modes.
+  uint64_t total_length_errors = 0;
+  uint64_t total_crc_errors = 0;
+  for (const Vci vci : kVcis) {
+    total_length_errors += span[vci].length_errors();
+    total_crc_errors += span[vci].crc_errors();
+  }
+  EXPECT_GT(total_length_errors, 0u);
+  EXPECT_GT(total_crc_errors, 0u);
 }
 
 }  // namespace

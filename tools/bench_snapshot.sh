@@ -5,6 +5,9 @@
 #   - events/s through the simulator engine (BM_SimulatorEventChurn/100000)
 #   - wall-clock seconds of the E05 closed-loop monitoring scenario
 #     (12 simulated seconds of real cross-traffic overload + recovery)
+# and the metro-scale fleet snapshot as BENCH_06.json (admission latency,
+# blocking probability and sustained cells/s on the generated small and mid
+# metro fabrics under Poisson session churn, from bench_e16_metro_scale).
 #
 # Usage: tools/bench_snapshot.sh <build-dir> [out.json]
 # The build should be a Release build; numbers from Debug builds are noise.
@@ -58,3 +61,16 @@ cat >"$OUT" <<JSON
 JSON
 echo "wrote $OUT:"
 cat "$OUT"
+
+# The metro fleet bench emits its own machine-readable snapshot; it rides
+# along whenever the binary exists so the fleet numbers travel with the
+# data-plane ones.
+E16="$BUILD_DIR/bench/bench_e16_metro_scale"
+OUT06="$(dirname "$OUT")/BENCH_06.json"
+if [[ -x "$E16" ]]; then
+  "$E16" snapshot >"$OUT06"
+  echo "wrote $OUT06:"
+  cat "$OUT06"
+else
+  echo "skipping $OUT06: $E16 missing" >&2
+fi
