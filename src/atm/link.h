@@ -72,6 +72,11 @@ class Link {
   size_t SendBurst(const Cell* cells, size_t count);
 
   const std::string& name() const { return name_; }
+  // Dense id assigned by the owning Network (its index in links()); -1 when
+  // the link is free-standing. Admission bookkeeping indexes flat arrays by
+  // it instead of hashing the pointer.
+  int id() const { return id_; }
+  void set_id(int id) { id_ = id; }
   int64_t bits_per_second() const { return bps_; }
   sim::DurationNs propagation_delay() const { return prop_delay_; }
   // Serialisation time of one 53-octet cell on this link.
@@ -133,6 +138,7 @@ class Link {
 
   sim::Simulator* sim_;
   std::string name_;
+  int id_ = -1;
   int64_t bps_;
   sim::DurationNs prop_delay_;
   sim::DurationNs cell_time_;

@@ -1,9 +1,7 @@
 #include "src/atm/network.h"
 
 #include <algorithm>
-#include <deque>
 #include <limits>
-#include <set>
 
 namespace pegasus::atm {
 
@@ -14,8 +12,18 @@ Network::~Network() = default;
 Switch* Network::AddSwitch(const std::string& name, int num_ports, sim::DurationNs fabric_delay) {
   switches_.push_back(std::make_unique<Switch>(sim_, name, num_ports, fabric_delay));
   Switch* sw = switches_.back().get();
-  edges_[sw];  // ensure the node exists in the adjacency map
+  sw->set_id(static_cast<int>(switches_.size()) - 1);
+  adjacency_.emplace_back();
+  ++topology_epoch_;
   return sw;
+}
+
+Link* Network::RegisterLink(std::unique_ptr<Link> link) {
+  link->set_id(static_cast<int>(links_.size()));
+  links_.push_back(std::move(link));
+  reserved_bps_.push_back(0);
+  link_vcs_.emplace_back();
+  return links_.back().get();
 }
 
 Endpoint* Network::AddEndpoint(const std::string& name, Switch* sw, int port, int64_t link_bps,
@@ -23,10 +31,10 @@ Endpoint* Network::AddEndpoint(const std::string& name, Switch* sw, int port, in
   endpoints_.push_back(std::make_unique<Endpoint>(sim_, name));
   Endpoint* ep = endpoints_.back().get();
 
-  links_.push_back(std::make_unique<Link>(sim_, name + "->" + sw->name(), link_bps, propagation));
-  Link* up = links_.back().get();
-  links_.push_back(std::make_unique<Link>(sim_, sw->name() + "->" + name, link_bps, propagation));
-  Link* down = links_.back().get();
+  Link* up = RegisterLink(
+      std::make_unique<Link>(sim_, name + "->" + sw->name(), link_bps, propagation));
+  Link* down = RegisterLink(
+      std::make_unique<Link>(sim_, sw->name() + "->" + name, link_bps, propagation));
 
   up->set_sink(sw->input(port));
   down->set_sink(ep);
@@ -35,80 +43,124 @@ Endpoint* Network::AddEndpoint(const std::string& name, Switch* sw, int port, in
   sw->AttachOutput(port, down);
 
   endpoint_attachments_[ep] = Attachment{sw, port, up, down};
+  ++topology_epoch_;
   return ep;
 }
 
 void Network::ConnectSwitches(Switch* a, int port_a, Switch* b, int port_b, int64_t link_bps,
                               sim::DurationNs propagation) {
-  links_.push_back(
+  Link* ab = RegisterLink(
       std::make_unique<Link>(sim_, a->name() + "->" + b->name(), link_bps, propagation));
-  Link* ab = links_.back().get();
-  links_.push_back(
+  Link* ba = RegisterLink(
       std::make_unique<Link>(sim_, b->name() + "->" + a->name(), link_bps, propagation));
-  Link* ba = links_.back().get();
 
   ab->set_sink(b->input(port_b));
   ba->set_sink(a->input(port_a));
   a->AttachOutput(port_a, ab);
   b->AttachOutput(port_b, ba);
 
-  edges_[a][b] = {port_a, ab};
-  edges_[b][a] = {port_b, ba};
+  auto insert_edge = [this](Switch* s, Switch* t, int out_port, Link* l) {
+    auto& row = adjacency_[static_cast<size_t>(s->id())];
+    const Edge edge{t->id(), t, out_port, l};
+    auto it = std::lower_bound(row.begin(), row.end(), edge.to_id,
+                               [](const Edge& e, int id) { return e.to_id < id; });
+    if (it != row.end() && it->to_id == edge.to_id) {
+      *it = edge;  // re-wiring two already-adjacent switches replaces the edge
+    } else {
+      row.insert(it, edge);
+    }
+  };
+  insert_edge(a, b, port_a, ab);
+  insert_edge(b, a, port_b, ba);
+  ++topology_epoch_;
 }
 
-std::optional<std::vector<Switch*>> Network::FindPath(Switch* from, Switch* to) const {
-  std::map<Switch*, Switch*> parent;
-  std::set<Switch*> visited{from};
-  std::deque<Switch*> frontier{from};
-  while (!frontier.empty()) {
-    Switch* cur = frontier.front();
-    frontier.pop_front();
-    if (cur == to) {
-      std::vector<Switch*> path;
-      for (Switch* s = to; s != from; s = parent[s]) {
-        path.push_back(s);
+const Network::Edge* Network::FindEdge(const Switch* a, const Switch* b) const {
+  const int a_id = a->id();
+  if (a_id < 0 || static_cast<size_t>(a_id) >= adjacency_.size()) {
+    return nullptr;
+  }
+  const auto& row = adjacency_[static_cast<size_t>(a_id)];
+  auto it = std::lower_bound(row.begin(), row.end(), b->id(),
+                             [](const Edge& e, int id) { return e.to_id < id; });
+  return (it != row.end() && it->to == b) ? &*it : nullptr;
+}
+
+void Network::ComputePath(Switch* from, Switch* to, CachedPath* out) const {
+  out->epoch = topology_epoch_;
+  out->reachable = false;
+  out->first = from;
+  out->hops.clear();
+  out->links_latency = 0;
+  const int n = static_cast<int>(adjacency_.size());
+  const int from_id = from->id();
+  const int to_id = to->id();
+  if (from_id < 0 || from_id >= n || to_id < 0 || to_id >= n) {
+    return;
+  }
+  if (from == to) {
+    out->reachable = true;
+    return;
+  }
+  // Breadth-first over switch ids; each adjacency row is sorted by
+  // neighbour id, so equal-length paths tie-break by insertion order —
+  // never by heap address.
+  std::vector<int> parent(static_cast<size_t>(n), -1);
+  std::vector<char> visited(static_cast<size_t>(n), 0);
+  std::vector<int> frontier;
+  frontier.reserve(static_cast<size_t>(n));
+  visited[static_cast<size_t>(from_id)] = 1;
+  frontier.push_back(from_id);
+  for (size_t head = 0; head < frontier.size(); ++head) {
+    const int cur = frontier[head];
+    if (cur == to_id) {
+      break;
+    }
+    for (const Edge& e : adjacency_[static_cast<size_t>(cur)]) {
+      if (!visited[static_cast<size_t>(e.to_id)]) {
+        visited[static_cast<size_t>(e.to_id)] = 1;
+        parent[static_cast<size_t>(e.to_id)] = cur;
+        frontier.push_back(e.to_id);
       }
-      path.push_back(from);
-      return std::vector<Switch*>(path.rbegin(), path.rend());
-    }
-    auto it = edges_.find(cur);
-    if (it == edges_.end()) {
-      continue;
-    }
-    for (const auto& [next, edge] : it->second) {
-      (void)edge;
-      if (visited.insert(next).second) {
-        parent[next] = cur;
-        frontier.push_back(next);
-      }
     }
   }
-  return std::nullopt;
-}
-
-std::optional<std::pair<int, Link*>> Network::EdgeBetween(Switch* a, Switch* b) const {
-  auto it = edges_.find(a);
-  if (it == edges_.end()) {
-    return std::nullopt;
+  if (!visited[static_cast<size_t>(to_id)]) {
+    return;
   }
-  auto jt = it->second.find(b);
-  if (jt == it->second.end()) {
-    return std::nullopt;
+  // Reconstruct dst -> src, then emit hops in src -> dst order.
+  std::vector<int> reversed;
+  for (int s = to_id; s != from_id; s = parent[static_cast<size_t>(s)]) {
+    reversed.push_back(s);
   }
-  return jt->second;
+  reversed.push_back(from_id);
+  out->hops.reserve(reversed.size() - 1);
+  for (size_t i = reversed.size() - 1; i > 0; --i) {
+    Switch* cur = switches_[static_cast<size_t>(reversed[i])].get();
+    Switch* next = switches_[static_cast<size_t>(reversed[i - 1])].get();
+    const Edge* fwd = FindEdge(cur, next);
+    const Edge* back = FindEdge(next, cur);
+    if (fwd == nullptr || back == nullptr) {
+      out->hops.clear();
+      return;
+    }
+    out->hops.push_back(CachedHop{next, fwd->out_port, fwd->link, back->out_port});
+    out->links_latency += fwd->link->propagation_delay() + fwd->link->cell_time();
+  }
+  out->reachable = true;
 }
 
-int64_t Network::ReservedBps(const Link* link) const {
-  auto it = reserved_bps_.find(link);
-  return it == reserved_bps_.end() ? 0 : it->second;
+const Network::CachedPath* Network::ResolvePath(Switch* from, Switch* to) const {
+  const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(from->id())) << 32) |
+                       static_cast<uint32_t>(to->id());
+  CachedPath& entry = route_cache_[key];
+  if (entry.epoch != topology_epoch_ || entry.first != from) {
+    ComputePath(from, to, &entry);
+  }
+  return &entry;
 }
 
-int64_t Network::AvailableBandwidth(const Link* link) const {
-  return link->bits_per_second() - ReservedBps(link);
-}
-
-std::optional<std::vector<Link*>> Network::HopLinks(const Endpoint* src,
-                                                    const Endpoint* dst) const {
+std::optional<ResolvedRoute> Network::ResolveRoute(const Endpoint* src,
+                                                   const Endpoint* dst) const {
   auto src_it = endpoint_attachments_.find(src);
   auto dst_it = endpoint_attachments_.find(dst);
   if (src_it == endpoint_attachments_.end() || dst_it == endpoint_attachments_.end()) {
@@ -116,26 +168,31 @@ std::optional<std::vector<Link*>> Network::HopLinks(const Endpoint* src,
   }
   const Attachment& src_at = src_it->second;
   const Attachment& dst_at = dst_it->second;
-  auto path = FindPath(src_at.sw, dst_at.sw);
-  if (!path.has_value()) {
+  const CachedPath* path = ResolvePath(src_at.sw, dst_at.sw);
+  if (!path->reachable) {
     return std::nullopt;
   }
-  std::vector<Link*> hop_links;
-  hop_links.push_back(src_at.to_switch);
-  for (size_t i = 0; i + 1 < path->size(); ++i) {
-    auto edge = EdgeBetween((*path)[i], (*path)[i + 1]);
-    if (!edge.has_value()) {
-      return std::nullopt;
-    }
-    hop_links.push_back(edge->second);
+  ResolvedRoute route;
+  route.links.reserve(path->hops.size() + 2);
+  route.links.push_back(src_at.to_switch);
+  for (const CachedHop& hop : path->hops) {
+    route.links.push_back(hop.link);
   }
-  hop_links.push_back(dst_at.from_switch);
-  return hop_links;
+  route.links.push_back(dst_at.from_switch);
+  route.latency_ns = path->links_latency +
+                     src_at.to_switch->propagation_delay() + src_at.to_switch->cell_time() +
+                     dst_at.from_switch->propagation_delay() + dst_at.from_switch->cell_time();
+  route.epoch = topology_epoch_;
+  return route;
 }
 
 std::optional<std::vector<Link*>> Network::PathLinks(const Endpoint* src,
                                                      const Endpoint* dst) const {
-  return HopLinks(src, dst);
+  auto route = ResolveRoute(src, dst);
+  if (!route.has_value()) {
+    return std::nullopt;
+  }
+  return std::move(route->links);
 }
 
 const std::vector<Link*>* Network::VcLinks(VcId id) const {
@@ -143,13 +200,22 @@ const std::vector<Link*>* Network::VcLinks(VcId id) const {
   return it == vcs_.end() ? nullptr : &it->second.hop_links;
 }
 
+const std::vector<VcId>& Network::VcsOnLink(const Link* link) const {
+  static const std::vector<VcId> kEmpty;
+  const int id = link->id();
+  if (id < 0 || static_cast<size_t>(id) >= link_vcs_.size()) {
+    return kEmpty;
+  }
+  return link_vcs_[static_cast<size_t>(id)];
+}
+
 std::optional<int64_t> Network::PathAvailableBps(const Endpoint* src, const Endpoint* dst) const {
-  auto hop_links = HopLinks(src, dst);
-  if (!hop_links.has_value()) {
+  auto route = ResolveRoute(src, dst);
+  if (!route.has_value()) {
     return std::nullopt;
   }
   int64_t available = std::numeric_limits<int64_t>::max();
-  for (const Link* l : *hop_links) {
+  for (const Link* l : route->links) {
     available = std::min(available, AvailableBandwidth(l));
   }
   return std::max<int64_t>(available, 0);
@@ -157,48 +223,74 @@ std::optional<int64_t> Network::PathAvailableBps(const Endpoint* src, const Endp
 
 std::optional<sim::DurationNs> Network::PathLatencyNs(const Endpoint* src,
                                                       const Endpoint* dst) const {
-  auto hop_links = HopLinks(src, dst);
-  if (!hop_links.has_value()) {
+  auto route = ResolveRoute(src, dst);
+  if (!route.has_value()) {
     return std::nullopt;
   }
-  sim::DurationNs latency = 0;
-  for (const Link* l : *hop_links) {
-    latency += l->propagation_delay() + l->cell_time();
-  }
-  return latency;
+  return route->latency_ns;
 }
 
 std::optional<VcDescriptor> Network::OpenVc(Endpoint* src, Endpoint* dst, QosSpec qos) {
   auto src_it = endpoint_attachments_.find(src);
   auto dst_it = endpoint_attachments_.find(dst);
   if (src_it == endpoint_attachments_.end() || dst_it == endpoint_attachments_.end()) {
+    ++rejections_no_path_;
     return std::nullopt;
   }
   const Attachment& src_at = src_it->second;
   const Attachment& dst_at = dst_it->second;
 
-  auto path = FindPath(src_at.sw, dst_at.sw);
-  if (!path.has_value()) {
+  const CachedPath* path = ResolvePath(src_at.sw, dst_at.sw);
+  if (!path->reachable) {
+    ++rejections_no_path_;
     return std::nullopt;
   }
 
   // Collect the links the VC will traverse, in order.
   std::vector<Link*> hop_links;
+  hop_links.reserve(path->hops.size() + 2);
   hop_links.push_back(src_at.to_switch);
-  for (size_t i = 0; i + 1 < path->size(); ++i) {
-    auto edge = EdgeBetween((*path)[i], (*path)[i + 1]);
-    if (!edge.has_value()) {
-      return std::nullopt;
-    }
-    hop_links.push_back(edge->second);
+  for (const CachedHop& hop : path->hops) {
+    hop_links.push_back(hop.link);
   }
   hop_links.push_back(dst_at.from_switch);
 
+  return OpenVcAlongPath(src, dst, qos, src_at, dst_at, *path, std::move(hop_links));
+}
+
+std::optional<VcDescriptor> Network::OpenVc(Endpoint* src, Endpoint* dst, QosSpec qos,
+                                            const ResolvedRoute& route) {
+  if (route.epoch != topology_epoch_) {
+    // The topology moved under the caller's resolve; fall back to a fresh
+    // one — same semantics, just not the fast path.
+    return OpenVc(src, dst, qos);
+  }
+  auto src_it = endpoint_attachments_.find(src);
+  auto dst_it = endpoint_attachments_.find(dst);
+  if (src_it == endpoint_attachments_.end() || dst_it == endpoint_attachments_.end()) {
+    ++rejections_no_path_;
+    return std::nullopt;
+  }
+  const Attachment& src_at = src_it->second;
+  const Attachment& dst_at = dst_it->second;
+  const CachedPath* path = ResolvePath(src_at.sw, dst_at.sw);
+  if (!path->reachable) {
+    ++rejections_no_path_;
+    return std::nullopt;
+  }
+  return OpenVcAlongPath(src, dst, qos, src_at, dst_at, *path, route.links);
+}
+
+std::optional<VcDescriptor> Network::OpenVcAlongPath(Endpoint* src, Endpoint* dst, QosSpec qos,
+                                                     const Attachment& src_at,
+                                                     const Attachment& dst_at,
+                                                     const CachedPath& path,
+                                                     std::vector<Link*> hop_links) {
   // Admission control: the reservation must fit on every traversed link.
   if (qos.peak_bps > 0) {
     for (Link* l : hop_links) {
       if (ReservedBps(l) + qos.peak_bps > l->bits_per_second()) {
-        ++admission_rejections_;
+        ++rejections_bandwidth_;
         return std::nullopt;
       }
     }
@@ -210,36 +302,25 @@ std::optional<VcDescriptor> Network::OpenVc(Endpoint* src, Endpoint* dst, QosSpe
   Vci in_vci = src_at.sw->AllocateVci(src_at.port);
   const Vci source_vci = in_vci;
   int in_port = src_at.port;
-  for (size_t i = 0; i < path->size(); ++i) {
-    Switch* sw = (*path)[i];
-    int out_port;
-    Vci out_vci;
-    if (i + 1 < path->size()) {
-      auto edge = EdgeBetween(sw, (*path)[i + 1]);
-      out_port = edge->first;
-      // The VCI on the inter-switch link is whatever is free on the next
-      // switch's input port.
-      Switch* next = (*path)[i + 1];
-      auto back_edge = EdgeBetween(next, sw);
-      out_vci = next->AllocateVci(back_edge->first);
-      sw->AddRoute(in_port, in_vci, out_port, out_vci);
-      state.hops.push_back(HopRecord{sw, in_port, in_vci});
-      in_port = back_edge->first;
-      in_vci = out_vci;
-    } else {
-      out_port = dst_at.port;
-      out_vci = dst_vci;
-      sw->AddRoute(in_port, in_vci, out_port, out_vci);
-      state.hops.push_back(HopRecord{sw, in_port, in_vci});
-    }
+  Switch* sw = path.first;
+  for (const CachedHop& hop : path.hops) {
+    // The VCI on the inter-switch link is whatever is free on the next
+    // switch's input port.
+    const Vci out_vci = hop.next->AllocateVci(hop.next_in_port);
+    sw->AddRoute(in_port, in_vci, hop.out_port, out_vci);
+    state.hops.push_back(HopRecord{sw, in_port, in_vci});
+    in_port = hop.next_in_port;
+    in_vci = out_vci;
+    sw = hop.next;
   }
+  sw->AddRoute(in_port, in_vci, dst_at.port, dst_vci);
+  state.hops.push_back(HopRecord{sw, in_port, in_vci});
 
   if (qos.peak_bps > 0) {
     for (Link* l : hop_links) {
-      reserved_bps_[l] += qos.peak_bps;
+      reserved_bps_[static_cast<size_t>(l->id())] += qos.peak_bps;
     }
   }
-  state.hop_links = std::move(hop_links);
 
   VcDescriptor desc;
   desc.id = next_vc_id_++;
@@ -248,7 +329,11 @@ std::optional<VcDescriptor> Network::OpenVc(Endpoint* src, Endpoint* dst, QosSpe
   desc.source_vci = source_vci;
   desc.destination_vci = dst_vci;
   desc.qos = qos;
-  desc.hop_count = static_cast<int>(path->size());
+  desc.hop_count = static_cast<int>(path.hops.size()) + 1;
+  for (Link* l : hop_links) {
+    link_vcs_[static_cast<size_t>(l->id())].push_back(desc.id);
+  }
+  state.hop_links = std::move(hop_links);
   state.desc = desc;
   vcs_[desc.id] = std::move(state);
   return desc;
@@ -279,9 +364,14 @@ bool Network::CloseVc(VcId id) {
   for (const HopRecord& hop : state.hops) {
     hop.sw->RemoveRoute(hop.in_port, hop.in_vci);
   }
-  if (state.desc.qos.peak_bps > 0) {
-    for (Link* l : state.hop_links) {
-      reserved_bps_[l] -= state.desc.qos.peak_bps;
+  for (Link* l : state.hop_links) {
+    if (state.desc.qos.peak_bps > 0) {
+      reserved_bps_[static_cast<size_t>(l->id())] -= state.desc.qos.peak_bps;
+    }
+    auto& on_link = link_vcs_[static_cast<size_t>(l->id())];
+    auto pos = std::find(on_link.begin(), on_link.end(), id);
+    if (pos != on_link.end()) {
+      on_link.erase(pos);  // order-preserving: the index stays id-sorted
     }
   }
   state.desc.destination->ReleaseIncomingVci(state.desc.destination_vci);
@@ -301,13 +391,10 @@ void Network::ClearCongestionHandler(VcId id) { congestion_handlers_.erase(id); 
 
 int Network::SignalCongestion(const Link* link, double severity) {
   // Collect ids first: a handler may renegotiate or close VCs, mutating
-  // vcs_ and the handler map mid-iteration.
+  // the per-link index and the handler map mid-iteration. The index is
+  // ascending VcId — the same order the historical all-VCs scan produced.
   std::vector<VcId> to_notify;
-  for (const auto& [id, state] : vcs_) {
-    if (std::find(state.hop_links.begin(), state.hop_links.end(), link) ==
-        state.hop_links.end()) {
-      continue;
-    }
+  for (VcId id : VcsOnLink(link)) {
     if (congestion_handlers_.count(id) > 0) {
       to_notify.push_back(id);
     }
@@ -347,13 +434,13 @@ bool Network::UpdateVcQos(VcId id, QosSpec qos) {
   if (new_bps > old_bps) {
     for (Link* l : state.hop_links) {
       if (ReservedBps(l) - old_bps + new_bps > l->bits_per_second()) {
-        ++admission_rejections_;
+        ++rejections_bandwidth_;
         return false;
       }
     }
   }
   for (Link* l : state.hop_links) {
-    reserved_bps_[l] += new_bps - old_bps;
+    reserved_bps_[static_cast<size_t>(l->id())] += new_bps - old_bps;
   }
   state.desc.qos = qos;
   return true;

@@ -5,6 +5,14 @@
 // virtual circuits are established hop-by-hop with per-link admission
 // control, and the routing-table updates are exactly the operations a
 // device-managing workstation performs on its local switch.
+//
+// Admission-plane fast path: path resolution is cached per (src switch,
+// dst switch) pair and invalidated by a topology epoch, the reservation
+// ledger is a flat vector indexed by dense link id, and a per-link -> VC
+// index makes congestion fan-out O(affected VCs). Pathfinding expands
+// neighbours in deterministic switch-id (insertion) order, so equal-length
+// paths tie-break identically across runs — cached routes inherit that
+// determinism (the cache only memoises what the deterministic BFS returns).
 #ifndef PEGASUS_SRC_ATM_NETWORK_H_
 #define PEGASUS_SRC_ATM_NETWORK_H_
 
@@ -14,6 +22,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/atm/cell.h"
@@ -46,6 +55,16 @@ struct VcDescriptor {
   int hop_count = 0;
 };
 
+// A resolved src->dst route: the ordered links a VC would traverse plus the
+// one-way latency floor, stamped with the topology epoch it was computed
+// under. One ResolveRoute serves a whole admission pass (bandwidth check,
+// latency check, VC install) instead of three BFS walks.
+struct ResolvedRoute {
+  std::vector<Link*> links;
+  sim::DurationNs latency_ns = 0;
+  uint64_t epoch = 0;
+};
+
 class Network {
  public:
   explicit Network(sim::Simulator* sim);
@@ -66,10 +85,20 @@ class Network {
   void ConnectSwitches(Switch* a, int port_a, Switch* b, int port_b, int64_t link_bps,
                        sim::DurationNs propagation = sim::Microseconds(5));
 
+  // Monotone counter bumped by every topology mutation; cached routes carry
+  // the epoch they were resolved under and are dropped on mismatch.
+  uint64_t topology_epoch() const { return topology_epoch_; }
+
   // --- Signalling ---
   // Establishes a unidirectional VC from `src` to `dst`. Returns nullopt when
   // no path exists or admission control rejects the reservation.
   std::optional<VcDescriptor> OpenVc(Endpoint* src, Endpoint* dst, QosSpec qos = {});
+  // As above, but reuses a route already resolved by ResolveRoute for this
+  // src/dst pair — the admission caller checks bandwidth and latency against
+  // the same resolve that installs the VC. A stale epoch falls back to a
+  // fresh resolve (semantics identical, just slower).
+  std::optional<VcDescriptor> OpenVc(Endpoint* src, Endpoint* dst, QosSpec qos,
+                                     const ResolvedRoute& route);
   // Establishes a data VC plus a reverse control VC, as every Pegasus device
   // does (§2.2). first = forward/data, second = reverse/control.
   std::optional<std::pair<VcDescriptor, VcDescriptor>> OpenDuplex(Endpoint* src, Endpoint* dst,
@@ -101,11 +130,21 @@ class Network {
   bool UpdateVcQos(VcId id, QosSpec qos);
 
   // Reserved bandwidth currently admitted on `link`, in bits per second.
-  int64_t ReservedBps(const Link* link) const;
+  int64_t ReservedBps(const Link* link) const {
+    const int id = link->id();
+    return (id >= 0 && static_cast<size_t>(id) < reserved_bps_.size()) ? reserved_bps_[id] : 0;
+  }
   // Alias of ReservedBps under the name admission-control clients use.
   int64_t ReservedBandwidth(const Link* link) const { return ReservedBps(link); }
   // Unreserved capacity remaining on `link`, in bits per second.
-  int64_t AvailableBandwidth(const Link* link) const;
+  int64_t AvailableBandwidth(const Link* link) const {
+    return link->bits_per_second() - ReservedBps(link);
+  }
+  // Resolves the route a VC from `src` to `dst` would take: ordered links
+  // plus the one-way latency floor (propagation + one cell serialisation per
+  // link, queueing excluded), in one cached path lookup. nullopt when either
+  // endpoint is unattached or no path exists.
+  std::optional<ResolvedRoute> ResolveRoute(const Endpoint* src, const Endpoint* dst) const;
   // Smallest unreserved capacity over the links a VC from `src` to `dst`
   // would traverse — the largest reservation the path can still admit.
   // nullopt when either endpoint is unattached or no path exists.
@@ -123,7 +162,12 @@ class Network {
   std::optional<sim::DurationNs> PathLatencyNs(const Endpoint* src, const Endpoint* dst) const;
 
   int64_t open_vc_count() const { return static_cast<int64_t>(vcs_.size()); }
-  int64_t admission_rejections() const { return admission_rejections_; }
+  // Admission refusals, split by cause: a reservation that did not fit
+  // (bandwidth) vs an unattached endpoint or unreachable destination
+  // (no_path). admission_rejections() keeps the historical all-causes total.
+  int64_t admission_rejections() const { return rejections_bandwidth_ + rejections_no_path_; }
+  int64_t admission_rejections_bandwidth() const { return rejections_bandwidth_; }
+  int64_t admission_rejections_no_path() const { return rejections_no_path_; }
 
   const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
 
@@ -137,6 +181,10 @@ class Network {
   LinkStats GetLinkStats(const Link* link) const {
     return LinkStats{link->Stats(), link->bits_per_second(), ReservedBps(link)};
   }
+
+  // The ids of open VCs traversing `link`, ascending (open order). Congestion
+  // fan-out and monitors iterate this instead of scanning every VC's hops.
+  const std::vector<VcId>& VcsOnLink(const Link* link) const;
 
  private:
   struct HopRecord {
@@ -158,26 +206,72 @@ class Network {
     Link* to_switch = nullptr;    // carries cells toward the switch
     Link* from_switch = nullptr;  // carries cells away from the switch
   };
+  // One directed switch-to-switch wire, as seen from its source switch.
+  struct Edge {
+    int to_id = -1;
+    Switch* to = nullptr;
+    int out_port = -1;
+    Link* link = nullptr;
+  };
+  // One inter-switch hop of a cached path: the wire out of the current
+  // switch plus the input port it lands on — everything VC installation
+  // needs without re-querying the adjacency.
+  struct CachedHop {
+    Switch* next = nullptr;
+    int out_port = -1;        // on the current switch
+    Link* link = nullptr;     // current -> next
+    int next_in_port = -1;    // input port on `next` (the reverse wire's port)
+  };
+  struct CachedPath {
+    uint64_t epoch = 0;
+    bool reachable = false;
+    Switch* first = nullptr;
+    std::vector<CachedHop> hops;
+    // Sum of propagation + cell serialisation over the hop links (the
+    // endpoint attachment links are added per resolve).
+    sim::DurationNs links_latency = 0;
+  };
 
-  // Breadth-first path of switches from `from` to `to` (inclusive).
-  std::optional<std::vector<Switch*>> FindPath(Switch* from, Switch* to) const;
-  // The ordered links a VC from `src` to `dst` would traverse.
-  std::optional<std::vector<Link*>> HopLinks(const Endpoint* src, const Endpoint* dst) const;
-  // The (out_port on `a`, link a->b) wiring between two adjacent switches.
-  std::optional<std::pair<int, Link*>> EdgeBetween(Switch* a, Switch* b) const;
+  // Cached deterministic-BFS path between two switches; recomputed (and the
+  // entry overwritten, including negative "unreachable" results) when the
+  // stored epoch is stale. Never returns nullptr; check ->reachable.
+  const CachedPath* ResolvePath(Switch* from, Switch* to) const;
+  // Runs the BFS and fills `out` (epoch + reachability + hops + latency).
+  void ComputePath(Switch* from, Switch* to, CachedPath* out) const;
+  // The directed edge from `a` to `b`, or nullptr when not adjacent.
+  const Edge* FindEdge(const Switch* a, const Switch* b) const;
+  // Registers a freshly created link: assigns its dense id and grows the
+  // flat ledgers.
+  Link* RegisterLink(std::unique_ptr<Link> link);
+  // Shared tail of both OpenVc flavours: admission over `hop_links`, then
+  // route installation along the cached path.
+  std::optional<VcDescriptor> OpenVcAlongPath(Endpoint* src, Endpoint* dst, QosSpec qos,
+                                              const Attachment& src_at, const Attachment& dst_at,
+                                              const CachedPath& path,
+                                              std::vector<Link*> hop_links);
 
   sim::Simulator* sim_;
   std::vector<std::unique_ptr<Switch>> switches_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::map<const Endpoint*, Attachment> endpoint_attachments_;
-  // adjacency: switch -> (neighbour switch -> (out_port, link))
-  std::map<Switch*, std::map<Switch*, std::pair<int, Link*>>> edges_;
+  // Adjacency indexed by switch id; each row sorted by neighbour id so BFS
+  // expansion order is the insertion order of switches, not heap addresses.
+  std::vector<std::vector<Edge>> adjacency_;
+  // (src switch id << 32 | dst switch id) -> cached path.
+  mutable std::unordered_map<uint64_t, CachedPath> route_cache_;
+  uint64_t topology_epoch_ = 0;
   std::map<VcId, VcState> vcs_;
   std::map<VcId, CongestionCallback> congestion_handlers_;
-  std::map<const Link*, int64_t> reserved_bps_;
+  // Reserved bits/s per link, indexed by link id — AvailableBandwidth on the
+  // admission walk is a load, not a map lookup.
+  std::vector<int64_t> reserved_bps_;
+  // Open VCs traversing each link, indexed by link id, ascending VcId (ids
+  // are monotone and never reused, so append keeps the order sorted).
+  std::vector<std::vector<VcId>> link_vcs_;
   VcId next_vc_id_ = 1;
-  int64_t admission_rejections_ = 0;
+  int64_t rejections_bandwidth_ = 0;
+  int64_t rejections_no_path_ = 0;
 };
 
 }  // namespace pegasus::atm

@@ -35,6 +35,11 @@ class Switch {
   Switch& operator=(const Switch&) = delete;
 
   const std::string& name() const { return name_; }
+  // Dense id assigned by the owning Network in insertion order; -1 when the
+  // switch is free-standing. Pathfinding tie-breaks and adjacency indexing
+  // use it so route selection is independent of heap addresses.
+  int id() const { return id_; }
+  void set_id(int id) { id_ = id; }
   int num_ports() const { return static_cast<int>(inputs_.size()); }
 
   // The sink incoming links should deliver into for a given port.
@@ -98,6 +103,7 @@ class Switch {
 
   sim::Simulator* sim_;
   std::string name_;
+  int id_ = -1;
   sim::DurationNs fabric_delay_;
   std::vector<std::unique_ptr<InputPort>> inputs_;
   std::vector<Link*> outputs_;

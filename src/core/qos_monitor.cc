@@ -36,8 +36,7 @@ void QosMonitor::Start() {
 void QosMonitor::Stop() { task_.Stop(); }
 
 void QosMonitor::Reprime() {
-  for (auto& [link, state] : link_states_) {
-    (void)link;
+  for (LinkState& state : link_states_) {
     state.primed = false;
   }
   for (auto& [server, state] : disk_states_) {
@@ -47,13 +46,19 @@ void QosMonitor::Reprime() {
 }
 
 double QosMonitor::link_score(const atm::Link* link) const {
-  auto it = link_states_.find(link);
-  return it == link_states_.end() ? 0.0 : it->second.score;
+  const int id = link->id();
+  if (id < 0 || static_cast<size_t>(id) >= link_states_.size()) {
+    return 0.0;
+  }
+  return link_states_[static_cast<size_t>(id)].score;
 }
 
 double QosMonitor::link_severity(const atm::Link* link) const {
-  auto it = link_states_.find(link);
-  return it == link_states_.end() ? 0.0 : it->second.signalled;
+  const int id = link->id();
+  if (id < 0 || static_cast<size_t>(id) >= link_states_.size()) {
+    return 0.0;
+  }
+  return link_states_[static_cast<size_t>(id)].signalled;
 }
 
 double QosMonitor::disk_fraction(const pfs::PegasusFileServer* server) const {
@@ -101,10 +106,28 @@ double QosMonitor::LinkRawScore(const atm::Link::StatsSnapshot& prev,
 
 void QosMonitor::Tick() {
   // --- links: snapshot, diff, smooth, signal with hysteresis ---
-  for (const auto& link : network_->links()) {
+  const auto& links = network_->links();
+  if (link_states_.size() < links.size()) {
+    link_states_.resize(links.size());
+  }
+  for (const auto& link : links) {
     atm::Link* l = link.get();
-    LinkState& state = link_states_[l];
-    const atm::Link::StatsSnapshot cur = network_->GetLinkStats(l).snapshot;
+    LinkState& state = link_states_[static_cast<size_t>(l->id())];
+    // Quiescent fast path: a primed link with no smoothed score, no standing
+    // signal, untouched counters and an empty queue cannot change any state
+    // this tick (raw score is 0, the EWMA stays 0, and below_off_ticks /
+    // ticks_since_change are only read while signalling and reset when a
+    // signal raises). At metro scale almost every link is idle almost every
+    // tick, so the monitor's cost tracks links with reservations or recent
+    // traffic instead of the whole fabric.
+    if (state.primed && state.score == 0.0 && state.signalled == 0.0 &&
+        l->cells_sent() == state.prev.cells_sent &&
+        l->cells_dropped_high() == state.prev.cells_dropped_high &&
+        l->cells_dropped_low() == state.prev.cells_dropped_low &&
+        l->busy_time() == state.prev.busy_time && l->queued_cells() == 0) {
+      continue;
+    }
+    const atm::Link::StatsSnapshot cur = l->Stats();
     if (!state.primed) {
       state.prev = cur;
       state.primed = true;

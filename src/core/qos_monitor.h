@@ -141,7 +141,9 @@ class QosMonitor {
   atm::Network* network_;
   Config config_;
   sim::PeriodicTask task_;
-  std::map<const atm::Link*, LinkState> link_states_;
+  // Indexed by dense link id (= index in network->links()); grown lazily on
+  // tick so links added after construction are picked up.
+  std::vector<LinkState> link_states_;
   std::vector<pfs::PegasusFileServer*> servers_;
   std::map<const pfs::PegasusFileServer*, DiskState> disk_states_;
   int64_t congestion_signals_ = 0;

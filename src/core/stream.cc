@@ -1170,26 +1170,30 @@ StreamResult StreamBuilder::Open() {
   // --- cross-layer admission: check EVERY layer of EVERY leg in one pass
   // before binding anything, collecting all failures into one joint
   // counter-offer (the pass shared with RenegotiateImpl) ---
+  // One ResolveRoute per leg serves the whole pass: the joint bandwidth
+  // check, the latency check and the VC install below all reuse this
+  // resolve instead of re-running the pathfinder.
+  std::vector<atm::ResolvedRoute> leg_routes(nlegs);
   std::vector<std::vector<atm::Link*>> leg_links(nlegs);
   for (size_t i = 0; i < nlegs; ++i) {
-    auto links = network.PathLinks(chain[i], chain[i + 1]);
-    if (!links.has_value()) {
+    auto route = network.ResolveRoute(chain[i], chain[i + 1]);
+    if (!route.has_value()) {
       report.verdict = AdmitVerdict::kRejected;
       report.failure = AdmitFailure::kNoPath;
       report.detail = "no switch path on leg " + std::to_string(i);
       return result;
     }
-    leg_links[i] = std::move(*links);
+    leg_links[i] = route->links;
+    leg_routes[i] = std::move(*route);
   }
 
-  // Latency bound against the chain's delivery-time floor.
+  // Latency bound against the chain's delivery-time floor. A resolved leg
+  // always carries its latency, so an uncomputable floor is a kNoPath
+  // rejection above — never silently treated as zero latency.
   if (spec_.latency_bound > 0) {
     sim::DurationNs total_latency = 0;
     for (size_t i = 0; i < nlegs; ++i) {
-      auto latency = network.PathLatencyNs(chain[i], chain[i + 1]);
-      if (latency.has_value()) {
-        total_latency += *latency;
-      }
+      total_latency += leg_routes[i].latency_ns;
     }
     if (total_latency > spec_.latency_bound) {
       report.verdict = AdmitVerdict::kRejected;
@@ -1265,7 +1269,7 @@ StreamResult StreamBuilder::Open() {
   // the paper's signalling.
   int total_hops = 0;
   for (size_t i = 0; i < nlegs; ++i) {
-    auto vc = network.OpenVc(chain[i], chain[i + 1], atm::QosSpec{wanted_bps[i]});
+    auto vc = network.OpenVc(chain[i], chain[i + 1], atm::QosSpec{wanted_bps[i]}, leg_routes[i]);
     if (!vc.has_value()) {
       s->Close();
       report.verdict = AdmitVerdict::kRejected;

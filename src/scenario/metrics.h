@@ -51,6 +51,12 @@ struct FleetMetrics {
   int64_t records_played = 0;
   int64_t records_recorded = 0;
   sim::DurationNs sim_duration_ns = 0;
+  // Network-signalling admission refusals over the run, split by cause
+  // (Network::admission_rejections_*). Deterministic, but EXCLUDED from
+  // Fingerprint: the fingerprint layout is frozen at the BENCH_06 baseline
+  // so fleet fingerprints stay byte-comparable across PRs.
+  int64_t net_rejections_bandwidth = 0;
+  int64_t net_rejections_no_path = 0;
 
   // --- wall-clock (machine-dependent, excluded from Fingerprint) ---
   int64_t admit_calls = 0;       // Open() invocations timed

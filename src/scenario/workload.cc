@@ -318,6 +318,8 @@ const FleetMetrics& ScenarioEngine::Run(sim::DurationNs duration) {
     played0 += node->records_played();
     recorded0 += node->records_recorded();
   }
+  const int64_t rej_bw0 = system_->network().admission_rejections_bandwidth();
+  const int64_t rej_np0 = system_->network().admission_rejections_no_path();
 
   if (params_.enable_qos_monitor) {
     system_->EnableQosMonitor(params_.monitor_config);
@@ -353,6 +355,9 @@ const FleetMetrics& ScenarioEngine::Run(sim::DurationNs duration) {
   }
   metrics_.records_played -= played0;
   metrics_.records_recorded -= recorded0;
+  metrics_.net_rejections_bandwidth =
+      system_->network().admission_rejections_bandwidth() - rej_bw0;
+  metrics_.net_rejections_no_path = system_->network().admission_rejections_no_path() - rej_np0;
   metrics_.run_wall_seconds = WallNsSince(wall0) / 1e9;
   return metrics_;
 }

@@ -9,7 +9,9 @@
 // layers to their initial free capacity, exactly.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/core/compute_node.h"
@@ -68,6 +70,50 @@ class AdmissionChurnProperty : public ::testing::TestWithParam<uint64_t> {
     ASSERT_LE(disk, storage_->server()->StreamBudgetBps()) << when;
   }
 
+  // The network's flat (link-id-indexed) reservation ledger must agree with
+  // a shadow ledger rebuilt from first principles: the sum of every open
+  // VC's granted peak rate over the links it traverses. Catches any drift
+  // between the dense counters and the actual set of reservations.
+  void CheckShadowLedger(const std::vector<StreamSession*>& open, const char* when) {
+    std::map<const atm::Link*, int64_t> shadow;
+    for (StreamSession* s : open) {
+      for (const auto& leg : s->legs()) {
+        const atm::VcDescriptor* vc = system_.network().GetVc(leg.vc);
+        ASSERT_NE(vc, nullptr) << when;
+        if (vc->qos.peak_bps <= 0) {
+          continue;
+        }
+        const std::vector<atm::Link*>* links = system_.network().VcLinks(leg.vc);
+        ASSERT_NE(links, nullptr) << when;
+        for (const atm::Link* l : *links) {
+          shadow[l] += vc->qos.peak_bps;
+        }
+      }
+    }
+    for (const auto& link : system_.network().links()) {
+      auto it = shadow.find(link.get());
+      const int64_t expected = it == shadow.end() ? 0 : it->second;
+      ASSERT_EQ(system_.network().ReservedBandwidth(link.get()), expected)
+          << when << " on " << link->name();
+    }
+  }
+
+  // Grows the fleet mid-churn: a fresh workstation (own local switch, so
+  // the network gains a switch, an inter-switch edge and endpoint links
+  // after the route cache is warm) that subsequent random opens may use.
+  void AddLateWorkstation() {
+    Workstation* ws = system_.AddWorkstation("ws-late");
+    kernels_.push_back(std::make_unique<nemesis::Kernel>(
+        &sim_, std::make_unique<nemesis::AtroposScheduler>(1.0)));
+    ws->AttachKernel(kernels_.back().get());
+    dev::AtmCamera::Config cfg;
+    cfg.width = 64;
+    cfg.height = 64;
+    cameras_.push_back(ws->AddCamera(cfg));
+    displays_.push_back(ws->AddDisplay(640, 480));
+    workstations_.push_back(ws);
+  }
+
   QosParams RandomCpu(sim::Rng& rng, double max_fraction) {
     if (rng.Bernoulli(0.3)) {
       return QosParams{0, Milliseconds(100), true};  // no demand
@@ -78,8 +124,9 @@ class AdmissionChurnProperty : public ::testing::TestWithParam<uint64_t> {
   }
 
   StreamResult RandomOpen(sim::Rng& rng, int serial) {
-    const size_t src = static_cast<size_t>(rng.UniformInt(0, 2));
-    const size_t dst = static_cast<size_t>(rng.UniformInt(0, 2));
+    const int64_t last = static_cast<int64_t>(workstations_.size()) - 1;
+    const size_t src = static_cast<size_t>(rng.UniformInt(0, last));
+    const size_t dst = static_cast<size_t>(rng.UniformInt(0, last));
     StreamSpec spec = StreamSpec::Video(25, rng.UniformInt(0, 90'000'000));
     spec.source_cpu = RandomCpu(rng, 0.5);
     const bool via_compute = rng.Bernoulli(0.4);
@@ -152,6 +199,20 @@ TEST_P(AdmissionChurnProperty, GrantsNeverExceedCapacityAndCloseRestoresAll) {
   int countered = 0;
 
   for (int op = 0; op < 150; ++op) {
+    if (op == 75) {
+      // Mid-churn topology mutation: the route cache is warm for every
+      // workstation pair by now. The new workstation's routes must be
+      // resolvable immediately (cache coherence across the epoch bump),
+      // and later random opens exercise mixed old/new pairs.
+      AddLateWorkstation();
+      StreamBuilder probe = system_.BuildStream("late-probe");
+      probe.From(workstations_.back(), cameras_.back());
+      probe.To(workstations_[0], displays_[0]);
+      auto pr = probe.WithSpec(StreamSpec::Video(25, 1'000'000)).Open();
+      ASSERT_TRUE(pr.report.ok()) << "route to freshly added workstation not seen";
+      open.push_back(pr.session);
+      ASSERT_NO_FATAL_FAILURE(CheckShadowLedger(open, "after mutation"));
+    }
     const int64_t kind = rng.UniformInt(0, 9);
     if (kind < 5 || open.empty()) {
       auto r = RandomOpen(rng, op);
@@ -204,6 +265,7 @@ TEST_P(AdmissionChurnProperty, GrantsNeverExceedCapacityAndCloseRestoresAll) {
       open.erase(open.begin() + static_cast<std::ptrdiff_t>(pick));
     }
     ASSERT_NO_FATAL_FAILURE(CheckInvariants("after op"));
+    ASSERT_NO_FATAL_FAILURE(CheckShadowLedger(open, "after op"));
   }
   // The run must actually have exercised admission both ways.
   EXPECT_GT(accepted, 0);

@@ -241,5 +241,121 @@ TEST_F(SharedLegFixture, RenegotiationHonoursSharedLinkJointly) {
   EXPECT_EQ(system_.network().ReservedBandwidth(DeskUplink(r.session)), 154'000'000);
 }
 
+// --- deterministic path selection: equal-length paths must tie-break by
+// switch insertion order, never by heap address ---
+
+// A diamond with two equal-length routes: hub -> {mid1, mid2} -> sink. The
+// BFS expands neighbours in switch-id (insertion) order, so the route via
+// mid1 is the pinned golden route; a pointer-ordered expansion would pick
+// whichever middle switch the allocator happened to place lower.
+TEST(DeterministicRouting, EqualCostDiamondPicksInsertionOrderGoldenRoute) {
+  sim::Simulator sim;
+  atm::Network net(&sim);
+  atm::Switch* hub = net.AddSwitch("hub", 8);
+  atm::Switch* mid1 = net.AddSwitch("mid1", 8);
+  atm::Switch* mid2 = net.AddSwitch("mid2", 8);
+  atm::Switch* sink = net.AddSwitch("sink", 8);
+  // Wire mid2 BEFORE mid1 so map-insertion order differs from id order too.
+  net.ConnectSwitches(hub, 0, mid2, 0, 155'000'000);
+  net.ConnectSwitches(hub, 1, mid1, 0, 155'000'000);
+  net.ConnectSwitches(mid1, 1, sink, 0, 155'000'000);
+  net.ConnectSwitches(mid2, 1, sink, 1, 155'000'000);
+  atm::Endpoint* a = net.AddEndpoint("a", hub, 2, 155'000'000);
+  atm::Endpoint* d = net.AddEndpoint("d", sink, 2, 155'000'000);
+
+  auto links = net.PathLinks(a, d);
+  ASSERT_TRUE(links.has_value());
+  ASSERT_EQ(links->size(), 4u);
+  // Golden route: through mid1 (lower switch id), regardless of the order
+  // the mesh edges were wired or where the switches live on the heap.
+  EXPECT_EQ((*links)[1]->name(), "hub->mid1");
+  EXPECT_EQ((*links)[2]->name(), "mid1->sink");
+
+  // A warmed cache returns the same resolution: cached routes inherit the
+  // deterministic tie-break (the cache only memoises the BFS result).
+  auto again = net.PathLinks(a, d);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *links);
+
+  // And the installed VC rides the same golden links.
+  auto vc = net.OpenVc(a, d, atm::QosSpec{1'000'000});
+  ASSERT_TRUE(vc.has_value());
+  const auto* vc_links = net.VcLinks(vc->id);
+  ASSERT_NE(vc_links, nullptr);
+  EXPECT_EQ(*vc_links, *links);
+}
+
+// --- route-cache coherence across topology mutation ---
+TEST(RouteCache, TopologyMutationInvalidatesWarmRoutes) {
+  sim::Simulator sim;
+  atm::Network net(&sim);
+  atm::Switch* sw1 = net.AddSwitch("sw1", 8);
+  atm::Switch* sw2 = net.AddSwitch("sw2", 8);
+  atm::Switch* sw3 = net.AddSwitch("sw3", 8);
+  net.ConnectSwitches(sw1, 0, sw2, 0, 155'000'000);
+  net.ConnectSwitches(sw2, 1, sw3, 0, 155'000'000);
+  atm::Endpoint* a = net.AddEndpoint("a", sw1, 2, 155'000'000);
+  atm::Endpoint* d = net.AddEndpoint("d", sw3, 2, 155'000'000);
+
+  // Warm the cache over the 2-inter-switch-hop chain.
+  auto before = net.ResolveRoute(a, d);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->links.size(), 4u);
+  const sim::DurationNs latency_before = before->latency_ns;
+
+  // A shortcut appears: sw1 -- sw3 directly. The warm entry must not be
+  // served stale.
+  net.ConnectSwitches(sw1, 1, sw3, 1, 155'000'000);
+  auto after = net.ResolveRoute(a, d);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->links.size(), 3u);
+  EXPECT_EQ(after->links[1]->name(), "sw1->sw3");
+  EXPECT_LT(after->latency_ns, latency_before);
+
+  // A route resolved before the mutation carries a stale epoch; OpenVc must
+  // fall back to a fresh resolve and install over the NEW (shorter) path.
+  auto vc = net.OpenVc(a, d, atm::QosSpec{1'000'000}, *before);
+  ASSERT_TRUE(vc.has_value());
+  const auto* vc_links = net.VcLinks(vc->id);
+  ASSERT_NE(vc_links, nullptr);
+  EXPECT_EQ(vc_links->size(), 3u);
+  EXPECT_EQ((*vc_links)[1]->name(), "sw1->sw3");
+  EXPECT_EQ(vc->hop_count, 2);
+}
+
+// --- rejection-cause accounting: no-path and unattached-endpoint failures
+// count (split from bandwidth), instead of silently returning nullopt ---
+TEST(RejectionAccounting, NoPathAndUnattachedFailuresAreCounted) {
+  sim::Simulator sim;
+  atm::Network net(&sim);
+  atm::Switch* sw1 = net.AddSwitch("sw1", 8);
+  atm::Switch* island = net.AddSwitch("island", 8);  // never connected
+  atm::Endpoint* a = net.AddEndpoint("a", sw1, 0, 155'000'000);
+  atm::Endpoint* b = net.AddEndpoint("b", sw1, 1, 10'000'000);
+  atm::Endpoint* far = net.AddEndpoint("far", island, 0, 155'000'000);
+
+  EXPECT_EQ(net.admission_rejections(), 0);
+
+  // Unreachable destination: counted as no_path.
+  EXPECT_FALSE(net.OpenVc(a, far, atm::QosSpec{1'000'000}).has_value());
+  EXPECT_EQ(net.admission_rejections_no_path(), 1);
+  EXPECT_EQ(net.admission_rejections_bandwidth(), 0);
+
+  // An endpoint this network never attached: also no_path.
+  atm::Endpoint stray(&sim, "stray");
+  EXPECT_FALSE(net.OpenVc(a, &stray).has_value());
+  EXPECT_EQ(net.admission_rejections_no_path(), 2);
+
+  // OpenDuplex across the partition counts the failing direction too.
+  EXPECT_FALSE(net.OpenDuplex(far, a).has_value());
+  EXPECT_EQ(net.admission_rejections_no_path(), 3);
+
+  // A bandwidth refusal lands in the other bucket, and the historical
+  // total keeps counting both causes.
+  EXPECT_FALSE(net.OpenVc(a, b, atm::QosSpec{20'000'000}).has_value());
+  EXPECT_EQ(net.admission_rejections_bandwidth(), 1);
+  EXPECT_EQ(net.admission_rejections(), 4);
+}
+
 }  // namespace
 }  // namespace pegasus

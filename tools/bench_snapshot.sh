@@ -7,7 +7,10 @@
 #     (12 simulated seconds of real cross-traffic overload + recovery)
 # and the metro-scale fleet snapshot as BENCH_06.json (admission latency,
 # blocking probability and sustained cells/s on the generated small and mid
-# metro fabrics under Poisson session churn, from bench_e16_metro_scale).
+# metro fabrics under Poisson session churn, from bench_e16_metro_scale),
+# and the admission-plane snapshot as BENCH_07.json (open/renegotiate/close
+# contract-churn ops/s plus metro admission latencies and fleet
+# fingerprints, from bench_e17_contract_churn).
 #
 # Usage: tools/bench_snapshot.sh <build-dir> [out.json]
 # The build should be a Release build; numbers from Debug builds are noise.
@@ -73,4 +76,16 @@ if [[ -x "$E16" ]]; then
   cat "$OUT06"
 else
   echo "skipping $OUT06: $E16 missing" >&2
+fi
+
+# Admission-plane snapshot: contract-churn ops/s and the same metro
+# admission-latency points (fingerprints must match BENCH_06's).
+E17="$BUILD_DIR/bench/bench_e17_contract_churn"
+OUT07="$(dirname "$OUT")/BENCH_07.json"
+if [[ -x "$E17" ]]; then
+  "$E17" snapshot >"$OUT07"
+  echo "wrote $OUT07:"
+  cat "$OUT07"
+else
+  echo "skipping $OUT07: $E17 missing" >&2
 fi
