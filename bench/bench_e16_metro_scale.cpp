@@ -15,8 +15,13 @@
 //   smoke [secs]     CI-sized run (2 aggregation switches, ~100 hosts);
 //                    exits non-zero if nothing was admitted
 //   snapshot         machine-readable JSON of the small/mid points
+//   shards [secs]    region-sharded PDES scaling: metro-large at 1/2/4/8
+//                    shards vs the single-simulator reference, JSON with
+//                    wall clocks and fingerprints (must be identical);
+//                    exits non-zero on any fingerprint divergence
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -61,10 +66,18 @@ Point MakePoint(const std::string& name, scenario::TopologyParams topo, double a
   return p;
 }
 
-void RunPoint(Point* point, uint64_t seed) {
+// `shards` == 0 runs the classic single-simulator engine; > 0 partitions
+// the fabric by region across that many shards (threads 0 = auto).
+void RunPoint(Point* point, uint64_t seed, int shards = 0, int threads = 0,
+              sim::ShardGroup::Stats* stats_out = nullptr) {
   sim::Simulator sim;
   core::PegasusSystem system(&sim);
-  const scenario::MetroTopology topo = scenario::BuildMetroTopology(system, point->topo);
+  std::unique_ptr<sim::ShardGroup> group;
+  if (shards > 0) {
+    group = std::make_unique<sim::ShardGroup>(&sim, sim::ShardGroup::Options{shards, threads});
+  }
+  const scenario::MetroTopology topo =
+      scenario::BuildMetroTopology(system, point->topo, group.get());
   point->switches = point->topo.num_switches();
   point->hosts = point->topo.num_hosts();
 
@@ -76,6 +89,9 @@ void RunPoint(Point* point, uint64_t seed) {
   w.enable_qos_monitor = true;
   scenario::ScenarioEngine engine(&system, &topo, w);
   point->metrics = engine.Run(Seconds(point->seconds));
+  if (stats_out != nullptr && group != nullptr) {
+    *stats_out = group->stats();
+  }
 }
 
 void AddRow(sim::Table* table, const Point& p) {
@@ -133,6 +149,49 @@ int RunSnapshot() {
   return 0;
 }
 
+// Region-sharded PDES scaling on the metro-large fabric: the
+// single-simulator reference, then 1/2/4/8 shards. Parallelism must change
+// wall clock only — every fingerprint must equal the reference's.
+int RunShardScaling(int seconds) {
+  struct ShardPoint {
+    int shards;   // 0 = single-simulator reference
+    int threads;  // 0 = auto (one per shard, capped at the hardware)
+    double wall_seconds = 0;
+    uint64_t fingerprint = 0;
+    sim::ShardGroup::Stats stats;
+  };
+  std::vector<ShardPoint> points{{0, 0}, {1, 1}, {2, 0}, {4, 0}, {8, 0}};
+  for (auto& sp : points) {
+    Point p = MakePoint("metro-large", Metro(3, 3, 4, 30), 400.0, seconds, 0.02);
+    RunPoint(&p, 16, sp.shards, sp.threads, &sp.stats);
+    sp.wall_seconds = p.metrics.run_wall_seconds;
+    sp.fingerprint = p.metrics.Fingerprint();
+  }
+
+  bool identical = true;
+  for (const auto& sp : points) {
+    identical = identical && sp.fingerprint == points[0].fingerprint;
+  }
+  std::printf("{\n  \"bench\": \"e16_shard_scaling\",\n"
+              "  \"fabric\": \"metro-large\", \"seconds\": %d,\n  \"points\": [\n",
+              seconds);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ShardPoint& sp = points[i];
+    std::printf("    {\"shards\": %d, \"threads\": %d, \"wall_seconds\": %.3f, "
+                "\"speedup\": %.2f, \"windows\": %llu, \"sync_points\": %llu, "
+                "\"boundary_messages\": %llu, \"fingerprint\": \"%llx\"}%s\n",
+                sp.shards, sp.threads, sp.wall_seconds,
+                points[0].wall_seconds / sp.wall_seconds,
+                static_cast<unsigned long long>(sp.stats.windows),
+                static_cast<unsigned long long>(sp.stats.sync_points),
+                static_cast<unsigned long long>(sp.stats.messages),
+                static_cast<unsigned long long>(sp.fingerprint),
+                i + 1 < points.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"identical_fingerprints\": %s\n}\n", identical ? "true" : "false");
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,6 +201,10 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "snapshot") == 0) {
     return RunSnapshot();
+  }
+  if (argc > 1 && std::strcmp(argv[1], "shards") == 0) {
+    const int seconds = argc > 2 ? std::max(1, std::atoi(argv[2])) : 8;
+    return RunShardScaling(seconds);
   }
 
   bench::PrintHeader(

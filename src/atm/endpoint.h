@@ -33,6 +33,9 @@ class Endpoint : public CellSink {
   Endpoint(sim::Simulator* sim, std::string name);
 
   const std::string& name() const { return name_; }
+  // The simulator this endpoint paces and receives on. Under region
+  // sharding this is the shard owning the attachment switch.
+  sim::Simulator* simulator() const { return sim_; }
 
   // Wires this endpoint to the network (called by Network).
   void AttachUplink(Link* uplink) { uplink_ = uplink; }

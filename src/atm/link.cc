@@ -65,14 +65,19 @@ void Link::ArmDelivery() {
     }
   }
   delivery_pending_ = true;
-  sim_->ScheduleAt(train_[target].done + prop_delay_, [this]() { DeliverReady(); });
+  // A boundary link computes its delivery at serialisation completion and
+  // lets the cross-shard channel carry the propagation delay (the prefix
+  // below shifts identically, so grouping and instants are unchanged).
+  const sim::DurationNs lag = boundary_ == nullptr ? prop_delay_ : 0;
+  sim_->ScheduleAt(train_[target].done + lag, [this]() { DeliverReady(); });
 }
 
 void Link::DeliverReady() {
   delivery_pending_ = false;
   const sim::TimeNs now = sim_->now();
+  const sim::DurationNs lag = boundary_ == nullptr ? prop_delay_ : 0;
   size_t end = train_head_;
-  while (end < train_.size() && train_[end].done + prop_delay_ <= now) {
+  while (end < train_.size() && train_[end].done + lag <= now) {
     ++end;
   }
   const size_t count = end - train_head_;
@@ -94,7 +99,18 @@ void Link::DeliverReady() {
       train_.erase(train_.begin(), train_.begin() + static_cast<ptrdiff_t>(train_head_));
       train_head_ = 0;
     }
-    if (sink_ != nullptr) {
+    if (boundary_ != nullptr) {
+      // Ship the train to the sink's shard, due one propagation delay out —
+      // exactly when the single-simulator path would have delivered it.
+      boundary_->Post(now + prop_delay_,
+                      [sink = sink_, cells = burst_buf_]() {
+                        if (cells.size() == 1) {
+                          sink->DeliverCell(cells[0]);
+                        } else {
+                          sink->DeliverBurst(cells.data(), cells.size());
+                        }
+                      });
+    } else if (sink_ != nullptr) {
       if (count == 1) {
         sink_->DeliverCell(burst_buf_[0]);
       } else {

@@ -30,6 +30,7 @@
 
 #include "src/atm/cell.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/shard.h"
 #include "src/sim/time.h"
 
 namespace pegasus::atm {
@@ -61,6 +62,17 @@ class Link {
 
   void set_sink(CellSink* sink) { sink_ = sink; }
   CellSink* sink() const { return sink_; }
+  // The simulator serialising this link's cells: the SOURCE side's shard.
+  sim::Simulator* simulator() const { return sim_; }
+
+  // Marks this link as a shard boundary (src/sim/shard.h): the sink lives
+  // on another shard's simulator. Delivery then fires at serialisation
+  // completion (not completion + propagation) and ships the train through
+  // `channel` timestamped `now + propagation_delay` — the identical
+  // delivery instants and train grouping as the single-simulator path, with
+  // the propagation delay serving as the conservative lookahead window.
+  void SetBoundary(sim::BoundaryChannel* channel) { boundary_ = channel; }
+  bool is_boundary() const { return boundary_ != nullptr; }
 
   // Enqueues a cell for transmission. Returns false (and counts a drop) if
   // the transmit queue is full.
@@ -144,6 +156,7 @@ class Link {
   sim::DurationNs cell_time_;
   size_t queue_limit_;
   CellSink* sink_ = nullptr;
+  sim::BoundaryChannel* boundary_ = nullptr;
 
   // The transmitter is modelled by a "busy until" horizon rather than an
   // explicit queue: each accepted cell reserves the next cell_time_ slot.

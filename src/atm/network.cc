@@ -1,6 +1,7 @@
 #include "src/atm/network.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 
 namespace pegasus::atm {
@@ -9,8 +10,18 @@ Network::Network(sim::Simulator* sim) : sim_(sim) {}
 
 Network::~Network() = default;
 
+void Network::MaybeMakeBoundary(Link* link, sim::Simulator* src, sim::Simulator* dst) {
+  if (src == dst) {
+    return;
+  }
+  // Two sides on different simulators only happens under sharded
+  // construction; anything else is a wiring bug.
+  assert(shard_group_ != nullptr);
+  link->SetBoundary(shard_group_->RegisterBoundary(src, dst, link->propagation_delay()));
+}
+
 Switch* Network::AddSwitch(const std::string& name, int num_ports, sim::DurationNs fabric_delay) {
-  switches_.push_back(std::make_unique<Switch>(sim_, name, num_ports, fabric_delay));
+  switches_.push_back(std::make_unique<Switch>(build_simulator(), name, num_ports, fabric_delay));
   Switch* sw = switches_.back().get();
   sw->set_id(static_cast<int>(switches_.size()) - 1);
   adjacency_.emplace_back();
@@ -28,13 +39,17 @@ Link* Network::RegisterLink(std::unique_ptr<Link> link) {
 
 Endpoint* Network::AddEndpoint(const std::string& name, Switch* sw, int port, int64_t link_bps,
                                sim::DurationNs propagation) {
-  endpoints_.push_back(std::make_unique<Endpoint>(sim_, name));
+  // Endpoints are co-located with their attachment switch: a host NIC, a
+  // device or a storage server always lives on the shard owning its local
+  // switch, so the attachment link pair is never a shard boundary.
+  sim::Simulator* shard = sw->simulator();
+  endpoints_.push_back(std::make_unique<Endpoint>(shard, name));
   Endpoint* ep = endpoints_.back().get();
 
   Link* up = RegisterLink(
-      std::make_unique<Link>(sim_, name + "->" + sw->name(), link_bps, propagation));
+      std::make_unique<Link>(shard, name + "->" + sw->name(), link_bps, propagation));
   Link* down = RegisterLink(
-      std::make_unique<Link>(sim_, sw->name() + "->" + name, link_bps, propagation));
+      std::make_unique<Link>(shard, sw->name() + "->" + name, link_bps, propagation));
 
   up->set_sink(sw->input(port));
   down->set_sink(ep);
@@ -49,13 +64,18 @@ Endpoint* Network::AddEndpoint(const std::string& name, Switch* sw, int port, in
 
 void Network::ConnectSwitches(Switch* a, int port_a, Switch* b, int port_b, int64_t link_bps,
                               sim::DurationNs propagation) {
+  // Each directed link serialises on its SOURCE switch's shard; when the
+  // two switches live on different shards the pair becomes a boundary
+  // channel with the propagation delay as its lookahead.
   Link* ab = RegisterLink(
-      std::make_unique<Link>(sim_, a->name() + "->" + b->name(), link_bps, propagation));
+      std::make_unique<Link>(a->simulator(), a->name() + "->" + b->name(), link_bps, propagation));
   Link* ba = RegisterLink(
-      std::make_unique<Link>(sim_, b->name() + "->" + a->name(), link_bps, propagation));
+      std::make_unique<Link>(b->simulator(), b->name() + "->" + a->name(), link_bps, propagation));
 
   ab->set_sink(b->input(port_b));
   ba->set_sink(a->input(port_a));
+  MaybeMakeBoundary(ab, a->simulator(), b->simulator());
+  MaybeMakeBoundary(ba, b->simulator(), a->simulator());
   a->AttachOutput(port_a, ab);
   b->AttachOutput(port_b, ba);
 

@@ -30,6 +30,7 @@
 #include "src/atm/link.h"
 #include "src/atm/switch.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/shard.h"
 
 namespace pegasus::atm {
 
@@ -74,6 +75,22 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   sim::Simulator* simulator() const { return sim_; }
+
+  // --- Region sharding (src/sim/shard.h) ---
+  // Opts the network into sharded construction. Must be called before any
+  // sharded topology is built. Thereafter SetBuildShard directs where new
+  // switches live, endpoints are always co-located with their attachment
+  // switch, and a ConnectSwitches spanning two shards automatically turns
+  // both directed links into boundary channels with the link propagation
+  // delay as lookahead. With no shard group (the default) everything lives
+  // on the control simulator and behaviour is exactly the classic one.
+  void EnableSharding(sim::ShardGroup* group) { shard_group_ = group; }
+  sim::ShardGroup* shard_group() const { return shard_group_; }
+  // Directs subsequent AddSwitch calls onto `shard` (nullptr = the control
+  // simulator). Signalling, admission and route caches stay centralised on
+  // the control simulator regardless.
+  void SetBuildShard(sim::Simulator* shard) { build_sim_ = shard; }
+  sim::Simulator* build_simulator() const { return build_sim_ != nullptr ? build_sim_ : sim_; }
 
   // --- Topology construction ---
   Switch* AddSwitch(const std::string& name, int num_ports,
@@ -250,7 +267,13 @@ class Network {
                                               const CachedPath& path,
                                               std::vector<Link*> hop_links);
 
+  // Wires `link` as a shard-boundary channel when its two sides live on
+  // different shards (no-op otherwise).
+  void MaybeMakeBoundary(Link* link, sim::Simulator* src, sim::Simulator* dst);
+
   sim::Simulator* sim_;
+  sim::ShardGroup* shard_group_ = nullptr;
+  sim::Simulator* build_sim_ = nullptr;
   std::vector<std::unique_ptr<Switch>> switches_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;

@@ -8,7 +8,9 @@ Switch::Switch(sim::Simulator* sim, std::string name, int num_ports, sim::Durati
     : sim_(sim),
       name_(std::move(name)),
       fabric_delay_(fabric_delay),
-      outputs_(static_cast<size_t>(num_ports), nullptr) {
+      outputs_(static_cast<size_t>(num_ports), nullptr),
+      routes_(static_cast<size_t>(num_ports)),
+      vci_hints_(static_cast<size_t>(num_ports), kVciFirstData) {
   inputs_.reserve(static_cast<size_t>(num_ports));
   for (int p = 0; p < num_ports; ++p) {
     inputs_.push_back(std::make_unique<InputPort>(this, p));
@@ -20,36 +22,44 @@ CellSink* Switch::input(int port) { return inputs_[static_cast<size_t>(port)].ge
 void Switch::AttachOutput(int port, Link* link) { outputs_[static_cast<size_t>(port)] = link; }
 
 bool Switch::AddRoute(int in_port, Vci in_vci, int out_port, Vci out_vci) {
-  auto [it, inserted] = routes_.insert({RouteKey{in_port, in_vci}, RouteTarget{out_port, out_vci}});
-  (void)it;
-  if (inserted) {
-    cached_target_ = nullptr;
-    auto hint = vci_hints_.find(in_port);
-    if (hint != vci_hints_.end() && in_vci == hint->second) {
-      ++hint->second;
-    }
+  if (in_vci >= kMaxRoutableVci) {
+    return false;
   }
-  return inserted;
+  auto& table = routes_[static_cast<size_t>(in_port)];
+  if (in_vci >= table.size()) {
+    table.resize(static_cast<size_t>(in_vci) + 1);
+  }
+  RouteTarget& slot = table[in_vci];
+  if (slot.out_port >= 0) {
+    return false;
+  }
+  slot = RouteTarget{out_port, out_vci};
+  Vci& hint = vci_hints_[static_cast<size_t>(in_port)];
+  if (in_vci == hint) {
+    ++hint;
+  }
+  return true;
 }
 
 bool Switch::RemoveRoute(int in_port, Vci in_vci) {
-  if (routes_.erase(RouteKey{in_port, in_vci}) == 0) {
+  auto& table = routes_[static_cast<size_t>(in_port)];
+  if (in_vci >= table.size() || table[in_vci].out_port < 0) {
     return false;
   }
-  cached_target_ = nullptr;
-  auto hint = vci_hints_.find(in_port);
-  if (hint != vci_hints_.end() && in_vci >= kVciFirstData && in_vci < hint->second) {
-    hint->second = in_vci;
+  table[in_vci] = RouteTarget{};
+  Vci& hint = vci_hints_[static_cast<size_t>(in_port)];
+  if (in_vci >= kVciFirstData && in_vci < hint) {
+    hint = in_vci;
   }
   return true;
 }
 
 bool Switch::HasRoute(int in_port, Vci in_vci) const {
-  return routes_.count(RouteKey{in_port, in_vci}) > 0;
+  return Lookup(in_port, in_vci) != nullptr;
 }
 
 Vci Switch::AllocateVci(int in_port) const {
-  Vci& hint = vci_hints_.try_emplace(in_port, kVciFirstData).first->second;
+  Vci& hint = vci_hints_[static_cast<size_t>(in_port)];
   Vci vci = hint < kVciFirstData ? kVciFirstData : hint;
   while (HasRoute(in_port, vci)) {
     ++vci;
@@ -60,19 +70,6 @@ Vci Switch::AllocateVci(int in_port) const {
   // commits, so repeated AllocateVci without AddRoute stays idempotent.
   hint = vci;
   return vci;
-}
-
-const Switch::RouteTarget* Switch::Lookup(int in_port, Vci vci) const {
-  if (cached_target_ != nullptr && cached_key_.in_port == in_port && cached_key_.in_vci == vci) {
-    return cached_target_;
-  }
-  auto it = routes_.find(RouteKey{in_port, vci});
-  if (it == routes_.end()) {
-    return nullptr;
-  }
-  cached_key_ = RouteKey{in_port, vci};
-  cached_target_ = &it->second;
-  return cached_target_;
 }
 
 void Switch::OnBurst(int in_port, const Cell* cells, size_t count) {

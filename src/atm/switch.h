@@ -15,7 +15,6 @@
 #define PEGASUS_SRC_ATM_SWITCH_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,6 +40,9 @@ class Switch {
   int id() const { return id_; }
   void set_id(int id) { id_ = id; }
   int num_ports() const { return static_cast<int>(inputs_.size()); }
+  // The simulator this switch schedules its fabric transits on. Under
+  // region sharding (src/sim/shard.h) this is the owning shard's clock.
+  sim::Simulator* simulator() const { return sim_; }
 
   // The sink incoming links should deliver into for a given port.
   CellSink* input(int port);
@@ -65,20 +67,16 @@ class Switch {
   uint64_t cells_unroutable() const { return cells_unroutable_; }
 
  private:
-  struct RouteKey {
-    int in_port;
-    Vci in_vci;
-    bool operator<(const RouteKey& o) const {
-      if (in_port != o.in_port) {
-        return in_port < o.in_port;
-      }
-      return in_vci < o.in_vci;
-    }
-  };
+  // An entry in a port's flat VCI table; out_port < 0 marks an empty slot.
   struct RouteTarget {
-    int out_port;
-    Vci out_vci;
+    int out_port = -1;
+    Vci out_vci = kVciUnassigned;
   };
+  // VCIs are allocated densely from kVciFirstData (AllocateVci hands out
+  // the first free one), so a flat per-port vector indexed by VCI stays
+  // small; the ceiling only guards against a wild AddRoute allocating
+  // gigabytes. Lookup on the cell hot path is two loads, no tree walk.
+  static constexpr Vci kMaxRoutableVci = 1u << 20;
 
   // Adapter delivering into the fabric with the input-port tag attached.
   class InputPort : public CellSink {
@@ -98,8 +96,13 @@ class Switch {
   // link are relabelled together and cross the fabric as ONE scheduled
   // event. Per-cell stats (switched/unroutable) are unchanged.
   void OnBurst(int in_port, const Cell* cells, size_t count);
-  // Table lookup with a one-entry cache — trains are usually a single VCI.
-  const RouteTarget* Lookup(int in_port, Vci vci) const;
+  const RouteTarget* Lookup(int in_port, Vci vci) const {
+    const auto& table = routes_[static_cast<size_t>(in_port)];
+    if (vci >= table.size() || table[vci].out_port < 0) {
+      return nullptr;
+    }
+    return &table[vci];
+  }
 
   sim::Simulator* sim_;
   std::string name_;
@@ -107,16 +110,14 @@ class Switch {
   sim::DurationNs fabric_delay_;
   std::vector<std::unique_ptr<InputPort>> inputs_;
   std::vector<Link*> outputs_;
-  std::map<RouteKey, RouteTarget> routes_;
-  // Route-lookup cache; invalidated by any table mutation.
-  mutable RouteKey cached_key_{-1, 0};
-  mutable const RouteTarget* cached_target_ = nullptr;
+  // Flat per-input-port VCI tables (see kMaxRoutableVci).
+  std::vector<std::vector<RouteTarget>> routes_;
   // Relabel scratch for OnBurst (see there for the re-entrancy argument).
   std::vector<Cell> relabel_buf_;
   // Per-input-port allocation hints: every VCI below the hint (and at or
   // above kVciFirstData) is known occupied. Advanced by AllocateVci/AddRoute,
   // lowered by RemoveRoute.
-  mutable std::map<int, Vci> vci_hints_;
+  mutable std::vector<Vci> vci_hints_;
   uint64_t cells_switched_ = 0;
   uint64_t cells_unroutable_ = 0;
 };

@@ -8,7 +8,7 @@ ComputeNode::ComputeNode(atm::Network* network, atm::Switch* sw, int port,
                          const std::string& name)
     : endpoint_(network->AddEndpoint(name, sw, port, 155'000'000)),
       transport_(endpoint_),
-      sim_(network->simulator()),
+      sim_(sw->simulator()),
       name_(name) {}
 
 dev::TileProcessor* ComputeNode::AddStage(atm::Vci in_vci, atm::Vci out_vci,

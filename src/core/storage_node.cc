@@ -13,10 +13,10 @@ constexpr int64_t kRecordHeader = 12;  // u32 length + i64 arrival timestamp
 
 StorageNode::StorageNode(atm::Network* network, atm::Switch* sw, int port, pfs::PfsConfig config,
                          const std::string& name, int64_t link_bps)
-    : sim_(network->simulator()),
+    : sim_(sw->simulator()),
       endpoint_(network->AddEndpoint(name, sw, port, link_bps)),
       transport_(endpoint_),
-      server_(network->simulator(), config) {}
+      server_(sw->simulator(), config) {}
 
 pfs::FileId StorageNode::SeedContinuousFile(int records, int record_bytes,
                                             sim::DurationNs cadence) {

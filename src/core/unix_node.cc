@@ -6,9 +6,9 @@ UnixNode::UnixNode(atm::Network* network, atm::Switch* sw, int port, const std::
     : name_(name),
       endpoint_(network->AddEndpoint(name, sw, port, 155'000'000)),
       transport_(endpoint_),
-      rpc_server_(network->simulator(), &transport_),
+      rpc_server_(sw->simulator(), &transport_),
       name_space_(name),
-      sim_(network->simulator()) {}
+      sim_(sw->simulator()) {}
 
 void UnixNode::Export(const std::string& path, naming::Invocable* object) {
   rpc_server_.ExportObject(path, object);

@@ -46,7 +46,7 @@ atm::Endpoint* Workstation::NewDevicePort(const std::string& suffix) {
 dev::AtmCamera* Workstation::AddCamera(const dev::AtmCamera::Config& config) {
   atm::Endpoint* ep = NewDevicePort("camera" + std::to_string(cameras_.size()));
   cameras_.push_back(
-      std::make_unique<dev::AtmCamera>(network_->simulator(), ep, config));
+      std::make_unique<dev::AtmCamera>(switch_->simulator(), ep, config));
   device_endpoints_[cameras_.back().get()] = ep;
   return cameras_.back().get();
 }
@@ -54,7 +54,7 @@ dev::AtmCamera* Workstation::AddCamera(const dev::AtmCamera::Config& config) {
 dev::AtmDisplay* Workstation::AddDisplay(int width, int height) {
   atm::Endpoint* ep = NewDevicePort("display" + std::to_string(displays_.size()));
   displays_.push_back(
-      std::make_unique<dev::AtmDisplay>(network_->simulator(), ep, width, height));
+      std::make_unique<dev::AtmDisplay>(switch_->simulator(), ep, width, height));
   device_endpoints_[displays_.back().get()] = ep;
   return displays_.back().get();
 }
@@ -62,7 +62,7 @@ dev::AtmDisplay* Workstation::AddDisplay(int width, int height) {
 dev::AudioCapture* Workstation::AddAudioCapture(int sample_rate) {
   atm::Endpoint* ep = NewDevicePort("audio-in" + std::to_string(captures_.size()));
   captures_.push_back(
-      std::make_unique<dev::AudioCapture>(network_->simulator(), ep, sample_rate));
+      std::make_unique<dev::AudioCapture>(switch_->simulator(), ep, sample_rate));
   device_endpoints_[captures_.back().get()] = ep;
   return captures_.back().get();
 }
@@ -70,7 +70,7 @@ dev::AudioCapture* Workstation::AddAudioCapture(int sample_rate) {
 dev::AudioPlayback* Workstation::AddAudioPlayback(int sample_rate,
                                                   sim::DurationNs buffer_depth) {
   atm::Endpoint* ep = NewDevicePort("audio-out" + std::to_string(playbacks_.size()));
-  playbacks_.push_back(std::make_unique<dev::AudioPlayback>(network_->simulator(), ep,
+  playbacks_.push_back(std::make_unique<dev::AudioPlayback>(switch_->simulator(), ep,
                                                             sample_rate, buffer_depth));
   device_endpoints_[playbacks_.back().get()] = ep;
   return playbacks_.back().get();
@@ -86,7 +86,7 @@ HostRelay* Workstation::EnableHostRelay(sim::DurationNs per_cell_cost) {
     // The relay gets its own "bus NIC" endpoint: in a conventional
     // workstation all media crosses this interface and the host CPU.
     atm::Endpoint* bus = NewDevicePort("bus-nic");
-    relay_ = std::make_unique<HostRelay>(network_->simulator(), bus, per_cell_cost);
+    relay_ = std::make_unique<HostRelay>(switch_->simulator(), bus, per_cell_cost);
     device_endpoints_[relay_.get()] = bus;
   }
   return relay_.get();

@@ -5,9 +5,18 @@
 namespace pegasus::scenario {
 
 MetroTopology BuildMetroTopology(core::PegasusSystem& system, const TopologyParams& params) {
+  return BuildMetroTopology(system, params, nullptr);
+}
+
+MetroTopology BuildMetroTopology(core::PegasusSystem& system, const TopologyParams& params,
+                                 sim::ShardGroup* group) {
   MetroTopology topo;
   topo.params = params;
   atm::Network& net = system.network();
+  // With a null group the partitioner is inert and this build is
+  // line-for-line the classic single-simulator one: same switch/link ids,
+  // same BFS tie-breaks, same everything.
+  RegionPartitioner part(&net, group);
 
   // Core tier: enough ports for the mesh, the aggregation fan-out and the
   // storage servers. Ports are handed out in that order.
@@ -15,6 +24,7 @@ MetroTopology BuildMetroTopology(core::PegasusSystem& system, const TopologyPara
                          params.storage_per_core;
   std::vector<int> core_next_port(static_cast<size_t>(params.core_switches), 0);
   for (int c = 0; c < params.core_switches; ++c) {
+    part.EnterRegion(topo.region_of_core(c));
     topo.cores.push_back(net.AddSwitch("core" + std::to_string(c), core_ports));
   }
   for (int a = 0; a < params.core_switches; ++a) {
@@ -28,6 +38,7 @@ MetroTopology BuildMetroTopology(core::PegasusSystem& system, const TopologyPara
   for (int c = 0; c < params.core_switches; ++c) {
     for (int i = 0; i < params.agg_per_core; ++i) {
       const int a = c * params.agg_per_core + i;
+      part.EnterRegion(topo.region_of_agg(a));
       atm::Switch* agg =
           net.AddSwitch("agg" + std::to_string(a), 1 + params.edge_per_agg);
       topo.aggs.push_back(agg);
@@ -35,10 +46,12 @@ MetroTopology BuildMetroTopology(core::PegasusSystem& system, const TopologyPara
     }
   }
 
-  // Edge tier: one trunk up, one port per subscriber workstation.
+  // Edge tier: one trunk up, one port per subscriber workstation. Edges
+  // live in their agg's region, so the agg-edge wire never crosses shards.
   for (int a = 0; a < static_cast<int>(topo.aggs.size()); ++a) {
     for (int i = 0; i < params.edge_per_agg; ++i) {
       const int e = a * params.edge_per_agg + i;
+      part.EnterRegion(topo.region_of_edge(e));
       atm::Switch* edge =
           net.AddSwitch("edge" + std::to_string(e), 1 + params.hosts_per_edge);
       topo.edges.push_back(edge);
@@ -47,15 +60,19 @@ MetroTopology BuildMetroTopology(core::PegasusSystem& system, const TopologyPara
   }
 
   // Subscriber workstations hang off the edges at the tapered uplink rate.
+  // A workstation's local switch follows the build region; its devices and
+  // host NIC co-locate with that switch.
   for (int e = 0; e < static_cast<int>(topo.edges.size()); ++e) {
     for (int i = 0; i < params.hosts_per_edge; ++i) {
       const int h = e * params.hosts_per_edge + i;
+      part.EnterRegion(topo.region_of_edge(e));
       topo.hosts.push_back(system.AddWorkstation("ws" + std::to_string(h), topo.edges[e], 1 + i,
                                                  params.host_uplink_bps));
     }
   }
 
-  // Storage servers sit at the cores, on fat links.
+  // Storage servers sit at the cores, on fat links; their endpoints and
+  // play-out engines co-locate with the core switch's shard.
   for (int c = 0; c < params.core_switches; ++c) {
     for (int i = 0; i < params.storage_per_core; ++i) {
       const int s = c * params.storage_per_core + i;

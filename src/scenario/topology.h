@@ -23,6 +23,7 @@
 
 #include "src/core/system.h"
 #include "src/pfs/server.h"
+#include "src/sim/shard.h"
 
 namespace pegasus::scenario {
 
@@ -50,6 +51,12 @@ struct TopologyParams {
   int num_edges() const { return num_aggs() * edge_per_agg; }
   int num_hosts() const { return num_edges() * hosts_per_edge; }
   int num_storage() const { return core_switches * storage_per_core; }
+  // Region partitioning for sharded runs (src/sim/shard.h): one region per
+  // core cluster (the core switch plus its storage servers) and one per
+  // aggregation subtree (the agg switch, its edges and their workstations).
+  // Regions map round-robin onto shards; every cross-region wire is a core
+  // trunk, so the trunk propagation delay is the conservative lookahead.
+  int num_regions() const { return num_cores() + num_aggs(); }
   // Fabric switches plus the per-workstation local switches (every
   // Workstation owns one).
   int num_switches() const { return num_cores() + num_aggs() + num_edges() + num_hosts(); }
@@ -84,11 +91,65 @@ struct MetroTopology {
   int edge_of_host(int host) const { return host / params.hosts_per_edge; }
   int agg_of_host(int host) const { return edge_of_host(host) / params.edge_per_agg; }
   int core_of_host(int host) const { return agg_of_host(host) / params.agg_per_core; }
+
+  // Construction-time region of each element (see TopologyParams::num_regions).
+  int region_of_core(int core) const { return core; }
+  int region_of_agg(int agg) const { return params.core_switches + agg; }
+  int region_of_edge(int edge) const { return region_of_agg(edge / params.edge_per_agg); }
+  int region_of_host(int host) const { return region_of_edge(edge_of_host(host)); }
+};
+
+// Steers sharded construction for any fabric, hand-built or generated: a
+// region is a contiguous group of switches that must share a shard, and
+// regions map round-robin onto the group's shards. EnterRegion directs the
+// network's subsequent AddSwitch calls onto the owning shard; endpoints
+// co-locate with their attachment switch and cross-region wires become
+// boundary channels automatically (see atm::Network::EnableSharding). With
+// a null group every call is a no-op, so one build function serves both
+// sharded and classic runs.
+class RegionPartitioner {
+ public:
+  RegionPartitioner(atm::Network* network, sim::ShardGroup* group)
+      : network_(network), group_(group) {
+    if (group_ != nullptr) {
+      network_->EnableSharding(group_);
+    }
+  }
+  ~RegionPartitioner() { network_->SetBuildShard(nullptr); }
+
+  RegionPartitioner(const RegionPartitioner&) = delete;
+  RegionPartitioner& operator=(const RegionPartitioner&) = delete;
+
+  // The shard owning `region` (round-robin), or the control simulator when
+  // running unsharded.
+  sim::Simulator* shard_of(int region) const {
+    return group_ == nullptr ? network_->simulator()
+                             : group_->shard(region % group_->shard_count());
+  }
+  // Subsequent switches are built on `region`'s shard.
+  void EnterRegion(int region) {
+    if (group_ != nullptr) {
+      network_->SetBuildShard(shard_of(region));
+    }
+  }
+  // Subsequent switches are built on the control simulator.
+  void EnterControl() { network_->SetBuildShard(nullptr); }
+
+ private:
+  atm::Network* network_;
+  sim::ShardGroup* group_;
 };
 
 // Builds the hierarchy into `system`'s network. Call on a freshly
 // constructed system: host/storage names are generated from tier indices.
 MetroTopology BuildMetroTopology(core::PegasusSystem& system, const TopologyParams& params);
+
+// As above, but partitions the fabric across `group`'s shards by region
+// (one shard per worker thread at run time). The construction order — and
+// so every switch/link id and BFS tie-break — is identical to the
+// unsharded build; a null group degenerates to it exactly.
+MetroTopology BuildMetroTopology(core::PegasusSystem& system, const TopologyParams& params,
+                                 sim::ShardGroup* group);
 
 }  // namespace pegasus::scenario
 

@@ -18,6 +18,14 @@ double WallNsSince(std::chrono::steady_clock::time_point t0) {
                                  .count());
 }
 
+// Stream-derivation tags: arbitrary distinct constants XORed into the user
+// seed so the per-purpose streams are mutually independent but still a
+// pure function of params.seed.
+constexpr uint64_t kArrivalStream = 0x9e3779b97f4a7c15ULL;
+constexpr uint64_t kMixStream = 0xbf58476d1ce4e5b9ULL;
+constexpr uint64_t kHoldingStream = 0x94d049bb133111ebULL;
+constexpr uint64_t kFateStream = 0xd6e8feb86659fd93ULL;
+
 }  // namespace
 
 ScenarioEngine::ScenarioEngine(core::PegasusSystem* system, const MetroTopology* topo,
@@ -26,7 +34,10 @@ ScenarioEngine::ScenarioEngine(core::PegasusSystem* system, const MetroTopology*
       topo_(topo),
       params_(params),
       sim_(system->simulator()),
-      rng_(params.seed) {
+      arrival_rng_(params.seed ^ kArrivalStream),
+      mix_rng_(params.seed ^ kMixStream),
+      holding_rng_(params.seed ^ kHoldingStream),
+      fate_rng_(params.seed ^ kFateStream) {
   SeedCatalog();
 }
 
@@ -60,7 +71,7 @@ int ScenarioEngine::ProbeCatalog(int rank) {
 }
 
 void ScenarioEngine::ScheduleNextArrival() {
-  const double gap_ns = rng_.Exponential(1e9 / params_.arrivals_per_sec);
+  const double gap_ns = arrival_rng_.Exponential(1e9 / params_.arrivals_per_sec);
   const sim::DurationNs gap = std::max<sim::DurationNs>(1, static_cast<sim::DurationNs>(gap_ns));
   sim_->ScheduleAfter(gap, [this]() { OnArrival(); });
 }
@@ -90,13 +101,14 @@ void ScenarioEngine::OnArrival() {
   ScheduleNextArrival();
   ++metrics_.arrivals;
 
-  // Every arrival draws in a fixed order so a seed replays exactly.
-  const double type_draw = rng_.UniformDouble();
+  // Every arrival draws in a fixed order so a seed replays exactly; each
+  // aspect draws from its own stream so they cannot perturb one another.
+  const double type_draw = mix_rng_.UniformDouble();
   const sim::DurationNs holding = std::max<sim::DurationNs>(
       sim::Milliseconds(1),
-      static_cast<sim::DurationNs>(rng_.Exponential(params_.mean_holding_sec * 1e9)));
-  const bool drives_data = rng_.Bernoulli(params_.data_session_fraction);
-  const bool renegotiates = rng_.Bernoulli(params_.renegotiate_fraction);
+      static_cast<sim::DurationNs>(holding_rng_.Exponential(params_.mean_holding_sec * 1e9)));
+  const bool drives_data = fate_rng_.Bernoulli(params_.data_session_fraction);
+  const bool renegotiates = fate_rng_.Bernoulli(params_.renegotiate_fraction);
 
   const int num_hosts = static_cast<int>(topo_->hosts.size());
   const int num_storage = static_cast<int>(topo_->storage.size());
@@ -129,8 +141,8 @@ void ScenarioEngine::OnArrival() {
   core::StreamBuilder builder = system_->BuildStream();
   switch (type) {
     case SessionType::kPhone: {
-      const int a = static_cast<int>(rng_.UniformInt(0, num_hosts - 1));
-      int b = static_cast<int>(rng_.UniformInt(0, num_hosts - 2));
+      const int a = static_cast<int>(mix_rng_.UniformInt(0, num_hosts - 1));
+      int b = static_cast<int>(mix_rng_.UniformInt(0, num_hosts - 2));
       if (b >= a) {
         ++b;
       }
@@ -142,9 +154,9 @@ void ScenarioEngine::OnArrival() {
       break;
     }
     case SessionType::kVod: {
-      const int viewer = static_cast<int>(rng_.UniformInt(0, num_hosts - 1));
+      const int viewer = static_cast<int>(mix_rng_.UniformInt(0, num_hosts - 1));
       const int rank = static_cast<int>(
-          rng_.Zipf(static_cast<int64_t>(catalog_files_.size()), params_.zipf_theta));
+          mix_rng_.Zipf(static_cast<int64_t>(catalog_files_.size()), params_.zipf_theta));
       const int idx = ProbeCatalog(rank);
       if (idx < 0) {
         // Whole catalog on the air: the title (and every fallback) is busy.
@@ -162,8 +174,8 @@ void ScenarioEngine::OnArrival() {
       break;
     }
     case SessionType::kRecord: {
-      const int src_idx = static_cast<int>(rng_.UniformInt(0, num_hosts - 1));
-      const int st = static_cast<int>(rng_.UniformInt(0, num_storage - 1));
+      const int src_idx = static_cast<int>(mix_rng_.UniformInt(0, num_hosts - 1));
+      const int st = static_cast<int>(mix_rng_.UniformInt(0, num_storage - 1));
       storage = topo_->storage[static_cast<size_t>(st)];
       core::Workstation* src = topo_->hosts[static_cast<size_t>(src_idx)];
       spec = core::StreamSpec::Video(25.0, params_.record_bps);
@@ -328,7 +340,15 @@ const FleetMetrics& ScenarioEngine::Run(sim::DurationNs duration) {
   end_time_ = sim_->now() + duration;
   ScheduleNextArrival();
   sim_->ScheduleAfter(params_.metrics_period, [this]() { OnMetricsTick(); });
-  sim_->RunUntil(end_time_);
+  // A sharded network is driven through its shard group: every control
+  // event (arrival, departure, tick...) becomes a global sync point with
+  // all shards quiesced at that instant, so this code may touch any shard's
+  // state exactly as it does single-simulator.
+  if (sim::ShardGroup* group = system_->network().shard_group(); group != nullptr) {
+    group->RunUntil(end_time_);
+  } else {
+    sim_->RunUntil(end_time_);
+  }
   running_ = false;
 
   // Final sweep: sessions still on the air contribute their adaptation

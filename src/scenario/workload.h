@@ -8,11 +8,20 @@
 // is Zipf-distributed over the catalog, so a handful of titles (and the
 // storage node shelving them) take most of the load.
 //
-// Everything stochastic draws from one seeded sim::Rng and every schedule
-// lives on the simulator clock, so a (topology, params, duration) triple
-// replays bit-for-bit: identical seeds produce identical FleetMetrics
-// fingerprints. The only wall-clock observations (admission-call latency,
-// sustained cells/s) are kept outside the fingerprint.
+// Everything stochastic draws from per-purpose seeded sim::Rng streams —
+// arrival spacing, session mix/placement, holding times and per-session
+// fates each have their own stream, so changing (say) the data-session
+// fraction cannot shift which sessions arrive or where they go — and every
+// schedule lives on the simulator clock, so a (topology, params, duration)
+// triple replays bit-for-bit: identical seeds produce identical
+// FleetMetrics fingerprints. The only wall-clock observations
+// (admission-call latency, sustained cells/s) are kept outside the
+// fingerprint.
+//
+// When the system's network carries a sim::ShardGroup, Run() drives the
+// group instead of the bare simulator: churn control stays on the control
+// simulator (global sync points) while the shards advance the data plane
+// in parallel windows. Metrics are bit-identical either way.
 #ifndef PEGASUS_SRC_SCENARIO_WORKLOAD_H_
 #define PEGASUS_SRC_SCENARIO_WORKLOAD_H_
 
@@ -125,7 +134,13 @@ class ScenarioEngine {
   const MetroTopology* topo_;
   WorkloadParams params_;
   sim::Simulator* sim_;
-  sim::Rng rng_;
+  // Independent per-purpose streams, all derived from params.seed: arrival
+  // spacing, session mix + placement + content choice, holding times, and
+  // per-session fates (drives data / renegotiates).
+  sim::Rng arrival_rng_;
+  sim::Rng mix_rng_;
+  sim::Rng holding_rng_;
+  sim::Rng fate_rng_;
 
   // Catalog, popularity-ranked: index i is the i-th most popular title.
   std::vector<pfs::FileId> catalog_files_;

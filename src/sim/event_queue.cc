@@ -108,6 +108,19 @@ void Simulator::RunUntil(TimeNs t) {
   }
 }
 
+void Simulator::RunUntilBefore(TimeNs t) {
+  while (SkimStaleHead() && queue_.top().time < t) {
+    Step();
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+}
+
+TimeNs Simulator::NextEventTime() {
+  return SkimStaleHead() ? queue_.top().time : kTimeNever;
+}
+
 bool Simulator::RunUntilPredicate(const std::function<bool()>& pred) {
   if (pred()) {
     return true;

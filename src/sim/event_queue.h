@@ -169,6 +169,17 @@ class Simulator {
   // Runs events with time <= `t`, then sets the clock to exactly `t`.
   void RunUntil(TimeNs t);
 
+  // Bounded-horizon variant: runs events with time strictly BEFORE `t`,
+  // then sets the clock to exactly `t`, leaving events at `t` and later
+  // pending. This is the window primitive of conservative parallel
+  // simulation (src/sim/shard.h): a shard may execute up to — but not
+  // into — the horizon its neighbours' lookahead guarantees safe.
+  void RunUntilBefore(TimeNs t);
+
+  // Absolute time of the earliest pending event, or kTimeNever when the
+  // queue is empty. Non-const: stale (cancelled) heads are skimmed off.
+  TimeNs NextEventTime();
+
   // Runs events until `pred()` is true (checked after each event) or the
   // queue drains. Returns true if the predicate fired.
   bool RunUntilPredicate(const std::function<bool()>& pred);

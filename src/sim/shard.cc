@@ -1,0 +1,224 @@
+#include "src/sim/shard.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pegasus::sim {
+
+namespace {
+
+TimeNs SaturatingAdd(TimeNs t, DurationNs d) {
+  return d >= kTimeNever - t ? kTimeNever : t + d;
+}
+
+}  // namespace
+
+ShardGroup::ShardGroup(Simulator* control, Options options) : control_(control) {
+  const int count = std::max(1, options.shards);
+  shards_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Simulator>());
+  }
+  inbox_.resize(static_cast<size_t>(count));
+
+  int threads = options.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = std::min(count, static_cast<int>(hw == 0 ? 1 : hw));
+  }
+  threads = std::min(std::max(threads, 1), count);
+  if (threads > 1) {
+    threads_ = threads;
+    workers_.reserve(static_cast<size_t>(threads));
+    for (int w = 0; w < threads; ++w) {
+      workers_.emplace_back([this, w]() {
+        uint64_t seen = 0;
+        for (;;) {
+          TimeNs horizon;
+          bool inclusive;
+          {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [this, seen]() { return shutdown_ || epoch_ != seen; });
+            if (shutdown_) {
+              return;
+            }
+            seen = epoch_;
+            horizon = task_horizon_;
+            inclusive = task_inclusive_;
+          }
+          RunShardsSlice(w, horizon, inclusive);
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--remaining_ == 0) {
+              done_cv_.notify_one();
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+ShardGroup::~ShardGroup() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) {
+      t.join();
+    }
+  }
+}
+
+int ShardGroup::shard_index(const Simulator* s) const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].get() == s) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+BoundaryChannel* ShardGroup::RegisterBoundary(Simulator* src, Simulator* dst,
+                                              DurationNs lookahead) {
+  const int src_idx = shard_index(src);
+  const int dst_idx = shard_index(dst);
+  assert(src_idx >= 0 && dst_idx >= 0 && src_idx != dst_idx);
+  assert(lookahead > 0);  // zero lookahead would stall the window loop
+  channels_.push_back(std::unique_ptr<BoundaryChannel>(
+      new BoundaryChannel(src_idx, dst_idx, static_cast<uint32_t>(channels_.size()))));
+  lookahead_ = std::min(lookahead_, lookahead);
+  return channels_.back().get();
+}
+
+void ShardGroup::RunShardsSlice(int worker, TimeNs horizon, bool inclusive) {
+  const int stride = threads_ == 0 ? 1 : threads_;
+  for (size_t i = static_cast<size_t>(worker); i < shards_.size(); i += stride) {
+    if (inclusive) {
+      shards_[i]->RunUntil(horizon);
+    } else {
+      shards_[i]->RunUntilBefore(horizon);
+    }
+  }
+}
+
+void ShardGroup::ExecuteWindow(TimeNs horizon, bool inclusive) {
+  if (workers_.empty()) {
+    RunShardsSlice(0, horizon, inclusive);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      task_horizon_ = horizon;
+      task_inclusive_ = inclusive;
+      remaining_ = threads_;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this]() { return remaining_ == 0; });
+  }
+  ++stats_.windows;
+}
+
+void ShardGroup::CollectOutboxes() {
+  for (const auto& channel : channels_) {
+    if (channel->outbox_.empty()) {
+      continue;
+    }
+    auto& in = inbox_[static_cast<size_t>(channel->dst_)];
+    for (BoundaryChannel::Message& m : channel->outbox_) {
+      in.push_back(Pending{m.deliver_at, channel->id_, m.order, std::move(m.fn)});
+    }
+    channel->outbox_.clear();
+  }
+}
+
+void ShardGroup::DrainInboxes() {
+  for (size_t d = 0; d < inbox_.size(); ++d) {
+    auto& in = inbox_[d];
+    if (in.empty()) {
+      continue;
+    }
+    // Deterministic merge: delivery time first, then channel registration
+    // order, then per-channel emission order — a total order independent of
+    // thread interleaving.
+    std::sort(in.begin(), in.end(), [](const Pending& a, const Pending& b) {
+      if (a.deliver_at != b.deliver_at) {
+        return a.deliver_at < b.deliver_at;
+      }
+      if (a.channel != b.channel) {
+        return a.channel < b.channel;
+      }
+      return a.order < b.order;
+    });
+    for (Pending& p : in) {
+      shards_[d]->ScheduleAt(p.deliver_at, std::move(p.fn));
+    }
+    stats_.messages += in.size();
+    in.clear();
+  }
+}
+
+TimeNs ShardGroup::MinNextEventTime() {
+  TimeNs n = kTimeNever;
+  for (const auto& shard : shards_) {
+    n = std::min(n, shard->NextEventTime());
+  }
+  return n;
+}
+
+void ShardGroup::AdvanceShards(TimeNs limit, bool inclusive) {
+  for (;;) {
+    DrainInboxes();
+    const TimeNs n = MinNextEventTime();
+    if (n > limit || (!inclusive && n == limit)) {
+      break;
+    }
+    // The conservative horizon: nothing emitted at or after `n` can take
+    // effect on another shard before n + lookahead, so every shard may run
+    // events strictly before that. Capped at the sync point — and when the
+    // cap is what binds in the inclusive (end-of-run) case, events at the
+    // limit itself are safe to run (messages they emit land strictly later).
+    const TimeNs reach = SaturatingAdd(n, lookahead_);
+    if (inclusive && reach > limit) {
+      ExecuteWindow(limit, /*inclusive=*/true);
+    } else {
+      ExecuteWindow(std::min(reach, limit), /*inclusive=*/false);
+    }
+    CollectOutboxes();
+  }
+  // Quiesce: no shard holds an event before (at, when inclusive) `limit`;
+  // park every clock exactly there so code running at the sync point reads
+  // coherent clocks. Touching the shards from this thread is safe between
+  // windows (the barrier ordered the owners out).
+  for (const auto& shard : shards_) {
+    if (inclusive) {
+      shard->RunUntil(limit);
+    } else {
+      shard->RunUntilBefore(limit);
+    }
+  }
+}
+
+void ShardGroup::RunUntil(TimeNs t) {
+  // Every control event is a global sync point: shards are quiesced AT the
+  // event's timestamp before it executes, so it observes — and may mutate —
+  // the exact state the single-threaded schedule would have produced.
+  for (;;) {
+    const TimeNs t_control = control_->NextEventTime();
+    if (t_control > t) {
+      break;
+    }
+    AdvanceShards(t_control, /*inclusive=*/false);
+    control_->RunUntil(t_control);
+    ++stats_.sync_points;
+  }
+  // No control events remain at or before `t`: finish shard events through
+  // `t` (inclusive, matching Simulator::RunUntil) and park the clocks.
+  AdvanceShards(t, /*inclusive=*/true);
+  control_->RunUntil(t);
+}
+
+}  // namespace pegasus::sim

@@ -1,0 +1,176 @@
+// Region-sharded conservative parallel simulation (PDES).
+//
+// A ShardGroup runs K `Simulator` shards side by side, synchronized the
+// classic conservative way: the minimum propagation delay over all
+// cross-shard (boundary) links is the LOOKAHEAD — a message emitted by a
+// shard at time t can be observed by another shard no earlier than t + L,
+// so every shard may safely execute up to min(earliest pending event) + L
+// without hearing from its neighbours. Execution proceeds in barrier
+// windows; cross-shard traffic crosses through per-link mailboxes that are
+// drained — in a deterministic merge order, sorted by (delivery time,
+// channel registration order, emission order) — while every thread sits at
+// the barrier.
+//
+// One external `Simulator` (typically the PegasusSystem clock) acts as the
+// CONTROL shard: its events — workload arrivals, admission, QoS-monitor
+// ticks — are global synchronisation points. All shards are quiesced with
+// their clocks set to exactly the control event's timestamp before it runs,
+// so control code may read and mutate any shard's state (reservation
+// ledgers, switch tables, link counters) exactly as it does under the
+// single-threaded engine. That discipline is what makes the parallel run
+// reproduce the single-threaded results bit for bit: parallelism changes
+// wall clock only, never outcomes.
+//
+// Threading: each worker owns a fixed subset of shards; shard state is
+// touched only by its owner inside a window and only by the coordinating
+// thread between windows (both orderings established by the barrier mutex).
+// With `threads = 1` the windows run inline on the calling thread — same
+// schedule, no std::thread — which is also the profile-friendly mode on a
+// single-core host.
+#ifndef PEGASUS_SRC_SIM_SHARD_H_
+#define PEGASUS_SRC_SIM_SHARD_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace pegasus::sim {
+
+class ShardGroup;
+
+// The outbox of one directed boundary link. The source shard posts
+// timestamped handlers while it executes a window; the coordinator moves
+// them to the destination shard's inbox at the next barrier. Channels are
+// created by ShardGroup::RegisterBoundary and owned by the group.
+class BoundaryChannel {
+ public:
+  // Called from the source shard's event handlers only. `deliver_at` must
+  // honour the channel's registered lookahead (emission time + at least the
+  // link propagation delay); the conservative window invariant depends on
+  // it.
+  void Post(TimeNs deliver_at, Simulator::Handler fn) {
+    outbox_.push_back(Message{deliver_at, next_order_++, std::move(fn)});
+  }
+
+  int source_shard() const { return src_; }
+  int destination_shard() const { return dst_; }
+
+ private:
+  friend class ShardGroup;
+  struct Message {
+    TimeNs deliver_at;
+    uint64_t order;  // per-channel emission order (monotone across windows)
+    Simulator::Handler fn;
+  };
+
+  BoundaryChannel(int src, int dst, uint32_t id) : src_(src), dst_(dst), id_(id) {}
+
+  int src_;
+  int dst_;
+  uint32_t id_;  // registration order; merge tie-breaker across channels
+  uint64_t next_order_ = 0;
+  std::vector<Message> outbox_;
+};
+
+class ShardGroup {
+ public:
+  struct Options {
+    int shards = 1;
+    // 0 = auto (one thread per shard, capped at the hardware concurrency;
+    // serial when the host has a single core). 1 = run windows inline with
+    // no worker threads. n > 1 = n workers, shards distributed round-robin.
+    int threads = 0;
+  };
+
+  struct Stats {
+    uint64_t windows = 0;       // conservative windows executed
+    uint64_t sync_points = 0;   // control-event quiesce points
+    uint64_t messages = 0;      // boundary messages delivered
+  };
+
+  // `control` is the externally owned control simulator (it is NOT run by
+  // worker threads; see the class comment). Shard simulators are created
+  // and owned by the group.
+  ShardGroup(Simulator* control, Options options);
+  ~ShardGroup();
+
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  Simulator* control() const { return control_; }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  int thread_count() const { return threads_ == 0 ? 1 : threads_; }
+  Simulator* shard(int i) { return shards_[static_cast<size_t>(i)].get(); }
+  // Index of `s` among the shards, or -1 (control / foreign simulator).
+  int shard_index(const Simulator* s) const;
+
+  // Declares a directed boundary link from `src`'s shard to `dst`'s shard
+  // whose earliest cross-shard effect lags emission by `lookahead` (> 0;
+  // for an ATM link, its propagation delay). Lowers the group lookahead.
+  // Both simulators must be shards of this group.
+  BoundaryChannel* RegisterBoundary(Simulator* src, Simulator* dst, DurationNs lookahead);
+
+  // Runs every shard and the control simulator through time `t`, with
+  // RunUntil(t) semantics on each clock (events at exactly `t` run; all
+  // clocks end at `t`). Callable repeatedly with increasing times.
+  void RunUntil(TimeNs t);
+
+  const Stats& stats() const { return stats_; }
+  // Group lookahead: the smallest registered boundary lag, or kTimeNever
+  // when no boundary has been registered (windows then span sync points).
+  DurationNs lookahead() const { return lookahead_; }
+
+ private:
+  // Runs conservative windows until no shard holds an event before `limit`
+  // (`inclusive` widens that to "at or before"), then parks every shard
+  // clock at `limit`.
+  void AdvanceShards(TimeNs limit, bool inclusive);
+  // One window: every shard runs to `horizon` (RunUntil when `inclusive`,
+  // RunUntilBefore otherwise), in parallel when workers exist.
+  void ExecuteWindow(TimeNs horizon, bool inclusive);
+  void RunShardsSlice(int worker, TimeNs horizon, bool inclusive);
+  // Moves every channel's outbox into its destination inbox (at a barrier).
+  void CollectOutboxes();
+  // Schedules inbox messages onto their shards in deterministic order.
+  void DrainInboxes();
+  TimeNs MinNextEventTime();
+
+  Simulator* control_;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<std::unique_ptr<BoundaryChannel>> channels_;
+  DurationNs lookahead_ = kTimeNever;
+  Stats stats_;
+
+  struct Pending {
+    TimeNs deliver_at;
+    uint32_t channel;
+    uint64_t order;
+    Simulator::Handler fn;
+  };
+  std::vector<std::vector<Pending>> inbox_;  // indexed by destination shard
+
+  // Worker pool (empty in serial mode). Workers wait for an epoch bump,
+  // run their shard slice to task_horizon_, and report back; the barrier
+  // mutex carries the happens-before edges TSan (and the memory model)
+  // need between owner handoffs.
+  int threads_ = 0;  // 0 = serial
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;
+  TimeNs task_horizon_ = 0;
+  bool task_inclusive_ = false;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace pegasus::sim
+
+#endif  // PEGASUS_SRC_SIM_SHARD_H_

@@ -1,0 +1,286 @@
+// Region-sharded parallel simulation: the sharded engine must reproduce
+// the single-simulator engine bit for bit — identical event interleavings
+// at the observable level (delivery instants, counters, fleet fingerprints)
+// at every shard count — while the conservative window machinery actually
+// exercises boundary channels and sync points.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/atm/network.h"
+#include "src/scenario/topology.h"
+#include "src/scenario/workload.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/shard.h"
+
+namespace pegasus {
+namespace {
+
+// FNV-1a over a (tag, time) observation log — the same digest discipline
+// determinism_test applies to the single engine.
+uint64_t DigestLog(const std::vector<std::pair<int, sim::TimeNs>>& log) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& [tag, t] : log) {
+    mix(static_cast<uint64_t>(tag));
+    mix(static_cast<uint64_t>(t));
+  }
+  return h;
+}
+
+// --- Window machinery ------------------------------------------------------
+
+TEST(ShardGroupTest, WindowsInterleaveShardAndControlEventsInTimeOrder) {
+  sim::Simulator control;
+  sim::ShardGroup group(&control, {/*shards=*/2, /*threads=*/1});
+  sim::Simulator* a = group.shard(0);
+  sim::Simulator* b = group.shard(1);
+  sim::BoundaryChannel* ab = group.RegisterBoundary(a, b, /*lookahead=*/10);
+
+  std::vector<std::pair<int, sim::TimeNs>> log;
+  a->ScheduleAt(5, [&]() {
+    log.emplace_back(0, a->now());
+    ab->Post(a->now() + 10, [&]() { log.emplace_back(2, b->now()); });
+  });
+  b->ScheduleAt(12, [&]() { log.emplace_back(1, b->now()); });
+  control.ScheduleAt(20, [&]() { log.emplace_back(3, control.now()); });
+
+  group.RunUntil(30);
+
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], (std::pair<int, sim::TimeNs>{0, 5}));
+  EXPECT_EQ(log[1], (std::pair<int, sim::TimeNs>{1, 12}));
+  EXPECT_EQ(log[2], (std::pair<int, sim::TimeNs>{2, 15}));
+  EXPECT_EQ(log[3], (std::pair<int, sim::TimeNs>{3, 20}));
+  EXPECT_EQ(a->now(), 30);
+  EXPECT_EQ(b->now(), 30);
+  EXPECT_EQ(control.now(), 30);
+  EXPECT_GE(group.stats().windows, 1u);
+  EXPECT_EQ(group.stats().sync_points, 1u);
+  EXPECT_EQ(group.stats().messages, 1u);
+}
+
+TEST(ShardGroupTest, EventsAtRunUntilLimitExecute) {
+  sim::Simulator control;
+  sim::ShardGroup group(&control, {/*shards=*/2, /*threads=*/1});
+  int ran = 0;
+  group.shard(0)->ScheduleAt(100, [&]() { ++ran; });
+  group.shard(1)->ScheduleAt(100, [&]() { ++ran; });
+  control.ScheduleAt(100, [&]() { ++ran; });
+  group.RunUntil(100);
+  EXPECT_EQ(ran, 3);
+}
+
+// --- Boundary-link torture: minimum lookahead, saturating both ways --------
+
+struct TortureResult {
+  uint64_t digest = 0;
+  uint64_t received_a = 0;
+  uint64_t received_b = 0;
+  uint64_t trunk_sent = 0;
+  uint64_t trunk_dropped = 0;
+};
+
+// Two switches wired by a 1 ns propagation trunk (the minimum legal
+// lookahead), one endpoint on each side, VCs both ways, and both endpoints
+// flooding at coprime cadences well above the trunk rate — every window is
+// as small as windows get and the trunk queue lives at its limit.
+TortureResult RunTorture(int shards, int threads) {
+  sim::Simulator control;
+  sim::ShardGroup group(&control, {shards, threads});
+  atm::Network net(&control);
+  scenario::RegionPartitioner part(&net, shards > 0 ? &group : nullptr);
+
+  part.EnterRegion(0);
+  atm::Switch* sa = net.AddSwitch("sa", 2);
+  part.EnterRegion(1);
+  atm::Switch* sb = net.AddSwitch("sb", 2);
+  net.ConnectSwitches(sa, 0, sb, 0, /*bps=*/20'000'000, /*propagation=*/1);
+
+  part.EnterRegion(0);
+  atm::Endpoint* ea = net.AddEndpoint("ea", sa, 1, 155'000'000);
+  part.EnterRegion(1);
+  atm::Endpoint* eb = net.AddEndpoint("eb", sb, 1, 155'000'000);
+
+  auto vc_ab = net.OpenVc(ea, eb);
+  auto vc_ba = net.OpenVc(eb, ea);
+  EXPECT_TRUE(vc_ab.has_value());
+  EXPECT_TRUE(vc_ba.has_value());
+
+  std::vector<std::pair<int, sim::TimeNs>> log_a;
+  std::vector<std::pair<int, sim::TimeNs>> log_b;
+  ea->set_cell_handler(
+      [&](const atm::Cell&) { log_a.emplace_back(0, ea->simulator()->now()); });
+  eb->set_cell_handler(
+      [&](const atm::Cell&) { log_b.emplace_back(1, eb->simulator()->now()); });
+
+  // Self-rescheduling floods on each endpoint's own shard clock: bursts big
+  // enough to overrun the 20 Mb/s trunk, cadences coprime to each other and
+  // to every cell time so emission instants never phase-lock.
+  struct Flood {
+    atm::Endpoint* ep;
+    atm::Vci vci;
+    sim::DurationNs period;
+    void Fire() {
+      atm::Cell cell;
+      cell.vci = vci;
+      for (int i = 0; i < 8; ++i) {
+        cell.end_of_frame = (i == 7);
+        ep->SendCell(cell);
+      }
+      ep->simulator()->ScheduleAfter(period, [this]() { Fire(); });
+    }
+  };
+  Flood fa{ea, vc_ab->source_vci, 7001};
+  Flood fb{eb, vc_ba->source_vci, 9973};
+  ea->simulator()->ScheduleAt(1, [&]() { fa.Fire(); });
+  eb->simulator()->ScheduleAt(1, [&]() { fb.Fire(); });
+
+  if (shards > 0) {
+    group.RunUntil(sim::Milliseconds(20));
+  } else {
+    control.RunUntil(sim::Milliseconds(20));
+  }
+
+  TortureResult result;
+  result.received_a = ea->cells_received();
+  result.received_b = eb->cells_received();
+  for (const auto& link : net.links()) {
+    if (link->propagation_delay() == 1) {
+      result.trunk_sent += link->cells_sent();
+      result.trunk_dropped += link->cells_dropped();
+    }
+  }
+  std::vector<std::pair<int, sim::TimeNs>> log = std::move(log_a);
+  log.insert(log.end(), log_b.begin(), log_b.end());
+  result.digest = DigestLog(log);
+  return result;
+}
+
+TEST(ShardGroupTest, BoundaryTortureMatchesSingleSimulatorBitForBit) {
+  const TortureResult reference = RunTorture(/*shards=*/0, /*threads=*/0);
+  EXPECT_GT(reference.received_a, 0u);
+  EXPECT_GT(reference.received_b, 0u);
+  // The floods overrun the trunk by design; the tail-drop path must be hot.
+  EXPECT_GT(reference.trunk_dropped, 0u);
+
+  for (const auto& [shards, threads] : std::vector<std::pair<int, int>>{
+           {1, 1}, {2, 1}, {2, 2}, {2, 0}}) {
+    const TortureResult sharded = RunTorture(shards, threads);
+    EXPECT_EQ(sharded.digest, reference.digest)
+        << "shards=" << shards << " threads=" << threads;
+    EXPECT_EQ(sharded.received_a, reference.received_a);
+    EXPECT_EQ(sharded.received_b, reference.received_b);
+    EXPECT_EQ(sharded.trunk_sent, reference.trunk_sent);
+    EXPECT_EQ(sharded.trunk_dropped, reference.trunk_dropped);
+  }
+}
+
+// --- Fleet equivalence: the full metro scenario, every shard count ---------
+
+scenario::TopologyParams SmallMetro() {
+  scenario::TopologyParams params;
+  params.core_switches = 2;
+  params.agg_per_core = 2;
+  params.edge_per_agg = 2;
+  params.hosts_per_edge = 3;
+  params.storage_per_core = 1;
+  return params;
+}
+
+scenario::WorkloadParams ChurnParams() {
+  scenario::WorkloadParams wparams;
+  wparams.seed = 7;
+  wparams.arrivals_per_sec = 40.0;
+  wparams.mean_holding_sec = 1.0;
+  wparams.data_session_fraction = 0.25;
+  return wparams;
+}
+
+// shards == 0 runs the classic single-simulator engine.
+uint64_t RunFleet(int shards, int threads) {
+  sim::Simulator sim;
+  core::PegasusSystem system(&sim);
+  const scenario::TopologyParams tparams = SmallMetro();
+  sim::ShardGroup group(&sim, {shards > 0 ? shards : 1, threads});
+  const scenario::MetroTopology topo =
+      scenario::BuildMetroTopology(system, tparams, shards > 0 ? &group : nullptr);
+  scenario::ScenarioEngine engine(&system, &topo, ChurnParams());
+  const scenario::FleetMetrics& metrics = engine.Run(sim::Seconds(2));
+  EXPECT_GT(metrics.arrivals, 0);
+  EXPECT_GT(metrics.admitted, 0);
+  EXPECT_GT(metrics.link_cells_sent, 0u);
+  return metrics.Fingerprint();
+}
+
+TEST(ShardGroupTest, FleetFingerprintIdenticalAtEveryShardCount) {
+  const uint64_t reference = RunFleet(/*shards=*/0, /*threads=*/0);
+  for (const auto& [shards, threads] :
+       std::vector<std::pair<int, int>>{{1, 1}, {2, 2}, {4, 2}, {8, 0}}) {
+    EXPECT_EQ(RunFleet(shards, threads), reference)
+        << "shards=" << shards << " threads=" << threads;
+  }
+}
+
+TEST(ShardGroupTest, ShardedFleetActuallyCrossesBoundaries) {
+  sim::Simulator sim;
+  core::PegasusSystem system(&sim);
+  sim::ShardGroup group(&sim, {/*shards=*/4, /*threads=*/2});
+  const scenario::MetroTopology topo =
+      scenario::BuildMetroTopology(system, SmallMetro(), &group);
+  scenario::ScenarioEngine engine(&system, &topo, ChurnParams());
+  engine.Run(sim::Seconds(1));
+
+  EXPECT_GT(group.stats().windows, 0u);
+  EXPECT_GT(group.stats().sync_points, 0u);
+  EXPECT_GT(group.stats().messages, 0u);
+  // Cross-region wires are exactly the core mesh and core-agg trunks.
+  int boundaries = 0;
+  for (const auto& link : system.network().links()) {
+    boundaries += link->is_boundary() ? 1 : 0;
+  }
+  EXPECT_GT(boundaries, 0);
+}
+
+// --- Per-purpose RNG streams ----------------------------------------------
+
+// The data-session fraction draws from its own stream, so varying it must
+// not shift which sessions arrive, where they go, or what admission says
+// (with the monitor off and renegotiation disabled, data cells influence
+// nothing upstream of them).
+TEST(ScenarioRngStreamsTest, DataFractionDoesNotPerturbArrivalsOrAdmission) {
+  auto run = [](double data_fraction) {
+    sim::Simulator sim;
+    core::PegasusSystem system(&sim);
+    const scenario::TopologyParams tparams = SmallMetro();
+    const scenario::MetroTopology topo = scenario::BuildMetroTopology(system, tparams);
+    scenario::WorkloadParams wparams;
+    wparams.seed = 11;
+    wparams.arrivals_per_sec = 40.0;
+    wparams.mean_holding_sec = 1.0;
+    wparams.renegotiate_fraction = 0.0;
+    wparams.data_session_fraction = data_fraction;
+    scenario::ScenarioEngine engine(&system, &topo, wparams);
+    return engine.Run(sim::Seconds(2));
+  };
+  const scenario::FleetMetrics lean = run(0.0);
+  const scenario::FleetMetrics heavy = run(0.6);
+  EXPECT_GT(lean.arrivals, 0);
+  EXPECT_EQ(lean.arrivals, heavy.arrivals);
+  EXPECT_EQ(lean.admitted, heavy.admitted);
+  EXPECT_EQ(lean.blocked, heavy.blocked);
+  EXPECT_EQ(lean.peak_concurrent, heavy.peak_concurrent);
+  // The data plane, by contrast, must respond to the knob.
+  EXPECT_GT(heavy.link_cells_sent, lean.link_cells_sent);
+}
+
+}  // namespace
+}  // namespace pegasus

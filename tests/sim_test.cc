@@ -144,6 +144,38 @@ TEST(SimulatorTest, RunUntilAdvancesClockExactly) {
   EXPECT_EQ(sim.now(), 100);
 }
 
+TEST(SimulatorTest, RunUntilBeforeLeavesEventsAtHorizonPending) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAt(10, [&]() { ++count; });
+  sim.ScheduleAt(20, [&]() { ++count; });
+  sim.ScheduleAt(30, [&]() { ++count; });
+  // Strictly-before semantics: the event AT the horizon stays pending —
+  // that is what lets a conservative shard window end exactly at another
+  // shard's next event time without stealing it.
+  sim.RunUntilBefore(20);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.RunUntil(20);
+  EXPECT_EQ(count, 2);
+  sim.RunUntilBefore(100);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, NextEventTimeSeesThroughCancellations) {
+  Simulator sim;
+  EXPECT_EQ(sim.NextEventTime(), kTimeNever);
+  EventId a = sim.ScheduleAt(10, []() {});
+  sim.ScheduleAt(25, []() {});
+  EXPECT_EQ(sim.NextEventTime(), 10);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.NextEventTime(), 25);
+  sim.Run();
+  EXPECT_EQ(sim.NextEventTime(), kTimeNever);
+}
+
 TEST(SimulatorTest, RunUntilPredicate) {
   Simulator sim;
   int count = 0;

@@ -10,7 +10,10 @@
 # metro fabrics under Poisson session churn, from bench_e16_metro_scale),
 # and the admission-plane snapshot as BENCH_07.json (open/renegotiate/close
 # contract-churn ops/s plus metro admission latencies and fleet
-# fingerprints, from bench_e17_contract_churn).
+# fingerprints, from bench_e17_contract_churn), and the region-sharded PDES
+# snapshot as BENCH_08.json (metro-large wall clocks and fingerprints at
+# 1/2/4/8 shards vs the single-simulator reference, from
+# `bench_e16_metro_scale shards` — identical fingerprints are enforced).
 #
 # Usage: tools/bench_snapshot.sh <build-dir> [out.json]
 # The build should be a Release build; numbers from Debug builds are noise.
@@ -88,4 +91,16 @@ if [[ -x "$E17" ]]; then
   cat "$OUT07"
 else
   echo "skipping $OUT07: $E17 missing" >&2
+fi
+
+# Region-sharded PDES scaling: the shards mode exits non-zero if any shard
+# count's fleet fingerprint diverges from the single-simulator reference,
+# so a determinism break fails the snapshot job, not just the JSON diff.
+OUT08="$(dirname "$OUT")/BENCH_08.json"
+if [[ -x "$E16" ]]; then
+  "$E16" shards >"$OUT08"
+  echo "wrote $OUT08:"
+  cat "$OUT08"
+else
+  echo "skipping $OUT08: $E16 missing" >&2
 fi
