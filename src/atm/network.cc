@@ -381,8 +381,24 @@ bool Network::CloseVc(VcId id) {
     return false;
   }
   VcState& state = it->second;
-  for (const HopRecord& hop : state.hops) {
-    hop.sw->RemoveRoute(hop.in_port, hop.in_vci);
+  auto mcast_it = mcast_.find(id);
+  if (mcast_it == mcast_.end()) {
+    for (const HopRecord& hop : state.hops) {
+      hop.sw->RemoveRoute(hop.in_port, hop.in_vci);
+    }
+    state.desc.destination->ReleaseIncomingVci(state.desc.destination_vci);
+  } else {
+    // A tree: retire each switch's whole entry (RemoveRoute drops every
+    // branch at once) and release EVERY leaf's incoming VCI, not just the
+    // descriptor's nominal destination.
+    McastState& m = mcast_it->second;
+    for (const auto& [sw_id, in] : m.node_in) {
+      switches_[static_cast<size_t>(sw_id)]->RemoveRoute(in.first, in.second);
+    }
+    for (const McastLeafRec& rec : m.leaves) {
+      rec.leaf->ReleaseIncomingVci(rec.leaf_vci);
+    }
+    mcast_.erase(mcast_it);
   }
   for (Link* l : state.hop_links) {
     if (state.desc.qos.peak_bps > 0) {
@@ -394,10 +410,261 @@ bool Network::CloseVc(VcId id) {
       on_link.erase(pos);  // order-preserving: the index stays id-sorted
     }
   }
-  state.desc.destination->ReleaseIncomingVci(state.desc.destination_vci);
   congestion_handlers_.erase(id);
   vcs_.erase(it);
   return true;
+}
+
+bool Network::PlanGraft(const McastState& m, Endpoint* leaf,
+                        std::set<std::pair<int, int>>* planned_branches,
+                        std::set<int>* planned_nodes, std::vector<Link*>* new_links) const {
+  auto leaf_it = endpoint_attachments_.find(leaf);
+  if (leaf_it == endpoint_attachments_.end()) {
+    return false;
+  }
+  const Attachment& leaf_at = leaf_it->second;
+  const CachedPath* path = ResolvePath(m.root, leaf_at.sw);
+  if (!path->reachable) {
+    return false;
+  }
+  auto in_tree = [&](int sw_id) {
+    return m.node_in.count(sw_id) > 0 || planned_nodes->count(sw_id) > 0;
+  };
+  auto have_branch = [&](const std::pair<int, int>& key) {
+    return m.branches.count(key) > 0 || planned_branches->count(key) > 0;
+  };
+  const Switch* cur = m.root;
+  for (const CachedHop& hop : path->hops) {
+    const std::pair<int, int> key{cur->id(), hop.out_port};
+    if (!have_branch(key)) {
+      if (in_tree(hop.next->id())) {
+        // The fresh path reaches a tree switch over a different edge than
+        // the tree's — grafting would give that switch two incoming edges
+        // (duplicate delivery). Only possible after a topology change.
+        return false;
+      }
+      planned_branches->insert(key);
+      planned_nodes->insert(hop.next->id());
+      new_links->push_back(hop.link);
+    }
+    cur = hop.next;
+  }
+  const std::pair<int, int> leaf_key{cur->id(), leaf_at.port};
+  if (have_branch(leaf_key)) {
+    return false;
+  }
+  planned_branches->insert(leaf_key);
+  new_links->push_back(leaf_at.from_switch);
+  return true;
+}
+
+void Network::ChargeTreeLink(VcState& state, Link* link) {
+  if (state.desc.qos.peak_bps > 0) {
+    reserved_bps_[static_cast<size_t>(link->id())] += state.desc.qos.peak_bps;
+  }
+  auto& on_link = link_vcs_[static_cast<size_t>(link->id())];
+  on_link.insert(std::lower_bound(on_link.begin(), on_link.end(), state.desc.id), state.desc.id);
+  state.hop_links.push_back(link);
+}
+
+void Network::UnchargeTreeLink(VcState& state, Link* link) {
+  if (state.desc.qos.peak_bps > 0) {
+    reserved_bps_[static_cast<size_t>(link->id())] -= state.desc.qos.peak_bps;
+  }
+  auto& on_link = link_vcs_[static_cast<size_t>(link->id())];
+  auto pos = std::find(on_link.begin(), on_link.end(), state.desc.id);
+  if (pos != on_link.end()) {
+    on_link.erase(pos);
+  }
+  auto lpos = std::find(state.hop_links.begin(), state.hop_links.end(), link);
+  if (lpos != state.hop_links.end()) {
+    state.hop_links.erase(lpos);
+  }
+}
+
+void Network::CommitGraft(VcState& state, McastState& m, Endpoint* leaf) {
+  const Attachment& leaf_at = endpoint_attachments_.at(leaf);
+  const CachedPath* path = ResolvePath(m.root, leaf_at.sw);
+  McastLeafRec rec;
+  rec.leaf = leaf;
+  auto add_branch = [&](Switch* sw, int out_port, Vci out_vci, Link* link, int next_switch_id) {
+    const auto& in = m.node_in.at(sw->id());
+    if (sw->HasRoute(in.first, in.second)) {
+      sw->AddRouteTarget(in.first, in.second, out_port, out_vci);
+    } else {
+      sw->AddRoute(in.first, in.second, out_port, out_vci);
+    }
+    m.branches[{sw->id(), out_port}] = McastBranch{out_vci, link, 0, next_switch_id};
+    ChargeTreeLink(state, link);
+  };
+  Switch* cur = m.root;
+  for (const CachedHop& hop : path->hops) {
+    const std::pair<int, int> key{cur->id(), hop.out_port};
+    if (m.branches.count(key) == 0) {
+      const Vci out_vci = hop.next->AllocateVci(hop.next_in_port);
+      m.node_in[hop.next->id()] = {hop.next_in_port, out_vci};
+      add_branch(cur, hop.out_port, out_vci, hop.link, hop.next->id());
+    }
+    ++m.branches.at(key).refs;
+    rec.branch_keys.push_back(key);
+    cur = hop.next;
+  }
+  rec.leaf_vci = leaf->AllocateIncomingVci();
+  const std::pair<int, int> leaf_key{cur->id(), leaf_at.port};
+  add_branch(cur, leaf_at.port, rec.leaf_vci, leaf_at.from_switch, -1);
+  ++m.branches.at(leaf_key).refs;
+  rec.branch_keys.push_back(leaf_key);
+  m.leaves.push_back(std::move(rec));
+}
+
+std::optional<VcDescriptor> Network::OpenMulticastVc(Endpoint* src,
+                                                     const std::vector<Endpoint*>& sinks,
+                                                     QosSpec qos) {
+  auto src_it = endpoint_attachments_.find(src);
+  if (sinks.empty() || src_it == endpoint_attachments_.end()) {
+    ++rejections_no_path_;
+    return std::nullopt;
+  }
+  const Attachment& src_at = src_it->second;
+  McastState m;
+  m.source = src;
+  m.root = src_at.sw;
+
+  // Dry pass: simulate every graft to learn the tree's distinct edges. Any
+  // bad sink rejects the whole open before a single route is touched.
+  std::set<std::pair<int, int>> planned_branches;
+  std::set<int> planned_nodes;
+  std::vector<Link*> union_links;
+  union_links.push_back(src_at.to_switch);
+  std::set<const Endpoint*> seen;
+  for (Endpoint* sink : sinks) {
+    if (sink == src || !seen.insert(sink).second ||
+        !PlanGraft(m, sink, &planned_branches, &planned_nodes, &union_links)) {
+      ++rejections_no_path_;
+      return std::nullopt;
+    }
+  }
+  // Admission: each tree edge carries ONE copy of the stream, so each is
+  // checked (and later charged) once, however many sinks ride it.
+  if (qos.peak_bps > 0) {
+    for (Link* l : union_links) {
+      if (ReservedBps(l) + qos.peak_bps > l->bits_per_second()) {
+        ++rejections_bandwidth_;
+        return std::nullopt;
+      }
+    }
+  }
+
+  VcState state;
+  state.desc.id = next_vc_id_++;
+  state.desc.source = src;
+  state.desc.qos = qos;
+  state.desc.source_vci = src_at.sw->AllocateVci(src_at.port);
+  m.node_in[src_at.sw->id()] = {src_at.port, state.desc.source_vci};
+  ChargeTreeLink(state, src_at.to_switch);
+  for (Endpoint* sink : sinks) {
+    CommitGraft(state, m, sink);
+  }
+  state.desc.destination = sinks.front();
+  state.desc.destination_vci = m.leaves.front().leaf_vci;
+  state.desc.hop_count = static_cast<int>(m.node_in.size());
+  const VcDescriptor desc = state.desc;
+  vcs_[desc.id] = std::move(state);
+  mcast_[desc.id] = std::move(m);
+  return desc;
+}
+
+std::optional<Vci> Network::AddLeaf(VcId id, Endpoint* leaf) {
+  auto mcast_it = mcast_.find(id);
+  if (mcast_it == mcast_.end()) {
+    return std::nullopt;
+  }
+  McastState& m = mcast_it->second;
+  if (leaf == m.source) {
+    return std::nullopt;
+  }
+  for (const McastLeafRec& rec : m.leaves) {
+    if (rec.leaf == leaf) {
+      return std::nullopt;
+    }
+  }
+  std::set<std::pair<int, int>> planned_branches;
+  std::set<int> planned_nodes;
+  std::vector<Link*> new_links;
+  if (!PlanGraft(m, leaf, &planned_branches, &planned_nodes, &new_links)) {
+    ++rejections_no_path_;
+    return std::nullopt;
+  }
+  VcState& state = vcs_.at(id);
+  // Late join: only the GRAFT path faces admission — everything upstream of
+  // the attach point is already reserved.
+  if (state.desc.qos.peak_bps > 0) {
+    for (Link* l : new_links) {
+      if (ReservedBps(l) + state.desc.qos.peak_bps > l->bits_per_second()) {
+        ++rejections_bandwidth_;
+        return std::nullopt;
+      }
+    }
+  }
+  CommitGraft(state, m, leaf);
+  state.desc.hop_count = static_cast<int>(m.node_in.size());
+  return m.leaves.back().leaf_vci;
+}
+
+bool Network::RemoveLeaf(VcId id, Endpoint* leaf) {
+  auto mcast_it = mcast_.find(id);
+  if (mcast_it == mcast_.end()) {
+    return false;
+  }
+  McastState& m = mcast_it->second;
+  if (m.leaves.size() <= 1) {
+    return false;  // the last leaf comes off via CloseVc
+  }
+  auto rec_it = std::find_if(m.leaves.begin(), m.leaves.end(),
+                             [leaf](const McastLeafRec& r) { return r.leaf == leaf; });
+  if (rec_it == m.leaves.end()) {
+    return false;
+  }
+  VcState& state = vcs_.at(id);
+  // Prune bottom-up: the leaf-most branch always hits zero refs; upstream
+  // branches survive while any other leaf still rides them.
+  for (auto key_it = rec_it->branch_keys.rbegin(); key_it != rec_it->branch_keys.rend();
+       ++key_it) {
+    McastBranch& branch = m.branches.at(*key_it);
+    if (--branch.refs > 0) {
+      continue;
+    }
+    const auto& in = m.node_in.at(key_it->first);
+    switches_[static_cast<size_t>(key_it->first)]->RemoveRouteTarget(in.first, in.second,
+                                                                     key_it->second);
+    UnchargeTreeLink(state, branch.link);
+    if (branch.next_switch_id >= 0) {
+      m.node_in.erase(branch.next_switch_id);
+    }
+    m.branches.erase(*key_it);
+  }
+  leaf->ReleaseIncomingVci(rec_it->leaf_vci);
+  m.leaves.erase(rec_it);
+  state.desc.hop_count = static_cast<int>(m.node_in.size());
+  return true;
+}
+
+int Network::McastLeafCount(VcId id) const {
+  auto it = mcast_.find(id);
+  return it == mcast_.end() ? 0 : static_cast<int>(it->second.leaves.size());
+}
+
+std::optional<Vci> Network::McastLeafVci(VcId id, const Endpoint* leaf) const {
+  auto it = mcast_.find(id);
+  if (it == mcast_.end()) {
+    return std::nullopt;
+  }
+  for (const McastLeafRec& rec : it->second.leaves) {
+    if (rec.leaf == leaf) {
+      return rec.leaf_vci;
+    }
+  }
+  return std::nullopt;
 }
 
 void Network::SetCongestionHandler(VcId id, CongestionCallback callback) {

@@ -21,7 +21,9 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <unordered_map>
 #include <vector>
 
@@ -124,6 +126,33 @@ class Network {
   bool CloseVc(VcId id);
   const VcDescriptor* GetVc(VcId id) const;
 
+  // --- point-to-multipoint signalling ---
+  // Establishes a one-to-many VC: a shared delivery tree from `src` to every
+  // sink, built as the union of the deterministic cached routes (BFS from one
+  // source always assigns the same parent per switch, so the union IS a tree
+  // and insertion-id tie-breaks carry over). Cells the source stamps with
+  // `source_vci` are replicated once per tree BRANCH at each switch; the
+  // reservation is charged once per tree edge, however many leaves share it.
+  // All-or-nothing: any unattached/unreachable/duplicate sink rejects the
+  // whole open. The returned descriptor's destination/destination_vci are the
+  // FIRST sink's (use McastLeafVci for the others).
+  std::optional<VcDescriptor> OpenMulticastVc(Endpoint* src, const std::vector<Endpoint*>& sinks,
+                                              QosSpec qos = {});
+  // Grafts a further leaf onto an open tree: admission is checked on (and the
+  // reservation charged for) only the links the graft newly adds. Returns the
+  // leaf's incoming VCI, or nullopt on reject (unknown id, duplicate leaf,
+  // no path, or insufficient bandwidth on the graft path).
+  std::optional<Vci> AddLeaf(VcId id, Endpoint* leaf);
+  // Prunes a leaf: branches no other leaf depends on are removed bottom-up,
+  // their reservations released. Refuses to remove the LAST leaf — close the
+  // tree with CloseVc instead (a leafless tree would strand the source VCI).
+  bool RemoveLeaf(VcId id, Endpoint* leaf);
+  bool IsMulticastVc(VcId id) const { return mcast_.count(id) > 0; }
+  int McastLeafCount(VcId id) const;
+  // The incoming VCI `leaf` observes on an open tree, nullopt when the
+  // endpoint is not currently a leaf.
+  std::optional<Vci> McastLeafVci(VcId id, const Endpoint* leaf) const;
+
   // --- congestion signalling ---
   // Observer for congestion on any link the VC traverses. `severity` is the
   // fraction of the link's deliverable capacity that is gone, in (0, 1]:
@@ -213,8 +242,38 @@ class Network {
     VcDescriptor desc;
     std::vector<HopRecord> hops;
     // Every link the VC traverses, in order; reservation bookkeeping applies
-    // desc.qos.peak_bps to each (nothing when best-effort).
+    // desc.qos.peak_bps to each (nothing when best-effort). For a multicast
+    // tree this is the deduped set of tree edges — each charged ONCE — so
+    // UpdateVcQos and congestion fan-out work on trees unchanged.
     std::vector<Link*> hop_links;
+  };
+  // One tree edge out of a switch: the branch of that switch's route entry
+  // feeding either the next tree switch or a leaf endpoint.
+  struct McastBranch {
+    Vci out_vci = kVciUnassigned;
+    Link* link = nullptr;
+    int refs = 0;             // leaves downstream of this branch
+    int next_switch_id = -1;  // -1 when the branch feeds a leaf endpoint
+  };
+  struct McastLeafRec {
+    Endpoint* leaf = nullptr;
+    Vci leaf_vci = kVciUnassigned;
+    // The tree edges this leaf rides, root -> leaf; RemoveLeaf walks them in
+    // reverse decrementing refs, pruning each branch that hits zero.
+    std::vector<std::pair<int, int>> branch_keys;
+  };
+  // Control-plane view of one delivery tree, keyed alongside its VcState.
+  // Entries/branches live in the switches' route tables; this mirrors enough
+  // to graft and prune without re-deriving the tree from route-table scans.
+  struct McastState {
+    Endpoint* source = nullptr;
+    Switch* root = nullptr;
+    // switch id -> the tree's (in_port, in_vci) entry at that switch. Every
+    // tree switch has exactly one incoming edge (BFS-union property).
+    std::map<int, std::pair<int, Vci>> node_in;
+    // (switch id, out_port) -> branch. Distinct out ports by construction.
+    std::map<std::pair<int, int>, McastBranch> branches;
+    std::vector<McastLeafRec> leaves;  // graft order (deterministic)
   };
   // Either a switch-to-switch edge or an endpoint attachment.
   struct Attachment {
@@ -266,6 +325,24 @@ class Network {
                                               const Attachment& src_at, const Attachment& dst_at,
                                               const CachedPath& path,
                                               std::vector<Link*> hop_links);
+  // Dry-runs grafting `leaf` onto tree `m` extended by the not-yet-committed
+  // branches/nodes in `planned_*` (accumulated across the sinks of one open):
+  // appends the links the graft would newly add to `new_links` and extends
+  // the planned sets. False when the leaf is unattached, unreachable, its
+  // port already carries a branch, or the fresh path would give an existing
+  // tree switch a second incoming edge (only possible after a topology
+  // change mid-tree-life).
+  bool PlanGraft(const McastState& m, Endpoint* leaf,
+                 std::set<std::pair<int, int>>* planned_branches, std::set<int>* planned_nodes,
+                 std::vector<Link*>* new_links) const;
+  // Installs the graft a successful PlanGraft described: allocates VCIs,
+  // adds route branches, charges the reservation on each NEW tree edge and
+  // bumps branch refcounts along the whole path. Must not fail.
+  void CommitGraft(VcState& state, McastState& m, Endpoint* leaf);
+  // Books a new tree edge: reservation, per-link VC index (sorted insert —
+  // a graft can add an old id after younger VCs reached the link), hop_links.
+  void ChargeTreeLink(VcState& state, Link* link);
+  void UnchargeTreeLink(VcState& state, Link* link);
 
   // Wires `link` as a shard-boundary channel when its two sides live on
   // different shards (no-op otherwise).
@@ -285,6 +362,8 @@ class Network {
   mutable std::unordered_map<uint64_t, CachedPath> route_cache_;
   uint64_t topology_epoch_ = 0;
   std::map<VcId, VcState> vcs_;
+  // Tree bookkeeping for multicast VCs, same key space as vcs_.
+  std::map<VcId, McastState> mcast_;
   std::map<VcId, CongestionCallback> congestion_handlers_;
   // Reserved bits/s per link, indexed by link id — AvailableBandwidth on the
   // admission walk is a load, not a map lookup.

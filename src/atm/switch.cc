@@ -1,5 +1,6 @@
 #include "src/atm/switch.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace pegasus::atm {
@@ -29,11 +30,11 @@ bool Switch::AddRoute(int in_port, Vci in_vci, int out_port, Vci out_vci) {
   if (in_vci >= table.size()) {
     table.resize(static_cast<size_t>(in_vci) + 1);
   }
-  RouteTarget& slot = table[in_vci];
-  if (slot.out_port >= 0) {
+  RouteEntry& entry = table[in_vci];
+  if (!entry.empty()) {
     return false;
   }
-  slot = RouteTarget{out_port, out_vci};
+  entry.primary = RouteTarget{out_port, out_vci};
   Vci& hint = vci_hints_[static_cast<size_t>(in_port)];
   if (in_vci == hint) {
     ++hint;
@@ -43,15 +44,65 @@ bool Switch::AddRoute(int in_port, Vci in_vci, int out_port, Vci out_vci) {
 
 bool Switch::RemoveRoute(int in_port, Vci in_vci) {
   auto& table = routes_[static_cast<size_t>(in_port)];
-  if (in_vci >= table.size() || table[in_vci].out_port < 0) {
+  if (in_vci >= table.size() || table[in_vci].empty()) {
     return false;
   }
-  table[in_vci] = RouteTarget{};
+  table[in_vci] = RouteEntry{};
   Vci& hint = vci_hints_[static_cast<size_t>(in_port)];
   if (in_vci >= kVciFirstData && in_vci < hint) {
     hint = in_vci;
   }
   return true;
+}
+
+bool Switch::AddRouteTarget(int in_port, Vci in_vci, int out_port, Vci out_vci) {
+  auto& table = routes_[static_cast<size_t>(in_port)];
+  if (in_vci >= table.size() || table[in_vci].empty()) {
+    return false;
+  }
+  RouteEntry& entry = table[in_vci];
+  if (entry.primary.out_port == out_port) {
+    return false;
+  }
+  for (const RouteTarget& t : entry.extra) {
+    if (t.out_port == out_port) {
+      return false;
+    }
+  }
+  entry.extra.push_back(RouteTarget{out_port, out_vci});
+  return true;
+}
+
+bool Switch::RemoveRouteTarget(int in_port, Vci in_vci, int out_port) {
+  auto& table = routes_[static_cast<size_t>(in_port)];
+  if (in_vci >= table.size() || table[in_vci].empty()) {
+    return false;
+  }
+  RouteEntry& entry = table[in_vci];
+  if (entry.primary.out_port == out_port) {
+    if (entry.extra.empty()) {
+      // Last branch: the whole entry retires (and only now may the
+      // allocation hint drop back to this VCI).
+      return RemoveRoute(in_port, in_vci);
+    }
+    // The next-oldest branch becomes primary, preserving graft order — the
+    // replication order of OnBurst stays the deterministic graft order.
+    entry.primary = entry.extra.front();
+    entry.extra.erase(entry.extra.begin());
+    return true;
+  }
+  auto it = std::find_if(entry.extra.begin(), entry.extra.end(),
+                         [out_port](const RouteTarget& t) { return t.out_port == out_port; });
+  if (it == entry.extra.end()) {
+    return false;
+  }
+  entry.extra.erase(it);
+  return true;
+}
+
+int Switch::RouteTargetCount(int in_port, Vci in_vci) const {
+  const RouteEntry* entry = Lookup(in_port, in_vci);
+  return entry == nullptr ? 0 : 1 + static_cast<int>(entry->extra.size());
 }
 
 bool Switch::HasRoute(int in_port, Vci in_vci) const {
@@ -72,14 +123,59 @@ Vci Switch::AllocateVci(int in_port) const {
   return vci;
 }
 
+void Switch::ForwardRun(Link* out, std::vector<Cell>& run) {
+  if (fabric_delay_ == 0) {
+    out->SendBurst(run.data(), run.size());
+  } else if (run.size() == 1) {
+    // Single cell: capture it in the closure (inline in the engine's
+    // handler storage) instead of heap-allocating a one-element train.
+    const Cell relabelled = run[0];
+    sim_->ScheduleAfter(fabric_delay_, [out, relabelled]() { out->SendCell(relabelled); });
+  } else {
+    sim_->ScheduleAfter(fabric_delay_, [out, train = std::move(run)]() mutable {
+      out->SendBurst(train.data(), train.size());
+    });
+    run.clear();  // moved-from; make the state explicit
+  }
+}
+
 void Switch::OnBurst(int in_port, const Cell* cells, size_t count) {
   size_t i = 0;
   while (i < count) {
-    const RouteTarget* target = Lookup(in_port, cells[i].vci);
-    Link* out = target != nullptr ? outputs_[static_cast<size_t>(target->out_port)] : nullptr;
+    const RouteEntry* entry = Lookup(in_port, cells[i].vci);
+    Link* out =
+        entry != nullptr ? outputs_[static_cast<size_t>(entry->primary.out_port)] : nullptr;
     if (out == nullptr) {
       ++cells_unroutable_;
       ++i;
+      continue;
+    }
+    if (!entry->unicast()) {
+      // Point-to-multipoint entry: the run of consecutive cells carrying
+      // this VCI is replicated once per BRANCH (each a distinct output
+      // port), not once per downstream leaf — one relabel pass and one
+      // fabric-transit event per branch, in graft order.
+      const Vci in_vci = cells[i].vci;
+      size_t j = i;
+      while (j < count && cells[j].vci == in_vci) {
+        ++j;
+      }
+      const size_t run = j - i;
+      const RouteEntry snapshot = *entry;  // relabel loop must not hold a table ref
+      auto replicate = [&](const RouteTarget& target) {
+        relabel_buf_.clear();
+        for (size_t k = i; k < j; ++k) {
+          relabel_buf_.push_back(cells[k]);
+          relabel_buf_.back().vci = target.out_vci;
+        }
+        ForwardRun(outputs_[static_cast<size_t>(target.out_port)], relabel_buf_);
+      };
+      replicate(snapshot.primary);
+      for (const RouteTarget& target : snapshot.extra) {
+        replicate(target);
+      }
+      cells_switched_ += run * (1 + snapshot.extra.size());
+      i = j;
       continue;
     }
     // Gather the maximal run of cells bound for the same output link and
@@ -90,29 +186,16 @@ void Switch::OnBurst(int in_port, const Cell* cells, size_t count) {
     relabel_buf_.clear();
     do {
       relabel_buf_.push_back(cells[i]);
-      relabel_buf_.back().vci = target->out_vci;
+      relabel_buf_.back().vci = entry->primary.out_vci;
       ++i;
       if (i == count) {
         break;
       }
-      target = Lookup(in_port, cells[i].vci);
-    } while (target != nullptr &&
-             outputs_[static_cast<size_t>(target->out_port)] == out);
+      entry = Lookup(in_port, cells[i].vci);
+    } while (entry != nullptr && entry->unicast() &&
+             outputs_[static_cast<size_t>(entry->primary.out_port)] == out);
     cells_switched_ += relabel_buf_.size();
-    if (fabric_delay_ == 0) {
-      out->SendBurst(relabel_buf_.data(), relabel_buf_.size());
-    } else if (relabel_buf_.size() == 1) {
-      // Single cell: capture it in the closure (inline in the engine's
-      // handler storage) instead of heap-allocating a one-element train.
-      const Cell relabelled = relabel_buf_[0];
-      sim_->ScheduleAfter(fabric_delay_, [out, relabelled]() { out->SendCell(relabelled); });
-    } else {
-      sim_->ScheduleAfter(fabric_delay_,
-                          [out, train = std::move(relabel_buf_)]() mutable {
-                            out->SendBurst(train.data(), train.size());
-                          });
-      relabel_buf_.clear();  // moved-from; make the state explicit
-    }
+    ForwardRun(out, relabel_buf_);
   }
 }
 

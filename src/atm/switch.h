@@ -58,6 +58,20 @@ class Switch {
   bool RemoveRoute(int in_port, Vci in_vci);
   bool HasRoute(int in_port, Vci in_vci) const;
 
+  // --- point-to-multipoint entries ---
+  // Grafts a further branch onto an existing (in_port, in_vci) entry: cells
+  // arriving there are thereafter replicated to `out_port` as well, once per
+  // distinct output port — the Fairisle port controller copies a cell into
+  // each subscribed output FIFO, never once per downstream leaf. Returns
+  // false when the entry does not exist or already branches to `out_port`.
+  bool AddRouteTarget(int in_port, Vci in_vci, int out_port, Vci out_vci);
+  // Prunes the branch to `out_port` alone; the entry (and its VCI) stays
+  // live while other branches remain. Removing the last branch removes the
+  // entry. Returns false when no such branch exists.
+  bool RemoveRouteTarget(int in_port, Vci in_vci, int out_port);
+  // Number of output branches of an entry (0 = no entry, 1 = unicast).
+  int RouteTargetCount(int in_port, Vci in_vci) const;
+
   // Finds a VCI unused on the given *input* port, starting at kVciFirstData.
   // A per-port next-free hint makes allocate/add/remove churn amortised
   // O(1) instead of a linear probe over every live route.
@@ -67,10 +81,20 @@ class Switch {
   uint64_t cells_unroutable() const { return cells_unroutable_; }
 
  private:
-  // An entry in a port's flat VCI table; out_port < 0 marks an empty slot.
+  // One output branch of a route entry; out_port < 0 marks an empty slot.
   struct RouteTarget {
     int out_port = -1;
     Vci out_vci = kVciUnassigned;
+  };
+  // An entry in a port's flat VCI table. Unicast entries — the overwhelming
+  // majority — live entirely in `primary` (no heap, same two loads on the
+  // hot path as before); multicast entries keep their further branches in
+  // `extra`, in graft order, each a distinct output port.
+  struct RouteEntry {
+    RouteTarget primary;
+    std::vector<RouteTarget> extra;
+    bool empty() const { return primary.out_port < 0; }
+    bool unicast() const { return extra.empty(); }
   };
   // VCIs are allocated densely from kVciFirstData (AllocateVci hands out
   // the first free one), so a flat per-port vector indexed by VCI stays
@@ -94,11 +118,15 @@ class Switch {
 
   // Routes a train in one pass: consecutive cells bound for the same output
   // link are relabelled together and cross the fabric as ONE scheduled
-  // event. Per-cell stats (switched/unroutable) are unchanged.
+  // event. A multicast entry's run is replicated once per branch (distinct
+  // output ports by construction), still one relabel pass per branch. Per-
+  // cell stats count every copy switched.
   void OnBurst(int in_port, const Cell* cells, size_t count);
-  const RouteTarget* Lookup(int in_port, Vci vci) const {
+  // Dispatches one relabelled run to `out` (one fabric-transit event).
+  void ForwardRun(Link* out, std::vector<Cell>& run);
+  const RouteEntry* Lookup(int in_port, Vci vci) const {
     const auto& table = routes_[static_cast<size_t>(in_port)];
-    if (vci >= table.size() || table[vci].out_port < 0) {
+    if (vci >= table.size() || table[vci].empty()) {
       return nullptr;
     }
     return &table[vci];
@@ -111,12 +139,14 @@ class Switch {
   std::vector<std::unique_ptr<InputPort>> inputs_;
   std::vector<Link*> outputs_;
   // Flat per-input-port VCI tables (see kMaxRoutableVci).
-  std::vector<std::vector<RouteTarget>> routes_;
+  std::vector<std::vector<RouteEntry>> routes_;
   // Relabel scratch for OnBurst (see there for the re-entrancy argument).
   std::vector<Cell> relabel_buf_;
   // Per-input-port allocation hints: every VCI below the hint (and at or
   // above kVciFirstData) is known occupied. Advanced by AllocateVci/AddRoute,
-  // lowered by RemoveRoute.
+  // lowered only when an entry becomes fully empty — pruning one branch of a
+  // multicast entry must not hand the VCI out again while other branches
+  // still route through it.
   mutable std::vector<Vci> vci_hints_;
   uint64_t cells_switched_ = 0;
   uint64_t cells_unroutable_ = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <numeric>
+#include <set>
 #include <utility>
 
 #include "src/core/compute_node.h"
@@ -120,6 +121,21 @@ void JointLinkCheck(const atm::Network& network,
       }
     }
   }
+}
+
+// The ATM endpoint a multicast sink receives on: an explicit endpoint wins,
+// a storage leaf listens on the file server, a display leaf on its device.
+atm::Endpoint* McastSinkEndpoint(const MulticastSink& sink) {
+  if (sink.endpoint != nullptr) {
+    return sink.endpoint;
+  }
+  if (sink.storage != nullptr) {
+    return sink.storage->endpoint();
+  }
+  if (sink.ws != nullptr && sink.display != nullptr) {
+    return sink.ws->device_endpoint(sink.display);
+  }
+  return nullptr;
 }
 
 std::string JoinDetails(const std::vector<std::string>& details) {
@@ -271,7 +287,12 @@ bool RunJointAdmission(JointAdmissionRequest& req, StreamSpec counter,
     if (e.end == StreamSession::kSourceEnd) {
       counter.source_cpu = e.clamped;
     } else if (e.end == StreamSession::kSinkEnd) {
-      counter.sink_cpu = e.clamped;
+      // One-to-many admission carries one sink entry per leaf host, all at
+      // the same per-sink demand; the joint offer must satisfy the
+      // tightest of them.
+      if (e.clamped.slice < counter.sink_cpu.slice) {
+        counter.sink_cpu = e.clamped;
+      }
     } else {
       counter_leg_slot(static_cast<size_t>(e.end - 2))->compute_cpu = e.clamped;
     }
@@ -746,12 +767,33 @@ AdmissionReport StreamSession::RenegotiateImpl(const StreamSpec& spec, bool upda
   req.counter_streamwide =
       nlegs == 1 &&
       (spec.legs.empty() || spec.legs[0].bandwidth_bps == LegSpec::kInheritBps);
+  const nemesis::QosParams no_sink_cpu{0, sim::Milliseconds(100), true};
   req.cpu_ends = BuildCpuEnds(
       source_ws_ != nullptr ? source_ws_->kernel() : nullptr, spec.source_cpu,
       source_handler_ != nullptr ? source_handler_->qos().Utilization() : 0.0,
-      sink_ws_ != nullptr ? sink_ws_->kernel() : nullptr, spec.sink_cpu,
+      sink_ws_ != nullptr ? sink_ws_->kernel() : nullptr,
+      multicast_ ? no_sink_cpu : spec.sink_cpu,
       sink_handler_ != nullptr ? sink_handler_->qos().Utilization() : 0.0, stage_kernels,
       wanted_stage_cpu, stage_old_util);
+  if (multicast_) {
+    // One sink-CPU contract per leaf host, all at the same per-sink demand
+    // (BuildCpuEnds's single sink slot stays empty — a one-to-many session
+    // has no sink_ws_). Leaves sharing a kernel are grouped by the joint
+    // check; the counter-offer keeps the tightest clamp.
+    for (const McastSinkBinding& b : mcast_sinks_) {
+      if (b.sink.ws == nullptr) {
+        continue;
+      }
+      CpuEndCheck leaf;
+      leaf.end = kSinkEnd;
+      leaf.kernel = b.sink.ws->kernel();
+      leaf.wanted = spec.sink_cpu;
+      leaf.old_util = b.handler != nullptr ? b.handler->qos().Utilization() : 0.0;
+      leaf.kind = AdmitFailure::kSinkCpu;
+      leaf.what = "sink";
+      req.cpu_ends.push_back(leaf);
+    }
+  }
   req.stage_cpu = wanted_stage_cpu;
   req.check_disk = storage_ != nullptr && file_ >= 0 && spec.disk_bps != old.disk_bps;
   req.disk_wanted = spec.disk_bps;
@@ -869,11 +911,26 @@ AdmissionReport StreamSession::RenegotiateImpl(const StreamSpec& spec, bool upda
                            old_stage_cpu[k], 2 + static_cast<int>(k),
                            "/via" + std::to_string(k), AdmitFailure::kComputeCpu});
   }
-  cpu_applies.push_back({&sink_handler_, sink_ws_ != nullptr ? sink_ws_->kernel() : nullptr,
-                         spec.sink_cpu,
-                         update_requests ? spec.sink_cpu : requested_sink_cpu_,
-                         sink_handler_ != nullptr ? sink_handler_->qos() : no_cpu,
-                         requested_sink_cpu_, kSinkEnd, "/snk", AdmitFailure::kSinkCpu});
+  if (multicast_) {
+    // Per-leaf sink handlers move together at the one per-sink contract.
+    for (size_t si = 0; si < mcast_sinks_.size(); ++si) {
+      McastSinkBinding& b = mcast_sinks_[si];
+      if (b.sink.ws == nullptr) {
+        continue;
+      }
+      cpu_applies.push_back({&b.handler, b.sink.ws->kernel(), spec.sink_cpu,
+                             update_requests ? spec.sink_cpu : requested_sink_cpu_,
+                             b.handler != nullptr ? b.handler->qos() : no_cpu,
+                             requested_sink_cpu_, kSinkEnd, "/snk" + std::to_string(si),
+                             AdmitFailure::kSinkCpu});
+    }
+  } else {
+    cpu_applies.push_back({&sink_handler_, sink_ws_ != nullptr ? sink_ws_->kernel() : nullptr,
+                           spec.sink_cpu,
+                           update_requests ? spec.sink_cpu : requested_sink_cpu_,
+                           sink_handler_ != nullptr ? sink_handler_->qos() : no_cpu,
+                           requested_sink_cpu_, kSinkEnd, "/snk", AdmitFailure::kSinkCpu});
+  }
   std::sort(cpu_applies.begin(), cpu_applies.end(), [](const CpuApply& a, const CpuApply& b) {
     return a.wanted.Utilization() - a.prev.Utilization() <
            b.wanted.Utilization() - b.prev.Utilization();
@@ -963,12 +1020,193 @@ AdmissionReport StreamSession::RenegotiateImpl(const StreamSpec& spec, bool upda
   return report;
 }
 
+void StreamSession::UnbindMulticastSink(McastSinkBinding& b) {
+  atm::Network& network = system_->network();
+  if (b.sink.storage != nullptr && b.record_file >= 0) {
+    b.sink.storage->StopRecording(b.leaf_vci, []() {});
+    b.record_file = -1;
+  }
+  if (b.window_created && b.sink.display != nullptr) {
+    dev::WindowManager wm(b.sink.display);
+    wm.DestroyWindow(b.leaf_vci);
+    b.window_created = false;
+  }
+  ReleaseCpuEnd(&b.handler, b.sink.ws != nullptr ? b.sink.ws->kernel() : nullptr);
+  if (b.control_vc >= 0) {
+    network.CloseVc(b.control_vc);
+    control_vcs_.erase(std::remove(control_vcs_.begin(), control_vcs_.end(), b.control_vc),
+                       control_vcs_.end());
+    b.control_vc = -1;
+  }
+}
+
+std::optional<atm::Vci> StreamSession::SinkVci(const atm::Endpoint* endpoint) const {
+  for (const McastSinkBinding& b : mcast_sinks_) {
+    if (b.sink.endpoint == endpoint) {
+      return b.leaf_vci;
+    }
+  }
+  return std::nullopt;
+}
+
+AdmissionReport StreamSession::AddSink(const MulticastSink& sink) {
+  AdmissionReport report;
+  report.verdict = AdmitVerdict::kRejected;
+  if (!active_ || !multicast_ || legs_.empty()) {
+    report.failure = AdmitFailure::kEndpoint;
+    report.detail = "not an active one-to-many session";
+    return report;
+  }
+  atm::Network& network = system_->network();
+  atm::Endpoint* ep = McastSinkEndpoint(sink);
+  if (ep == nullptr) {
+    report.failure = AdmitFailure::kEndpoint;
+    report.detail = "sink names no endpoint";
+    return report;
+  }
+  if (SinkVci(ep).has_value()) {
+    report.failure = AdmitFailure::kEndpoint;
+    report.detail = "endpoint is already a leaf";
+    return report;
+  }
+  // The graft must meet the session's latency bound like any original leaf.
+  if (contract_.granted.latency_bound > 0) {
+    auto route = network.ResolveRoute(source_ep_, ep);
+    if (!route.has_value()) {
+      report.failure = AdmitFailure::kNoPath;
+      report.detail = "no switch path to the new leaf";
+      return report;
+    }
+    if (route->latency_ns > contract_.granted.latency_bound) {
+      report.failure = AdmitFailure::kLatency;
+      report.detail = "graft path exceeds the latency bound";
+      return report;
+    }
+  }
+  // Sink CPU on the leaf host alone — the rest of the tree is untouched.
+  const nemesis::QosParams sink_cpu = contract_.granted.sink_cpu;
+  nemesis::Kernel* leaf_kernel =
+      sink.ws != nullptr ? sink.ws->kernel() : nullptr;
+  if (sink_cpu.slice > 0 && sink.ws != nullptr) {
+    if (leaf_kernel == nullptr) {
+      report.failure = AdmitFailure::kSinkCpu;
+      report.detail = "no kernel attached to the leaf host";
+      return report;
+    }
+    if (sink_cpu.Utilization() > CpuHeadroom(leaf_kernel) + 1e-9) {
+      report.failure = AdmitFailure::kSinkCpu;
+      report.detail = "leaf host CPU demand exceeds Atropos headroom";
+      return report;
+    }
+  }
+  // Graft admission: AddLeaf checks (and charges) ONLY the links the graft
+  // newly adds — links the tree already crosses are free.
+  auto leaf_vci = network.AddLeaf(legs_.front().vc, ep);
+  if (!leaf_vci.has_value()) {
+    report.failure = AdmitFailure::kNetworkBandwidth;
+    report.detail = "graft admission refused (no path or a new link lacks capacity)";
+    return report;
+  }
+  McastSinkBinding b;
+  b.sink = sink;
+  b.sink.endpoint = ep;
+  b.leaf_vci = *leaf_vci;
+  if (sink_cpu.slice > 0 && sink.ws != nullptr) {
+    auto domain = std::make_unique<nemesis::PeriodicDomain>(
+        system_->simulator(), name_ + "/snk" + std::to_string(mcast_sinks_.size()), sink_cpu,
+        sink_cpu.slice, sink_cpu.period);
+    if (!leaf_kernel->AddDomain(domain.get())) {
+      network.RemoveLeaf(legs_.front().vc, ep);
+      report.failure = AdmitFailure::kSinkCpu;
+      report.detail = "scheduler admission refused the contract after the headroom check";
+      return report;
+    }
+    b.handler = std::move(domain);
+  }
+  if (mcast_window_requested_ && b.sink.display != nullptr) {
+    dev::WindowManager wm(b.sink.display);
+    wm.CreateWindow(b.leaf_vci, mcast_window_x_, mcast_window_y_, mcast_window_w_,
+                    mcast_window_h_);
+    b.window_created = true;
+  }
+  if (b.sink.storage != nullptr) {
+    atm::Vci control_receive = atm::kVciUnassigned;
+    if (source_ws_ != nullptr) {
+      auto control = network.OpenVc(source_ws_->host(), b.sink.storage->endpoint());
+      if (!control.has_value()) {
+        ReleaseCpuEnd(&b.handler, leaf_kernel);
+        if (b.window_created && b.sink.display != nullptr) {
+          dev::WindowManager wm(b.sink.display);
+          wm.DestroyWindow(b.leaf_vci);
+        }
+        network.RemoveLeaf(legs_.front().vc, ep);
+        report.failure = AdmitFailure::kNoPath;
+        report.detail = "control VC establishment failed";
+        return report;
+      }
+      b.control_vc = control->id;
+      control_vcs_.push_back(control->id);
+      control_receive = control->destination_vci;
+      if (control_send_vci_ == atm::kVciUnassigned) {
+        control_send_vci_ = control->source_vci;
+        control_receive_vci_ = control->destination_vci;
+      }
+    }
+    b.record_file =
+        b.sink.storage->StartRecording(b.leaf_vci, control_receive, b.sink.record_stream_id);
+    if (file_ < 0) {
+      file_ = b.record_file;  // file() names the first recording leaf
+    }
+  }
+  mcast_sinks_.push_back(std::move(b));
+  if (const atm::VcDescriptor* desc = network.GetVc(legs_.front().vc)) {
+    contract_.hop_count = desc->hop_count;
+    legs_.front().hop_count = desc->hop_count;
+  }
+  report.verdict = AdmitVerdict::kAccepted;
+  report.failure = AdmitFailure::kNone;
+  return report;
+}
+
+bool StreamSession::RemoveSink(const atm::Endpoint* endpoint) {
+  if (!active_ || !multicast_ || legs_.empty()) {
+    return false;
+  }
+  auto it = std::find_if(mcast_sinks_.begin(), mcast_sinks_.end(),
+                         [endpoint](const McastSinkBinding& b) {
+                           return b.sink.endpoint == endpoint;
+                         });
+  if (it == mcast_sinks_.end()) {
+    return false;
+  }
+  // The last leaf cannot be pruned (the network refuses a leafless tree);
+  // Close() the session instead.
+  if (mcast_sinks_.size() <= 1) {
+    return false;
+  }
+  atm::Network& network = system_->network();
+  UnbindMulticastSink(*it);
+  network.RemoveLeaf(legs_.front().vc, it->sink.endpoint);
+  mcast_sinks_.erase(it);
+  if (const atm::VcDescriptor* desc = network.GetVc(legs_.front().vc)) {
+    contract_.hop_count = desc->hop_count;
+    legs_.front().hop_count = desc->hop_count;
+  }
+  return true;
+}
+
 void StreamSession::Close() {
   if (!active_) {
     return;
   }
   active_ = false;
   atm::Network& network = system_->network();
+
+  // One-to-many: unbind every leaf (recording, window, per-host CPU,
+  // control) before the tree VC below releases the shared reservations.
+  for (McastSinkBinding& b : mcast_sinks_) {
+    UnbindMulticastSink(b);
+  }
 
   // Storage layer: stop the transfer, release the rate reservation (which
   // also drops the budget-pressure subscription) and the play-out pacing.
@@ -1092,6 +1330,11 @@ StreamBuilder& StreamBuilder::ToStorage(StorageNode* storage, uint32_t stream_id
   return *this;
 }
 
+StreamBuilder& StreamBuilder::ToMany(const std::vector<MulticastSink>& sinks) {
+  multicast_sinks_ = sinks;
+  return *this;
+}
+
 StreamBuilder& StreamBuilder::WithSpec(const StreamSpec& spec) {
   spec_ = spec;
   return *this;
@@ -1133,6 +1376,9 @@ StreamBuilder& StreamBuilder::OnDegrade(StreamSession::DegradeCallback cb) {
 }
 
 StreamResult StreamBuilder::Open() {
+  if (!multicast_sinks_.empty()) {
+    return OpenMulticast();
+  }
   StreamResult result;
   AdmissionReport& report = result.report;
   atm::Network& network = system_->network();
@@ -1434,6 +1680,232 @@ StreamResult StreamBuilder::Open() {
   // Pace every media source to the granted rates so the reservations hold
   // (camera and audio to the first leg, storage play-out to min(net, disk)),
   // and subscribe the session to the other layers' degradation signals.
+  s->ApplySourcePacing();
+  s->BindAdaptationHooks();
+
+  report.verdict = AdmitVerdict::kAccepted;
+  report.failure = AdmitFailure::kNone;
+  result.session = s;
+  system_->AdoptSession(std::move(session));
+  return result;
+}
+
+StreamResult StreamBuilder::OpenMulticast() {
+  StreamResult result;
+  AdmissionReport& report = result.report;
+  atm::Network& network = system_->network();
+  auto reject = [&](AdmitFailure failure, const char* detail) {
+    report.verdict = AdmitVerdict::kRejected;
+    report.failure = failure;
+    report.detail = detail;
+    return result;
+  };
+
+  // --- resolve the fan-out set; one-to-many composes with From*/WithSpec/
+  // WithWindow/WithAdaptation but not with the point-to-point-only pieces ---
+  if (source_ep_ == nullptr || source_kind_ == EndpointKind::kNone) {
+    return reject(AdmitFailure::kEndpoint, "source endpoint missing");
+  }
+  if (sink_kind_ != EndpointKind::kNone) {
+    return reject(AdmitFailure::kEndpoint, "To*() and ToMany() are mutually exclusive");
+  }
+  if (!vias_.empty()) {
+    return reject(AdmitFailure::kEndpoint,
+                  "compute detours are point-to-point; ToMany() takes no Via() stages");
+  }
+  if (manager_ != nullptr) {
+    return reject(AdmitFailure::kEndpoint,
+                  "QoS-manager registration is not supported on one-to-many sessions");
+  }
+  if (spec_.disk_bps > 0) {
+    return reject(AdmitFailure::kDiskBandwidth,
+                  "disk reservation is per-file; not supported on one-to-many sessions");
+  }
+  std::vector<atm::Endpoint*> leaf_eps;
+  leaf_eps.reserve(multicast_sinks_.size());
+  for (const MulticastSink& sink : multicast_sinks_) {
+    atm::Endpoint* ep = McastSinkEndpoint(sink);
+    if (ep == nullptr) {
+      return reject(AdmitFailure::kEndpoint, "a multicast sink names no endpoint");
+    }
+    leaf_eps.push_back(ep);
+  }
+
+  // --- joint admission over the TREE: per-sink cached resolves give the
+  // deduplicated union of traversed links — exactly the edge set
+  // OpenMulticastVc will build — so each shared edge is charged once, and
+  // the deepest leaf bounds the latency ---
+  std::vector<atm::Link*> union_links;
+  std::set<atm::Link*> seen_links;
+  sim::DurationNs worst_latency = 0;
+  for (atm::Endpoint* ep : leaf_eps) {
+    auto route = network.ResolveRoute(source_ep_, ep);
+    if (!route.has_value()) {
+      return reject(AdmitFailure::kNoPath, "no switch path to a sink");
+    }
+    worst_latency = std::max(worst_latency, route->latency_ns);
+    for (atm::Link* l : route->links) {
+      if (seen_links.insert(l).second) {
+        union_links.push_back(l);
+      }
+    }
+  }
+  if (spec_.latency_bound > 0 && worst_latency > spec_.latency_bound) {
+    return reject(AdmitFailure::kLatency, "deepest leaf exceeds the latency bound");
+  }
+
+  const nemesis::QosParams no_cpu{0, sim::Milliseconds(100), true};
+  JointAdmissionRequest req;
+  req.network = &network;
+  req.nlegs = 1;
+  req.nstages = 0;
+  std::vector<std::vector<atm::Link*>> leg_links{union_links};
+  req.leg_links = &leg_links;
+  req.wanted_bps = {spec_.bandwidth_bps};
+  req.old_bps = {0};
+  // A clamp lands on the stream-wide knob: the counter-offer scales the
+  // whole tree as one unit.
+  req.counter_streamwide = true;
+  req.cpu_ends = BuildCpuEnds(source_ws_ != nullptr ? source_ws_->kernel() : nullptr,
+                              spec_.source_cpu, 0.0, nullptr, no_cpu, 0.0, {}, {}, {});
+  for (const MulticastSink& sink : multicast_sinks_) {
+    if (sink.ws == nullptr) {
+      continue;
+    }
+    CpuEndCheck leaf;
+    leaf.end = StreamSession::kSinkEnd;
+    leaf.kernel = sink.ws->kernel();
+    leaf.wanted = spec_.sink_cpu;
+    leaf.kind = AdmitFailure::kSinkCpu;
+    leaf.what = "sink";
+    req.cpu_ends.push_back(leaf);
+  }
+  if (!RunJointAdmission(req, spec_, &report)) {
+    return result;
+  }
+
+  // --- every layer accepts: bind the tree ---
+  auto session = std::unique_ptr<StreamSession>(new StreamSession());
+  StreamSession* s = session.get();
+  s->name_ = name_;
+  s->system_ = system_;
+  s->multicast_ = true;
+  s->source_ws_ = source_ws_;
+  s->source_ep_ = source_ep_;
+  s->source_camera_ = source_camera_;
+  s->source_audio_ = source_audio_;
+  s->requested_source_cpu_ = requested_source_cpu_.value_or(spec_.source_cpu);
+  s->requested_sink_cpu_ = requested_sink_cpu_.value_or(spec_.sink_cpu);
+  if (adaptation_.has_value()) {
+    s->has_adaptation_ = true;
+    s->policy_ = *adaptation_;
+  }
+  s->degrade_cb_ = std::move(degrade_cb_);
+  s->mcast_window_requested_ = window_requested_;
+  s->mcast_window_x_ = window_x_;
+  s->mcast_window_y_ = window_y_;
+  s->mcast_window_w_ = window_w_;
+  s->mcast_window_h_ = window_h_;
+  if ((s->mcast_window_w_ == 0 || s->mcast_window_h_ == 0) && source_camera_ != nullptr) {
+    s->mcast_window_w_ = source_camera_->config().width;
+    s->mcast_window_h_ = source_camera_->config().height;
+  }
+  s->active_ = true;
+
+  auto vc = network.OpenMulticastVc(source_ep_, leaf_eps, atm::QosSpec{spec_.bandwidth_bps});
+  if (!vc.has_value()) {
+    s->Close();
+    report.verdict = AdmitVerdict::kRejected;
+    report.failure = AdmitFailure::kNetworkBandwidth;
+    report.detail = "tree establishment failed after admission";
+    system_->AdoptSession(std::move(session));
+    return result;
+  }
+  StreamSession::Leg leg;
+  leg.vc = vc->id;
+  leg.source_vci = vc->source_vci;
+  leg.sink_vci = vc->destination_vci;
+  leg.granted_bps = spec_.bandwidth_bps;
+  leg.hop_count = vc->hop_count;
+  s->legs_.push_back(std::move(leg));
+
+  // Source CPU.
+  if (spec_.source_cpu.slice > 0) {
+    auto domain = std::make_unique<nemesis::PeriodicDomain>(
+        system_->simulator(), name_ + "/src", spec_.source_cpu, spec_.source_cpu.slice,
+        spec_.source_cpu.period);
+    if (!source_ws_->kernel()->AddDomain(domain.get())) {
+      s->Close();
+      report.verdict = AdmitVerdict::kRejected;
+      report.failure = AdmitFailure::kSourceCpu;
+      report.detail = "scheduler admission refused the contract after the headroom check";
+      system_->AdoptSession(std::move(session));
+      return result;
+    }
+    s->source_handler_ = std::move(domain);
+  }
+
+  // Per-leaf binds: sink CPU, window, recording + control, in sink order.
+  for (size_t i = 0; i < multicast_sinks_.size(); ++i) {
+    s->mcast_sinks_.emplace_back();
+    StreamSession::McastSinkBinding& b = s->mcast_sinks_.back();
+    b.sink = multicast_sinks_[i];
+    b.sink.endpoint = leaf_eps[i];
+    b.leaf_vci = network.McastLeafVci(vc->id, leaf_eps[i]).value_or(atm::kVciUnassigned);
+    if (spec_.sink_cpu.slice > 0 && b.sink.ws != nullptr) {
+      auto domain = std::make_unique<nemesis::PeriodicDomain>(
+          system_->simulator(), name_ + "/snk" + std::to_string(i), spec_.sink_cpu,
+          spec_.sink_cpu.slice, spec_.sink_cpu.period);
+      if (!b.sink.ws->kernel()->AddDomain(domain.get())) {
+        s->Close();
+        report.verdict = AdmitVerdict::kRejected;
+        report.failure = AdmitFailure::kSinkCpu;
+        report.detail = "scheduler admission refused the contract after the headroom check";
+        system_->AdoptSession(std::move(session));
+        return result;
+      }
+      b.handler = std::move(domain);
+    }
+    if (window_requested_ && b.sink.display != nullptr) {
+      dev::WindowManager wm(b.sink.display);
+      wm.CreateWindow(b.leaf_vci, s->mcast_window_x_, s->mcast_window_y_, s->mcast_window_w_,
+                      s->mcast_window_h_);
+      b.window_created = true;
+    }
+    if (b.sink.storage != nullptr) {
+      atm::Vci control_receive = atm::kVciUnassigned;
+      if (source_ws_ != nullptr) {
+        // Index marks ride a control VC from the managing (source) host to
+        // the file server, as for a unicast recording.
+        auto control = network.OpenVc(source_ws_->host(), b.sink.storage->endpoint());
+        if (!control.has_value()) {
+          s->Close();
+          report.verdict = AdmitVerdict::kRejected;
+          report.failure = AdmitFailure::kNoPath;
+          report.detail = "control VC establishment failed";
+          system_->AdoptSession(std::move(session));
+          return result;
+        }
+        b.control_vc = control->id;
+        s->control_vcs_.push_back(control->id);
+        control_receive = control->destination_vci;
+        if (s->control_send_vci_ == atm::kVciUnassigned) {
+          s->control_send_vci_ = control->source_vci;
+          s->control_receive_vci_ = control->destination_vci;
+        }
+      }
+      b.record_file =
+          b.sink.storage->StartRecording(b.leaf_vci, control_receive, b.sink.record_stream_id);
+      if (s->file_ < 0) {
+        s->file_ = b.record_file;  // file() names the first recording leaf
+      }
+    }
+  }
+
+  s->contract_.granted = spec_;
+  s->contract_.hop_count = vc->hop_count;
+  s->contract_.established_at = system_->simulator()->now();
+  s->nominal_ = s->contract_.granted;
   s->ApplySourcePacing();
   s->BindAdaptationHooks();
 

@@ -224,6 +224,17 @@ struct QosContract {
   int renegotiations = 0;
 };
 
+// One leaf of a one-to-many stream (StreamBuilder::ToMany / AddSink). A
+// workstation leaf names the endpoint packets should land on (and optionally
+// a display to window them); a storage leaf records the stream there.
+struct MulticastSink {
+  Workstation* ws = nullptr;
+  atm::Endpoint* endpoint = nullptr;   // any endpoint on `ws`
+  dev::AtmDisplay* display = nullptr;  // bind a window at this leaf
+  StorageNode* storage = nullptr;      // record the stream at this leaf
+  uint32_t record_stream_id = 1;       // with storage: control-stream id
+};
+
 // An admitted stream: one VC per pipeline leg (each paced to its granted
 // bandwidth), the control VC(s), the per-end handler domains and per-stage
 // compute domains holding the CPU contracts, the PFS reservation and the
@@ -283,13 +294,30 @@ class StreamSession {
   // Control stream: managing host -> far end (index marks, start/stop).
   atm::Vci control_send_vci() const { return control_send_vci_; }
   atm::Vci control_receive_vci() const { return control_receive_vci_; }
-  // The continuous file a ToStorage session records into, or the file a
-  // FromStorage session plays; -1 otherwise.
+  // The continuous file a ToStorage session records into, the file a
+  // FromStorage session plays, or the first recording leaf's file of a
+  // one-to-many session; -1 otherwise.
   pfs::FileId file() const { return file_; }
   // The handler domains holding the CPU contracts (null when no CPU was
   // demanded at that end). Exposed so callers can observe manager grants.
   nemesis::PeriodicDomain* source_handler() const { return source_handler_.get(); }
   nemesis::PeriodicDomain* sink_handler() const { return sink_handler_.get(); }
+
+  // --- one-to-many sessions (StreamBuilder::ToMany) ---
+  bool is_multicast() const { return multicast_; }
+  int sink_count() const { return static_cast<int>(mcast_sinks_.size()); }
+  // The VCI `endpoint` observes on delivered packets, if it is a leaf.
+  std::optional<atm::Vci> SinkVci(const atm::Endpoint* endpoint) const;
+  // Grafts one more leaf onto the tree. Only the NEW branch path is
+  // admitted — links the tree already crosses are free, sink CPU is
+  // admitted against the leaf host alone, and every other contract of the
+  // session is untouched. A late viewer joining a popular channel costs
+  // O(graft path), not a re-admission of the whole tree.
+  AdmissionReport AddSink(const MulticastSink& sink);
+  // Prunes the leaf delivering to `endpoint`, releasing its window,
+  // recording, CPU contract and every tree branch that served only it.
+  // Refuses to remove the last leaf — Close() the session instead.
+  bool RemoveSink(const atm::Endpoint* endpoint);
 
   // Re-negotiates the contract in place, all-or-nothing: every layer's new
   // demand — bandwidth on each leg's own links (no route churn), CPU at
@@ -395,6 +423,30 @@ class StreamSession {
   StorageNode* storage_ = nullptr;
   bool recording_ = false;
 
+  // One-to-many sessions: per-leaf bindings, in graft order. The tree
+  // itself is legs_[0] (vc = the multicast VcId, granted_bps = the ONE
+  // per-tree-edge reservation); each leaf adds only its own window,
+  // recording, control VC and sink-host CPU contract.
+  struct McastSinkBinding {
+    MulticastSink sink;
+    atm::Vci leaf_vci = atm::kVciUnassigned;
+    std::unique_ptr<nemesis::PeriodicDomain> handler;  // sink-host CPU
+    atm::VcId control_vc = -1;                         // recording leaves
+    pfs::FileId record_file = -1;
+    bool window_created = false;
+  };
+  bool multicast_ = false;
+  std::vector<McastSinkBinding> mcast_sinks_;
+  // Window geometry display leaves are bound with (WithWindow at build
+  // time; AddSink reuses it so late joiners get the same window).
+  bool mcast_window_requested_ = false;
+  int mcast_window_x_ = 0;
+  int mcast_window_y_ = 0;
+  int mcast_window_w_ = 0;
+  int mcast_window_h_ = 0;
+  // Unbinds one leaf's window/recording/CPU/control (not the tree branch).
+  void UnbindMulticastSink(McastSinkBinding& b);
+
   // Network + compute: the bound pipeline.
   std::vector<Leg> legs_;
   std::vector<atm::VcId> control_vcs_;
@@ -499,6 +551,13 @@ class StreamBuilder {
   // Record into a fresh continuous file; index marks for `stream_id` on the
   // control VC drive the time index.
   StreamBuilder& ToStorage(StorageNode* storage, uint32_t stream_id = 1);
+  // One-to-many: the stream fans out over ONE shared multicast tree to
+  // every listed sink (displays, plain endpoints, storage recorders — may
+  // be mixed). Joint admission charges each tree edge once, so a trunk
+  // shared by a thousand viewers reserves one stream's bandwidth; the
+  // counter-offer scales the whole tree as a unit. Mutually exclusive with
+  // To*/Via/ManagedBy. Late joins ride StreamSession::AddSink.
+  StreamBuilder& ToMany(const std::vector<MulticastSink>& sinks);
 
   StreamBuilder& WithSpec(const StreamSpec& spec);
   // Window on the sink display. w/h default to the source camera image.
@@ -548,6 +607,11 @@ class StreamBuilder {
   pfs::FileId playback_file_ = -1;
   uint32_t record_stream_id_ = 1;
   std::vector<ViaStage> vias_;
+  std::vector<MulticastSink> multicast_sinks_;
+
+  // The ToMany() open path: one shared tree, joint admission over its
+  // deduplicated edge set, per-leaf sink-CPU/window/recording binds.
+  StreamResult OpenMulticast();
 
   bool window_requested_ = false;
   int window_x_ = 0;

@@ -50,8 +50,12 @@ class AtmCamera {
   void Stop();
   bool running() const { return running_; }
 
-  // Adds a further output circuit: every packet is also sent on `vci`
-  // (point-to-multipoint, e.g. display + recording tap).
+  // Adds a further output circuit: every packet is also RE-SENT on `vci`,
+  // costing the source O(outputs). The real point-to-multipoint tap (e.g.
+  // display + recording from one capture) is a multicast stream contract —
+  // StreamBuilder::ToMany — where the camera sends once and the switches
+  // replicate only at tree branches; see examples/camera_tap.cpp. This
+  // source-side fallback remains for endpoints without signalling access.
   void AddOutput(atm::Vci vci) { extra_vcis_.push_back(vci); }
 
   const Config& config() const { return config_; }

@@ -58,13 +58,16 @@ std::string FleetMetrics::Summary() const {
       "data plane: cell_hops=%" PRIu64 " dropped=%" PRIu64 " played=%" PRId64
       " recorded=%" PRId64 "\n"
       "signalling: rejections_bandwidth=%" PRId64 " rejections_no_path=%" PRId64 "\n"
+      "broadcast: trees=%" PRId64 " grafts=%" PRId64 " prunes=%" PRId64
+      " peak_leaves=%" PRId64 "\n"
       "wall: admit_mean=%.1f us admit_max=%.1f us cells/s=%.3g",
       arrivals, admitted, blocked, blocked_network, blocked_disk, blocked_content_busy,
       blocked_other, blocking_probability(), departed, peak_concurrent, concurrent_at_end,
       renegotiations, renegotiations_refused, adapting_sessions, adaptation_events,
       mean_convergence_ms(), static_cast<double>(convergence_max_ns) / 1e6, link_cells_sent,
       link_cells_dropped, records_played, records_recorded, net_rejections_bandwidth,
-      net_rejections_no_path, mean_admit_wall_us(), admit_wall_ns_max / 1e3,
+      net_rejections_no_path, mcast_trees_opened, mcast_grafts, mcast_prunes,
+      mcast_peak_leaves, mean_admit_wall_us(), admit_wall_ns_max / 1e3,
       cells_per_wall_second());
   return buf;
 }

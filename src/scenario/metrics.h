@@ -57,6 +57,15 @@ struct FleetMetrics {
   // so fleet fingerprints stay byte-comparable across PRs.
   int64_t net_rejections_bandwidth = 0;
   int64_t net_rejections_no_path = 0;
+  // One-to-many (broadcast) plane over the run: delivery trees opened,
+  // viewer joins grafted onto / leaves pruned from live trees, and the
+  // largest leaf set any one tree reached. Deterministic, but EXCLUDED
+  // from Fingerprint like the net_rejections_* split — the fingerprint
+  // layout is frozen at the BENCH_06 baseline.
+  int64_t mcast_trees_opened = 0;
+  int64_t mcast_grafts = 0;
+  int64_t mcast_prunes = 0;
+  int64_t mcast_peak_leaves = 0;
 
   // --- wall-clock (machine-dependent, excluded from Fingerprint) ---
   int64_t admit_calls = 0;       // Open() invocations timed

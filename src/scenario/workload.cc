@@ -39,6 +39,7 @@ ScenarioEngine::ScenarioEngine(core::PegasusSystem* system, const MetroTopology*
       holding_rng_(params.seed ^ kHoldingStream),
       fate_rng_(params.seed ^ kFateStream) {
   SeedCatalog();
+  channels_.resize(static_cast<size_t>(std::max(0, params_.broadcast_channels)));
 }
 
 void ScenarioEngine::SeedCatalog() {
@@ -115,7 +116,12 @@ void ScenarioEngine::OnArrival() {
   double phone_w = num_hosts >= 2 ? params_.phone_weight : 0.0;
   double vod_w = (!catalog_files_.empty() && num_hosts >= 1) ? params_.vod_weight : 0.0;
   double record_w = (num_storage >= 1 && num_hosts >= 1) ? params_.record_weight : 0.0;
-  const double total_w = phone_w + vod_w + record_w;
+  // Broadcast needs a head host plus at least one distinct viewer host. The
+  // default weight of 0.0 makes every threshold below identical to the
+  // legacy three-way mix, so pre-broadcast fleets replay bit-for-bit.
+  double broadcast_w =
+      (num_hosts >= 2 && !channels_.empty()) ? params_.broadcast_weight : 0.0;
+  const double total_w = phone_w + vod_w + record_w + broadcast_w;
   if (total_w <= 0.0) {
     ++metrics_.blocked;
     ++metrics_.blocked_other;
@@ -128,8 +134,23 @@ void ScenarioEngine::OnArrival() {
     type = SessionType::kPhone;
   } else if (type_draw < (phone_w + vod_w) / total_w) {
     type = SessionType::kVod;
-  } else {
+  } else if (type_draw < (phone_w + vod_w + record_w) / total_w) {
     type = SessionType::kRecord;
+  } else {
+    type = SessionType::kBroadcast;
+  }
+
+  if (type == SessionType::kBroadcast) {
+    // Broadcast viewers ride a shared tree, not their own contract: channel
+    // choice is Zipf over the popularity-ranked channel list, the viewer
+    // host is drawn uniformly. Both draws come from the mix stream in the
+    // same fixed order as the other branches. Viewers never renegotiate —
+    // the channel, degraded as one unit, owns its contract.
+    const int rank = static_cast<int>(mix_rng_.Zipf(
+        static_cast<int64_t>(channels_.size()), params_.broadcast_zipf_theta));
+    const int viewer_draw = static_cast<int>(mix_rng_.UniformInt(0, num_hosts - 1));
+    OnBroadcastArrival(id, rank, viewer_draw, holding, drives_data);
+    return;
   }
 
   ActiveSession entry;
@@ -184,6 +205,8 @@ void ScenarioEngine::OnArrival() {
       entry.source_ws = src;
       break;
     }
+    case SessionType::kBroadcast:
+      return;  // dispatched above; never reaches the unicast builder path
   }
 
   builder.WithSpec(spec).WithAdaptation(params_.adaptation);
@@ -221,6 +244,118 @@ void ScenarioEngine::OnArrival() {
       DriveFrames(id);
     }
   }
+}
+
+void ScenarioEngine::OnBroadcastArrival(int64_t id, int channel, int viewer_draw,
+                                        sim::DurationNs holding, bool drives_data) {
+  BroadcastChannel& ch = channels_[static_cast<size_t>(channel)];
+  const int num_hosts = static_cast<int>(topo_->hosts.size());
+  const int head_idx = channel % num_hosts;
+
+  // Find a seat: starting at the drawn host, probe linearly past the
+  // channel's head-end and hosts already watching this channel. A channel
+  // every host is already watching is full — the broadcast analogue of the
+  // whole catalog being on the air.
+  core::Workstation* viewer = nullptr;
+  for (int k = 0; k < num_hosts; ++k) {
+    const int h = (viewer_draw + k) % num_hosts;
+    if (h == head_idx) {
+      continue;
+    }
+    core::Workstation* ws = topo_->hosts[static_cast<size_t>(h)];
+    if (ch.session != nullptr && ch.session->SinkVci(ws->host()).has_value()) {
+      continue;
+    }
+    viewer = ws;
+    break;
+  }
+  if (viewer == nullptr) {
+    ++metrics_.blocked;
+    ++metrics_.blocked_content_busy;
+    return;
+  }
+
+  core::MulticastSink sink;
+  sink.ws = viewer;
+  sink.endpoint = viewer->host();
+
+  if (ch.session == nullptr) {
+    // First viewer in: open the delivery tree with this viewer as its only
+    // leaf. Whether the channel actually moves cells is the channel's fate,
+    // fixed now by its first viewer's draw.
+    core::Workstation* head = topo_->hosts[static_cast<size_t>(head_idx)];
+    core::StreamBuilder builder = system_->BuildStream();
+    builder.FromEndpoint(head, head->host())
+        .ToMany({sink})
+        .WithSpec(core::StreamSpec::Video(25.0, params_.broadcast_bps))
+        .WithAdaptation(params_.adaptation);
+    const auto wall0 = std::chrono::steady_clock::now();
+    core::StreamResult result = builder.Open();
+    const double admit_ns = WallNsSince(wall0);
+    ++metrics_.admit_calls;
+    metrics_.admit_wall_ns_total += admit_ns;
+    metrics_.admit_wall_ns_max = std::max(metrics_.admit_wall_ns_max, admit_ns);
+    if (!result.report.ok()) {
+      RecordBlock(result.report);
+      return;
+    }
+    ++metrics_.admitted;
+    ++metrics_.mcast_trees_opened;
+    ch.session = result.session;
+    ch.head = head;
+    ch.viewers = 0;
+    ch.applied_seen = 0;
+    ch.first_applied_at = -1;
+    ch.last_applied_at = -1;
+    ++ch.generation;
+    if (drives_data) {
+      DriveChannelFrames(channel, ch.generation);
+    }
+  } else {
+    // Channel already on the air: the graft admits and reserves only the
+    // branch from the existing tree to this viewer.
+    const auto wall0 = std::chrono::steady_clock::now();
+    const core::AdmissionReport report = ch.session->AddSink(sink);
+    const double admit_ns = WallNsSince(wall0);
+    ++metrics_.admit_calls;
+    metrics_.admit_wall_ns_total += admit_ns;
+    metrics_.admit_wall_ns_max = std::max(metrics_.admit_wall_ns_max, admit_ns);
+    if (!report.ok()) {
+      RecordBlock(report);
+      return;
+    }
+    ++metrics_.admitted;
+    ++metrics_.mcast_grafts;
+  }
+  ++ch.viewers;
+  metrics_.mcast_peak_leaves =
+      std::max(metrics_.mcast_peak_leaves, static_cast<int64_t>(ch.session->sink_count()));
+
+  ActiveSession entry;
+  entry.session = ch.session;
+  entry.type = SessionType::kBroadcast;
+  entry.channel = channel;
+  entry.viewer_ep = viewer->host();
+  active_[id] = entry;
+  metrics_.peak_concurrent =
+      std::max(metrics_.peak_concurrent, static_cast<int64_t>(active_.size()));
+  sim_->ScheduleAfter(holding, [this, id]() { OnDeparture(id); });
+}
+
+void ScenarioEngine::DriveChannelFrames(int channel, int64_t generation) {
+  BroadcastChannel& ch = channels_[static_cast<size_t>(channel)];
+  if (!running_ || ch.session == nullptr || ch.generation != generation) {
+    return;
+  }
+  // One chain per channel, not per viewer: the head-end sends each frame
+  // exactly once regardless of how many leaves the tree carries.
+  const int64_t bps = ch.session->legs().front().granted_bps;
+  const size_t bytes = static_cast<size_t>(std::clamp<int64_t>(
+      bps / 8 / 25, 64, static_cast<int64_t>(atm::kAal5MaxSduSize) - 64));
+  std::vector<uint8_t> payload(bytes, static_cast<uint8_t>(channel + 1));
+  ch.head->host_transport()->Send(ch.session->source_vci(), payload, bps);
+  sim_->ScheduleAfter(kFrameInterval,
+                      [this, channel, generation]() { DriveChannelFrames(channel, generation); });
 }
 
 void ScenarioEngine::DriveFrames(int64_t id) {
@@ -265,7 +400,9 @@ void ScenarioEngine::OnRenegotiate(int64_t id) {
 }
 
 void ScenarioEngine::PollAdaptation(ActiveSession* s) {
-  if (!s->session->has_adaptation()) {
+  // Broadcast viewers share one session; its adaptation history is polled
+  // once at channel level (PollChannel), never per viewer.
+  if (s->type == SessionType::kBroadcast || !s->session->has_adaptation()) {
     return;
   }
   const int64_t applied = s->session->adaptations_applied();
@@ -289,12 +426,62 @@ void ScenarioEngine::FinishSession(ActiveSession* s) {
   metrics_.convergence_max_ns = std::max(metrics_.convergence_max_ns, convergence);
 }
 
+void ScenarioEngine::PollChannel(BroadcastChannel* ch) {
+  if (ch->session == nullptr || !ch->session->has_adaptation()) {
+    return;
+  }
+  const int64_t applied = ch->session->adaptations_applied();
+  if (applied > ch->applied_seen) {
+    if (ch->first_applied_at < 0) {
+      ch->first_applied_at = sim_->now();
+    }
+    ch->last_applied_at = sim_->now();
+    metrics_.adaptation_events += applied - ch->applied_seen;
+    ch->applied_seen = applied;
+  }
+}
+
+void ScenarioEngine::FinishChannel(BroadcastChannel* ch) {
+  if (ch->first_applied_at < 0) {
+    return;
+  }
+  ++metrics_.adapting_sessions;
+  const sim::DurationNs convergence = ch->last_applied_at - ch->first_applied_at;
+  metrics_.convergence_total_ns += convergence;
+  metrics_.convergence_max_ns = std::max(metrics_.convergence_max_ns, convergence);
+  ch->first_applied_at = -1;
+  ch->last_applied_at = -1;
+  ch->applied_seen = 0;
+}
+
 void ScenarioEngine::OnDeparture(int64_t id) {
   auto it = active_.find(id);
   if (it == active_.end()) {
     return;
   }
   ActiveSession& s = it->second;
+  if (s.type == SessionType::kBroadcast) {
+    BroadcastChannel& ch = channels_[static_cast<size_t>(s.channel)];
+    if (ch.session != nullptr) {
+      if (ch.viewers > 1) {
+        if (ch.session->RemoveSink(s.viewer_ep)) {
+          ++metrics_.mcast_prunes;
+        }
+        --ch.viewers;
+      } else {
+        // Last viewer out: the whole tree comes down with it.
+        PollChannel(&ch);
+        FinishChannel(&ch);
+        ch.session->Close();
+        ch.session = nullptr;
+        ch.head = nullptr;
+        ch.viewers = 0;
+      }
+    }
+    ++metrics_.departed;
+    active_.erase(it);
+    return;
+  }
   PollAdaptation(&s);
   FinishSession(&s);
   if (s.catalog_index >= 0) {
@@ -312,6 +499,9 @@ void ScenarioEngine::OnMetricsTick() {
   for (auto& [id, s] : active_) {
     (void)id;
     PollAdaptation(&s);
+  }
+  for (BroadcastChannel& ch : channels_) {
+    PollChannel(&ch);
   }
   sim_->ScheduleAfter(params_.metrics_period, [this]() { OnMetricsTick(); });
 }
@@ -357,6 +547,10 @@ const FleetMetrics& ScenarioEngine::Run(sim::DurationNs duration) {
     (void)id;
     PollAdaptation(&s);
     FinishSession(&s);
+  }
+  for (BroadcastChannel& ch : channels_) {
+    PollChannel(&ch);
+    FinishChannel(&ch);
   }
   metrics_.concurrent_at_end = static_cast<int64_t>(active_.size());
   metrics_.sim_duration_ns = duration;

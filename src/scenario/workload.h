@@ -65,6 +65,17 @@ struct WorkloadParams {
   int catalog_record_bytes = 4096;
   sim::DurationNs catalog_record_cadence = sim::Milliseconds(40);
 
+  // Broadcast head-end tier: Zipf-popular live channels viewers join and
+  // leave. Each channel is ONE multicast tree sourced at a deterministic
+  // edge host; a viewer arrival grafts a leaf (StreamSession::AddSink), a
+  // departure prunes it, and the last viewer's departure closes the tree.
+  // Weight 0.0 (the default) draws nothing from any RNG stream, keeping
+  // legacy mixes bit-identical.
+  double broadcast_weight = 0.0;
+  int64_t broadcast_bps = 3'000'000;
+  int broadcast_channels = 8;
+  double broadcast_zipf_theta = 0.8;
+
   // Fraction of admitted sessions that actually move cells (live frame
   // sources / real play-outs) rather than holding reservations only; keeps
   // fleet-sized runs tractable while still exercising the data plane.
@@ -101,13 +112,15 @@ class ScenarioEngine {
   int64_t active_sessions() const { return static_cast<int64_t>(active_.size()); }
 
  private:
-  enum class SessionType { kPhone, kVod, kRecord };
+  enum class SessionType { kPhone, kVod, kRecord, kBroadcast };
 
   struct ActiveSession {
     core::StreamSession* session = nullptr;
     SessionType type = SessionType::kPhone;
     core::Workstation* source_ws = nullptr;  // frame-driving end (phone/record)
     int catalog_index = -1;                  // busy flag to drop on departure
+    int channel = -1;                        // broadcast: channel this viewer watches
+    atm::Endpoint* viewer_ep = nullptr;      // broadcast: this viewer's leaf endpoint
     bool drives_data = false;
     // Adaptation polling state: applied-counter watermark and the sim times
     // the first/last applied change was observed at.
@@ -116,15 +129,35 @@ class ScenarioEngine {
     sim::TimeNs last_applied_at = -1;
   };
 
+  // One live broadcast channel: a single multicast tree every viewer of the
+  // channel shares. The first viewer's arrival opens the tree with itself
+  // as the only leaf; later viewers graft (AddSink) and prune (RemoveSink)
+  // leaves at runtime; the last viewer's departure closes the tree. The
+  // channel — not any viewer — owns frame driving and adaptation history.
+  struct BroadcastChannel {
+    core::StreamSession* session = nullptr;
+    core::Workstation* head = nullptr;
+    int viewers = 0;
+    int64_t generation = 0;  // guards stale frame-driving chains across reopen
+    int64_t applied_seen = 0;
+    sim::TimeNs first_applied_at = -1;
+    sim::TimeNs last_applied_at = -1;
+  };
+
   void SeedCatalog();
   void ScheduleNextArrival();
   void OnArrival();
+  void OnBroadcastArrival(int64_t id, int channel, int viewer_draw, sim::DurationNs holding,
+                          bool drives_data);
   void OnDeparture(int64_t id);
   void OnRenegotiate(int64_t id);
   void DriveFrames(int64_t id);
+  void DriveChannelFrames(int channel, int64_t generation);
   void OnMetricsTick();
   void PollAdaptation(ActiveSession* s);
   void FinishSession(ActiveSession* s);
+  void PollChannel(BroadcastChannel* ch);
+  void FinishChannel(BroadcastChannel* ch);
   void RecordBlock(const core::AdmissionReport& report);
   // First non-busy catalog index at or below rank `rank` in popularity
   // order (wrapping), or -1 when the whole catalog is on the air.
@@ -147,6 +180,7 @@ class ScenarioEngine {
   std::vector<int> catalog_storage_;
   std::vector<bool> catalog_busy_;
 
+  std::vector<BroadcastChannel> channels_;
   std::map<int64_t, ActiveSession> active_;
   int64_t next_session_id_ = 1;
   sim::TimeNs end_time_ = 0;

@@ -285,6 +285,160 @@ TEST_P(AdmissionChurnProperty, GrantsNeverExceedCapacityAndCloseRestoresAll) {
   EXPECT_EQ(compute_->active_stages(), 0);
 }
 
+// The tree analogue: randomized multicast open / graft / prune /
+// renegotiate / close, interleaved with unicast churn on the same fabric.
+// The shadow ledger rebuilds reservations as (tree rate) x (each tree link
+// ONCE) — any per-leaf double-charging of a shared edge, or a prune
+// releasing a link a remaining leaf still needs, breaks the comparison
+// immediately. Closing everything must restore all layers exactly.
+TEST_P(AdmissionChurnProperty, MulticastChurnChargesSharedEdgesOnce) {
+  sim::Rng rng(GetParam() ^ 0x9e3779b97f4a7c15ULL);
+  const int64_t base_vcs = system_.network().open_vc_count();
+
+  struct Tree {
+    StreamSession* session = nullptr;
+    std::vector<size_t> leaves;  // workstation indices, graft order
+  };
+  std::vector<Tree> trees;
+  std::vector<StreamSession*> unicast;
+  int trees_opened = 0;
+  int grafts = 0;
+  int prunes = 0;
+
+  auto all_sessions = [&]() {
+    std::vector<StreamSession*> all = unicast;
+    for (const Tree& t : trees) {
+      all.push_back(t.session);
+    }
+    return all;
+  };
+  auto make_sink = [&](size_t ws) {
+    MulticastSink sink;
+    sink.ws = workstations_[ws];
+    sink.display = displays_[ws];
+    return sink;
+  };
+
+  for (int op = 0; op < 150; ++op) {
+    const int64_t kind = rng.UniformInt(0, 9);
+    if (kind < 2 || trees.empty()) {
+      // Open a tree: random source host endpoint, a random non-empty set of
+      // the OTHER workstations' displays as leaves.
+      const size_t src = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(workstations_.size()) - 1));
+      Tree tree;
+      std::vector<MulticastSink> sinks;
+      for (size_t ws = 0; ws < workstations_.size(); ++ws) {
+        if (ws != src && rng.Bernoulli(0.6)) {
+          sinks.push_back(make_sink(ws));
+          tree.leaves.push_back(ws);
+        }
+      }
+      if (sinks.empty()) {
+        const size_t ws = (src + 1) % workstations_.size();
+        sinks.push_back(make_sink(ws));
+        tree.leaves.push_back(ws);
+      }
+      StreamSpec spec = StreamSpec::Video(25, rng.UniformInt(1'000'000, 40'000'000));
+      spec.sink_cpu = RandomCpu(rng, 0.2);
+      StreamBuilder builder = system_.BuildStream("mcast-" + std::to_string(op));
+      builder.FromEndpoint(workstations_[src], workstations_[src]->host());
+      auto r = builder.ToMany(sinks).WithSpec(spec).Open();
+      if (r.report.ok()) {
+        tree.session = r.session;
+        trees.push_back(tree);
+        ++trees_opened;
+      }
+    } else if (kind < 4) {
+      // Unicast churn rides alongside: shared links must carry the sum of
+      // both worlds' reservations.
+      auto r = RandomOpen(rng, op);
+      if (r.report.ok()) {
+        unicast.push_back(r.session);
+      }
+    } else if (kind < 6) {
+      // Graft: a workstation not yet watching this tree joins.
+      Tree& tree = trees[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(trees.size()) - 1))];
+      std::vector<size_t> candidates;
+      for (size_t ws = 0; ws < workstations_.size(); ++ws) {
+        bool watching = false;
+        for (size_t leaf : tree.leaves) {
+          watching = watching || leaf == ws;
+        }
+        if (!watching &&
+            tree.session->SinkVci(workstations_[ws]->device_endpoint(displays_[ws])) ==
+                std::nullopt) {
+          candidates.push_back(ws);
+        }
+      }
+      if (!candidates.empty()) {
+        const size_t ws = candidates[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+        if (tree.session->AddSink(make_sink(ws)).ok()) {
+          tree.leaves.push_back(ws);
+          ++grafts;
+        }
+      }
+    } else if (kind < 7) {
+      // Prune: a random leaf leaves; the last leaf must be refused.
+      Tree& tree = trees[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(trees.size()) - 1))];
+      const size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(tree.leaves.size()) - 1));
+      const size_t ws = tree.leaves[pick];
+      const bool removed =
+          tree.session->RemoveSink(workstations_[ws]->device_endpoint(displays_[ws]));
+      if (tree.leaves.size() == 1) {
+        ASSERT_FALSE(removed) << "pruning the last leaf must be refused";
+      } else {
+        ASSERT_TRUE(removed);
+        tree.leaves.erase(tree.leaves.begin() + static_cast<std::ptrdiff_t>(pick));
+        ++prunes;
+      }
+    } else if (kind < 8) {
+      // Renegotiate the whole tree as one unit.
+      Tree& tree = trees[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(trees.size()) - 1))];
+      StreamSpec spec = tree.session->contract().granted;
+      spec.bandwidth_bps = rng.UniformInt(1'000'000, 60'000'000);
+      auto report = tree.session->Renegotiate(spec);
+      if (!report.ok() && report.verdict == AdmitVerdict::kCounterOffer) {
+        ASSERT_TRUE(report.counter_offer.has_value());
+        ASSERT_TRUE(tree.session->Renegotiate(*report.counter_offer).ok())
+            << "multicast renegotiation counter-offer was not admissible";
+      }
+    } else if (kind < 9 && !unicast.empty()) {
+      const size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(unicast.size()) - 1));
+      unicast[pick]->Close();
+      unicast.erase(unicast.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(trees.size()) - 1));
+      trees[pick].session->Close();
+      trees.erase(trees.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ASSERT_NO_FATAL_FAILURE(CheckInvariants("after mcast op"));
+    ASSERT_NO_FATAL_FAILURE(CheckShadowLedger(all_sessions(), "after mcast op"));
+  }
+  EXPECT_GT(trees_opened, 0);
+  EXPECT_GT(grafts, 0);
+  EXPECT_GT(prunes, 0);
+
+  for (StreamSession* session : all_sessions()) {
+    session->Close();
+  }
+  for (const auto& link : system_.network().links()) {
+    EXPECT_EQ(system_.network().ReservedBandwidth(link.get()), 0);
+  }
+  for (const auto& kernel : kernels_) {
+    EXPECT_EQ(kernel->scheduler()->AdmittedUtilization(), 0.0);
+  }
+  EXPECT_EQ(storage_->server()->reserved_stream_bps(), 0);
+  EXPECT_EQ(system_.network().open_vc_count(), base_vcs);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, AdmissionChurnProperty,
                          ::testing::Range(uint64_t{1}, uint64_t{9}));
 

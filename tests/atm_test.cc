@@ -345,6 +345,116 @@ TEST(SwitchTest, VciAllocationReusesRemovedRoutes) {
   }
 }
 
+// A multi-target entry replicates a burst once per BRANCH, relabelling per
+// branch, and counts every copy switched.
+TEST(SwitchTest, MultiTargetEntryReplicatesPerBranch) {
+  sim::Simulator sim;
+  Switch sw(&sim, "sw", 4, 0);
+  Link out1(&sim, "o1", 100'000'000, 0);
+  Link out2(&sim, "o2", 100'000'000, 0);
+  CollectorSink sink1;
+  CollectorSink sink2;
+  out1.set_sink(&sink1);
+  out2.set_sink(&sink2);
+  sw.AttachOutput(1, &out1);
+  sw.AttachOutput(2, &out2);
+  EXPECT_TRUE(sw.AddRoute(0, 40, 1, 70));
+  EXPECT_EQ(sw.RouteTargetCount(0, 40), 1);
+  EXPECT_TRUE(sw.AddRouteTarget(0, 40, 2, 80));
+  EXPECT_EQ(sw.RouteTargetCount(0, 40), 2);
+  // A branch to an already-subscribed port is rejected (one copy per port).
+  EXPECT_FALSE(sw.AddRouteTarget(0, 40, 1, 99));
+  EXPECT_FALSE(sw.AddRouteTarget(0, 40, 2, 99));
+  // Grafting onto a nonexistent entry fails.
+  EXPECT_FALSE(sw.AddRouteTarget(0, 41, 2, 99));
+
+  std::vector<Cell> burst(3);
+  for (size_t i = 0; i < burst.size(); ++i) {
+    burst[i].vci = 40;
+    burst[i].seq = i;
+  }
+  sw.input(0)->DeliverBurst(burst.data(), burst.size());
+  sim.Run();
+  ASSERT_EQ(sink1.cells.size(), 3u);
+  ASSERT_EQ(sink2.cells.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(sink1.cells[i].vci, 70u);
+    EXPECT_EQ(sink1.cells[i].seq, i);
+    EXPECT_EQ(sink2.cells[i].vci, 80u);
+    EXPECT_EQ(sink2.cells[i].seq, i);
+  }
+  EXPECT_EQ(sw.cells_switched(), 6u);  // 3 cells x 2 branches
+}
+
+// Regression (multi-target entries vs the allocation hint): pruning ONE
+// branch of a multicast entry must not hand its VCI out again — the entry
+// still routes cells for the remaining branches. Only removing the LAST
+// branch frees the VCI.
+TEST(SwitchTest, PrunedBranchDoesNotFreeVciStillRoutingElsewhere) {
+  sim::Simulator sim;
+  Switch sw(&sim, "sw", 4, 0);
+  const Vci v = sw.AllocateVci(0);
+  EXPECT_TRUE(sw.AddRoute(0, v, 1, 70));
+  EXPECT_TRUE(sw.AddRouteTarget(0, v, 2, 80));
+  EXPECT_TRUE(sw.AddRouteTarget(0, v, 3, 90));
+
+  // Prune the middle branch: entry stays live, VCI stays allocated.
+  EXPECT_TRUE(sw.RemoveRouteTarget(0, v, 2));
+  EXPECT_EQ(sw.RouteTargetCount(0, v), 2);
+  EXPECT_TRUE(sw.HasRoute(0, v));
+  EXPECT_NE(sw.AllocateVci(0), v);
+
+  // Prune the PRIMARY branch: the next-oldest branch takes over, the VCI
+  // still must not be reallocated.
+  EXPECT_TRUE(sw.RemoveRouteTarget(0, v, 1));
+  EXPECT_EQ(sw.RouteTargetCount(0, v), 1);
+  EXPECT_NE(sw.AllocateVci(0), v);
+
+  // Removing a branch twice fails; unknown ports fail.
+  EXPECT_FALSE(sw.RemoveRouteTarget(0, v, 1));
+  EXPECT_FALSE(sw.RemoveRouteTarget(0, v, 2));
+
+  // The last branch retires the entry and only then frees the VCI.
+  EXPECT_TRUE(sw.RemoveRouteTarget(0, v, 3));
+  EXPECT_FALSE(sw.HasRoute(0, v));
+  EXPECT_EQ(sw.AllocateVci(0), v);
+}
+
+// A unicast run gathered across VCIs must stop at a multicast entry: the
+// replicated cells would otherwise be folded into the unicast train.
+TEST(SwitchTest, UnicastRunStopsAtMulticastEntry) {
+  sim::Simulator sim;
+  Switch sw(&sim, "sw", 4, 0);
+  Link out1(&sim, "o1", 100'000'000, 0);
+  Link out2(&sim, "o2", 100'000'000, 0);
+  CollectorSink sink1;
+  CollectorSink sink2;
+  out1.set_sink(&sink1);
+  out2.set_sink(&sink2);
+  sw.AttachOutput(1, &out1);
+  sw.AttachOutput(2, &out2);
+  EXPECT_TRUE(sw.AddRoute(0, 40, 1, 70));       // unicast -> port 1
+  EXPECT_TRUE(sw.AddRoute(0, 41, 1, 71));       // multicast -> ports 1+2
+  EXPECT_TRUE(sw.AddRouteTarget(0, 41, 2, 81));
+
+  std::vector<Cell> burst(4);
+  burst[0].vci = 40;
+  burst[1].vci = 41;
+  burst[2].vci = 41;
+  burst[3].vci = 40;
+  sw.input(0)->DeliverBurst(burst.data(), burst.size());
+  sim.Run();
+  // Port 1: 2 unicast + 2 replicated; port 2: 2 replicated.
+  ASSERT_EQ(sink1.cells.size(), 4u);
+  EXPECT_EQ(sink1.cells[0].vci, 70u);
+  EXPECT_EQ(sink1.cells[1].vci, 71u);
+  EXPECT_EQ(sink1.cells[2].vci, 71u);
+  EXPECT_EQ(sink1.cells[3].vci, 70u);
+  ASSERT_EQ(sink2.cells.size(), 2u);
+  EXPECT_EQ(sink2.cells[0].vci, 81u);
+  EXPECT_EQ(sw.cells_switched(), 6u);
+}
+
 class NetworkFixture : public ::testing::Test {
  protected:
   NetworkFixture() : net_(&sim_) {
@@ -507,6 +617,127 @@ TEST_F(NetworkFixture, CongestionHandlerClosingSiblingVcSuppressesItsCallback) {
   EXPECT_EQ(first_fired, 2);
   EXPECT_EQ(net_.SignalCongestion(shared, 0.25), 0);  // nothing registered
   EXPECT_EQ(first_fired, 2);
+}
+
+TEST_F(NetworkFixture, MulticastVcDeliversToEveryLeafOnce) {
+  auto vc = net_.OpenMulticastVc(a_, {b_, c_}, QosSpec{10'000'000});
+  ASSERT_TRUE(vc.has_value());
+  EXPECT_TRUE(net_.IsMulticastVc(vc->id));
+  EXPECT_EQ(net_.McastLeafCount(vc->id), 2);
+  ASSERT_TRUE(net_.McastLeafVci(vc->id, b_).has_value());
+  ASSERT_TRUE(net_.McastLeafVci(vc->id, c_).has_value());
+  EXPECT_EQ(*net_.McastLeafVci(vc->id, b_), vc->destination_vci);
+
+  int got_b = 0;
+  int got_c = 0;
+  MessageTransport bt(b_);
+  MessageTransport ct(c_);
+  bt.SetHandler(*net_.McastLeafVci(vc->id, b_),
+                [&](Vci, std::vector<uint8_t>, sim::TimeNs) { ++got_b; });
+  ct.SetHandler(*net_.McastLeafVci(vc->id, c_),
+                [&](Vci, std::vector<uint8_t>, sim::TimeNs) { ++got_c; });
+  MessageTransport at(a_);
+  at.Send(vc->source_vci, {42});
+  sim_.Run();
+  EXPECT_EQ(got_b, 1);
+  EXPECT_EQ(got_c, 1);
+}
+
+TEST_F(NetworkFixture, MulticastChargesSharedEdgesOnce) {
+  // Both leaves hang off sw2: the inter-switch trunk is a shared tree edge
+  // and must carry ONE stream's reservation, not one per leaf.
+  Endpoint* d = net_.AddEndpoint("d", sw2_, 1, 155'000'000);
+  const QosSpec q{30'000'000};
+  auto vc = net_.OpenMulticastVc(a_, {c_, d}, q);
+  ASSERT_TRUE(vc.has_value());
+  const Link* trunk = nullptr;
+  for (const auto& l : net_.links()) {
+    if (l->name() == "sw1->sw2") {
+      trunk = l.get();
+    }
+  }
+  ASSERT_NE(trunk, nullptr);
+  EXPECT_EQ(net_.ReservedBps(trunk), 30'000'000);
+  // Grafting a third leaf behind the same trunk admits only the graft path.
+  Endpoint* e = net_.AddEndpoint("e", sw2_, 2, 155'000'000);
+  auto leaf_vci = net_.AddLeaf(vc->id, e);
+  ASSERT_TRUE(leaf_vci.has_value());
+  EXPECT_EQ(net_.McastLeafCount(vc->id), 3);
+  EXPECT_EQ(net_.ReservedBps(trunk), 30'000'000);
+  // Pruning a leaf keeps shared edges; the trunk drops only when the last
+  // downstream leaf goes (which is CloseVc's job for the final one).
+  EXPECT_TRUE(net_.RemoveLeaf(vc->id, d));
+  EXPECT_EQ(net_.ReservedBps(trunk), 30'000'000);
+  EXPECT_TRUE(net_.RemoveLeaf(vc->id, c_));
+  EXPECT_EQ(net_.ReservedBps(trunk), 30'000'000);
+  // Removing the LAST leaf is refused; CloseVc releases everything.
+  EXPECT_FALSE(net_.RemoveLeaf(vc->id, e));
+  EXPECT_TRUE(net_.CloseVc(vc->id));
+  EXPECT_EQ(net_.ReservedBps(trunk), 0);
+  for (const auto& l : net_.links()) {
+    EXPECT_EQ(net_.ReservedBps(l.get()), 0) << l->name();
+  }
+}
+
+TEST_F(NetworkFixture, MulticastPruneStopsDeliveryToThatLeafOnly) {
+  auto vc = net_.OpenMulticastVc(a_, {b_, c_});
+  ASSERT_TRUE(vc.has_value());
+  int got_b = 0;
+  int got_c = 0;
+  MessageTransport bt(b_);
+  MessageTransport ct(c_);
+  bt.SetDefaultHandler([&](Vci, std::vector<uint8_t>, sim::TimeNs) { ++got_b; });
+  ct.SetDefaultHandler([&](Vci, std::vector<uint8_t>, sim::TimeNs) { ++got_c; });
+  ASSERT_TRUE(net_.RemoveLeaf(vc->id, b_));
+  EXPECT_FALSE(net_.McastLeafVci(vc->id, b_).has_value());
+  MessageTransport at(a_);
+  at.Send(vc->source_vci, {1});
+  sim_.Run();
+  EXPECT_EQ(got_b, 0);
+  EXPECT_EQ(got_c, 1);
+  // Re-grafting works and delivery resumes.
+  ASSERT_TRUE(net_.AddLeaf(vc->id, b_).has_value());
+  at.Send(vc->source_vci, {2});
+  sim_.Run();
+  EXPECT_EQ(got_b, 1);
+  EXPECT_EQ(got_c, 2);
+}
+
+TEST_F(NetworkFixture, MulticastRejectsBadSinkSets) {
+  EXPECT_FALSE(net_.OpenMulticastVc(a_, {}).has_value());
+  EXPECT_FALSE(net_.OpenMulticastVc(a_, {a_}).has_value());          // self
+  EXPECT_FALSE(net_.OpenMulticastVc(a_, {b_, b_}).has_value());      // dup
+  auto vc = net_.OpenMulticastVc(a_, {b_});
+  ASSERT_TRUE(vc.has_value());
+  EXPECT_FALSE(net_.AddLeaf(vc->id, b_).has_value());                // dup leaf
+  EXPECT_FALSE(net_.AddLeaf(vc->id, a_).has_value());                // source
+  EXPECT_FALSE(net_.AddLeaf(vc->id + 999, c_).has_value());          // bad id
+  EXPECT_FALSE(net_.RemoveLeaf(vc->id, c_));                         // not a leaf
+  // Unicast VCs refuse tree operations.
+  auto uni = net_.OpenVc(a_, b_);
+  ASSERT_TRUE(uni.has_value());
+  EXPECT_FALSE(net_.IsMulticastVc(uni->id));
+  EXPECT_FALSE(net_.AddLeaf(uni->id, c_).has_value());
+  EXPECT_FALSE(net_.RemoveLeaf(uni->id, b_));
+}
+
+TEST_F(NetworkFixture, MulticastQosUpdateScalesWholeTreeOnce) {
+  Endpoint* d = net_.AddEndpoint("d", sw2_, 1, 155'000'000);
+  auto vc = net_.OpenMulticastVc(a_, {c_, d}, QosSpec{20'000'000});
+  ASSERT_TRUE(vc.has_value());
+  const Link* trunk = nullptr;
+  for (const auto& l : net_.links()) {
+    if (l->name() == "sw1->sw2") {
+      trunk = l.get();
+    }
+  }
+  ASSERT_NE(trunk, nullptr);
+  ASSERT_TRUE(net_.UpdateVcQos(vc->id, QosSpec{40'000'000}));
+  EXPECT_EQ(net_.ReservedBps(trunk), 40'000'000);
+  ASSERT_TRUE(net_.UpdateVcQos(vc->id, QosSpec{5'000'000}));
+  EXPECT_EQ(net_.ReservedBps(trunk), 5'000'000);
+  net_.CloseVc(vc->id);
+  EXPECT_EQ(net_.ReservedBps(trunk), 0);
 }
 
 TEST(WireTest, RoundTrip) {

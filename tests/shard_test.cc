@@ -230,6 +230,51 @@ TEST(ShardGroupTest, FleetFingerprintIdenticalAtEveryShardCount) {
   }
 }
 
+// With the broadcast tier switched on, multicast trees span regions and
+// replicated trains cross boundary channels; grafts and prunes land at
+// global sync points. None of that may perturb the observable interleaving:
+// the fleet fingerprint must stay bit-identical at every shard count, and
+// the broadcast plane must actually have run (trees opened, leaves grafted).
+uint64_t RunBroadcastFleet(int shards, int threads, scenario::FleetMetrics* out) {
+  sim::Simulator sim;
+  core::PegasusSystem system(&sim);
+  const scenario::TopologyParams tparams = SmallMetro();
+  sim::ShardGroup group(&sim, {shards > 0 ? shards : 1, threads});
+  const scenario::MetroTopology topo =
+      scenario::BuildMetroTopology(system, tparams, shards > 0 ? &group : nullptr);
+  scenario::WorkloadParams wparams = ChurnParams();
+  wparams.broadcast_weight = 0.30;
+  wparams.data_session_fraction = 0.5;  // channels must move replicated cells
+  scenario::ScenarioEngine engine(&system, &topo, wparams);
+  const scenario::FleetMetrics& metrics = engine.Run(sim::Seconds(2));
+  EXPECT_GT(metrics.arrivals, 0);
+  EXPECT_GT(metrics.admitted, 0);
+  EXPECT_GT(metrics.link_cells_sent, 0u);
+  if (out != nullptr) {
+    *out = metrics;
+  }
+  return metrics.Fingerprint();
+}
+
+TEST(ShardGroupTest, BroadcastFleetFingerprintIdenticalAtEveryShardCount) {
+  scenario::FleetMetrics reference_metrics;
+  const uint64_t reference = RunBroadcastFleet(/*shards=*/0, /*threads=*/0, &reference_metrics);
+  EXPECT_GT(reference_metrics.mcast_trees_opened, 0);
+  EXPECT_GT(reference_metrics.mcast_grafts, 0);
+  EXPECT_GT(reference_metrics.mcast_peak_leaves, 1);
+  for (const auto& [shards, threads] :
+       std::vector<std::pair<int, int>>{{1, 1}, {2, 2}, {4, 2}, {8, 0}}) {
+    scenario::FleetMetrics metrics;
+    EXPECT_EQ(RunBroadcastFleet(shards, threads, &metrics), reference)
+        << "shards=" << shards << " threads=" << threads;
+    // The fan-out counters sit outside the fingerprint; pin them too.
+    EXPECT_EQ(metrics.mcast_trees_opened, reference_metrics.mcast_trees_opened);
+    EXPECT_EQ(metrics.mcast_grafts, reference_metrics.mcast_grafts);
+    EXPECT_EQ(metrics.mcast_prunes, reference_metrics.mcast_prunes);
+    EXPECT_EQ(metrics.mcast_peak_leaves, reference_metrics.mcast_peak_leaves);
+  }
+}
+
 TEST(ShardGroupTest, ShardedFleetActuallyCrossesBoundaries) {
   sim::Simulator sim;
   core::PegasusSystem system(&sim);

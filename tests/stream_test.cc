@@ -284,5 +284,193 @@ TEST_F(StreamFixture, ManagerDegradationReachesTheSession) {
   EXPECT_NEAR(r.session->contract().granted.sink_cpu.Utilization(), 0.25, 0.02);
 }
 
+
+// --- one-to-many sessions (ToMany / AddSink / RemoveSink) ---
+
+TEST_F(StreamFixture, ToManyChargesSharedEdgesOnce) {
+  Workstation* src = system_.AddWorkstation("head");
+  Workstation* a = system_.AddWorkstation("a");
+  Workstation* b = system_.AddWorkstation("b");
+  Workstation* c = system_.AddWorkstation("c");
+  dev::AtmCamera::Config cfg;
+  dev::AtmCamera* camera = src->AddCamera(cfg);
+  std::vector<MulticastSink> sinks;
+  for (Workstation* ws : {a, b, c}) {
+    MulticastSink sink;
+    sink.ws = ws;
+    sink.display = ws->AddDisplay(640, 480);
+    sinks.push_back(sink);
+  }
+
+  auto r = system_.BuildStream("broadcast")
+               .From(src, camera)
+               .ToMany(sinks)
+               .WithSpec(StreamSpec::Video(25, 10'000'000))
+               .WithWindow(0, 0, 320, 240)
+               .Open();
+  ASSERT_TRUE(r.report.ok()) << r.report.detail;
+  ASSERT_NE(r.session, nullptr);
+  EXPECT_TRUE(r.session->is_multicast());
+  EXPECT_EQ(r.session->sink_count(), 3);
+  // The tree reserves each EDGE once: camera uplink and head->backbone are
+  // shared by all three viewers (charged once), then backbone->edge plus
+  // display downlink per viewer. Per-viewer unicast would reserve 4 links
+  // each (12 total); the tree reserves 8.
+  EXPECT_EQ(TotalReservedBps(), (2 + 2 * 3) * 10'000'000);
+  // Every leaf observes its own incoming VCI.
+  for (const MulticastSink& sink : sinks) {
+    EXPECT_TRUE(r.session->SinkVci(sink.ws->device_endpoint(sink.display)).has_value());
+  }
+  // The camera is paced to the ONE tree rate, not the sum over viewers.
+  EXPECT_EQ(camera->config().pace_bps, 10'000'000);
+
+  r.session->Close();
+  EXPECT_EQ(TotalReservedBps(), 0);
+}
+
+TEST_F(StreamFixture, AddSinkAdmitsOnlyGraftPathAndRemoveSinkPrunes) {
+  Workstation* src = system_.AddWorkstation("head");
+  Workstation* a = system_.AddWorkstation("a");
+  Workstation* b = system_.AddWorkstation("b");
+  dev::AtmCamera::Config cfg;
+  dev::AtmCamera* camera = src->AddCamera(cfg);
+  MulticastSink first;
+  first.ws = a;
+  first.display = a->AddDisplay(640, 480);
+
+  auto r = system_.BuildStream("join-leave")
+               .From(src, camera)
+               .ToMany({first})
+               .WithSpec(StreamSpec::Video(25, 10'000'000))
+               .Open();
+  ASSERT_TRUE(r.report.ok()) << r.report.detail;
+  EXPECT_EQ(TotalReservedBps(), 4 * 10'000'000);
+
+  // A late join grafts only its own branch: +2 links, the shared trunk
+  // stays at one stream's reservation.
+  MulticastSink late;
+  late.ws = b;
+  late.display = b->AddDisplay(640, 480);
+  auto graft = r.session->AddSink(late);
+  ASSERT_TRUE(graft.ok()) << graft.detail;
+  EXPECT_EQ(r.session->sink_count(), 2);
+  EXPECT_EQ(TotalReservedBps(), 6 * 10'000'000);
+  atm::Endpoint* late_ep = b->device_endpoint(late.display);
+  EXPECT_TRUE(r.session->SinkVci(late_ep).has_value());
+
+  // Re-joining an existing leaf is refused.
+  EXPECT_FALSE(r.session->AddSink(late).ok());
+
+  // Leaving prunes exactly the leaf's branches.
+  atm::Endpoint* first_ep = a->device_endpoint(first.display);
+  EXPECT_TRUE(r.session->RemoveSink(first_ep));
+  EXPECT_EQ(r.session->sink_count(), 1);
+  EXPECT_EQ(TotalReservedBps(), 4 * 10'000'000);
+  EXPECT_FALSE(r.session->SinkVci(first_ep).has_value());
+
+  // The last viewer cannot leave; the session closes instead.
+  EXPECT_FALSE(r.session->RemoveSink(late_ep));
+  r.session->Close();
+  EXPECT_EQ(TotalReservedBps(), 0);
+}
+
+TEST_F(StreamFixture, ToManyCounterOfferTakesTightestLeafHost) {
+  Workstation* src = system_.AddWorkstation("head");
+  Workstation* a = system_.AddWorkstation("a");
+  Workstation* b = system_.AddWorkstation("b");
+  nemesis::Kernel kernel_a(&sim_, std::make_unique<nemesis::AtroposScheduler>(1.0));
+  nemesis::Kernel kernel_b(&sim_, std::make_unique<nemesis::AtroposScheduler>(1.0));
+  a->AttachKernel(&kernel_a);
+  b->AttachKernel(&kernel_b);
+  // Host b is already 60% committed; host a is idle.
+  nemesis::BatchDomain load("load",
+                            QosParams::Guaranteed(Milliseconds(600), Milliseconds(1000)));
+  ASSERT_TRUE(kernel_b.AddDomain(&load));
+
+  dev::AtmCamera::Config cfg;
+  dev::AtmCamera* camera = src->AddCamera(cfg);
+  MulticastSink sa;
+  sa.ws = a;
+  sa.display = a->AddDisplay(640, 480);
+  MulticastSink sb;
+  sb.ws = b;
+  sb.display = b->AddDisplay(640, 480);
+
+  // 50% of each leaf host: fits a, exceeds b's 40% headroom. The joint
+  // counter-offer must carry the TIGHTEST leaf's clamp, so resubmitting it
+  // admits everywhere.
+  StreamSpec spec = StreamSpec::Video(25, 1'000'000);
+  spec.sink_cpu = QosParams::Guaranteed(Milliseconds(500), Milliseconds(1000));
+  auto r = system_.BuildStream("tight")
+               .From(src, camera)
+               .ToMany({sa, sb})
+               .WithSpec(spec)
+               .Open();
+  EXPECT_FALSE(r.report.ok());
+  EXPECT_EQ(r.report.failure, AdmitFailure::kSinkCpu);
+  ASSERT_EQ(r.report.verdict, AdmitVerdict::kCounterOffer);
+  ASSERT_TRUE(r.report.counter_offer.has_value());
+  EXPECT_LE(r.report.counter_offer->sink_cpu.Utilization(), 0.4);
+  EXPECT_GT(r.report.counter_offer->sink_cpu.Utilization(), 0.35);
+
+  auto r2 = system_.BuildStream("tight2")
+                .From(src, camera)
+                .ToMany({sa, sb})
+                .WithSpec(*r.report.counter_offer)
+                .Open();
+  ASSERT_TRUE(r2.report.ok()) << r2.report.detail;
+  // BOTH leaf hosts now carry the clamped per-sink contract.
+  const double clamped = r.report.counter_offer->sink_cpu.Utilization();
+  EXPECT_NEAR(kernel_a.scheduler()->AdmittedUtilization(), clamped, 1e-9);
+  EXPECT_NEAR(kernel_b.scheduler()->AdmittedUtilization(), 0.6 + clamped, 1e-9);
+  r2.session->Close();
+}
+
+TEST_F(StreamFixture, MulticastRenegotiateScalesTreeAndEveryLeafTogether) {
+  Workstation* src = system_.AddWorkstation("head");
+  Workstation* a = system_.AddWorkstation("a");
+  Workstation* b = system_.AddWorkstation("b");
+  nemesis::Kernel kernel_a(&sim_, std::make_unique<nemesis::AtroposScheduler>(1.0));
+  nemesis::Kernel kernel_b(&sim_, std::make_unique<nemesis::AtroposScheduler>(1.0));
+  a->AttachKernel(&kernel_a);
+  b->AttachKernel(&kernel_b);
+  dev::AtmCamera::Config cfg;
+  dev::AtmCamera* camera = src->AddCamera(cfg);
+  MulticastSink sa;
+  sa.ws = a;
+  sa.display = a->AddDisplay(640, 480);
+  MulticastSink sb;
+  sb.ws = b;
+  sb.display = b->AddDisplay(640, 480);
+
+  StreamSpec spec = StreamSpec::Video(25, 20'000'000);
+  spec.sink_cpu = QosParams::Guaranteed(Milliseconds(10), Milliseconds(100));
+  auto r = system_.BuildStream("scaled")
+               .From(src, camera)
+               .ToMany({sa, sb})
+               .WithSpec(spec)
+               .Open();
+  ASSERT_TRUE(r.report.ok()) << r.report.detail;
+  EXPECT_EQ(TotalReservedBps(), 6 * 20'000'000);
+  EXPECT_NEAR(kernel_a.scheduler()->AdmittedUtilization(), 0.1, 1e-9);
+  EXPECT_NEAR(kernel_b.scheduler()->AdmittedUtilization(), 0.1, 1e-9);
+
+  // One renegotiation moves the WHOLE tree and every leaf contract.
+  StreamSpec smaller = r.session->contract().granted;
+  smaller.bandwidth_bps = 10'000'000;
+  smaller.sink_cpu = QosParams::Guaranteed(Milliseconds(5), Milliseconds(100));
+  auto renego = r.session->Renegotiate(smaller);
+  ASSERT_TRUE(renego.ok()) << renego.detail;
+  EXPECT_EQ(TotalReservedBps(), 6 * 10'000'000);
+  EXPECT_NEAR(kernel_a.scheduler()->AdmittedUtilization(), 0.05, 1e-9);
+  EXPECT_NEAR(kernel_b.scheduler()->AdmittedUtilization(), 0.05, 1e-9);
+  EXPECT_EQ(camera->config().pace_bps, 10'000'000);
+
+  r.session->Close();
+  EXPECT_EQ(TotalReservedBps(), 0);
+  EXPECT_NEAR(kernel_a.scheduler()->AdmittedUtilization(), 0.0, 1e-9);
+  EXPECT_NEAR(kernel_b.scheduler()->AdmittedUtilization(), 0.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace pegasus::core

@@ -13,7 +13,11 @@
 # fingerprints, from bench_e17_contract_churn), and the region-sharded PDES
 # snapshot as BENCH_08.json (metro-large wall clocks and fingerprints at
 # 1/2/4/8 shards vs the single-simulator reference, from
-# `bench_e16_metro_scale shards` — identical fingerprints are enforced).
+# `bench_e16_metro_scale shards` — identical fingerprints are enforced),
+# and the broadcast fan-out snapshot as BENCH_09.json (viewer sweep with
+# measured cell-hops vs the per-viewer unicast baseline and per-edge
+# reservations, from bench_e18_broadcast — the O(tree edges) acceptance is
+# enforced by the bench's exit code).
 #
 # Usage: tools/bench_snapshot.sh <build-dir> [out.json]
 # The build should be a Release build; numbers from Debug builds are noise.
@@ -103,4 +107,17 @@ if [[ -x "$E16" ]]; then
   cat "$OUT08"
 else
   echo "skipping $OUT08: $E16 missing" >&2
+fi
+
+# Broadcast fan-out: cells must scale with tree edges, not viewers. The
+# bench exits non-zero when the 1k-viewer sweep point falls under 10x
+# against per-viewer unicast or any tree edge is double-reserved.
+E18="$BUILD_DIR/bench/bench_e18_broadcast"
+OUT09="$(dirname "$OUT")/BENCH_09.json"
+if [[ -x "$E18" ]]; then
+  "$E18" snapshot >"$OUT09"
+  echo "wrote $OUT09:"
+  cat "$OUT09"
+else
+  echo "skipping $OUT09: $E18 missing" >&2
 fi
