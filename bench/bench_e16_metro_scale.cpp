@@ -23,6 +23,8 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -150,17 +152,29 @@ int RunSnapshot() {
 }
 
 // Region-sharded PDES scaling on the metro-large fabric: the
-// single-simulator reference, then 1/2/4/8 shards. Parallelism must change
-// wall clock only — every fingerprint must equal the reference's.
+// single-simulator reference, then 1/2/4/8 shards — each shard count both
+// pinned serial (threads=1, the pure window-machinery overhead) and with
+// auto threads (the speedup when cores exist). Parallelism must change wall
+// clock only — every fingerprint must equal the reference's. The JSON
+// records the host's hardware concurrency plus per-point window, sync,
+// hand-off and merge counters, so the scaling curve stays interpretable
+// when the artifact is read off a machine with real cores.
 int RunShardScaling(int seconds) {
   struct ShardPoint {
-    int shards;   // 0 = single-simulator reference
-    int threads;  // 0 = auto (one per shard, capped at the hardware)
+    int shards = 0;   // 0 = single-simulator reference
+    int threads = 0;  // 0 = auto (one per shard, capped at the hardware)
     double wall_seconds = 0;
     uint64_t fingerprint = 0;
     sim::ShardGroup::Stats stats;
   };
-  std::vector<ShardPoint> points{{0, 0}, {1, 1}, {2, 0}, {4, 0}, {8, 0}};
+  std::vector<ShardPoint> points;
+  for (const auto& [shards, threads] :
+       {std::pair<int, int>{0, 0}, {1, 1}, {2, 1}, {4, 1}, {8, 1}, {2, 0}, {4, 0}, {8, 0}}) {
+    ShardPoint sp;
+    sp.shards = shards;
+    sp.threads = threads;
+    points.push_back(sp);
+  }
   for (auto& sp : points) {
     Point p = MakePoint("metro-large", Metro(3, 3, 4, 30), 400.0, seconds, 0.02);
     RunPoint(&p, 16, sp.shards, sp.threads, &sp.stats);
@@ -173,18 +187,22 @@ int RunShardScaling(int seconds) {
     identical = identical && sp.fingerprint == points[0].fingerprint;
   }
   std::printf("{\n  \"bench\": \"e16_shard_scaling\",\n"
-              "  \"fabric\": \"metro-large\", \"seconds\": %d,\n  \"points\": [\n",
-              seconds);
+              "  \"fabric\": \"metro-large\", \"seconds\": %d,\n"
+              "  \"hardware_concurrency\": %u,\n  \"points\": [\n",
+              seconds, std::thread::hardware_concurrency());
   for (size_t i = 0; i < points.size(); ++i) {
     const ShardPoint& sp = points[i];
     std::printf("    {\"shards\": %d, \"threads\": %d, \"wall_seconds\": %.3f, "
                 "\"speedup\": %.2f, \"windows\": %llu, \"sync_points\": %llu, "
-                "\"boundary_messages\": %llu, \"fingerprint\": \"%llx\"}%s\n",
+                "\"boundary_messages\": %llu, \"handoffs\": %llu, \"merges\": %llu, "
+                "\"fingerprint\": \"%llx\"}%s\n",
                 sp.shards, sp.threads, sp.wall_seconds,
                 points[0].wall_seconds / sp.wall_seconds,
                 static_cast<unsigned long long>(sp.stats.windows),
                 static_cast<unsigned long long>(sp.stats.sync_points),
                 static_cast<unsigned long long>(sp.stats.messages),
+                static_cast<unsigned long long>(sp.stats.handoffs),
+                static_cast<unsigned long long>(sp.stats.merges),
                 static_cast<unsigned long long>(sp.fingerprint),
                 i + 1 < points.size() ? "," : "");
   }

@@ -5,6 +5,9 @@
 // E01..E15 harnesses, which measure simulated-time behaviour.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "src/atm/aal5.h"
 #include "src/atm/crc32.h"
 #include "src/atm/link.h"
@@ -218,6 +221,76 @@ void BM_ShardRingWindows(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ShardRingWindows)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// The same ring with ONE tight hop: the channel closing the ring has a 1 us
+// lookahead, the rest keep 5 us. Under a global-min horizon every shard
+// would crawl at the tight hop's pace; per-channel lookahead confines the
+// narrow windows to the shard the tight channel feeds, so windows per
+// simulated second stay near the symmetric ring's, not 5x it. The bench
+// aborts — loudly — if the window rate regresses past the guard, so a
+// lookahead regression fails the perf job instead of shifting a number
+// nobody reads.
+void BM_ShardRingWindowsAsym(benchmark::State& state) {
+  const int kShards = static_cast<int>(state.range(0));
+  sim::Simulator control;
+  sim::ShardGroup group(&control, {kShards, /*threads=*/0});
+  std::vector<sim::BoundaryChannel*> ring;
+  for (int i = 0; i < kShards; ++i) {
+    const sim::DurationNs lookahead =
+        i == kShards - 1 ? sim::Microseconds(1) : sim::Microseconds(5);
+    ring.push_back(group.RegisterBoundary(group.shard(i), group.shard((i + 1) % kShards),
+                                          lookahead));
+  }
+  uint64_t events = 0;
+  struct Node {
+    sim::Simulator* s;
+    sim::BoundaryChannel* out;
+    sim::DurationNs lookahead;
+    uint64_t* events;
+    uint64_t n = 0;
+    void Fire() {
+      ++*events;
+      if ((++n & 7) == 0) {
+        out->Post(s->now() + lookahead, []() {});
+      }
+      s->ScheduleAfter(sim::Microseconds(1), [this]() { Fire(); });
+    }
+  };
+  std::vector<std::unique_ptr<Node>> nodes;
+  for (int i = 0; i < kShards; ++i) {
+    const sim::DurationNs lookahead =
+        i == kShards - 1 ? sim::Microseconds(1) : sim::Microseconds(5);
+    nodes.push_back(std::make_unique<Node>(
+        Node{group.shard(i), ring[static_cast<size_t>(i)], lookahead, &events}));
+    nodes.back()->s->ScheduleAt(1, [node = nodes.back().get()]() { node->Fire(); });
+  }
+  sim::TimeNs t = 0;
+  for (auto _ : state) {
+    t += sim::Milliseconds(1);
+    group.RunUntil(t);
+  }
+  const double sim_seconds = static_cast<double>(t) / 1e9;
+  const double windows_per_sim_sec =
+      static_cast<double>(group.stats().windows) / sim_seconds;
+  // Per-channel lookahead keeps the asymmetric ring near one window per
+  // MEAN lookahead step (measured 3.3e5/s at 2 shards down to 2.2e5/s at
+  // 8). One window per tight-hop step — the global-min behaviour — is
+  // ~1e6/s; fail the run before anyone mistakes that for a benchmark
+  // number.
+  if (kShards > 1 && windows_per_sim_sec > 600e3) {
+    std::fprintf(stderr,
+                 "FATAL: BM_ShardRingWindowsAsym/%d: %.0f windows per simulated second "
+                 "(guard 600e3) — per-channel lookahead has regressed toward the "
+                 "global-min horizon\n",
+                 kShards, windows_per_sim_sec);
+    std::abort();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["windows/simsec"] = benchmark::Counter(windows_per_sim_sec);
+}
+BENCHMARK(BM_ShardRingWindowsAsym)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

@@ -1,6 +1,7 @@
 #include "src/atm/link.h"
 
 #include <algorithm>
+#include <type_traits>
 
 namespace pegasus::atm {
 
@@ -65,19 +66,34 @@ void Link::ArmDelivery() {
     }
   }
   delivery_pending_ = true;
-  // A boundary link computes its delivery at serialisation completion and
-  // lets the cross-shard channel carry the propagation delay (the prefix
-  // below shifts identically, so grouping and instants are unchanged).
-  const sim::DurationNs lag = boundary_ == nullptr ? prop_delay_ : 0;
-  sim_->ScheduleAt(train_[target].done + lag, [this]() { DeliverReady(); });
+  // The event fires at serialisation completion for EVERY link — boundary or
+  // not. Grouping decisions must only depend on what the transmitter has
+  // actually serialised, never on cells that happen to be sent during the
+  // propagation window; otherwise a boundary link (whose event cannot wait
+  // out the propagation delay without forfeiting its lookahead) would cut
+  // trains differently from the single-simulator path. The wire itself is
+  // pure delay, applied after the cut in DeliverReady.
+  sim_->ScheduleAt(train_[target].done, [this]() { DeliverReady(); });
+}
+
+void Link::DeliverBoundaryTrain(void* ctx, const void* data, size_t size) {
+  static_assert(std::is_trivially_copyable<Cell>::value,
+                "boundary trains cross the shard mailbox as raw bytes");
+  auto* sink = static_cast<CellSink*>(ctx);
+  const Cell* cells = static_cast<const Cell*>(data);
+  const size_t count = size / sizeof(Cell);
+  if (count == 1) {
+    sink->DeliverCell(cells[0]);
+  } else {
+    sink->DeliverBurst(cells, count);
+  }
 }
 
 void Link::DeliverReady() {
   delivery_pending_ = false;
   const sim::TimeNs now = sim_->now();
-  const sim::DurationNs lag = boundary_ == nullptr ? prop_delay_ : 0;
   size_t end = train_head_;
-  while (end < train_.size() && train_[end].done + lag <= now) {
+  while (end < train_.size() && train_[end].done <= now) {
     ++end;
   }
   const size_t count = end - train_head_;
@@ -101,20 +117,30 @@ void Link::DeliverReady() {
     }
     if (boundary_ != nullptr) {
       // Ship the train to the sink's shard, due one propagation delay out —
-      // exactly when the single-simulator path would have delivered it.
-      boundary_->Post(now + prop_delay_,
-                      [sink = sink_, cells = burst_buf_]() {
-                        if (cells.size() == 1) {
-                          sink->DeliverCell(cells[0]);
-                        } else {
-                          sink->DeliverBurst(cells.data(), cells.size());
-                        }
-                      });
+      // exactly when the local path below would have delivered it. The cells
+      // are memcpy'd into the channel's window batch (one mailbox hand-off
+      // per channel per window), not captured per-train.
+      boundary_->PostSpan(now + prop_delay_, burst_buf_.data(), count * sizeof(Cell),
+                          &Link::DeliverBoundaryTrain, sink_);
     } else if (sink_ != nullptr) {
-      if (count == 1) {
-        sink_->DeliverCell(burst_buf_[0]);
+      if (prop_delay_ == 0) {
+        if (count == 1) {
+          sink_->DeliverCell(burst_buf_[0]);
+        } else {
+          sink_->DeliverBurst(burst_buf_.data(), count);
+        }
       } else {
-        sink_->DeliverBurst(burst_buf_.data(), count);
+        // The cut is made at serialisation completion; the wire adds pure
+        // delay. The train is moved into the event so later cuts (which
+        // rebuild burst_buf_) cannot clobber an in-flight delivery.
+        sim_->ScheduleAt(now + prop_delay_,
+                         [sink = sink_, flight = std::move(burst_buf_)]() {
+                           if (flight.size() == 1) {
+                             sink->DeliverCell(flight[0]);
+                           } else {
+                             sink->DeliverBurst(flight.data(), flight.size());
+                           }
+                         });
       }
     }
   }

@@ -11,15 +11,19 @@
 //
 // Cell trains: back-to-back cells queued while the transmitter is busy are
 // coalesced into a train and handed to the sink as ONE DeliverBurst — one
-// scheduled event per train instead of two per cell. A train is cut at AAL5
-// frame boundaries: the delivery event fires when the next end-of-frame
-// cell clears the transmitter (plus propagation), so a frame's completion
-// instant — the latency media code can observe — is identical to the
-// per-cell path; only interior cells move (to their frame's end). Raw
-// streams that never set end_of_frame batch up to kMaxTrainCells per event.
-// Admission (per-cell tail-drop), the split drop counters, cells_sent,
-// busy_time and the queue-occupancy view are bit-identical to the per-cell
-// path.
+// scheduled event per train instead of two per cell. A train is CUT at
+// serialisation completion: the event fires when the next end-of-frame cell
+// (or the kMaxTrainCells-th cell of a raw stream) clears the transmitter,
+// groups whatever has serialised by then, and the wire then adds pure
+// propagation delay on top. A frame's completion instant — the latency
+// media code can observe — is identical to the per-cell path; only interior
+// cells move (to their frame's end). Cutting at serialisation completion
+// rather than completion-plus-propagation matters for determinism: a shard
+// boundary link's event cannot wait out the propagation delay (that delay
+// IS its conservative lookahead), so the cut must never depend on cells
+// sent during the propagation window. Admission (per-cell tail-drop), the
+// split drop counters, cells_sent, busy_time and the queue-occupancy view
+// are bit-identical to the per-cell path.
 #ifndef PEGASUS_SRC_ATM_LINK_H_
 #define PEGASUS_SRC_ATM_LINK_H_
 
@@ -66,10 +70,10 @@ class Link {
   sim::Simulator* simulator() const { return sim_; }
 
   // Marks this link as a shard boundary (src/sim/shard.h): the sink lives
-  // on another shard's simulator. Delivery then fires at serialisation
-  // completion (not completion + propagation) and ships the train through
-  // `channel` timestamped `now + propagation_delay` — the identical
-  // delivery instants and train grouping as the single-simulator path, with
+  // on another shard's simulator. Trains are cut at serialisation
+  // completion either way; a boundary link ships each train through
+  // `channel` timestamped `now + propagation_delay` instead of scheduling a
+  // local delivery event — identical delivery instants and grouping, with
   // the propagation delay serving as the conservative lookahead window.
   void SetBoundary(sim::BoundaryChannel* channel) { boundary_ = channel; }
   bool is_boundary() const { return boundary_ != nullptr; }
@@ -150,6 +154,11 @@ class Link {
 
   sim::Simulator* sim_;
   std::string name_;
+  // Destination-shard entry point for a boundary train shipped through
+  // BoundaryChannel::PostSpan: `ctx` is the CellSink, `data` the cell span
+  // copied into the channel's batch arena.
+  static void DeliverBoundaryTrain(void* ctx, const void* data, size_t size);
+
   int id_ = -1;
   int64_t bps_;
   sim::DurationNs prop_delay_;
@@ -171,8 +180,10 @@ class Link {
   std::vector<PendingCell> train_;
   size_t train_head_ = 0;
   bool delivery_pending_ = false;
-  // Scratch handed to the sink, so a re-entrant SendCell from the sink can
-  // grow train_ without invalidating the span being delivered.
+  // Scratch the cut train is copied into, so a re-entrant SendCell from the
+  // sink can grow train_ without invalidating the span being delivered. For
+  // a local link with nonzero propagation it is moved into the delayed
+  // delivery event instead (and rebuilt empty on the next cut).
   std::vector<Cell> burst_buf_;
 };
 

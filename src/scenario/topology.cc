@@ -30,7 +30,7 @@ MetroTopology BuildMetroTopology(core::PegasusSystem& system, const TopologyPara
   for (int a = 0; a < params.core_switches; ++a) {
     for (int b = a + 1; b < params.core_switches; ++b) {
       net.ConnectSwitches(topo.cores[a], core_next_port[a]++, topo.cores[b], core_next_port[b]++,
-                          params.core_mesh_bps);
+                          params.core_mesh_bps, params.core_mesh_prop);
     }
   }
 
@@ -42,7 +42,8 @@ MetroTopology BuildMetroTopology(core::PegasusSystem& system, const TopologyPara
       atm::Switch* agg =
           net.AddSwitch("agg" + std::to_string(a), 1 + params.edge_per_agg);
       topo.aggs.push_back(agg);
-      net.ConnectSwitches(agg, 0, topo.cores[c], core_next_port[c]++, params.core_agg_bps);
+      net.ConnectSwitches(agg, 0, topo.cores[c], core_next_port[c]++, params.core_agg_bps,
+                          params.core_agg_prop);
     }
   }
 

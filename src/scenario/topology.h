@@ -24,6 +24,7 @@
 #include "src/core/system.h"
 #include "src/pfs/server.h"
 #include "src/sim/shard.h"
+#include "src/sim/time.h"
 
 namespace pegasus::scenario {
 
@@ -43,6 +44,17 @@ struct TopologyParams {
   int64_t agg_edge_bps = 622'000'000;
   int64_t host_uplink_bps = 155'000'000;
   int64_t storage_link_bps = 622'000'000;
+
+  // Trunk propagation delays follow metro geography: light in fibre covers
+  // ~200 m/µs and carrier fibre routes run ~2x the geographic distance, so
+  // an ~80 km inter-office core span is ~800 µs of route and a ~50 km
+  // core-to-aggregation run ~500 µs; intra-building tiers keep the library
+  // default. These are also what the sharded runtime (src/sim/shard.h)
+  // feeds on — every cross-region wire is a core-mesh or core-agg trunk,
+  // and its propagation delay is that channel's conservative lookahead, so
+  // realistic trunk lengths directly widen the parallel windows.
+  sim::DurationNs core_mesh_prop = sim::Microseconds(800);
+  sim::DurationNs core_agg_prop = sim::Microseconds(500);
 
   pfs::PfsConfig storage_config;
 

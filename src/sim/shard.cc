@@ -11,7 +11,38 @@ TimeNs SaturatingAdd(TimeNs t, DurationNs d) {
   return d >= kTimeNever - t ? kTimeNever : t + d;
 }
 
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// How long a thread spins on the epoch atomics before falling back to the
+// condvar. Windows are microseconds apart under load, so a short spin
+// usually catches the next one without a futex round trip; on a single
+// hardware thread spinning only steals cycles from the thread being waited
+// on, so don't.
+int SpinBudget() {
+  return std::thread::hardware_concurrency() > 1 ? 2048 : 1;
+}
+
 }  // namespace
+
+BoundaryChannel::Batch& BoundaryChannel::Staging() {
+  if (!staging_) {
+    staging_ = std::make_unique<Batch>();
+    staging_->channel = id_;
+    // Dirty lists are per source shard: only this channel's owner thread
+    // writes this list during a window, and the coordinator reads it after
+    // the barrier.
+    group_->dirty_[static_cast<size_t>(src_)].push_back(this);
+  }
+  return *staging_;
+}
 
 ShardGroup::ShardGroup(Simulator* control, Options options) : control_(control) {
   const int count = std::max(1, options.shards);
@@ -19,7 +50,14 @@ ShardGroup::ShardGroup(Simulator* control, Options options) : control_(control) 
   for (int i = 0; i < count; ++i) {
     shards_.push_back(std::make_unique<Simulator>());
   }
-  inbox_.resize(static_cast<size_t>(count));
+  inbound_.resize(static_cast<size_t>(count));
+  next_times_.resize(static_cast<size_t>(count), kTimeNever);
+  horizons_.resize(static_cast<size_t>(count), kTimeNever);
+  modes_.resize(static_cast<size_t>(count), WindowMode::kSkip);
+  dirty_.resize(static_cast<size_t>(count));
+  staged_.resize(static_cast<size_t>(count));
+  staged_min_.resize(static_cast<size_t>(count), kTimeNever);
+  pending_.resize(static_cast<size_t>(count));
 
   int threads = options.threads;
   if (threads == 0) {
@@ -31,39 +69,21 @@ ShardGroup::ShardGroup(Simulator* control, Options options) : control_(control) 
     threads_ = threads;
     workers_.reserve(static_cast<size_t>(threads));
     for (int w = 0; w < threads; ++w) {
-      workers_.emplace_back([this, w]() {
-        uint64_t seen = 0;
-        for (;;) {
-          TimeNs horizon;
-          bool inclusive;
-          {
-            std::unique_lock<std::mutex> lock(mu_);
-            work_cv_.wait(lock, [this, seen]() { return shutdown_ || epoch_ != seen; });
-            if (shutdown_) {
-              return;
-            }
-            seen = epoch_;
-            horizon = task_horizon_;
-            inclusive = task_inclusive_;
-          }
-          RunShardsSlice(w, horizon, inclusive);
-          {
-            std::lock_guard<std::mutex> lock(mu_);
-            if (--remaining_ == 0) {
-              done_cv_.notify_one();
-            }
-          }
-        }
-      });
+      workers_.emplace_back([this, w]() { WorkerLoop(w); });
     }
   }
 }
 
 ShardGroup::~ShardGroup() {
+  // Workers are only ever parked between windows here (ExecuteWindow does
+  // not return until every slice finished), so tearing down reduces to
+  // waking the parked threads. The store happens under mu_ so a worker that
+  // just evaluated its wait predicate cannot sleep through the notify, and
+  // the spin path re-checks shutdown_ on every iteration.
   if (!workers_.empty()) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      shutdown_ = true;
+      shutdown_.store(true, std::memory_order_release);
     }
     work_cv_.notify_all();
     for (std::thread& t : workers_) {
@@ -87,107 +107,319 @@ BoundaryChannel* ShardGroup::RegisterBoundary(Simulator* src, Simulator* dst,
   const int dst_idx = shard_index(dst);
   assert(src_idx >= 0 && dst_idx >= 0 && src_idx != dst_idx);
   assert(lookahead > 0);  // zero lookahead would stall the window loop
-  channels_.push_back(std::unique_ptr<BoundaryChannel>(
-      new BoundaryChannel(src_idx, dst_idx, static_cast<uint32_t>(channels_.size()))));
-  lookahead_ = std::min(lookahead_, lookahead);
+  channels_.push_back(std::unique_ptr<BoundaryChannel>(new BoundaryChannel(
+      this, src, src_idx, dst_idx, static_cast<uint32_t>(channels_.size()), lookahead)));
+  min_lookahead_ = std::min(min_lookahead_, lookahead);
+  // The destination's window bound only needs the tightest lookahead per
+  // source shard, not one entry per parallel link.
+  auto& bounds = inbound_[static_cast<size_t>(dst_idx)];
+  bool merged = false;
+  for (InboundBound& b : bounds) {
+    if (b.src == src_idx) {
+      b.lookahead = std::min(b.lookahead, lookahead);
+      merged = true;
+      break;
+    }
+  }
+  if (!merged) {
+    bounds.push_back(InboundBound{src_idx, lookahead});
+  }
   return channels_.back().get();
 }
 
-void ShardGroup::RunShardsSlice(int worker, TimeNs horizon, bool inclusive) {
-  const int stride = threads_ == 0 ? 1 : threads_;
-  for (size_t i = static_cast<size_t>(worker); i < shards_.size(); i += stride) {
-    if (inclusive) {
-      shards_[i]->RunUntil(horizon);
-    } else {
-      shards_[i]->RunUntilBefore(horizon);
-    }
-  }
-}
-
-void ShardGroup::ExecuteWindow(TimeNs horizon, bool inclusive) {
-  if (workers_.empty()) {
-    RunShardsSlice(0, horizon, inclusive);
-  } else {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      task_horizon_ = horizon;
-      task_inclusive_ = inclusive;
-      remaining_ = threads_;
-      ++epoch_;
-    }
-    work_cv_.notify_all();
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this]() { return remaining_ == 0; });
-  }
-  ++stats_.windows;
-}
-
-void ShardGroup::CollectOutboxes() {
-  for (const auto& channel : channels_) {
-    if (channel->outbox_.empty()) {
-      continue;
-    }
-    auto& in = inbox_[static_cast<size_t>(channel->dst_)];
-    for (BoundaryChannel::Message& m : channel->outbox_) {
-      in.push_back(Pending{m.deliver_at, channel->id_, m.order, std::move(m.fn)});
-    }
-    channel->outbox_.clear();
-  }
-}
-
-void ShardGroup::DrainInboxes() {
-  for (size_t d = 0; d < inbox_.size(); ++d) {
-    auto& in = inbox_[d];
-    if (in.empty()) {
-      continue;
-    }
-    // Deterministic merge: delivery time first, then channel registration
-    // order, then per-channel emission order — a total order independent of
-    // thread interleaving.
-    std::sort(in.begin(), in.end(), [](const Pending& a, const Pending& b) {
-      if (a.deliver_at != b.deliver_at) {
-        return a.deliver_at < b.deliver_at;
-      }
-      if (a.channel != b.channel) {
-        return a.channel < b.channel;
-      }
-      return a.order < b.order;
-    });
-    for (Pending& p : in) {
-      shards_[d]->ScheduleAt(p.deliver_at, std::move(p.fn));
-    }
-    stats_.messages += in.size();
-    in.clear();
-  }
-}
-
-TimeNs ShardGroup::MinNextEventTime() {
+TimeNs ShardGroup::SnapshotNextEvents() {
   TimeNs n = kTimeNever;
-  for (const auto& shard : shards_) {
-    n = std::min(n, shard->NextEventTime());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // An unreleased boundary record IS a future event of its destination —
+    // whether it already crossed the mailbox (pending) or still sits in a
+    // source channel's staging batch (staged) — and must hold the window
+    // loop open and bound other shards' horizons exactly as a scheduled
+    // event would. The staged minimum is recomputed here because a staged
+    // channel keeps accumulating between snapshots.
+    TimeNs smin = kTimeNever;
+    for (const BoundaryChannel* c : staged_[i]) {
+      smin = std::min(smin, c->staging_min_);
+    }
+    staged_min_[i] = smin;
+    const TimeNs t = std::min({shards_[i]->NextEventTime(), pending_[i].min_deliver, smin});
+    next_times_[i] = t;
+    n = std::min(n, t);
   }
   return n;
 }
 
+int ShardGroup::PlanWindow(TimeNs limit, bool inclusive) {
+  // Per-channel lookahead: nothing can reach shard d over channel c before
+  // next_event(source(c)) + lookahead(c). But "next_event(source)" is not
+  // the source's own queue alone — the source may be woken THIS window by a
+  // train from a third shard and emit earlier than its snapshot suggests.
+  // So first relax the snapshot to a fixpoint: effective[i] is the earliest
+  // instant shard i could execute ANY event this window, whether already
+  // queued or still in flight from a neighbour. Lookaheads are strictly
+  // positive and the values only ever decrease toward the global minimum,
+  // so the relaxation terminates (in ≤ diameter passes in practice).
+  effective_ = next_times_;
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (size_t d = 0; d < shards_.size(); ++d) {
+      for (const InboundBound& b : inbound_[d]) {
+        const TimeNs via =
+            SaturatingAdd(effective_[static_cast<size_t>(b.src)], b.lookahead);
+        if (via < effective_[d]) {
+          effective_[d] = via;
+          changed = true;
+        }
+      }
+    }
+  }
+  int active = 0;
+  bool merged = false;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // A shard whose neighbours (and their transitive feeders) are quiet
+    // still runs straight to the sync point regardless of how small some
+    // distant pair's lookahead is — idle chains relax to kTimeNever.
+    TimeNs horizon = kTimeNever;
+    for (const InboundBound& b : inbound_[i]) {
+      horizon = std::min(horizon,
+                         SaturatingAdd(effective_[static_cast<size_t>(b.src)], b.lookahead));
+    }
+    // Everything bound for this shard below its horizon has already been
+    // posted (the sources could not emit it later without violating their
+    // lookahead), so the release is complete per delivery instant: pull the
+    // staged batches the horizon now needs across the mailbox, then
+    // schedule every covered record.
+    if (staged_min_[i] < horizon) {
+      CollectStaged(i, horizon);
+      merged = true;
+    }
+    ReleasePending(i, horizon);
+    WindowMode mode = WindowMode::kSkip;
+    TimeNs target;
+    if (inclusive && horizon > limit) {
+      // End-of-run window bound by the cap, not a channel: events at the
+      // limit itself are safe to run (anything they emit lands strictly
+      // later than limit).
+      target = limit;
+      if (next_times_[i] <= limit) {
+        mode = WindowMode::kInclusive;
+      }
+    } else {
+      target = std::min(horizon, limit);
+      if (next_times_[i] < target) {
+        mode = WindowMode::kExclusive;
+      }
+    }
+    horizons_[i] = target;
+    modes_[i] = mode;
+    if (mode != WindowMode::kSkip) {
+      ++active;
+    }
+  }
+  if (merged) {
+    ++stats_.merges;
+  }
+  return active;
+}
+
+void ShardGroup::RunShardsSlice(size_t first, size_t stride) {
+  for (size_t i = first; i < shards_.size(); i += stride) {
+    switch (modes_[i]) {
+      case WindowMode::kSkip:
+        // No event before this shard's horizon: don't even park its clock —
+        // the final quiesce in AdvanceShards does that once, not per window.
+        break;
+      case WindowMode::kExclusive:
+        shards_[i]->RunUntilBefore(horizons_[i]);
+        break;
+      case WindowMode::kInclusive:
+        shards_[i]->RunUntil(horizons_[i]);
+        break;
+    }
+  }
+}
+
+uint64_t ShardGroup::AwaitEpoch(uint64_t seen) {
+  const int budget = SpinBudget();
+  for (int spin = 0; spin < budget; ++spin) {
+    const uint64_t e = epoch_.load(std::memory_order_acquire);
+    if (e != seen || shutdown_.load(std::memory_order_acquire)) {
+      return e;
+    }
+    CpuRelax();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  work_cv_.wait(lock, [this, seen]() {
+    return epoch_.load(std::memory_order_acquire) != seen ||
+           shutdown_.load(std::memory_order_acquire);
+  });
+  return epoch_.load(std::memory_order_acquire);
+}
+
+void ShardGroup::WorkerLoop(int worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    const uint64_t e = AwaitEpoch(seen);
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return;
+    }
+    seen = e;  // the acquire on epoch_ ordered the coordinator's plan writes
+    RunShardsSlice(static_cast<size_t>(worker), static_cast<size_t>(threads_));
+    // Last worker through publishes the epoch as done; the acq_rel chain on
+    // remaining_ makes every worker's shard writes visible to whoever
+    // acquires done_epoch_.
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      done_epoch_.store(e, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void ShardGroup::ExecuteWindow(int active) {
+  // Serial mode, or only one shard has work this window: run inline on the
+  // coordinating thread. No epoch bump, no barrier, no futex — on sparse
+  // fleets most windows take this path.
+  if (workers_.empty() || active <= 1) {
+    RunShardsSlice(0, 1);
+    return;
+  }
+  remaining_.store(threads_, std::memory_order_relaxed);
+  const uint64_t e = epoch_.load(std::memory_order_relaxed) + 1;
+  {
+    // Publishing under mu_ keeps the condvar handshake lost-wakeup-free for
+    // blocked workers; spinning workers see the release store directly.
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch_.store(e, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+  const int budget = SpinBudget();
+  for (int spin = 0; spin < budget; ++spin) {
+    if (done_epoch_.load(std::memory_order_acquire) == e) {
+      return;
+    }
+    CpuRelax();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock,
+                [this, e]() { return done_epoch_.load(std::memory_order_acquire) == e; });
+}
+
+void ShardGroup::StageOutboxes() {
+  // O(channels newly dirtied): a channel lands on its destination's staged
+  // list the first time it posts into a fresh batch and stays there — batch
+  // still accumulating — until CollectStaged pulls it across. A pass with
+  // zero new boundary traffic falls straight through.
+  for (auto& list : dirty_) {
+    for (BoundaryChannel* c : list) {
+      staged_[static_cast<size_t>(c->dst_)].push_back(c);
+    }
+    list.clear();
+  }
+}
+
+void ShardGroup::CollectStaged(size_t d, TimeNs bound) {
+  // The swap itself: each covered channel's whole staging batch is moved —
+  // one pointer swap — out of the channel, and its records indexed into the
+  // destination's pending queue. Channels whose earliest record the horizon
+  // does not reach keep accumulating: that deferral is what lets one
+  // hand-off carry several windows' worth of trains.
+  auto& list = staged_[d];
+  TimeNs remaining_min = kTimeNever;
+  size_t kept = 0;
+  for (BoundaryChannel* c : list) {
+    if (c->staging_min_ >= bound) {
+      remaining_min = std::min(remaining_min, c->staging_min_);
+      list[kept++] = c;
+      continue;
+    }
+    std::shared_ptr<BoundaryChannel::Batch> batch(c->staging_.release());
+    c->staging_min_ = kTimeNever;
+    PendingQueue& q = pending_[d];
+    const uint32_t channel = c->id_;
+    for (uint32_t k = 0; k < batch->spans.size(); ++k) {
+      const BoundaryChannel::SpanRecord& r = batch->spans[k];
+      q.min_deliver = std::min(q.min_deliver, r.deliver_at);
+      q.items.push_back(PendingRecord{r.deliver_at, r.order, channel, k, true, batch});
+    }
+    for (uint32_t k = 0; k < batch->posts.size(); ++k) {
+      const BoundaryChannel::PostRecord& r = batch->posts[k];
+      q.min_deliver = std::min(q.min_deliver, r.deliver_at);
+      q.items.push_back(PendingRecord{r.deliver_at, r.order, channel, k, false, batch});
+    }
+    ++stats_.handoffs;
+  }
+  list.resize(kept);
+  staged_min_[d] = remaining_min;
+}
+
+void ShardGroup::ReleasePending(size_t d, TimeNs bound) {
+  PendingQueue& q = pending_[d];
+  if (q.min_deliver >= bound) {
+    return;
+  }
+  if (q.sorted_end < q.items.size()) {
+    // Deterministic merge: delivery time first, then channel registration
+    // order, then per-channel emission order — a total order independent of
+    // partitioning and thread interleaving. (The key is unique: emission
+    // order is monotone per channel.)
+    std::sort(q.items.begin() + static_cast<ptrdiff_t>(q.head), q.items.end(),
+              [](const PendingRecord& a, const PendingRecord& b) {
+                if (a.deliver_at != b.deliver_at) {
+                  return a.deliver_at < b.deliver_at;
+                }
+                if (a.channel != b.channel) {
+                  return a.channel < b.channel;
+                }
+                return a.order < b.order;
+              });
+    q.sorted_end = q.items.size();
+  }
+  Simulator* shard = shards_[d].get();
+  while (q.head < q.items.size() && q.items[q.head].deliver_at < bound) {
+    PendingRecord& item = q.items[q.head];
+    if (item.is_span) {
+      // The delivery event shares ownership of the batch: payload bytes
+      // stay in the arena until the last delivery from it has run.
+      shard->ScheduleAt(item.deliver_at,
+                        [batch = std::move(item.batch), idx = item.index]() {
+                          const BoundaryChannel::SpanRecord& r = batch->spans[idx];
+                          r.fn(r.ctx, batch->arena.data() + r.offset, r.size);
+                        });
+    } else {
+      shard->ScheduleAt(item.deliver_at, std::move(item.batch->posts[item.index].fn));
+      item.batch.reset();
+    }
+    ++q.head;
+    ++stats_.messages;
+  }
+  if (q.head == q.items.size()) {
+    q.items.clear();
+    q.head = 0;
+    q.sorted_end = 0;
+  } else if (q.head * 2 >= q.items.size()) {
+    q.items.erase(q.items.begin(), q.items.begin() + static_cast<ptrdiff_t>(q.head));
+    q.sorted_end -= q.head;
+    q.head = 0;
+  }
+  q.min_deliver = q.head < q.items.size() ? q.items[q.head].deliver_at : kTimeNever;
+}
+
 void ShardGroup::AdvanceShards(TimeNs limit, bool inclusive) {
   for (;;) {
-    DrainInboxes();
-    const TimeNs n = MinNextEventTime();
+    // Stage first so the snapshot sees everything posted since the last
+    // pass — the previous window's trains, and posts made outside any
+    // window (control-batch code driving a boundary link directly).
+    StageOutboxes();
+    const TimeNs n = SnapshotNextEvents();
     if (n > limit || (!inclusive && n == limit)) {
       break;
     }
-    // The conservative horizon: nothing emitted at or after `n` can take
-    // effect on another shard before n + lookahead, so every shard may run
-    // events strictly before that. Capped at the sync point — and when the
-    // cap is what binds in the inclusive (end-of-run) case, events at the
-    // limit itself are safe to run (messages they emit land strictly later).
-    const TimeNs reach = SaturatingAdd(n, lookahead_);
-    if (inclusive && reach > limit) {
-      ExecuteWindow(limit, /*inclusive=*/true);
-    } else {
-      ExecuteWindow(std::min(reach, limit), /*inclusive=*/false);
-    }
-    CollectOutboxes();
+    // Progress is guaranteed: the shard holding the earliest event has a
+    // horizon at least min-inbound-lookahead past it (lookaheads are > 0),
+    // so that event runs this window.
+    const int active = PlanWindow(limit, inclusive);
+    ExecuteWindow(active);
+    ++stats_.windows;
   }
   // Quiesce: no shard holds an event before (at, when inclusive) `limit`;
   // park every clock exactly there so code running at the sync point reads
@@ -202,18 +434,26 @@ void ShardGroup::AdvanceShards(TimeNs limit, bool inclusive) {
   }
 }
 
+void ShardGroup::RunControlBatch(TimeNs t) {
+  // Quiesce the shards AT the batch's timestamp, then run every control
+  // event at or before it under that single quiesce. Control code observes
+  // — and may mutate — exactly the state the single-threaded schedule
+  // would have produced.
+  AdvanceShards(t, /*inclusive=*/false);
+  control_->RunUntil(t);
+  ++stats_.sync_points;
+}
+
 void ShardGroup::RunUntil(TimeNs t) {
-  // Every control event is a global sync point: shards are quiesced AT the
-  // event's timestamp before it executes, so it observes — and may mutate —
-  // the exact state the single-threaded schedule would have produced.
+  // Control events are global sync points, batched per distinct timestamp:
+  // a burst of same-instant arrivals or a monitor tick plus a metrics tick
+  // costs ONE quiesce.
   for (;;) {
     const TimeNs t_control = control_->NextEventTime();
     if (t_control > t) {
       break;
     }
-    AdvanceShards(t_control, /*inclusive=*/false);
-    control_->RunUntil(t_control);
-    ++stats_.sync_points;
+    RunControlBatch(t_control);
   }
   // No control events remain at or before `t`: finish shard events through
   // `t` (inclusive, matching Simulator::RunUntil) and park the clocks.

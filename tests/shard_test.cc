@@ -184,6 +184,249 @@ TEST(ShardGroupTest, BoundaryTortureMatchesSingleSimulatorBitForBit) {
   }
 }
 
+// Three switches in a line, with the WORST-CASE lookahead split: a 1 ns
+// trunk between sa and sb, a 5 us trunk between sb and sc. Per-channel
+// lookahead lets sc's region run microseconds ahead while sa/sb crawl at
+// nanosecond windows — every delivery instant must still land bit-equal to
+// the single-simulator schedule, including traffic that crosses BOTH
+// trunks (and so transits the fast region on its way to the slow one).
+TortureResult RunAsymmetricTorture(int shards, int threads) {
+  sim::Simulator control;
+  sim::ShardGroup group(&control, {shards, threads});
+  atm::Network net(&control);
+  scenario::RegionPartitioner part(&net, shards > 0 ? &group : nullptr);
+
+  part.EnterRegion(0);
+  atm::Switch* sa = net.AddSwitch("sa", 2);
+  part.EnterRegion(1);
+  atm::Switch* sb = net.AddSwitch("sb", 3);
+  part.EnterRegion(2);
+  atm::Switch* sc = net.AddSwitch("sc", 2);
+  net.ConnectSwitches(sa, 0, sb, 0, /*bps=*/20'000'000, /*propagation=*/1);
+  net.ConnectSwitches(sb, 1, sc, 0, /*bps=*/20'000'000, /*propagation=*/sim::Microseconds(5));
+
+  part.EnterRegion(0);
+  atm::Endpoint* ea = net.AddEndpoint("ea", sa, 1, 155'000'000);
+  part.EnterRegion(1);
+  atm::Endpoint* eb = net.AddEndpoint("eb", sb, 2, 155'000'000);
+  part.EnterRegion(2);
+  atm::Endpoint* ec = net.AddEndpoint("ec", sc, 1, 155'000'000);
+
+  auto vc_ab = net.OpenVc(ea, eb);
+  auto vc_ba = net.OpenVc(eb, ea);
+  auto vc_ac = net.OpenVc(ea, ec);  // crosses the 1 ns AND the 5 us trunk
+  auto vc_ca = net.OpenVc(ec, ea);
+  EXPECT_TRUE(vc_ab.has_value());
+  EXPECT_TRUE(vc_ba.has_value());
+  EXPECT_TRUE(vc_ac.has_value());
+  EXPECT_TRUE(vc_ca.has_value());
+
+  std::vector<std::pair<int, sim::TimeNs>> log_a;
+  std::vector<std::pair<int, sim::TimeNs>> log_b;
+  std::vector<std::pair<int, sim::TimeNs>> log_c;
+  ea->set_cell_handler(
+      [&](const atm::Cell& cell) { log_a.emplace_back(cell.vci, ea->simulator()->now()); });
+  eb->set_cell_handler(
+      [&](const atm::Cell& cell) { log_b.emplace_back(cell.vci, eb->simulator()->now()); });
+  ec->set_cell_handler(
+      [&](const atm::Cell& cell) { log_c.emplace_back(cell.vci, ec->simulator()->now()); });
+
+  struct Flood {
+    atm::Endpoint* ep;
+    atm::Vci vci_1;
+    atm::Vci vci_2;
+    sim::DurationNs period;
+    uint64_t n = 0;
+    void Fire() {
+      atm::Cell cell;
+      cell.vci = (++n & 1) != 0 || vci_2 == 0 ? vci_1 : vci_2;
+      for (int i = 0; i < 8; ++i) {
+        cell.end_of_frame = (i == 7);
+        ep->SendCell(cell);
+      }
+      ep->simulator()->ScheduleAfter(period, [this]() { Fire(); });
+    }
+  };
+  Flood fa{ea, vc_ab->source_vci, vc_ac->source_vci, 7001};
+  Flood fb{eb, vc_ba->source_vci, 0, 9973};
+  Flood fc{ec, vc_ca->source_vci, 0, 11003};
+  ea->simulator()->ScheduleAt(1, [&]() { fa.Fire(); });
+  eb->simulator()->ScheduleAt(1, [&]() { fb.Fire(); });
+  ec->simulator()->ScheduleAt(1, [&]() { fc.Fire(); });
+
+  if (shards > 0) {
+    group.RunUntil(sim::Milliseconds(20));
+  } else {
+    control.RunUntil(sim::Milliseconds(20));
+  }
+
+  TortureResult result;
+  result.received_a = ea->cells_received();
+  result.received_b = eb->cells_received() + ec->cells_received();
+  for (const auto& link : net.links()) {
+    if (link->propagation_delay() <= sim::Microseconds(5)) {
+      result.trunk_sent += link->cells_sent();
+      result.trunk_dropped += link->cells_dropped();
+    }
+  }
+  std::vector<std::pair<int, sim::TimeNs>> log = std::move(log_a);
+  log.insert(log.end(), log_b.begin(), log_b.end());
+  log.insert(log.end(), log_c.begin(), log_c.end());
+  result.digest = DigestLog(log);
+  return result;
+}
+
+TEST(ShardGroupTest, AsymmetricLookaheadTortureMatchesSingleSimulatorBitForBit) {
+  const TortureResult reference = RunAsymmetricTorture(/*shards=*/0, /*threads=*/0);
+  EXPECT_GT(reference.received_a, 0u);
+  EXPECT_GT(reference.received_b, 0u);
+  EXPECT_GT(reference.trunk_dropped, 0u);
+
+  for (const auto& [shards, threads] : std::vector<std::pair<int, int>>{
+           {1, 1}, {3, 1}, {3, 2}, {3, 0}}) {
+    const TortureResult sharded = RunAsymmetricTorture(shards, threads);
+    EXPECT_EQ(sharded.digest, reference.digest)
+        << "shards=" << shards << " threads=" << threads;
+    EXPECT_EQ(sharded.received_a, reference.received_a);
+    EXPECT_EQ(sharded.received_b, reference.received_b);
+    EXPECT_EQ(sharded.trunk_sent, reference.trunk_sent);
+    EXPECT_EQ(sharded.trunk_dropped, reference.trunk_dropped);
+  }
+}
+
+// A registered channel that carries nothing must cost nothing at the merge:
+// windows tick, the merge pass doesn't.
+TEST(ShardGroupTest, ZeroBoundaryTrafficWindowsSkipMergePass) {
+  sim::Simulator control;
+  sim::ShardGroup group(&control, {/*shards=*/2, /*threads=*/1});
+  sim::Simulator* a = group.shard(0);
+  sim::Simulator* b = group.shard(1);
+  sim::BoundaryChannel* ab = group.RegisterBoundary(a, b, /*lookahead=*/100);
+
+  struct Ticker {
+    sim::Simulator* s;
+    int left;
+    void Fire() {
+      if (--left > 0) {
+        s->ScheduleAfter(50, [this]() { Fire(); });
+      }
+    }
+  };
+  Ticker ta{a, 100};
+  Ticker tb{b, 100};
+  a->ScheduleAt(1, [&]() { ta.Fire(); });
+  b->ScheduleAt(1, [&]() { tb.Fire(); });
+  group.RunUntil(10'000);
+
+  EXPECT_GT(group.stats().windows, 0u);
+  EXPECT_EQ(group.stats().merges, 0u);
+  EXPECT_EQ(group.stats().handoffs, 0u);
+  EXPECT_EQ(group.stats().messages, 0u);
+
+  // Positive control: one post makes exactly one hand-off and one merged
+  // window.
+  int delivered = 0;
+  a->ScheduleAt(10'050, [&]() {
+    ab->Post(a->now() + 100, [&]() { ++delivered; });
+  });
+  group.RunUntil(20'000);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(group.stats().handoffs, 1u);
+  EXPECT_EQ(group.stats().merges, 1u);
+  EXPECT_EQ(group.stats().messages, 1u);
+}
+
+// A burst of control events at one instant is ONE global sync point, not
+// one per event.
+TEST(ShardGroupTest, SameTimestampControlEventsQuiesceOnce) {
+  sim::Simulator control;
+  sim::ShardGroup group(&control, {/*shards=*/2, /*threads=*/1});
+  int ran = 0;
+  group.shard(0)->ScheduleAt(50, []() {});
+  group.shard(1)->ScheduleAt(150, []() {});
+  for (int i = 0; i < 3; ++i) {
+    control.ScheduleAt(100, [&]() { ++ran; });
+  }
+  group.RunUntil(200);
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(group.stats().sync_points, 1u);
+
+  // Distinct instants still quiesce separately.
+  control.ScheduleAt(300, [&]() { ++ran; });
+  control.ScheduleAt(400, [&]() { ++ran; });
+  group.RunUntil(500);
+  EXPECT_EQ(ran, 5);
+  EXPECT_EQ(group.stats().sync_points, 3u);
+}
+
+// Per-channel lookahead: a busy pair coupled by 5 us trunks must not be
+// throttled to the 1 ns lookahead of a channel between two IDLE shards —
+// under the old global-min horizon this topology planned a window per
+// nanosecond-scale step; per-channel bounds plan one per 5 us.
+TEST(ShardGroupTest, PerChannelLookaheadWidensWindows) {
+  sim::Simulator control;
+  sim::ShardGroup group(&control, {/*shards=*/4, /*threads=*/1});
+  sim::Simulator* a = group.shard(0);
+  sim::Simulator* b = group.shard(1);
+  group.RegisterBoundary(a, b, sim::Microseconds(5));
+  group.RegisterBoundary(b, a, sim::Microseconds(5));
+  // The distant fast pair: registered, never used, never scheduled.
+  group.RegisterBoundary(group.shard(2), group.shard(3), /*lookahead=*/1);
+
+  struct Ticker {
+    sim::Simulator* s;
+    int left;
+    void Fire() {
+      if (--left > 0) {
+        s->ScheduleAfter(sim::Microseconds(1), [this]() { Fire(); });
+      }
+    }
+  };
+  Ticker ta{a, 1000};
+  Ticker tb{b, 1000};
+  a->ScheduleAt(1, [&]() { ta.Fire(); });
+  b->ScheduleAt(1, [&]() { tb.Fire(); });
+  group.RunUntil(sim::Milliseconds(1));
+
+  // ~1 ms of 1 us events under 5 us windows: on the order of 200 windows.
+  // The global-min horizon would need one window per event (2000+).
+  EXPECT_GT(group.stats().windows, 0u);
+  EXPECT_LT(group.stats().windows, 1000u);
+}
+
+// Tearing down a group whose workers are parked at the window barrier must
+// neither deadlock nor leak threads — run a few windows, then destroy
+// immediately, repeatedly, at several thread counts.
+TEST(ShardGroupTest, DestructionWithParkedWorkersIsClean) {
+  for (int threads : {2, 4}) {
+    for (int iter = 0; iter < 25; ++iter) {
+      sim::Simulator control;
+      sim::ShardGroup group(&control, {/*shards=*/4, threads});
+      sim::Simulator* a = group.shard(0);
+      sim::Simulator* b = group.shard(1);
+      sim::BoundaryChannel* ab = group.RegisterBoundary(a, b, /*lookahead=*/10);
+      group.RegisterBoundary(b, a, /*lookahead=*/10);
+      int delivered = 0;
+      for (int s = 0; s < 4; ++s) {
+        for (sim::TimeNs t = 1; t < 200; t += 7) {
+          group.shard(s)->ScheduleAt(t, []() {});
+        }
+      }
+      a->ScheduleAt(5, [&]() {
+        ab->Post(a->now() + 10, [&]() { ++delivered; });
+      });
+      group.RunUntil(100 + iter);
+      EXPECT_EQ(delivered, 1);
+      // Destructor runs here with all workers parked mid-sequence.
+    }
+    // And the degenerate case: construct, never run, destroy.
+    for (int iter = 0; iter < 25; ++iter) {
+      sim::Simulator control;
+      sim::ShardGroup group(&control, {/*shards=*/4, threads});
+    }
+  }
+}
+
 // --- Fleet equivalence: the full metro scenario, every shard count ---------
 
 scenario::TopologyParams SmallMetro() {
